@@ -1,0 +1,28 @@
+"""Figure 12: SKL label length (maximum and average) vs run size on QBLAST.
+
+Benchmarked operation: labeling a mid-size QBLAST run with TCM+SKL.
+Printed series: max / average label bits per run size, against the
+``3 log2 nR`` asymptote — both must grow logarithmically (Lemma 4.7).
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import figure_12_label_length
+from repro.datasets.reallife import load_real_workflow
+from repro.skeleton.skl import SkeletonLabeler
+from repro.workflow.execution import generate_run_with_size
+
+
+def test_fig12_label_length(benchmark, bench_scale, report_sink):
+    spec = load_real_workflow("QBLAST")
+    labeler = SkeletonLabeler(spec, "tcm")
+    run = generate_run_with_size(spec, bench_scale.run_sizes[-1], seed=0).run
+    labeled = benchmark(labeler.label_run, run)
+    assert labeled.max_label_length_bits() > 0
+
+    result = report_sink(figure_12_label_length(bench_scale))
+    rows = result.rows
+    # logarithmic growth: doubling the run size adds a few bits, never doubles them
+    assert rows[-1]["max_label_bits"] <= rows[0]["max_label_bits"] + 3 * len(rows)
+    for row in rows:
+        assert row["avg_label_bits"] <= row["max_label_bits"] <= row["bound_3log_nR"] + 9

@@ -1,0 +1,34 @@
+"""Figure 13: SKL construction time vs run size on QBLAST.
+
+Benchmarked operation: the default-setting labeling (plan reconstructed from
+the run graph) of the largest run in the sweep.  Printed series: construction
+time per run size for both settings — the default one and the "run given with
+its execution plan & context" one, which must be cheaper.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import figure_13_construction_time
+from repro.datasets.reallife import load_real_workflow
+from repro.skeleton.skl import SkeletonLabeler
+from repro.workflow.execution import generate_run_with_size
+
+
+def test_fig13_construction_time(benchmark, bench_scale, report_sink):
+    spec = load_real_workflow("QBLAST")
+    labeler = SkeletonLabeler(spec, "tcm")
+    generated = generate_run_with_size(spec, bench_scale.run_sizes[-1], seed=0)
+    benchmark(labeler.label_run, generated.run)
+
+    result = report_sink(figure_13_construction_time(bench_scale))
+    rows = result.rows
+    for row in rows:
+        assert row["with_plan_ms"] <= row["default_ms"]
+    # linear growth: construction increases with run size and the per-vertex
+    # cost stays within an absolute budget (observed ~0.02 ms/vertex; allow a
+    # generous margin so one noisy measurement cannot fail the suite)
+    assert rows[-1]["default_ms"] >= rows[0]["default_ms"]
+    assert rows[-1]["default_ms"] <= 0.25 * rows[-1]["run_size"]
+    per_vertex = sorted(row["default_ms"] / row["run_size"] for row in rows[1:])
+    median = per_vertex[len(per_vertex) // 2]
+    assert per_vertex[-1] <= 20 * median

@@ -1,0 +1,35 @@
+"""Figure 14: SKL query time vs run size on QBLAST (constant time expected).
+
+Benchmarked operation: a single reachability query on the largest run of the
+sweep (the paper's claim is that this is O(1)).  Printed series: average
+query time per run size, which must stay flat.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.bench.experiments import figure_14_query_time
+from repro.datasets.reallife import load_real_workflow
+from repro.skeleton.skl import SkeletonLabeler
+from repro.workflow.execution import generate_run_with_size
+
+
+def test_fig14_query_time(benchmark, bench_scale, report_sink):
+    spec = load_real_workflow("QBLAST")
+    labeler = SkeletonLabeler(spec, "tcm")
+    run = generate_run_with_size(spec, bench_scale.run_sizes[-1], seed=0).run
+    labeled = labeler.label_run(run)
+    rng = random.Random(0)
+    vertices = run.vertices()
+    pairs = [(rng.choice(vertices), rng.choice(vertices)) for _ in range(64)]
+
+    def query_batch() -> int:
+        return sum(1 for source, target in pairs if labeled.reaches(source, target))
+
+    benchmark(query_batch)
+
+    result = report_sink(figure_14_query_time(bench_scale))
+    times = [row["query_us"] for row in result.rows]
+    # constant query time: largest and smallest run differ by a small factor only
+    assert max(times) <= 20 * min(times)

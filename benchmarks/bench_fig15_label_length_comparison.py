@@ -1,0 +1,47 @@
+"""Figure 15: amortized label length — TCM+SKL (1/2/10 runs) vs BFS+SKL.
+
+Benchmarked operation: BFS+SKL labeling of the largest run of the sweep.
+Printed series: maximum label length per run size and scheme, with the
+specification cost amortized over 1, 2 and 10 runs for TCM+SKL.  Expected
+shape: the TCM+SKL curves start above BFS+SKL for small runs (the nG²/(k·nR)
+term dominates) and converge to it for large runs.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import (
+    comparison_specification,
+    figure_15_label_length_comparison,
+    scheme_comparison,
+)
+from repro.skeleton.skl import SkeletonLabeler
+from repro.workflow.execution import generate_run_with_size
+
+
+def test_fig15_label_length_comparison(benchmark, bench_scale, report_sink, shared_comparison):
+    spec = comparison_specification()
+    labeler = SkeletonLabeler(spec, "bfs")
+    run = generate_run_with_size(spec, bench_scale.run_sizes[-1], seed=0).run
+    benchmark(labeler.label_run, run)
+
+    shared = shared_comparison
+    result = report_sink(figure_15_label_length_comparison(bench_scale, shared=shared))
+
+    tcm_rows = [row for row in result.rows if row["scheme"] == "tcm+skl"]
+    bfs_rows = {row["run_size"]: row for row in result.rows if row["scheme"] == "bfs+skl"}
+    largest = max(row["run_size"] for row in tcm_rows)
+    smallest = min(row["run_size"] for row in tcm_rows)
+
+    def bits(size: int, runs: int) -> float:
+        return next(
+            row["max_label_bits"]
+            for row in tcm_rows
+            if row["run_size"] == size and row["amortized_runs"] == runs
+        )
+
+    # amortizing over more runs always shrinks the TCM+SKL labels
+    assert bits(smallest, 10) < bits(smallest, 1)
+    # for small runs the spec cost dominates: TCM+SKL (k=1) is far above BFS+SKL
+    assert bits(smallest, 1) > bfs_rows[smallest]["max_label_bits"] * 2
+    # for large runs the gap closes to a small factor
+    assert bits(largest, 10) <= bfs_rows[largest]["max_label_bits"] * 2

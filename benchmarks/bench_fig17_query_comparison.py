@@ -1,0 +1,56 @@
+"""Figure 17: query time — TCM+SKL vs BFS+SKL vs direct TCM vs direct BFS.
+
+Benchmarked operation: a batch of TCM+SKL queries on the largest run.
+Printed series: average query time per run size and scheme, plus the fraction
+of queries answered by the context encoding alone (the ablation explaining
+why BFS+SKL gets *faster* on larger runs).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.bench.experiments import (
+    comparison_specification,
+    figure_17_query_comparison,
+    scheme_comparison,
+)
+from repro.skeleton.skl import SkeletonLabeler
+from repro.workflow.execution import generate_run_with_size
+
+
+def test_fig17_query_comparison(benchmark, bench_scale, report_sink, shared_comparison):
+    spec = comparison_specification()
+    labeler = SkeletonLabeler(spec, "tcm")
+    run = generate_run_with_size(spec, bench_scale.run_sizes[-1], seed=0).run
+    labeled = labeler.label_run(run)
+    rng = random.Random(0)
+    vertices = run.vertices()
+    pairs = [(rng.choice(vertices), rng.choice(vertices)) for _ in range(64)]
+    benchmark(lambda: [labeled.reaches(s, t) for s, t in pairs])
+
+    shared = shared_comparison
+    result = report_sink(figure_17_query_comparison(bench_scale, shared=shared))
+
+    def series(scheme: str) -> dict[int, float]:
+        return {
+            row["run_size"]: row["query_us"]
+            for row in result.rows
+            if row["scheme"] == scheme
+        }
+
+    tcm_skl, bfs_skl, bfs = series("tcm+skl"), series("bfs+skl"), series("bfs")
+    shared_sizes = sorted(set(bfs) & set(bfs_skl))
+    largest = shared_sizes[-1]
+    # direct BFS is the slowest scheme on large runs; TCM+SKL the fastest of the three
+    assert bfs[largest] > bfs_skl[largest]
+    assert bfs[largest] > tcm_skl[largest]
+    # TCM+SKL stays flat: no more than a small factor across the whole sweep
+    assert max(tcm_skl.values()) <= 20 * min(tcm_skl.values())
+    # the fast-path fraction grows with run size (more fork/loop copies)
+    fast = [
+        row["fast_path_fraction"]
+        for row in result.rows
+        if row["scheme"] == "tcm+skl"
+    ]
+    assert fast[-1] >= fast[0]

@@ -1,0 +1,44 @@
+"""Figure 18: influence of the specification size on TCM+SKL label length.
+
+Benchmarked operation: TCM+SKL labeling of a run of the nG=200 specification.
+Printed series: amortized (k=2) maximum label length per run size for
+specifications with nG in {50, 100, 200}.  Expected shape: smaller
+specifications win for small runs (smaller skeleton cost) and the curves
+converge for large runs.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import (
+    figure_18_spec_influence_label_length,
+    spec_influence,
+)
+from repro.datasets.synthetic import SyntheticSpecConfig, generate_specification
+from repro.skeleton.skl import SkeletonLabeler
+from repro.workflow.execution import generate_run_with_size
+
+
+def test_fig18_spec_influence_label_length(benchmark, bench_scale, report_sink, shared_influence):
+    spec = generate_specification(
+        SyntheticSpecConfig(200, 400, 10, 4, name="synthetic-200", seed=242)
+    )
+    labeler = SkeletonLabeler(spec, "tcm")
+    run = generate_run_with_size(spec, bench_scale.run_sizes[-1], seed=0).run
+    benchmark(labeler.label_run, run)
+
+    shared = shared_influence
+    result = report_sink(figure_18_spec_influence_label_length(bench_scale, shared=shared))
+
+    sizes = sorted({row["run_size"] for row in result.rows if row["spec_size"] == 50})
+
+    def bits(spec_size: int, which: int) -> float:
+        matching = [row for row in result.rows if row["spec_size"] == spec_size]
+        matching.sort(key=lambda row: row["run_size"])
+        return matching[which]["tcm_skl_max_label_bits_k2"]
+
+    # small runs: the nG=50 spec yields much shorter labels than nG=200
+    assert bits(50, 0) < bits(200, 0)
+    # large runs: the gap shrinks to a small factor (only observable once the
+    # sweep reaches a few thousand vertices, where nG^2/(2 nR) fades away)
+    if sizes[-1] >= 5_000:
+        assert bits(200, len(sizes) - 1) <= 2.0 * bits(50, len(sizes) - 1)

@@ -1,0 +1,44 @@
+"""Figure 19: influence of the specification size on TCM+SKL construction time.
+
+Benchmarked operation: plan construction + labeling of a run of the nG=50
+specification.  Printed series: amortized (k=2) construction time per run
+size for specifications with nG in {50, 100, 200}; the curves converge as the
+runs grow because the run-side linear work dominates the amortized spec cost.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import (
+    figure_19_spec_influence_construction,
+    spec_influence,
+)
+from repro.datasets.synthetic import SyntheticSpecConfig, generate_specification
+from repro.skeleton.skl import SkeletonLabeler
+from repro.workflow.execution import generate_run_with_size
+
+
+def test_fig19_spec_influence_construction(benchmark, bench_scale, report_sink, shared_influence):
+    spec = generate_specification(
+        SyntheticSpecConfig(50, 100, 10, 4, name="synthetic-50", seed=92)
+    )
+    labeler = SkeletonLabeler(spec, "tcm")
+    run = generate_run_with_size(spec, bench_scale.run_sizes[-1], seed=0).run
+    benchmark(labeler.label_run, run)
+
+    shared = shared_influence
+    result = report_sink(figure_19_spec_influence_construction(bench_scale, shared=shared))
+
+    # construction time grows with run size for every specification (linear
+    # trend); millisecond-level noise makes this meaningful only once the sweep
+    # spans at least an order of magnitude in run size
+    for spec_size in (50, 100, 200):
+        rows = sorted(
+            (row for row in result.rows if row["spec_size"] == spec_size),
+            key=lambda row: row["run_size"],
+        )
+        assert rows, f"no rows for spec_size={spec_size}"
+        if rows[-1]["run_size"] >= 10 * rows[0]["run_size"]:
+            assert (
+                rows[-1]["tcm_skl_construction_ms_k2"]
+                >= rows[0]["tcm_skl_construction_ms_k2"]
+            )

@@ -1,0 +1,56 @@
+"""Figure 20: influence of the specification size on BFS+SKL query time.
+
+Benchmarked operation: a batch of BFS+SKL queries on a run of the nG=100
+specification.  Printed series: BFS+SKL query time per run size for
+specifications with nG in {50, 100, 200}, plus the context-encoding fast-path
+fraction.  Expected shape: bigger specifications cost more per query (the
+skeleton fallback searches a bigger graph), and the influence weakens as runs
+grow because more queries never reach the skeleton labels.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.bench.experiments import (
+    comparison_specification,
+    figure_20_spec_influence_query,
+    spec_influence,
+)
+from repro.skeleton.skl import SkeletonLabeler
+from repro.workflow.execution import generate_run_with_size
+
+
+def test_fig20_spec_influence_query(benchmark, bench_scale, report_sink, shared_influence):
+    spec = comparison_specification()
+    labeler = SkeletonLabeler(spec, "bfs")
+    run = generate_run_with_size(spec, bench_scale.run_sizes[-1], seed=0).run
+    labeled = labeler.label_run(run)
+    rng = random.Random(0)
+    vertices = run.vertices()
+    pairs = [(rng.choice(vertices), rng.choice(vertices)) for _ in range(32)]
+    benchmark(lambda: [labeled.reaches(s, t) for s, t in pairs])
+
+    shared = shared_influence
+    result = report_sink(figure_20_spec_influence_query(bench_scale, shared=shared))
+
+    largest = max(row["run_size"] for row in result.rows if row["spec_size"] == 50)
+
+    def query_us(spec_size: int, run_size_selector) -> float:
+        rows = sorted(
+            (row for row in result.rows if row["spec_size"] == spec_size),
+            key=lambda row: row["run_size"],
+        )
+        return run_size_selector(rows)
+
+    smallest_run_50 = query_us(50, lambda rows: rows[0]["bfs_skl_query_us"])
+    smallest_run_200 = query_us(200, lambda rows: rows[0]["bfs_skl_query_us"])
+    # on small runs, the bigger specification is noticeably slower to query
+    assert smallest_run_200 > smallest_run_50
+    # the fast-path fraction grows with the run for every specification
+    for spec_size in (50, 100, 200):
+        rows = sorted(
+            (row for row in result.rows if row["spec_size"] == spec_size),
+            key=lambda row: row["run_size"],
+        )
+        assert rows[-1]["bfs_skl_fast_path"] >= rows[0]["bfs_skl_fast_path"]

@@ -1,0 +1,28 @@
+"""Table 1: characteristics of the real-life scientific workflows.
+
+The benchmarked operation is loading (synthesizing + validating) the whole
+catalog; the printed table reports nG, mG, |TG| and [TG] per workflow, which
+must match the published Table 1 exactly.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import table_1_real_workflows
+from repro.datasets.reallife import load_all_real_workflows
+
+
+def test_table1_catalog(benchmark, report_sink):
+    catalog = benchmark(load_all_real_workflows)
+    assert len(catalog) == 6
+
+    result = report_sink(table_1_real_workflows())
+    published = {
+        "EBI": (29, 31, 4, 2),
+        "PubMed": (35, 45, 3, 3),
+        "QBLAST": (58, 72, 6, 3),
+        "BioAID": (71, 87, 10, 4),
+        "ProScan": (89, 119, 9, 4),
+        "ProDisc": (111, 158, 9, 3),
+    }
+    for row in result.rows:
+        assert (row["nG"], row["mG"], row["|TG|"], row["[TG]"]) == published[row["workflow"]]

@@ -1,0 +1,28 @@
+"""Table 2: complexity comparison of TCM+SKL, BFS+SKL, TCM and BFS.
+
+The benchmarked operation is one TCM+SKL labeling of the Table 2 run; the
+printed table shows the predicted label lengths (Table 2 formulas) next to
+the measured ones plus measured query times for every scheme.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import comparison_specification, table_2_complexity
+from repro.skeleton.skl import SkeletonLabeler
+from repro.workflow.execution import generate_run_with_size
+
+
+def test_table2_complexity(benchmark, bench_scale, report_sink):
+    spec = comparison_specification()
+    run_size = bench_scale.run_sizes[min(len(bench_scale.run_sizes) - 1, 4)]
+    generated = generate_run_with_size(spec, run_size, seed=0)
+    labeler = SkeletonLabeler(spec, "tcm")
+    labeled = benchmark(labeler.label_run, generated.run)
+    assert labeled.run.vertex_count >= run_size
+
+    result = report_sink(table_2_complexity(bench_scale))
+    schemes = {row["scheme"] for row in result.rows}
+    assert {"TCM+SKL", "BFS+SKL", "BFS"} <= schemes
+    measured = {row["scheme"]: row for row in result.rows}
+    # SKL labels must stay within a small factor of the analytic prediction.
+    assert measured["BFS+SKL"]["measured_bits"] <= measured["BFS+SKL"]["predicted_bits"] * 1.5

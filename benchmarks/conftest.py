@@ -1,0 +1,66 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark module regenerates one of the paper's tables or figures:
+
+* the ``benchmark`` fixture times the core operation behind the figure
+  (labeling a run, answering a query, ...), giving comparable
+  pytest-benchmark numbers;
+* the full experiment series (the rows the paper plots) is computed once per
+  module, printed to the terminal and written to ``benchmarks/results/``.
+
+The sweep size is controlled by the ``REPRO_BENCH_SCALE`` environment
+variable: ``smoke`` (tiny, used by CI), ``default`` (runs up to 12.8K
+vertices, a couple of minutes) or ``paper`` (the full 0.1K-102.4K sweep).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bench.harness import get_scale
+from repro.bench.reporting import ExperimentResult, write_report
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def pytest_report_header(config):  # pragma: no cover - cosmetic
+    scale = os.environ.get("REPRO_BENCH_SCALE", "default")
+    return f"repro benchmark scale: {scale} (set REPRO_BENCH_SCALE to change)"
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    """The benchmark scale preset selected via REPRO_BENCH_SCALE."""
+    return get_scale(os.environ.get("REPRO_BENCH_SCALE", "default"))
+
+
+@pytest.fixture(scope="session")
+def shared_comparison(bench_scale):
+    """The Figures 15-17 sweep, computed once and shared across modules."""
+    from repro.bench.experiments import scheme_comparison
+
+    return scheme_comparison(bench_scale)
+
+
+@pytest.fixture(scope="session")
+def shared_influence(bench_scale):
+    """The Figures 18-20 sweep, computed once and shared across modules."""
+    from repro.bench.experiments import spec_influence
+
+    return spec_influence(bench_scale)
+
+
+@pytest.fixture(scope="session")
+def report_sink():
+    """Print an experiment result and persist it under benchmarks/results/."""
+
+    def _sink(result: ExperimentResult) -> ExperimentResult:
+        print()
+        print(result.to_text())
+        write_report(result, RESULTS_DIR)
+        return result
+
+    return _sink

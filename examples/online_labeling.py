@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Online labeling: query provenance while the workflow is still running.
+
+The paper's future-work section asks for exactly this: label data as soon as
+it is produced so that provenance queries work on intermediate results before
+the workflow completes.  ``OnlineRun`` consumes the event stream a workflow
+engine produces (module finished, fork copy started, loop iteration started,
+data channel established) and keeps the skeleton labels up to date
+incrementally — no relabeling of the whole run, ever.
+
+The scenario below executes the paper's example workflow step by step and
+interleaves provenance queries with execution events.
+"""
+
+from __future__ import annotations
+
+from repro import SkeletonLabeler, WorkflowSpecification
+from repro.skeleton.online import OnlineRun
+
+
+def build_specification() -> WorkflowSpecification:
+    return WorkflowSpecification.from_edges(
+        edges=[
+            ("a", "b"), ("b", "c"), ("c", "h"),
+            ("a", "d"), ("d", "e"), ("e", "f"), ("f", "g"), ("g", "h"),
+        ],
+        forks=[("F1", {"b", "c"}), ("F2", {"f"})],
+        loops=[("L1", {"e", "f", "g"}), ("L2", {"b", "c"})],
+        name="online-demo",
+    )
+
+
+def main() -> None:
+    spec = build_specification()
+    labeler = SkeletonLabeler(spec, "tcm")          # skeleton labels built once
+    online = OnlineRun(labeler, name="monitored-run")
+    root = online.root_scope
+
+    print("workflow started")
+    a1 = root.execute("a")
+    d1 = root.execute("d")
+    online.connect(a1, d1)
+
+    # The engine enters the fork F1 and starts two parallel branches.
+    fork = root.begin_execution("F1")
+    branch_one = fork.new_copy()
+    branch_two = fork.new_copy()
+
+    loop_one = branch_one.begin_execution("L2")
+    iteration = loop_one.new_copy()
+    b1 = iteration.execute("b")
+    online.connect(a1, b1)
+    c1 = iteration.execute("c")
+    online.connect(b1, c1)
+
+    loop_two = branch_two.begin_execution("L2")
+    other_iteration = loop_two.new_copy()
+    b2 = other_iteration.execute("b")
+    online.connect(a1, b2)
+
+    print(f"\nafter {online.vertex_count} of ~16 module executions:")
+    print(f"  does {c1} depend on {a1}?   {online.reaches(a1, c1)}")
+    print(f"  does {b2} depend on {b1}?   {online.reaches(b1, b2)}  (parallel branches)")
+
+    # The first branch decides to iterate its loop once more.
+    second_iteration = loop_one.new_copy()
+    b3 = second_iteration.execute("b")
+    online.connect(c1, b3)
+    c2 = second_iteration.execute("c")
+    online.connect(b3, c2)
+    print(f"\nloop L2 iterated again in branch one:")
+    print(f"  does {b3} depend on {b1}?   {online.reaches(b1, b3)}  (successive iterations)")
+    print(f"  does {b3} depend on {b2}?   {online.reaches(b2, b3)}  (still parallel)")
+
+    # Finish the second branch and the d-e-f-g spine, then close the run.
+    c3 = other_iteration.execute("c")
+    online.connect(b2, c3)
+    loop = root.begin_execution("L1")
+    spine = loop.new_copy()
+    e1 = spine.execute("e")
+    online.connect(d1, e1)
+    inner_fork = spine.begin_execution("F2")
+    f_copy = inner_fork.new_copy()
+    f1 = f_copy.execute("f")
+    online.connect(e1, f1)
+    g1 = spine.execute("g")
+    online.connect(f1, g1)
+    h1 = root.execute("h")
+    online.connect(c2, h1)
+    online.connect(c3, h1)
+    online.connect(g1, h1)
+
+    labeled = online.finalize()
+    print(f"\nworkflow finished: {labeled.run.vertex_count} executions, "
+          f"{labeled.run.edge_count} channels")
+    print(f"final labels use at most {labeled.max_label_length_bits()} bits; "
+          f"the incremental labeler re-encoded {online.relabel_count} times "
+          f"(once per query burst, not per event)")
+    print(f"  does {h1} depend on {b1}? {labeled.reaches(b1, h1)}")
+    print(f"  does {g1} depend on {b1}? {labeled.reaches(b1, g1)}")
+
+
+if __name__ == "__main__":
+    main()

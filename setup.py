@@ -1,0 +1,10 @@
+"""Thin setup.py shim.
+
+The project metadata lives in ``pyproject.toml``; this file only exists so
+that editable installs work on offline machines whose setuptools/pip stack
+predates PEP 660 (no ``wheel`` package available).
+"""
+
+from setuptools import setup
+
+setup()

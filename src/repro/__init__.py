@@ -1,0 +1,113 @@
+"""repro: skeleton-based reachability labeling for workflow provenance.
+
+A reproduction of "An Optimal Labeling Scheme for Workflow Provenance Using
+Skeleton Labels" (Bao, Davidson, Khanna, Roy — SIGMOD 2010).
+
+The most common entry points are re-exported here:
+
+* :class:`~repro.workflow.specification.WorkflowSpecification` and
+  :class:`~repro.workflow.run.WorkflowRun` — the workflow model;
+* :func:`~repro.workflow.execution.generate_run` /
+  :func:`~repro.workflow.execution.generate_run_with_size` — run simulation;
+* :class:`~repro.skeleton.skl.SkeletonLabeler` — the paper's labeling scheme;
+* :mod:`repro.labeling` — the TCM / BFS / tree-cover baselines;
+* :mod:`repro.provenance` — data-level provenance queries;
+* :mod:`repro.datasets` — synthetic and catalog workloads;
+* :mod:`repro.bench` — the experiment harness reproducing every figure/table.
+"""
+
+from repro.exceptions import (
+    DatasetError,
+    GraphError,
+    LabelingError,
+    PlanConstructionError,
+    ReproError,
+    RunConformanceError,
+    SerializationError,
+    SpecificationError,
+    StorageError,
+    WellNestednessError,
+)
+from repro.graphs import DiGraph
+from repro.labeling import (
+    BFSIndex,
+    DFSIndex,
+    IntervalTreeIndex,
+    ReachabilityIndex,
+    TCMIndex,
+    TreeCoverIndex,
+    available_schemes,
+    build_index,
+)
+from repro.skeleton import (
+    OnlineRun,
+    RunLabel,
+    SkeletonLabeledRun,
+    SkeletonLabeler,
+    construct_plan,
+)
+from repro.workflow import (
+    ConstantProfile,
+    ExecutionPlan,
+    GeneratedRun,
+    PerRegionProfile,
+    PlanNodeKind,
+    RangeProfile,
+    Region,
+    RegionKind,
+    RunVertex,
+    WorkflowRun,
+    WorkflowSpecification,
+    generate_run,
+    generate_run_with_size,
+    materialize_plan,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # exceptions
+    "ReproError",
+    "GraphError",
+    "SpecificationError",
+    "WellNestednessError",
+    "RunConformanceError",
+    "PlanConstructionError",
+    "LabelingError",
+    "SerializationError",
+    "StorageError",
+    "DatasetError",
+    # graphs
+    "DiGraph",
+    # labeling
+    "ReachabilityIndex",
+    "TCMIndex",
+    "BFSIndex",
+    "DFSIndex",
+    "IntervalTreeIndex",
+    "TreeCoverIndex",
+    "available_schemes",
+    "build_index",
+    # workflow model
+    "WorkflowSpecification",
+    "WorkflowRun",
+    "RunVertex",
+    "Region",
+    "RegionKind",
+    "ExecutionPlan",
+    "PlanNodeKind",
+    "GeneratedRun",
+    "ConstantProfile",
+    "RangeProfile",
+    "PerRegionProfile",
+    "generate_run",
+    "generate_run_with_size",
+    "materialize_plan",
+    # skeleton scheme
+    "SkeletonLabeler",
+    "SkeletonLabeledRun",
+    "RunLabel",
+    "construct_plan",
+    "OnlineRun",
+]

@@ -1,0 +1,186 @@
+"""Common machinery for the Section 8 experiments.
+
+The harness knows the paper's experimental setup — run sizes from 0.1K to
+102.4K vertices doubling each step, a fixed number of random reachability
+queries per point, and the scheme combinations under comparison — and exposes
+them behind three *scales* so that the same code serves unit tests (``smoke``),
+the default benchmark run (``default``) and a full paper-sized reproduction
+(``paper``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.bench.metrics import (
+    SchemeMeasurement,
+    measure_query_seconds,
+    sample_query_pairs,
+    time_call,
+)
+from repro.exceptions import DatasetError
+from repro.labeling.registry import build_index
+from repro.skeleton.skl import QueryPath, SkeletonLabeler
+from repro.workflow.execution import generate_run_with_size
+from repro.workflow.run import WorkflowRun
+from repro.workflow.specification import WorkflowSpecification
+
+__all__ = [
+    "BenchScale",
+    "get_scale",
+    "paper_run_sizes",
+    "generate_run_series",
+    "measure_skeleton_scheme",
+    "measure_direct_scheme",
+]
+
+#: the paper's full sweep: 0.1K .. 102.4K vertices, doubling
+PAPER_RUN_SIZES: tuple[int, ...] = (
+    100, 200, 400, 800, 1_600, 3_200, 6_400, 12_800, 25_600, 51_200, 102_400
+)
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """One experiment scale: which run sizes to sweep and how many queries to time."""
+
+    name: str
+    run_sizes: tuple[int, ...]
+    query_count: int
+    #: largest run size on which the quadratic-space TCM baseline is attempted
+    direct_tcm_limit: int
+    #: largest run size on which the per-query-linear BFS baseline is attempted
+    direct_bfs_limit: int
+
+
+_SCALES: dict[str, BenchScale] = {
+    "smoke": BenchScale(
+        name="smoke",
+        run_sizes=(100, 200, 400),
+        query_count=200,
+        direct_tcm_limit=400,
+        direct_bfs_limit=400,
+    ),
+    "default": BenchScale(
+        name="default",
+        run_sizes=(100, 200, 400, 800, 1_600, 3_200, 6_400, 12_800),
+        query_count=2_000,
+        direct_tcm_limit=6_400,
+        direct_bfs_limit=12_800,
+    ),
+    "paper": BenchScale(
+        name="paper",
+        run_sizes=PAPER_RUN_SIZES,
+        query_count=10_000,
+        direct_tcm_limit=25_600,
+        direct_bfs_limit=102_400,
+    ),
+}
+
+
+def get_scale(scale: str | BenchScale) -> BenchScale:
+    """Resolve a scale name (``smoke`` / ``default`` / ``paper``) to its preset."""
+    if isinstance(scale, BenchScale):
+        return scale
+    try:
+        return _SCALES[scale]
+    except KeyError:
+        raise DatasetError(
+            f"unknown benchmark scale {scale!r}; available: {sorted(_SCALES)}"
+        ) from None
+
+
+def paper_run_sizes() -> tuple[int, ...]:
+    """The full 0.1K–102.4K sweep used by the paper's figures."""
+    return PAPER_RUN_SIZES
+
+
+def generate_run_series(
+    spec: WorkflowSpecification,
+    run_sizes: tuple[int, ...],
+    *,
+    seed: int = 0,
+) -> list:
+    """Generate one run per requested size (ground-truth plan included)."""
+    series = []
+    for index, size in enumerate(run_sizes):
+        target = max(size, spec.vertex_count)
+        series.append(
+            generate_run_with_size(
+                spec, target, seed=seed + index, name=f"{spec.name}-{size}"
+            )
+        )
+    return series
+
+
+def measure_skeleton_scheme(
+    labeler: SkeletonLabeler,
+    run: WorkflowRun,
+    *,
+    query_count: int,
+    rng: Optional[random.Random] = None,
+    plan=None,
+    context=None,
+    scheme_label: Optional[str] = None,
+) -> tuple[SchemeMeasurement, object]:
+    """Label *run* with SKL and measure label length, construction and query time.
+
+    Returns the measurement plus the labeled run (so callers can reuse it).
+    """
+    rng = rng or random.Random(0)
+    labeled, construction_seconds = time_call(
+        labeler.label_run, run, plan=plan, context=context
+    )
+    pairs = sample_query_pairs(run.vertices(), query_count, rng)
+    query_seconds = measure_query_seconds(labeled.reaches, pairs)
+    fast = sum(
+        1 for source, target in pairs if labeled.query_path(source, target) != QueryPath.SKELETON
+    )
+    measurement = SchemeMeasurement(
+        scheme=scheme_label or f"{labeled.spec_index.scheme_name}+skl",
+        run_size=run.vertex_count,
+        run_edges=run.edge_count,
+        max_label_bits=labeled.max_label_length_bits(),
+        avg_label_bits=labeled.average_label_length_bits(),
+        construction_seconds=construction_seconds,
+        query_seconds=query_seconds,
+        fast_path_fraction=fast / len(pairs) if pairs else None,
+    )
+    return measurement, labeled
+
+
+def measure_direct_scheme(
+    scheme: str,
+    run: WorkflowRun,
+    *,
+    query_count: int,
+    rng: Optional[random.Random] = None,
+) -> SchemeMeasurement:
+    """Label the run graph directly with *scheme* (the TCM / BFS baselines)."""
+    rng = rng or random.Random(0)
+    index, construction_seconds = time_call(build_index, scheme, run.graph)
+    pairs = sample_query_pairs(run.vertices(), query_count, rng)
+    query_seconds = measure_query_seconds(index.reaches, pairs)
+    return SchemeMeasurement(
+        scheme=scheme,
+        run_size=run.vertex_count,
+        run_edges=run.edge_count,
+        max_label_bits=index.max_label_length_bits(),
+        avg_label_bits=index.average_label_length_bits(),
+        construction_seconds=construction_seconds,
+        query_seconds=query_seconds,
+        fast_path_fraction=None,
+    )
+
+
+def run_series_callable(
+    spec: WorkflowSpecification, sizes: tuple[int, ...], seed: int = 0
+) -> Callable[[], list]:
+    """Return a zero-argument callable generating the run series (for pytest-benchmark)."""
+
+    def _generate() -> list:
+        return generate_run_series(spec, sizes, seed=seed)
+
+    return _generate

@@ -1,0 +1,136 @@
+"""Measurement helpers shared by the experiment harness.
+
+These functions implement the paper's accounting rules:
+
+* label lengths are reported in bits, with the cost of labeling the
+  specification optionally *amortized* over ``k`` runs (Table 2: the TCM
+  skeleton adds ``nG² / (k · nR)`` bits per run vertex);
+* construction times may include the amortized share of the specification
+  labeling time;
+* query times are averaged over a batch of random vertex pairs.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.skeleton.skl import SkeletonLabeledRun
+
+__all__ = [
+    "Stopwatch",
+    "time_call",
+    "sample_query_pairs",
+    "measure_query_seconds",
+    "amortized_label_bits",
+    "amortized_construction_seconds",
+    "SchemeMeasurement",
+]
+
+
+class Stopwatch:
+    """Tiny context manager measuring wall-clock seconds."""
+
+    def __enter__(self) -> "Stopwatch":
+        self.seconds = 0.0
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.seconds = time.perf_counter() - self._start
+
+
+def time_call(function: Callable, *args, **kwargs) -> tuple[object, float]:
+    """Call *function* and return ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = function(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+def sample_query_pairs(
+    vertices: Sequence, count: int, rng: Optional[random.Random] = None
+) -> list[tuple]:
+    """Draw *count* random (source, target) pairs with replacement."""
+    rng = rng or random.Random(0)
+    pool = list(vertices)
+    return [(rng.choice(pool), rng.choice(pool)) for _ in range(count)]
+
+
+def measure_query_seconds(reaches: Callable, pairs: Sequence[tuple]) -> float:
+    """Average seconds per query of ``reaches(source, target)`` over *pairs*."""
+    if not pairs:
+        return 0.0
+    start = time.perf_counter()
+    for source, target in pairs:
+        reaches(source, target)
+    return (time.perf_counter() - start) / len(pairs)
+
+
+def amortized_label_bits(
+    base_bits: float,
+    spec_total_label_bits: int,
+    run_vertex_count: int,
+    runs_amortized: Optional[int],
+) -> float:
+    """Add the amortized per-vertex share of the specification index size.
+
+    ``base_bits`` is the run label length (``3 log nR + log nG``); the
+    specification index of ``spec_total_label_bits`` bits is spread over
+    ``runs_amortized * run_vertex_count`` run vertices (Table 2).  When
+    *runs_amortized* is ``None`` the specification cost is ignored entirely
+    (the Section 8.1 setting).
+    """
+    if runs_amortized is None:
+        return float(base_bits)
+    if runs_amortized <= 0 or run_vertex_count <= 0:
+        raise ValueError("runs_amortized and run_vertex_count must be positive")
+    return float(base_bits) + spec_total_label_bits / (runs_amortized * run_vertex_count)
+
+
+def amortized_construction_seconds(
+    run_seconds: float,
+    spec_seconds: float,
+    runs_amortized: Optional[int],
+) -> float:
+    """Add the amortized share of the specification labeling time."""
+    if runs_amortized is None:
+        return run_seconds
+    if runs_amortized <= 0:
+        raise ValueError("runs_amortized must be positive")
+    return run_seconds + spec_seconds / runs_amortized
+
+
+@dataclass(frozen=True)
+class SchemeMeasurement:
+    """One (scheme, run size) measurement used by the comparison figures."""
+
+    scheme: str
+    run_size: int
+    run_edges: int
+    max_label_bits: float
+    avg_label_bits: float
+    construction_seconds: float
+    query_seconds: float
+    fast_path_fraction: Optional[float] = None
+
+    def as_row(self) -> dict:
+        """Flatten into a plain dict row for the reporting layer."""
+        row = {
+            "scheme": self.scheme,
+            "run_size": self.run_size,
+            "run_edges": self.run_edges,
+            "max_label_bits": round(self.max_label_bits, 2),
+            "avg_label_bits": round(self.avg_label_bits, 2),
+            "construction_ms": round(self.construction_seconds * 1e3, 3),
+            "query_us": round(self.query_seconds * 1e6, 3),
+        }
+        if self.fast_path_fraction is not None:
+            row["fast_path_fraction"] = round(self.fast_path_fraction, 3)
+        return row
+
+
+def skeleton_label_stats(labeled: SkeletonLabeledRun) -> tuple[int, float]:
+    """Return (max, average) label length in bits of a skeleton-labeled run."""
+    return labeled.max_label_length_bits(), labeled.average_label_length_bits()

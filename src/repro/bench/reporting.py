@@ -1,0 +1,110 @@
+"""Plain-text reporting of experiment results.
+
+Every experiment returns an :class:`ExperimentResult` — a titled list of
+uniform dict rows.  This module renders those as aligned ASCII tables (for
+the benchmark console output and EXPERIMENTS.md) and as CSV (for plotting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+__all__ = ["ExperimentResult", "format_table", "format_csv", "write_report"]
+
+PathLike = Union[str, Path]
+
+
+@dataclass
+class ExperimentResult:
+    """The outcome of one experiment: a table plus metadata.
+
+    Attributes
+    ----------
+    experiment_id:
+        Identifier matching the paper, e.g. ``"figure-12"`` or ``"table-1"``.
+    title:
+        Human-readable title.
+    rows:
+        Uniform dict rows.
+    columns:
+        Column order; defaults to the keys of the first row.
+    notes:
+        Free-form remarks (parameters, substitutions, caveats).
+    """
+
+    experiment_id: str
+    title: str
+    rows: list[dict]
+    columns: Optional[list[str]] = None
+    notes: list[str] = field(default_factory=list)
+
+    def column_names(self) -> list[str]:
+        """Return the effective column order."""
+        if self.columns:
+            return list(self.columns)
+        if self.rows:
+            return list(self.rows[0].keys())
+        return []
+
+    def to_text(self) -> str:
+        """Render the result as an ASCII table with title and notes."""
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        lines.append(format_table(self.rows, self.column_names()))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """Render the rows as CSV."""
+        return format_csv(self.rows, self.column_names())
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(rows: Sequence[dict], columns: Optional[Sequence[str]] = None) -> str:
+    """Format dict rows as an aligned ASCII table."""
+    if not rows:
+        return "(no rows)"
+    column_names = list(columns) if columns else list(rows[0].keys())
+    rendered = [[_format_cell(row.get(name, "")) for name in column_names] for row in rows]
+    widths = [
+        max(len(column_names[i]), max(len(line[i]) for line in rendered))
+        for i in range(len(column_names))
+    ]
+    header = "  ".join(name.ljust(widths[i]) for i, name in enumerate(column_names))
+    separator = "  ".join("-" * widths[i] for i in range(len(column_names)))
+    body = [
+        "  ".join(line[i].rjust(widths[i]) for i in range(len(column_names)))
+        for line in rendered
+    ]
+    return "\n".join([header, separator, *body])
+
+
+def format_csv(rows: Sequence[dict], columns: Optional[Sequence[str]] = None) -> str:
+    """Format dict rows as CSV text."""
+    if not rows:
+        return ""
+    column_names = list(columns) if columns else list(rows[0].keys())
+    lines = [",".join(column_names)]
+    for row in rows:
+        lines.append(",".join(_format_cell(row.get(name, "")) for name in column_names))
+    return "\n".join(lines)
+
+
+def write_report(result: ExperimentResult, directory: PathLike) -> Path:
+    """Write a result's text rendering into *directory* and return the path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{result.experiment_id}.txt"
+    path.write_text(result.to_text() + "\n", encoding="utf-8")
+    return path

@@ -1,0 +1,257 @@
+"""Command-line interface for the provenance labeling library.
+
+The CLI exposes the typical life cycle of the system:
+
+* ``generate-spec`` — create a synthetic specification and write it to disk;
+* ``generate-run`` — simulate a run of a specification;
+* ``label`` — label a run with the skeleton-based scheme and store it in a
+  SQLite provenance database;
+* ``query`` — answer a reachability query from the stored labels;
+* ``experiments`` — regenerate the paper's tables and figures;
+* ``info`` — show a specification's characteristics (the Table 1 columns).
+
+Example::
+
+    repro-provenance generate-spec --modules 100 --edges 200 --regions 10 \\
+        --depth 4 --output spec.json
+    repro-provenance generate-run --spec spec.json --size 10000 --output run.json
+    repro-provenance label --spec spec.json --run run.json --database prov.db
+    repro-provenance query --database prov.db --run-id 1 --source m0003:1 --target m0090:2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.bench.experiments import all_experiments
+from repro.bench.reporting import write_report
+from repro.datasets.reallife import load_real_workflow, real_workflow_names
+from repro.datasets.synthetic import SyntheticSpecConfig, generate_specification
+from repro.exceptions import ReproError
+from repro.skeleton.skl import SkeletonLabeler
+from repro.storage.store import ProvenanceStore
+from repro.workflow.execution import generate_run_with_size
+from repro.workflow.serialization import (
+    read_run,
+    read_specification,
+    write_run,
+    write_specification,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for the ``repro-provenance`` entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro-provenance",
+        description="Skeleton-based reachability labeling for workflow provenance",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    spec_parser = subparsers.add_parser(
+        "generate-spec", help="generate a synthetic workflow specification"
+    )
+    spec_parser.add_argument("--modules", type=int, required=True, help="nG")
+    spec_parser.add_argument("--edges", type=int, required=True, help="mG")
+    spec_parser.add_argument("--regions", type=int, required=True, help="|TG| (forks+loops+1)")
+    spec_parser.add_argument("--depth", type=int, required=True, help="[TG]")
+    spec_parser.add_argument("--seed", type=int, default=0)
+    spec_parser.add_argument("--name", default="synthetic")
+    spec_parser.add_argument("--output", type=Path, required=True, help=".json or .xml path")
+
+    run_parser = subparsers.add_parser("generate-run", help="simulate a run of a specification")
+    run_parser.add_argument("--spec", type=Path, required=True)
+    run_parser.add_argument("--size", type=int, required=True, help="target number of vertices")
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument("--name", default="run")
+    run_parser.add_argument("--output", type=Path, required=True, help=".json or .xml path")
+
+    label_parser = subparsers.add_parser(
+        "label", help="label a run with SKL and store it in a provenance database"
+    )
+    label_parser.add_argument("--spec", type=Path, required=True)
+    label_parser.add_argument("--run", type=Path, required=True)
+    label_parser.add_argument("--scheme", default="tcm", help="spec labeling scheme")
+    label_parser.add_argument("--database", type=Path, required=True)
+
+    query_parser = subparsers.add_parser(
+        "query", help="answer a reachability query from stored labels"
+    )
+    query_parser.add_argument("--database", type=Path, required=True)
+    query_parser.add_argument("--run-id", type=int, required=True)
+    query_parser.add_argument("--source", required=True, help="module:instance, e.g. m0003:1")
+    query_parser.add_argument("--target", required=True, help="module:instance, e.g. m0090:2")
+
+    verify_parser = subparsers.add_parser(
+        "verify", help="check that a run conforms to a specification"
+    )
+    verify_parser.add_argument("--spec", type=Path, required=True)
+    verify_parser.add_argument("--run", type=Path, required=True)
+
+    info_parser = subparsers.add_parser("info", help="show a specification's characteristics")
+    info_group = info_parser.add_mutually_exclusive_group(required=True)
+    info_group.add_argument("--spec", type=Path, help="specification file")
+    info_group.add_argument(
+        "--catalog", choices=real_workflow_names(), help="one of the Table 1 workflows"
+    )
+
+    experiments_parser = subparsers.add_parser(
+        "experiments", help="regenerate the paper's tables and figures"
+    )
+    experiments_parser.add_argument(
+        "--scale", choices=("smoke", "default", "paper"), default="default"
+    )
+    experiments_parser.add_argument("--seed", type=int, default=0)
+    experiments_parser.add_argument(
+        "--output-dir", type=Path, default=None, help="also write one report file per experiment"
+    )
+    return parser
+
+
+def _parse_execution(text: str) -> tuple[str, int]:
+    module, _, instance = text.rpartition(":")
+    if not module:
+        raise ReproError(
+            f"executions must be written as module:instance, got {text!r}"
+        )
+    try:
+        return module, int(instance)
+    except ValueError:
+        raise ReproError(f"instance must be an integer in {text!r}") from None
+
+
+def _command_generate_spec(args: argparse.Namespace) -> int:
+    spec = generate_specification(
+        SyntheticSpecConfig(
+            n_modules=args.modules,
+            n_edges=args.edges,
+            hierarchy_size=args.regions,
+            hierarchy_depth=args.depth,
+            name=args.name,
+            seed=args.seed,
+        )
+    )
+    write_specification(spec, args.output)
+    print(
+        f"wrote specification {spec.name!r}: nG={spec.vertex_count} mG={spec.edge_count} "
+        f"|TG|={spec.hierarchy.size} [TG]={spec.hierarchy.depth} -> {args.output}"
+    )
+    return 0
+
+
+def _command_generate_run(args: argparse.Namespace) -> int:
+    spec = read_specification(args.spec)
+    generated = generate_run_with_size(spec, args.size, seed=args.seed, name=args.name)
+    write_run(generated.run, args.output)
+    print(
+        f"wrote run {generated.run.name!r}: nR={generated.run.vertex_count} "
+        f"mR={generated.run.edge_count} -> {args.output}"
+    )
+    return 0
+
+
+def _command_label(args: argparse.Namespace) -> int:
+    spec = read_specification(args.spec)
+    run = read_run(args.run, spec)
+    labeler = SkeletonLabeler(spec, args.scheme)
+    labeled = labeler.label_run(run)
+    with ProvenanceStore(args.database) as store:
+        run_id = store.add_labeled_run(labeled)
+    print(
+        f"labeled run {run.name!r} ({run.vertex_count} vertices) with "
+        f"{args.scheme}+skl; stored as run_id={run_id} in {args.database}"
+    )
+    print(
+        f"max label length: {labeled.max_label_length_bits()} bits; "
+        f"construction: {labeled.timings.total_seconds * 1e3:.2f} ms"
+    )
+    return 0
+
+
+def _command_query(args: argparse.Namespace) -> int:
+    source = _parse_execution(args.source)
+    target = _parse_execution(args.target)
+    with ProvenanceStore(args.database) as store:
+        answer = store.reaches(args.run_id, source, target)
+    print(
+        f"{args.source} {'reaches' if answer else 'does not reach'} {args.target} "
+        f"in run {args.run_id}"
+    )
+    return 0 if answer else 1
+
+
+def _command_verify(args: argparse.Namespace) -> int:
+    from repro.skeleton.construct import construct_plan
+
+    spec = read_specification(args.spec)
+    run = read_run(args.run, spec)
+    try:
+        result = construct_plan(spec, run)
+    except ReproError as exc:
+        print(f"run {run.name!r} does NOT conform to specification {spec.name!r}: {exc}")
+        return 1
+    copies = result.plan.copies_per_region()
+    print(f"run {run.name!r} conforms to specification {spec.name!r}")
+    print(f"  executions : {run.vertex_count} modules, {run.edge_count} channels")
+    print(f"  plan size  : {len(result.plan)} nodes")
+    for region, count in sorted(copies.items()):
+        print(f"  {region:12s}: {count} copies")
+    return 0
+
+
+def _command_info(args: argparse.Namespace) -> int:
+    spec = (
+        load_real_workflow(args.catalog)
+        if args.catalog is not None
+        else read_specification(args.spec)
+    )
+    print(f"specification : {spec.name}")
+    print(f"nG (modules)  : {spec.vertex_count}")
+    print(f"mG (edges)    : {spec.edge_count}")
+    print(f"|TG|          : {spec.hierarchy.size}")
+    print(f"[TG]          : {spec.hierarchy.depth}")
+    print(f"forks         : {', '.join(sorted(r.name for r in spec.forks)) or '(none)'}")
+    print(f"loops         : {', '.join(sorted(r.name for r in spec.loops)) or '(none)'}")
+    return 0
+
+
+def _command_experiments(args: argparse.Namespace) -> int:
+    results = all_experiments(args.scale, seed=args.seed)
+    for result in results:
+        print(result.to_text())
+        print()
+        if args.output_dir is not None:
+            write_report(result, args.output_dir)
+    if args.output_dir is not None:
+        print(f"reports written to {args.output_dir}")
+    return 0
+
+
+_COMMANDS = {
+    "generate-spec": _command_generate_spec,
+    "generate-run": _command_generate_run,
+    "label": _command_label,
+    "query": _command_query,
+    "verify": _command_verify,
+    "info": _command_info,
+    "experiments": _command_experiments,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,24 @@
+"""Workload generation: synthetic specifications and the Table 1 catalog."""
+
+from repro.datasets.blocks import BodyNode, build_region_tree, minimum_anchor_count
+from repro.datasets.reallife import (
+    REAL_WORKFLOW_PROFILES,
+    RealWorkflowProfile,
+    load_all_real_workflows,
+    load_real_workflow,
+    real_workflow_names,
+)
+from repro.datasets.synthetic import SyntheticSpecConfig, generate_specification
+
+__all__ = [
+    "BodyNode",
+    "build_region_tree",
+    "minimum_anchor_count",
+    "REAL_WORKFLOW_PROFILES",
+    "RealWorkflowProfile",
+    "load_all_real_workflows",
+    "load_real_workflow",
+    "real_workflow_names",
+    "SyntheticSpecConfig",
+    "generate_specification",
+]

@@ -1,0 +1,176 @@
+"""Internal building blocks of the synthetic specification generator.
+
+A synthetic specification is assembled from a tree of *bodies*: the root body
+is the specification's backbone and every other body is one fork or loop
+region.  A body consists of a chain of *anchor* modules it owns; between two
+consecutive anchors there is either a plain edge or a *gap* hosting one child
+body:
+
+* a child **fork** body is spliced into its gap with edges from the left
+  anchor to the child's first anchor and from the child's last anchor to the
+  right anchor — the two parent anchors become the fork's (shared) source and
+  sink;
+* a child **loop** body is connected the same way, but the loop's own first
+  and last anchors are its source and sink.
+
+This construction guarantees by shape everything Definitions 1–3 ask for:
+each fork is an atomic self-contained subgraph, each loop a complete
+self-contained subgraph, and the whole system is well nested.  Additional
+"jump" edges between anchors of the same body raise the edge count to an
+exact target without breaking any of those properties.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.exceptions import DatasetError
+from repro.workflow.subgraphs import RegionKind
+
+__all__ = ["BodyNode", "build_region_tree", "minimum_anchor_count"]
+
+
+@dataclass
+class BodyNode:
+    """One body of the synthetic construction (the root or one region).
+
+    Attributes
+    ----------
+    name:
+        Region name (``"F3"``, ``"L1"``, ...) or ``"__root__"``.
+    kind:
+        ``None`` for the root, otherwise the region kind.
+    parent:
+        The parent body, or ``None`` for the root.
+    children:
+        Child bodies in gap order.
+    anchors:
+        Number of anchor modules this body owns (set during vertex budgeting).
+    anchor_names:
+        The module names of the anchors, filled in during graph emission.
+    """
+
+    name: str
+    kind: Optional[RegionKind]
+    parent: Optional["BodyNode"] = None
+    children: list["BodyNode"] = field(default_factory=list)
+    anchors: int = 0
+    anchor_names: list[str] = field(default_factory=list)
+
+    @property
+    def is_root(self) -> bool:
+        """``True`` for the backbone body."""
+        return self.kind is None
+
+    @property
+    def depth(self) -> int:
+        """Depth in the body tree; the root has depth 1."""
+        depth = 1
+        node = self
+        while node.parent is not None:
+            depth += 1
+            node = node.parent
+        return depth
+
+    def descendants(self) -> list["BodyNode"]:
+        """Every body strictly below this one."""
+        found: list[BodyNode] = []
+        stack = list(self.children)
+        while stack:
+            node = stack.pop()
+            found.append(node)
+            stack.extend(node.children)
+        return found
+
+    def subtree(self) -> list["BodyNode"]:
+        """This body plus all its descendants."""
+        return [self, *self.descendants()]
+
+
+def minimum_anchor_count(body: BodyNode) -> int:
+    """Smallest number of anchors *body* may own.
+
+    Every child needs its own gap (``children + 1`` anchors); the root and
+    loop bodies additionally need distinct source and sink anchors, while a
+    fork body only needs a single internal anchor.
+    """
+    baseline = 1 if body.kind is RegionKind.FORK else 2
+    return max(baseline, len(body.children) + 1)
+
+
+def build_region_tree(
+    hierarchy_size: int,
+    hierarchy_depth: int,
+    *,
+    fork_fraction: float = 0.5,
+    rng: random.Random,
+) -> BodyNode:
+    """Build a random body tree with exact ``|TG|`` and ``[TG]``.
+
+    ``hierarchy_size`` counts the regions plus one (the paper's ``|TG|``);
+    ``hierarchy_depth`` is the depth of the deepest region with the root at
+    depth 1 (the paper's ``[TG]``).  Region kinds are drawn with probability
+    *fork_fraction* for forks, except that the generator guarantees at least
+    one fork and one loop whenever two or more regions are requested.
+    """
+    if hierarchy_size < 1:
+        raise DatasetError("hierarchy_size (|TG|) must be at least 1")
+    region_count = hierarchy_size - 1
+    if region_count == 0:
+        if hierarchy_depth != 1:
+            raise DatasetError(
+                "a specification without forks or loops has hierarchy depth 1"
+            )
+        return BodyNode(name="__root__", kind=None)
+    if hierarchy_depth < 2:
+        raise DatasetError("hierarchy_depth ([TG]) must be at least 2 when regions exist")
+    if hierarchy_depth - 1 > region_count:
+        raise DatasetError(
+            f"cannot reach depth {hierarchy_depth} with only {region_count} regions"
+        )
+
+    root = BodyNode(name="__root__", kind=None)
+
+    # Draw kinds: honour fork_fraction but keep both kinds represented when possible.
+    kinds = [
+        RegionKind.FORK if rng.random() < fork_fraction else RegionKind.LOOP
+        for _ in range(region_count)
+    ]
+    if region_count >= 2:
+        if all(kind is RegionKind.FORK for kind in kinds):
+            kinds[rng.randrange(region_count)] = RegionKind.LOOP
+        elif all(kind is RegionKind.LOOP for kind in kinds):
+            kinds[rng.randrange(region_count)] = RegionKind.FORK
+
+    fork_counter = 0
+    loop_counter = 0
+
+    def make_body(kind: RegionKind, parent: BodyNode) -> BodyNode:
+        nonlocal fork_counter, loop_counter
+        if kind is RegionKind.FORK:
+            fork_counter += 1
+            name = f"F{fork_counter}"
+        else:
+            loop_counter += 1
+            name = f"L{loop_counter}"
+        body = BodyNode(name=name, kind=kind, parent=parent)
+        parent.children.append(body)
+        return body
+
+    # A chain of depth-1 regions pins the exact hierarchy depth...
+    chain_length = hierarchy_depth - 1
+    current = root
+    for index in range(chain_length):
+        current = make_body(kinds[index], current)
+
+    # ...and the remaining regions attach to random parents shallow enough to
+    # not exceed the target depth.
+    attachable = [node for node in root.subtree() if node.depth < hierarchy_depth]
+    for index in range(chain_length, region_count):
+        parent = attachable[rng.randrange(len(attachable))]
+        body = make_body(kinds[index], parent)
+        if body.depth < hierarchy_depth:
+            attachable.append(body)
+    return root

@@ -1,0 +1,233 @@
+"""Synthetic workflow specifications with exact size parameters (Section 8).
+
+The paper's synthetic datasets are described by four parameters: ``nG`` (the
+number of modules), ``mG`` (the number of edges), ``|TG|`` (the size of the
+fork/loop hierarchy, i.e. the number of forks and loops plus one) and
+``[TG]`` (the depth of the hierarchy).  :func:`generate_specification`
+produces a valid, well-nested specification hitting all four parameters
+exactly, or raises :class:`~repro.exceptions.DatasetError` when the
+combination is infeasible.
+
+The construction works in four steps:
+
+1. build a random region tree with the requested ``|TG|`` and ``[TG]``
+   (:func:`repro.datasets.blocks.build_region_tree`);
+2. distribute the module budget ``nG`` over the bodies as *anchor* chains
+   (every body gets at least its structural minimum);
+3. emit the backbone graph: anchor chains with child regions spliced into
+   their gaps — this yields exactly ``nG - 1`` edges;
+4. add random forward "jump" edges between anchors of the same body until the
+   edge count reaches ``mG``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.exceptions import DatasetError
+from repro.graphs.digraph import DiGraph
+from repro.datasets.blocks import BodyNode, build_region_tree, minimum_anchor_count
+from repro.workflow.specification import WorkflowSpecification
+from repro.workflow.subgraphs import Region, RegionKind
+
+__all__ = ["SyntheticSpecConfig", "generate_specification"]
+
+
+@dataclass(frozen=True)
+class SyntheticSpecConfig:
+    """Parameters of one synthetic specification (Section 8 notation).
+
+    Attributes
+    ----------
+    n_modules:
+        ``nG`` — number of modules (graph vertices).
+    n_edges:
+        ``mG`` — number of data channels (graph edges).
+    hierarchy_size:
+        ``|TG|`` — number of forks and loops plus one.
+    hierarchy_depth:
+        ``[TG]`` — depth of the fork/loop hierarchy (root at depth 1).
+    fork_fraction:
+        Probability that a region is a fork rather than a loop.
+    name:
+        Specification name.
+    seed:
+        Seed for the internal random generator (full determinism).
+    """
+
+    n_modules: int
+    n_edges: int
+    hierarchy_size: int
+    hierarchy_depth: int
+    fork_fraction: float = 0.5
+    name: str = "synthetic"
+    seed: int = 0
+
+
+def generate_specification(
+    config: Optional[SyntheticSpecConfig] = None,
+    *,
+    n_modules: Optional[int] = None,
+    n_edges: Optional[int] = None,
+    hierarchy_size: Optional[int] = None,
+    hierarchy_depth: Optional[int] = None,
+    fork_fraction: float = 0.5,
+    name: str = "synthetic",
+    seed: int = 0,
+) -> WorkflowSpecification:
+    """Generate a synthetic specification with exact size parameters.
+
+    Either pass a :class:`SyntheticSpecConfig` or the individual keyword
+    arguments.  The returned specification satisfies
+    ``spec.vertex_count == nG``, ``spec.edge_count == mG``,
+    ``spec.hierarchy.size == |TG|`` and ``spec.hierarchy.depth == [TG]``.
+    """
+    if config is None:
+        if None in (n_modules, n_edges, hierarchy_size, hierarchy_depth):
+            raise DatasetError(
+                "either a SyntheticSpecConfig or all of n_modules, n_edges, "
+                "hierarchy_size and hierarchy_depth must be provided"
+            )
+        config = SyntheticSpecConfig(
+            n_modules=n_modules,
+            n_edges=n_edges,
+            hierarchy_size=hierarchy_size,
+            hierarchy_depth=hierarchy_depth,
+            fork_fraction=fork_fraction,
+            name=name,
+            seed=seed,
+        )
+
+    rng = random.Random(config.seed)
+    root = build_region_tree(
+        config.hierarchy_size,
+        config.hierarchy_depth,
+        fork_fraction=config.fork_fraction,
+        rng=rng,
+    )
+    bodies = root.subtree()
+
+    _assign_anchor_budget(bodies, config.n_modules, rng)
+    graph, regions = _emit_graph(root, rng)
+    _add_jump_edges(graph, bodies, config.n_edges, rng)
+
+    forks = [r for r in regions if r.kind is RegionKind.FORK]
+    loops = [r for r in regions if r.kind is RegionKind.LOOP]
+    spec = WorkflowSpecification(graph, forks, loops, name=config.name)
+
+    # Paranoia: the construction is supposed to hit every target exactly.
+    if spec.vertex_count != config.n_modules or spec.edge_count != config.n_edges:
+        raise DatasetError(
+            f"internal error: generated nG={spec.vertex_count}, mG={spec.edge_count} "
+            f"instead of nG={config.n_modules}, mG={config.n_edges}"
+        )
+    if spec.hierarchy.size != config.hierarchy_size or spec.hierarchy.depth != config.hierarchy_depth:
+        raise DatasetError(
+            f"internal error: generated |TG|={spec.hierarchy.size}, "
+            f"[TG]={spec.hierarchy.depth} instead of |TG|={config.hierarchy_size}, "
+            f"[TG]={config.hierarchy_depth}"
+        )
+    return spec
+
+
+# ----------------------------------------------------------------------
+# step 2: vertex budget
+# ----------------------------------------------------------------------
+def _assign_anchor_budget(bodies: list[BodyNode], n_modules: int, rng: random.Random) -> None:
+    minimums = {id(body): minimum_anchor_count(body) for body in bodies}
+    minimum_total = sum(minimums.values())
+    if n_modules < minimum_total:
+        raise DatasetError(
+            f"n_modules={n_modules} is too small for this hierarchy; the structure "
+            f"needs at least {minimum_total} modules"
+        )
+    for body in bodies:
+        body.anchors = minimums[id(body)]
+    extra = n_modules - minimum_total
+    for _ in range(extra):
+        bodies[rng.randrange(len(bodies))].anchors += 1
+
+
+# ----------------------------------------------------------------------
+# step 3: backbone emission
+# ----------------------------------------------------------------------
+def _emit_graph(root: BodyNode, rng: random.Random) -> tuple[DiGraph, list[Region]]:
+    graph = DiGraph()
+    regions: list[Region] = []
+    counter = 0
+
+    def fresh_module() -> str:
+        nonlocal counter
+        module = f"m{counter:04d}"
+        counter += 1
+        graph.add_vertex(module)
+        return module
+
+    def emit_body(body: BodyNode) -> tuple[str, str, set[str]]:
+        """Emit one body; returns (first anchor, last anchor, all vertices of its span)."""
+        body.anchor_names = [fresh_module() for _ in range(body.anchors)]
+        span: set[str] = set(body.anchor_names)
+
+        # Assign children to distinct gaps (there are anchors - 1 >= children gaps).
+        gap_count = body.anchors - 1
+        child_gaps = rng.sample(range(gap_count), len(body.children)) if body.children else []
+        child_by_gap = dict(zip(sorted(child_gaps), body.children))
+
+        for gap_index in range(gap_count):
+            left = body.anchor_names[gap_index]
+            right = body.anchor_names[gap_index + 1]
+            child = child_by_gap.get(gap_index)
+            if child is None:
+                graph.add_edge(left, right)
+                continue
+            child_first, child_last, child_span = emit_body(child)
+            graph.add_edge(left, child_first)
+            graph.add_edge(child_last, right)
+            span |= child_span
+            if child.kind is RegionKind.FORK:
+                regions.append(
+                    Region(RegionKind.FORK, child.name, frozenset(child_span))
+                )
+            else:
+                regions.append(
+                    Region(RegionKind.LOOP, child.name, frozenset(child_span))
+                )
+        return body.anchor_names[0], body.anchor_names[-1], span
+
+    emit_body(root)
+    return graph, regions
+
+
+# ----------------------------------------------------------------------
+# step 4: jump edges to reach the exact edge count
+# ----------------------------------------------------------------------
+def _add_jump_edges(
+    graph: DiGraph, bodies: list[BodyNode], n_edges: int, rng: random.Random
+) -> None:
+    backbone_edges = graph.edge_count
+    if n_edges < backbone_edges:
+        raise DatasetError(
+            f"n_edges={n_edges} is too small; the backbone already needs "
+            f"{backbone_edges} edges (n_modules - 1)"
+        )
+    needed = n_edges - backbone_edges
+    if needed == 0:
+        return
+
+    candidates: list[tuple[str, str]] = []
+    for body in bodies:
+        anchors = body.anchor_names
+        for i in range(len(anchors)):
+            for j in range(i + 1, len(anchors)):
+                if not graph.has_edge(anchors[i], anchors[j]):
+                    candidates.append((anchors[i], anchors[j]))
+    if needed > len(candidates):
+        raise DatasetError(
+            f"n_edges={n_edges} is too large for this structure; at most "
+            f"{backbone_edges + len(candidates)} edges are possible "
+            "(increase n_modules or lower n_edges)"
+        )
+    for tail, head in rng.sample(candidates, needed):
+        graph.add_edge(tail, head)

@@ -1,0 +1,91 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class.  More specific subclasses distinguish
+structural problems in the input graphs from violations of the workflow model
+and from misuse of the labeling API.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "VertexNotFoundError",
+    "EdgeNotFoundError",
+    "NotADagError",
+    "FlowNetworkError",
+    "SpecificationError",
+    "WellNestednessError",
+    "RunConformanceError",
+    "PlanConstructionError",
+    "LabelingError",
+    "SerializationError",
+    "StorageError",
+    "DatasetError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """A structural problem with a directed graph."""
+
+
+class VertexNotFoundError(GraphError, KeyError):
+    """A vertex referenced by the caller is not present in the graph."""
+
+    def __init__(self, vertex: object) -> None:
+        super().__init__(f"vertex not in graph: {vertex!r}")
+        self.vertex = vertex
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """An edge referenced by the caller is not present in the graph."""
+
+    def __init__(self, tail: object, head: object) -> None:
+        super().__init__(f"edge not in graph: ({tail!r}, {head!r})")
+        self.tail = tail
+        self.head = head
+
+
+class NotADagError(GraphError):
+    """The graph was expected to be acyclic but contains a cycle."""
+
+
+class FlowNetworkError(GraphError):
+    """The graph is not an acyclic flow network (single source, single sink)."""
+
+
+class SpecificationError(ReproError):
+    """The workflow specification violates the model of Definition 3."""
+
+
+class WellNestednessError(SpecificationError):
+    """The fork/loop system is not well nested (Definition 2)."""
+
+
+class RunConformanceError(ReproError):
+    """A run graph does not conform to its claimed specification."""
+
+
+class PlanConstructionError(ReproError):
+    """ConstructPlan could not extract an execution plan from the run."""
+
+
+class LabelingError(ReproError):
+    """A labeling scheme was used incorrectly (e.g. unlabeled vertex queried)."""
+
+
+class SerializationError(ReproError):
+    """A specification or run document could not be parsed or written."""
+
+
+class StorageError(ReproError):
+    """The SQLite provenance store rejected an operation."""
+
+
+class DatasetError(ReproError):
+    """A synthetic or catalog dataset could not be generated as requested."""

@@ -1,0 +1,50 @@
+"""Directed-graph substrate used by the workflow and labeling layers."""
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.flow_network import (
+    find_sink,
+    find_source,
+    internal_vertices,
+    is_acyclic_flow_network,
+    parallel_composition,
+    replace_subgraph,
+    serial_composition,
+    validate_flow_network,
+)
+from repro.graphs.transitive_closure import TransitiveClosure, transitive_closure
+from repro.graphs.traversal import (
+    all_pairs_reachability,
+    ancestors,
+    bfs_reachable,
+    descendants,
+    dfs_reachable,
+    is_dag,
+    is_reachable,
+    is_weakly_connected,
+    topological_sort,
+    weakly_connected_components,
+)
+
+__all__ = [
+    "DiGraph",
+    "find_sink",
+    "find_source",
+    "internal_vertices",
+    "is_acyclic_flow_network",
+    "parallel_composition",
+    "replace_subgraph",
+    "serial_composition",
+    "validate_flow_network",
+    "TransitiveClosure",
+    "transitive_closure",
+    "all_pairs_reachability",
+    "ancestors",
+    "bfs_reachable",
+    "descendants",
+    "dfs_reachable",
+    "is_dag",
+    "is_reachable",
+    "is_weakly_connected",
+    "topological_sort",
+    "weakly_connected_components",
+]

@@ -1,0 +1,316 @@
+"""A small, purpose-built directed graph container.
+
+The labeling algorithms in this package need precise control over vertex
+identity, deterministic iteration order and cheap structural surgery
+(contracting whole regions into single "special" edges).  This module
+provides :class:`DiGraph`, an insertion-ordered adjacency structure with the
+exact operations the rest of the library needs, and nothing more.
+
+Vertices may be any hashable object.  Parallel edges are not stored (adding
+an existing edge is a no-op), self loops are rejected, and edge direction is
+always ``tail -> head``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator
+from typing import Any, Optional
+
+from repro.exceptions import EdgeNotFoundError, GraphError, VertexNotFoundError
+
+__all__ = ["DiGraph"]
+
+Vertex = Hashable
+Edge = tuple[Vertex, Vertex]
+
+
+class DiGraph:
+    """A simple directed graph with insertion-ordered adjacency.
+
+    The graph stores, for every vertex, the ordered set of successors and the
+    ordered set of predecessors.  All mutating operations keep the two maps
+    consistent.
+
+    Parameters
+    ----------
+    vertices:
+        Optional iterable of vertices to insert up front.
+    edges:
+        Optional iterable of ``(tail, head)`` pairs.  Endpoints that are not
+        already present are added automatically.
+    """
+
+    __slots__ = ("_succ", "_pred", "_edge_count")
+
+    def __init__(
+        self,
+        vertices: Optional[Iterable[Vertex]] = None,
+        edges: Optional[Iterable[Edge]] = None,
+    ) -> None:
+        # dict-of-dict keeps insertion order and gives O(1) membership tests.
+        self._succ: dict[Vertex, dict[Vertex, None]] = {}
+        self._pred: dict[Vertex, dict[Vertex, None]] = {}
+        self._edge_count = 0
+        if vertices is not None:
+            for vertex in vertices:
+                self.add_vertex(vertex)
+        if edges is not None:
+            for tail, head in edges:
+                self.add_edge(tail, head)
+
+    # ------------------------------------------------------------------
+    # basic queries
+    # ------------------------------------------------------------------
+    @property
+    def vertex_count(self) -> int:
+        """Number of vertices in the graph."""
+        return len(self._succ)
+
+    @property
+    def edge_count(self) -> int:
+        """Number of edges in the graph."""
+        return self._edge_count
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    def __contains__(self, vertex: object) -> bool:
+        return vertex in self._succ
+
+    def __iter__(self) -> Iterator[Vertex]:
+        return iter(self._succ)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(vertices={self.vertex_count}, "
+            f"edges={self.edge_count})"
+        )
+
+    def has_vertex(self, vertex: Vertex) -> bool:
+        """Return ``True`` if *vertex* is in the graph."""
+        return vertex in self._succ
+
+    def has_edge(self, tail: Vertex, head: Vertex) -> bool:
+        """Return ``True`` if the edge ``tail -> head`` is in the graph."""
+        successors = self._succ.get(tail)
+        return successors is not None and head in successors
+
+    def vertices(self) -> list[Vertex]:
+        """Return all vertices in insertion order."""
+        return list(self._succ)
+
+    def edges(self) -> list[Edge]:
+        """Return all edges as ``(tail, head)`` pairs in insertion order."""
+        return [
+            (tail, head)
+            for tail, successors in self._succ.items()
+            for head in successors
+        ]
+
+    def iter_edges(self) -> Iterator[Edge]:
+        """Iterate over all edges lazily."""
+        for tail, successors in self._succ.items():
+            for head in successors:
+                yield (tail, head)
+
+    def successors(self, vertex: Vertex) -> list[Vertex]:
+        """Return the ordered list of direct successors of *vertex*."""
+        try:
+            return list(self._succ[vertex])
+        except KeyError:
+            raise VertexNotFoundError(vertex) from None
+
+    def predecessors(self, vertex: Vertex) -> list[Vertex]:
+        """Return the ordered list of direct predecessors of *vertex*."""
+        try:
+            return list(self._pred[vertex])
+        except KeyError:
+            raise VertexNotFoundError(vertex) from None
+
+    def out_degree(self, vertex: Vertex) -> int:
+        """Number of edges leaving *vertex*."""
+        try:
+            return len(self._succ[vertex])
+        except KeyError:
+            raise VertexNotFoundError(vertex) from None
+
+    def in_degree(self, vertex: Vertex) -> int:
+        """Number of edges entering *vertex*."""
+        try:
+            return len(self._pred[vertex])
+        except KeyError:
+            raise VertexNotFoundError(vertex) from None
+
+    def degree(self, vertex: Vertex) -> int:
+        """Total degree (in + out) of *vertex*."""
+        return self.in_degree(vertex) + self.out_degree(vertex)
+
+    def neighbors(self, vertex: Vertex) -> list[Vertex]:
+        """Return successors and predecessors of *vertex*, without duplicates."""
+        try:
+            successors = self._succ[vertex]
+            predecessors = self._pred[vertex]
+        except KeyError:
+            raise VertexNotFoundError(vertex) from None
+        combined: dict[Vertex, None] = dict.fromkeys(successors)
+        combined.update(dict.fromkeys(predecessors))
+        return list(combined)
+
+    def sources(self) -> list[Vertex]:
+        """Return all vertices with no incoming edges."""
+        return [v for v, preds in self._pred.items() if not preds]
+
+    def sinks(self) -> list[Vertex]:
+        """Return all vertices with no outgoing edges."""
+        return [v for v, succs in self._succ.items() if not succs]
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add_vertex(self, vertex: Vertex) -> None:
+        """Insert *vertex*; inserting an existing vertex is a no-op."""
+        if vertex not in self._succ:
+            self._succ[vertex] = {}
+            self._pred[vertex] = {}
+
+    def add_vertices(self, vertices: Iterable[Vertex]) -> None:
+        """Insert every vertex from *vertices*."""
+        for vertex in vertices:
+            self.add_vertex(vertex)
+
+    def add_edge(self, tail: Vertex, head: Vertex) -> None:
+        """Insert the edge ``tail -> head``, adding endpoints as needed.
+
+        Self loops are rejected because the workflow model only deals with
+        acyclic flow networks; re-adding an existing edge is a no-op.
+        """
+        if tail == head:
+            raise GraphError(f"self loops are not supported: {tail!r}")
+        self.add_vertex(tail)
+        self.add_vertex(head)
+        if head not in self._succ[tail]:
+            self._succ[tail][head] = None
+            self._pred[head][tail] = None
+            self._edge_count += 1
+
+    def add_edges(self, edges: Iterable[Edge]) -> None:
+        """Insert every edge from *edges*."""
+        for tail, head in edges:
+            self.add_edge(tail, head)
+
+    def remove_edge(self, tail: Vertex, head: Vertex) -> None:
+        """Remove the edge ``tail -> head``; missing edges raise."""
+        if not self.has_edge(tail, head):
+            raise EdgeNotFoundError(tail, head)
+        del self._succ[tail][head]
+        del self._pred[head][tail]
+        self._edge_count -= 1
+
+    def remove_vertex(self, vertex: Vertex) -> None:
+        """Remove *vertex* and every incident edge."""
+        if vertex not in self._succ:
+            raise VertexNotFoundError(vertex)
+        for head in list(self._succ[vertex]):
+            self.remove_edge(vertex, head)
+        for tail in list(self._pred[vertex]):
+            self.remove_edge(tail, vertex)
+        del self._succ[vertex]
+        del self._pred[vertex]
+
+    def remove_vertices(self, vertices: Iterable[Vertex]) -> None:
+        """Remove every vertex in *vertices* with its incident edges."""
+        for vertex in vertices:
+            self.remove_vertex(vertex)
+
+    # ------------------------------------------------------------------
+    # derived graphs
+    # ------------------------------------------------------------------
+    def copy(self) -> "DiGraph":
+        """Return an independent copy of the graph."""
+        clone = DiGraph()
+        for vertex in self._succ:
+            clone.add_vertex(vertex)
+        for tail, head in self.iter_edges():
+            clone.add_edge(tail, head)
+        return clone
+
+    def subgraph(self, vertices: Iterable[Vertex]) -> "DiGraph":
+        """Return the induced subgraph on *vertices*.
+
+        Unknown vertices are ignored, which makes the method convenient for
+        "intersect this vertex set with the graph" use sites.
+        """
+        keep = {v for v in vertices if v in self._succ}
+        induced = DiGraph()
+        for vertex in self._succ:
+            if vertex in keep:
+                induced.add_vertex(vertex)
+        for tail, head in self.iter_edges():
+            if tail in keep and head in keep:
+                induced.add_edge(tail, head)
+        return induced
+
+    def edge_subgraph(self, edges: Iterable[Edge]) -> "DiGraph":
+        """Return the subgraph containing exactly *edges* and their endpoints."""
+        induced = DiGraph()
+        for tail, head in edges:
+            if not self.has_edge(tail, head):
+                raise EdgeNotFoundError(tail, head)
+            induced.add_edge(tail, head)
+        return induced
+
+    def reverse(self) -> "DiGraph":
+        """Return a copy of the graph with every edge reversed."""
+        reversed_graph = DiGraph()
+        for vertex in self._succ:
+            reversed_graph.add_vertex(vertex)
+        for tail, head in self.iter_edges():
+            reversed_graph.add_edge(head, tail)
+        return reversed_graph
+
+    def relabeled(self, mapping: dict[Vertex, Vertex]) -> "DiGraph":
+        """Return a copy with vertices renamed through *mapping*.
+
+        Vertices absent from *mapping* keep their identity.  The mapping must
+        not merge two distinct vertices into one.
+        """
+        new_names = [mapping.get(v, v) for v in self._succ]
+        if len(set(new_names)) != len(new_names):
+            raise GraphError("relabeling would merge distinct vertices")
+        renamed = DiGraph()
+        for vertex in self._succ:
+            renamed.add_vertex(mapping.get(vertex, vertex))
+        for tail, head in self.iter_edges():
+            renamed.add_edge(mapping.get(tail, tail), mapping.get(head, head))
+        return renamed
+
+    # ------------------------------------------------------------------
+    # equality and serialization helpers
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DiGraph):
+            return NotImplemented
+        return (
+            set(self._succ) == set(other._succ)
+            and set(self.iter_edges()) == set(other.iter_edges())
+        )
+
+    def __hash__(self) -> int:  # graphs are mutable containers
+        raise TypeError("DiGraph objects are unhashable")
+
+    def to_dict(self) -> dict[str, Any]:
+        """Return a JSON-friendly adjacency description of the graph."""
+        return {
+            "vertices": list(self._succ),
+            "edges": [list(edge) for edge in self.iter_edges()],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "DiGraph":
+        """Rebuild a graph from :meth:`to_dict` output."""
+        graph = cls()
+        for vertex in payload.get("vertices", []):
+            graph.add_vertex(vertex)
+        for tail, head in payload.get("edges", []):
+            graph.add_edge(tail, head)
+        return graph

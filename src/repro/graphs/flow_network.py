@@ -1,0 +1,241 @@
+"""Acyclic flow networks: single-source, single-sink DAGs.
+
+Section 3.2 of the paper works exclusively with *acyclic flow networks*: a
+DAG with a unique source ``s(G)`` and a unique sink ``t(G)`` in which every
+vertex lies on some source-to-sink path.  This module provides validation
+helpers and the parallel / serial composition and replacement operations of
+Definitions 4 and 5, which are the primitives from which workflow runs are
+built.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Hashable, Sequence
+
+from repro.exceptions import FlowNetworkError
+from repro.graphs.digraph import DiGraph
+from repro.graphs.traversal import ancestors, bfs_reachable, is_dag
+
+__all__ = [
+    "find_source",
+    "find_sink",
+    "internal_vertices",
+    "is_acyclic_flow_network",
+    "validate_flow_network",
+    "every_vertex_on_source_sink_path",
+    "parallel_composition",
+    "serial_composition",
+    "replace_subgraph",
+]
+
+Vertex = Hashable
+
+
+def find_source(graph: DiGraph) -> Vertex:
+    """Return the unique source (vertex with no incoming edges).
+
+    Raises :class:`FlowNetworkError` if there is no source or more than one.
+    """
+    sources = graph.sources()
+    if len(sources) != 1:
+        raise FlowNetworkError(
+            f"expected exactly one source, found {len(sources)}: {sources!r}"
+        )
+    return sources[0]
+
+
+def find_sink(graph: DiGraph) -> Vertex:
+    """Return the unique sink (vertex with no outgoing edges).
+
+    Raises :class:`FlowNetworkError` if there is no sink or more than one.
+    """
+    sinks = graph.sinks()
+    if len(sinks) != 1:
+        raise FlowNetworkError(
+            f"expected exactly one sink, found {len(sinks)}: {sinks!r}"
+        )
+    return sinks[0]
+
+
+def internal_vertices(graph: DiGraph) -> set[Vertex]:
+    """Return ``V*(G)``: every vertex except the source and the sink."""
+    source = find_source(graph)
+    sink = find_sink(graph)
+    return {v for v in graph.vertices() if v not in (source, sink)}
+
+
+def every_vertex_on_source_sink_path(graph: DiGraph) -> bool:
+    """Return ``True`` if every vertex lies on some source-to-sink path."""
+    if graph.vertex_count == 0:
+        return True
+    source = find_source(graph)
+    sink = find_sink(graph)
+    from_source = bfs_reachable(graph, source)
+    to_sink = ancestors(graph, sink) | {sink}
+    return all(v in from_source and v in to_sink for v in graph.vertices())
+
+
+def is_acyclic_flow_network(graph: DiGraph) -> bool:
+    """Return ``True`` if *graph* is an acyclic flow network."""
+    try:
+        validate_flow_network(graph)
+    except FlowNetworkError:
+        return False
+    return True
+
+
+def validate_flow_network(graph: DiGraph) -> tuple[Vertex, Vertex]:
+    """Validate *graph* as an acyclic flow network and return ``(source, sink)``.
+
+    The checks are: non-empty, acyclic, unique source, unique sink, source
+    distinct from sink, and every vertex on a source-to-sink path.
+    """
+    if graph.vertex_count == 0:
+        raise FlowNetworkError("flow network must be non-empty")
+    if not is_dag(graph):
+        raise FlowNetworkError("flow network must be acyclic")
+    source = find_source(graph)
+    sink = find_sink(graph)
+    if source == sink:
+        raise FlowNetworkError("flow network must have distinct source and sink")
+    if not every_vertex_on_source_sink_path(graph):
+        raise FlowNetworkError(
+            "every vertex must lie on some path from the source to the sink"
+        )
+    return source, sink
+
+
+def _merged_vertex(preferred: Vertex, *_duplicates: Vertex) -> Vertex:
+    """Identity used when two terminals are identified during composition."""
+    return preferred
+
+
+def parallel_composition(
+    networks: Sequence[DiGraph],
+    *,
+    rename: Callable[[int, Vertex], Vertex] | None = None,
+) -> DiGraph:
+    """Compose *networks* in parallel (Definition 4).
+
+    All sources are identified into a single source and all sinks into a
+    single sink.  Because our graphs use plain vertex identity, the caller is
+    responsible for ensuring that the *internal* vertices of the different
+    networks are disjoint; the optional *rename* callback (taking the network
+    index and the original vertex) can be used to enforce that.  The
+    source/sink of the first network become the source/sink of the result.
+    """
+    if not networks:
+        raise FlowNetworkError("parallel composition needs at least one network")
+
+    prepared: list[tuple[DiGraph, Vertex, Vertex]] = []
+    for index, network in enumerate(networks):
+        source, sink = validate_flow_network(network)
+        if rename is not None:
+            mapping = {v: rename(index, v) for v in network.vertices()}
+            network = network.relabeled(mapping)
+            source, sink = mapping[source], mapping[sink]
+        prepared.append((network, source, sink))
+
+    merged_source = _merged_vertex(*[src for _, src, _ in prepared])
+    merged_sink = _merged_vertex(*[snk for _, _, snk in prepared])
+
+    combined = DiGraph()
+    combined.add_vertex(merged_source)
+    combined.add_vertex(merged_sink)
+    for network, source, sink in prepared:
+        translate = {source: merged_source, sink: merged_sink}
+        for vertex in network.vertices():
+            combined.add_vertex(translate.get(vertex, vertex))
+        for tail, head in network.iter_edges():
+            combined.add_edge(translate.get(tail, tail), translate.get(head, head))
+    validate_flow_network(combined)
+    return combined
+
+
+def serial_composition(
+    networks: Sequence[DiGraph],
+    *,
+    rename: Callable[[int, Vertex], Vertex] | None = None,
+) -> DiGraph:
+    """Compose *networks* in series (Definition 4).
+
+    A new edge is added from the sink of each network to the source of the
+    next.  Vertex sets must be disjoint (optionally enforced via *rename*).
+    """
+    if not networks:
+        raise FlowNetworkError("serial composition needs at least one network")
+
+    prepared: list[tuple[DiGraph, Vertex, Vertex]] = []
+    for index, network in enumerate(networks):
+        source, sink = validate_flow_network(network)
+        if rename is not None:
+            mapping = {v: rename(index, v) for v in network.vertices()}
+            network = network.relabeled(mapping)
+            source, sink = mapping[source], mapping[sink]
+        prepared.append((network, source, sink))
+
+    combined = DiGraph()
+    for network, _, _ in prepared:
+        for vertex in network.vertices():
+            combined.add_vertex(vertex)
+        for tail, head in network.iter_edges():
+            combined.add_edge(tail, head)
+    for (_, _, previous_sink), (_, next_source, _) in zip(prepared, prepared[1:]):
+        combined.add_edge(previous_sink, next_source)
+    validate_flow_network(combined)
+    return combined
+
+
+def replace_subgraph(
+    graph: DiGraph,
+    old_vertices: set[Vertex],
+    old_source: Vertex,
+    old_sink: Vertex,
+    replacement: DiGraph,
+    replacement_source: Vertex,
+    replacement_sink: Vertex,
+) -> DiGraph:
+    """Replace a self-contained subgraph with another flow network (Definition 5).
+
+    The vertices in *old_vertices* (which must include *old_source* and
+    *old_sink*) are removed along with all edges between them; the
+    *replacement* network is spliced in with its source identified with
+    *old_source* and its sink identified with *old_sink*.  Edges between the
+    rest of the graph and the old source/sink are preserved.
+
+    The internal vertices of *replacement* must be disjoint from the vertices
+    that remain in *graph*.
+    """
+    if old_source not in old_vertices or old_sink not in old_vertices:
+        raise FlowNetworkError("old_vertices must contain the subgraph terminals")
+
+    result = DiGraph()
+    surviving = [v for v in graph.vertices() if v not in old_vertices or v in (old_source, old_sink)]
+    for vertex in surviving:
+        result.add_vertex(vertex)
+    for tail, head in graph.iter_edges():
+        tail_inside = tail in old_vertices
+        head_inside = head in old_vertices
+        if tail_inside and head_inside:
+            continue  # replaced by the new subgraph
+        if tail_inside and tail not in (old_source, old_sink):
+            raise FlowNetworkError(
+                "subgraph is not self-contained: internal vertex has an outside edge"
+            )
+        if head_inside and head not in (old_source, old_sink):
+            raise FlowNetworkError(
+                "subgraph is not self-contained: internal vertex has an outside edge"
+            )
+        result.add_edge(tail, head)
+
+    translate = {replacement_source: old_source, replacement_sink: old_sink}
+    for vertex in replacement.vertices():
+        mapped = translate.get(vertex, vertex)
+        if mapped not in (old_source, old_sink) and result.has_vertex(mapped):
+            raise FlowNetworkError(
+                f"replacement vertex collides with the surrounding graph: {mapped!r}"
+            )
+        result.add_vertex(mapped)
+    for tail, head in replacement.iter_edges():
+        result.add_edge(translate.get(tail, tail), translate.get(head, head))
+    return result

@@ -1,0 +1,220 @@
+"""Graph traversal utilities: reachability, components, topological order.
+
+These routines operate on :class:`repro.graphs.DiGraph` and form the
+substrate for the BFS/DFS labeling schemes of Section 7 of the paper and for
+the structural checks used throughout the workflow model.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Hashable, Iterable
+
+from repro.exceptions import NotADagError, VertexNotFoundError
+from repro.graphs.digraph import DiGraph
+
+__all__ = [
+    "bfs_reachable",
+    "dfs_reachable",
+    "is_reachable",
+    "descendants",
+    "ancestors",
+    "weakly_connected_components",
+    "is_weakly_connected",
+    "topological_sort",
+    "is_dag",
+    "all_pairs_reachability",
+    "simple_paths_exist_matrix",
+]
+
+Vertex = Hashable
+
+
+def bfs_reachable(graph: DiGraph, start: Vertex) -> set[Vertex]:
+    """Return every vertex reachable from *start*, including *start* itself.
+
+    The search is breadth first and runs in O(V + E) over the reachable part
+    of the graph.
+    """
+    if not graph.has_vertex(start):
+        raise VertexNotFoundError(start)
+    seen = {start}
+    queue: deque[Vertex] = deque([start])
+    while queue:
+        current = queue.popleft()
+        for successor in graph.successors(current):
+            if successor not in seen:
+                seen.add(successor)
+                queue.append(successor)
+    return seen
+
+
+def dfs_reachable(graph: DiGraph, start: Vertex) -> set[Vertex]:
+    """Return every vertex reachable from *start* using an iterative DFS."""
+    if not graph.has_vertex(start):
+        raise VertexNotFoundError(start)
+    seen = {start}
+    stack = [start]
+    while stack:
+        current = stack.pop()
+        for successor in graph.successors(current):
+            if successor not in seen:
+                seen.add(successor)
+                stack.append(successor)
+    return seen
+
+
+def is_reachable(graph: DiGraph, source: Vertex, target: Vertex, *, method: str = "bfs") -> bool:
+    """Return ``True`` if a directed path from *source* to *target* exists.
+
+    ``method`` selects the traversal strategy (``"bfs"`` or ``"dfs"``); both
+    short-circuit as soon as *target* is discovered.
+    """
+    if not graph.has_vertex(source):
+        raise VertexNotFoundError(source)
+    if not graph.has_vertex(target):
+        raise VertexNotFoundError(target)
+    if source == target:
+        return True
+    if method not in ("bfs", "dfs"):
+        raise ValueError(f"unknown traversal method: {method!r}")
+
+    seen = {source}
+    frontier: deque[Vertex] = deque([source])
+    pop = frontier.popleft if method == "bfs" else frontier.pop
+    while frontier:
+        current = pop()
+        for successor in graph.successors(current):
+            if successor == target:
+                return True
+            if successor not in seen:
+                seen.add(successor)
+                frontier.append(successor)
+    return False
+
+
+def descendants(graph: DiGraph, vertex: Vertex) -> set[Vertex]:
+    """Return all vertices reachable from *vertex*, excluding *vertex*."""
+    reached = bfs_reachable(graph, vertex)
+    reached.discard(vertex)
+    return reached
+
+
+def ancestors(graph: DiGraph, vertex: Vertex) -> set[Vertex]:
+    """Return all vertices that can reach *vertex*, excluding *vertex*."""
+    if not graph.has_vertex(vertex):
+        raise VertexNotFoundError(vertex)
+    seen = {vertex}
+    queue: deque[Vertex] = deque([vertex])
+    while queue:
+        current = queue.popleft()
+        for predecessor in graph.predecessors(current):
+            if predecessor not in seen:
+                seen.add(predecessor)
+                queue.append(predecessor)
+    seen.discard(vertex)
+    return seen
+
+
+def weakly_connected_components(
+    graph: DiGraph, restrict_to: Iterable[Vertex] | None = None
+) -> list[set[Vertex]]:
+    """Return the weakly connected components of the graph.
+
+    When *restrict_to* is given, connectivity is computed on the subgraph
+    induced by that vertex set (unknown vertices are ignored); this is the
+    form used by ``ConstructPlan`` to recover fork and loop copies.
+    """
+    if restrict_to is None:
+        universe = set(graph.vertices())
+    else:
+        universe = {v for v in restrict_to if graph.has_vertex(v)}
+
+    components: list[set[Vertex]] = []
+    unvisited = dict.fromkeys(v for v in graph.vertices() if v in universe)
+    while unvisited:
+        start = next(iter(unvisited))
+        component = {start}
+        del unvisited[start]
+        queue: deque[Vertex] = deque([start])
+        while queue:
+            current = queue.popleft()
+            for neighbor in graph.neighbors(current):
+                if neighbor in unvisited:
+                    component.add(neighbor)
+                    del unvisited[neighbor]
+                    queue.append(neighbor)
+        components.append(component)
+    return components
+
+
+def is_weakly_connected(graph: DiGraph) -> bool:
+    """Return ``True`` if the graph has at most one weakly connected component."""
+    if graph.vertex_count == 0:
+        return True
+    return len(weakly_connected_components(graph)) == 1
+
+
+def topological_sort(graph: DiGraph) -> list[Vertex]:
+    """Return a topological order of the vertices (Kahn's algorithm).
+
+    Raises :class:`NotADagError` if the graph contains a directed cycle.
+    """
+    in_degree = {vertex: graph.in_degree(vertex) for vertex in graph.vertices()}
+    ready: deque[Vertex] = deque(v for v, d in in_degree.items() if d == 0)
+    order: list[Vertex] = []
+    while ready:
+        current = ready.popleft()
+        order.append(current)
+        for successor in graph.successors(current):
+            in_degree[successor] -= 1
+            if in_degree[successor] == 0:
+                ready.append(successor)
+    if len(order) != graph.vertex_count:
+        raise NotADagError("graph contains a directed cycle")
+    return order
+
+
+def is_dag(graph: DiGraph) -> bool:
+    """Return ``True`` if the graph is a directed acyclic graph."""
+    try:
+        topological_sort(graph)
+    except NotADagError:
+        return False
+    return True
+
+
+def all_pairs_reachability(graph: DiGraph) -> dict[Vertex, set[Vertex]]:
+    """Return, for every vertex, the set of vertices it can reach (inclusive).
+
+    For DAGs the computation propagates reachable sets in reverse topological
+    order, giving O(V * E / word) behaviour in practice; for general graphs
+    it falls back to one BFS per vertex.
+    """
+    try:
+        order = topological_sort(graph)
+    except NotADagError:
+        return {vertex: bfs_reachable(graph, vertex) for vertex in graph.vertices()}
+
+    reach: dict[Vertex, set[Vertex]] = {}
+    for vertex in reversed(order):
+        reachable = {vertex}
+        for successor in graph.successors(vertex):
+            reachable |= reach[successor]
+        reach[vertex] = reachable
+    return reach
+
+
+def simple_paths_exist_matrix(graph: DiGraph) -> dict[tuple[Vertex, Vertex], bool]:
+    """Return a dense ``(u, v) -> bool`` reachability dictionary.
+
+    Convenient for exhaustive cross-checks in tests; quadratic in the number
+    of vertices, so only suitable for small graphs.
+    """
+    reach = all_pairs_reachability(graph)
+    vertices = graph.vertices()
+    return {
+        (u, v): (v in reach[u])
+        for u in vertices
+        for v in vertices
+    }

@@ -1,0 +1,40 @@
+"""Reachability labeling schemes for directed graphs."""
+
+from repro.labeling.base import ReachabilityIndex
+from repro.labeling.bfs import BFSIndex, DFSIndex, TraversalIndex
+from repro.labeling.chain import ChainIndex, ChainLabel
+from repro.labeling.interval import IntervalLabel, IntervalTreeIndex, compute_tree_intervals
+from repro.labeling.registry import (
+    available_schemes,
+    build_index,
+    get_scheme,
+    register_scheme,
+    scheme_factory,
+)
+from repro.labeling.tcm import TCMIndex, TCMLabel
+from repro.labeling.tree_cover import TreeCoverIndex, TreeCoverLabel, compress_intervals
+from repro.labeling.twohop import TwoHopIndex, TwoHopLabel
+
+__all__ = [
+    "ReachabilityIndex",
+    "BFSIndex",
+    "DFSIndex",
+    "TraversalIndex",
+    "ChainIndex",
+    "ChainLabel",
+    "TwoHopIndex",
+    "TwoHopLabel",
+    "IntervalLabel",
+    "IntervalTreeIndex",
+    "compute_tree_intervals",
+    "available_schemes",
+    "build_index",
+    "get_scheme",
+    "register_scheme",
+    "scheme_factory",
+    "TCMIndex",
+    "TCMLabel",
+    "TreeCoverIndex",
+    "TreeCoverLabel",
+    "compress_intervals",
+]

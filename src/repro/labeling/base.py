@@ -1,0 +1,98 @@
+"""The labeling-scheme abstraction ``(D, φ, π)`` (Definition 7).
+
+A reachability labeling scheme assigns every vertex of a directed graph a
+label (``φ``) such that a binary predicate over two labels (``π``) decides
+reachability.  :class:`ReachabilityIndex` is the concrete form used
+throughout this library: an index is *built* for one graph, hands out labels
+via :meth:`label_of`, decides reachability from labels via
+:meth:`reaches_labels`, and reports its space usage so that the benchmark
+harness can reproduce the label-length experiments of Section 8.
+
+The same interface serves both roles the paper distinguishes:
+
+* labeling the *specification* (skeleton labels, Section 7), and
+* labeling a *run* directly (the ``TCM`` and ``BFS`` baselines of Figures
+  15–17).
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Hashable
+from typing import Any
+
+from repro.graphs.digraph import DiGraph
+
+__all__ = ["ReachabilityIndex"]
+
+Vertex = Hashable
+
+
+class ReachabilityIndex(abc.ABC):
+    """A reachability labeling scheme instantiated for one fixed graph."""
+
+    #: short scheme name used by the registry and the benchmark reports
+    scheme_name: str = "abstract"
+
+    def __init__(self, graph: DiGraph) -> None:
+        self._graph = graph
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, graph: DiGraph, **options: Any) -> "ReachabilityIndex":
+        """Build an index for *graph* (the labeling function ``φ``)."""
+        return cls(graph, **options)
+
+    @property
+    def graph(self) -> DiGraph:
+        """The graph this index was built for."""
+        return self._graph
+
+    # ------------------------------------------------------------------
+    # the (D, φ, π) interface
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def label_of(self, vertex: Vertex) -> Any:
+        """Return ``φ(v)`` — the reachability label of *vertex*."""
+
+    @abc.abstractmethod
+    def reaches_labels(self, source_label: Any, target_label: Any) -> bool:
+        """Return ``π(φ(u), φ(v))`` — whether the first label reaches the second.
+
+        Reachability is reflexive: a label always reaches itself.
+        """
+
+    def reaches(self, source: Vertex, target: Vertex) -> bool:
+        """Convenience wrapper: decide reachability between two vertices."""
+        return self.reaches_labels(self.label_of(source), self.label_of(target))
+
+    # ------------------------------------------------------------------
+    # quality metrics (Section 8 measurements)
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def label_length_bits(self, vertex: Vertex) -> int:
+        """Return the length in bits of the label assigned to *vertex*."""
+
+    def max_label_length_bits(self) -> int:
+        """Return the maximum label length over all vertices."""
+        lengths = [self.label_length_bits(v) for v in self._graph.vertices()]
+        return max(lengths, default=0)
+
+    def average_label_length_bits(self) -> float:
+        """Return the average label length over all vertices."""
+        lengths = [self.label_length_bits(v) for v in self._graph.vertices()]
+        if not lengths:
+            return 0.0
+        return sum(lengths) / len(lengths)
+
+    def total_label_bits(self) -> int:
+        """Return the total index size in bits (sum of all label lengths)."""
+        return sum(self.label_length_bits(v) for v in self._graph.vertices())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(scheme={self.scheme_name!r}, "
+            f"vertices={self._graph.vertex_count})"
+        )

@@ -1,0 +1,64 @@
+"""The ``BFS``/``DFS`` "labeling" schemes: answer queries by graph traversal.
+
+Section 7 describes this as the other extreme of the design space: no index
+structure is built at all, so label length and construction time are treated
+as zero, while every query costs a traversal of the graph, i.e. O(m + n).
+The label of a vertex is simply the vertex itself (the graph stays inside the
+index object), mirroring the paper's accounting.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import LabelingError
+from repro.graphs.digraph import DiGraph
+from repro.graphs.traversal import is_reachable
+from repro.labeling.base import ReachabilityIndex
+
+__all__ = ["TraversalIndex", "BFSIndex", "DFSIndex"]
+
+
+class TraversalIndex(ReachabilityIndex):
+    """Answer reachability queries by traversing the graph on demand."""
+
+    scheme_name = "traversal"
+    #: traversal strategy used by :func:`repro.graphs.traversal.is_reachable`
+    method = "bfs"
+
+    def __init__(self, graph: DiGraph) -> None:
+        super().__init__(graph)
+        self._vertices = set(graph.vertices())
+
+    # ------------------------------------------------------------------
+    # (D, φ, π)
+    # ------------------------------------------------------------------
+    def label_of(self, vertex):
+        """The label is the vertex identity itself (no index is stored)."""
+        if vertex not in self._vertices:
+            raise LabelingError(f"vertex was not labeled by this index: {vertex!r}")
+        return vertex
+
+    def reaches_labels(self, source_label, target_label) -> bool:
+        """Run a traversal over the stored graph (linear time per query)."""
+        return is_reachable(self._graph, source_label, target_label, method=self.method)
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    def label_length_bits(self, vertex) -> int:
+        """Zero, following the paper's accounting for traversal schemes."""
+        self.label_of(vertex)
+        return 0
+
+
+class BFSIndex(TraversalIndex):
+    """Breadth-first traversal scheme (the paper's ``BFS``)."""
+
+    scheme_name = "bfs"
+    method = "bfs"
+
+
+class DFSIndex(TraversalIndex):
+    """Depth-first traversal scheme (the paper's ``DFS``)."""
+
+    scheme_name = "dfs"
+    method = "dfs"

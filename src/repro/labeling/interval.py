@@ -1,0 +1,101 @@
+"""The classical interval scheme for trees (Santoro & Khatib [15]).
+
+Every vertex of a rooted tree (edges directed from parent to child) receives
+the pair ``(post, low)`` where ``post`` is its postorder number and ``low``
+the smallest postorder number in its subtree.  Vertex ``u`` reaches ``v`` iff
+``low(u) <= post(v) <= post(u)``.  Labels are two numbers of ``log n`` bits
+and queries are two comparisons, which is why the scheme is the reference
+point for "optimal" labeling in the paper's introduction.
+
+The scheme only applies to trees and forests; it is used directly for
+tree-shaped specifications and as the building block of the tree-cover
+scheme for general DAGs (:mod:`repro.labeling.tree_cover`).
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.exceptions import GraphError, LabelingError
+from repro.graphs.digraph import DiGraph
+from repro.graphs.traversal import is_dag
+from repro.labeling.base import ReachabilityIndex
+
+__all__ = ["IntervalLabel", "IntervalTreeIndex", "compute_tree_intervals"]
+
+
+class IntervalLabel(NamedTuple):
+    """Interval label: postorder number and the minimum postorder in the subtree."""
+
+    post: int
+    low: int
+
+
+def compute_tree_intervals(tree: DiGraph) -> dict:
+    """Compute ``(post, low)`` interval labels for a forest.
+
+    ``tree`` must be a forest with edges directed from parents to children:
+    every vertex has at most one incoming edge and there are no cycles.
+    Postorder numbers start at 1 and are assigned with an iterative DFS so
+    that very deep trees do not overflow the recursion limit.
+    """
+    if not is_dag(tree):
+        raise GraphError("interval labeling requires an acyclic graph")
+    for vertex in tree.vertices():
+        if tree.in_degree(vertex) > 1:
+            raise GraphError(
+                f"interval labeling requires a forest; vertex {vertex!r} has "
+                f"{tree.in_degree(vertex)} parents"
+            )
+
+    labels: dict = {}
+    counter = 0
+    roots = [v for v in tree.vertices() if tree.in_degree(v) == 0]
+    for root in roots:
+        # Iterative postorder: (vertex, expanded) pairs, tracking subtree minima.
+        low_of: dict = {}
+        stack: list[tuple[object, bool]] = [(root, False)]
+        while stack:
+            vertex, expanded = stack.pop()
+            if not expanded:
+                stack.append((vertex, True))
+                for child in reversed(tree.successors(vertex)):
+                    stack.append((child, False))
+                continue
+            children = tree.successors(vertex)
+            counter += 1
+            post = counter
+            low = min([low_of[c] for c in children], default=post)
+            low = min(low, post)
+            low_of[vertex] = low
+            labels[vertex] = IntervalLabel(post=post, low=low)
+    if len(labels) != tree.vertex_count:
+        raise GraphError("interval labeling did not cover every vertex")
+    return labels
+
+
+class IntervalTreeIndex(ReachabilityIndex):
+    """Interval labeling of a forest (edges directed parent -> child)."""
+
+    scheme_name = "interval"
+
+    def __init__(self, graph: DiGraph) -> None:
+        super().__init__(graph)
+        self._labels = compute_tree_intervals(graph)
+        self._bits = max(1, (graph.vertex_count).bit_length())
+
+    def label_of(self, vertex) -> IntervalLabel:
+        """Return the ``(post, low)`` label of *vertex*."""
+        try:
+            return self._labels[vertex]
+        except KeyError:
+            raise LabelingError(f"vertex was not labeled by this index: {vertex!r}") from None
+
+    def reaches_labels(self, source_label: IntervalLabel, target_label: IntervalLabel) -> bool:
+        """``u`` reaches ``v`` iff ``low(u) <= post(v) <= post(u)``."""
+        return source_label.low <= target_label.post <= source_label.post
+
+    def label_length_bits(self, vertex) -> int:
+        """Two numbers of ``ceil(log2 n)`` bits each."""
+        self.label_of(vertex)
+        return 2 * self._bits

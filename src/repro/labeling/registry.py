@@ -1,0 +1,74 @@
+"""Registry of reachability labeling schemes.
+
+The benchmark harness, the CLI and the skeleton labeler all refer to spec
+labeling schemes by short names (``"tcm"``, ``"bfs"``, ...); this module maps
+those names to index classes and lets downstream users plug in their own
+schemes without touching library code.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Type
+
+from repro.exceptions import LabelingError
+from repro.labeling.base import ReachabilityIndex
+from repro.labeling.bfs import BFSIndex, DFSIndex
+from repro.labeling.chain import ChainIndex
+from repro.labeling.interval import IntervalTreeIndex
+from repro.labeling.tcm import TCMIndex
+from repro.labeling.tree_cover import TreeCoverIndex
+from repro.labeling.twohop import TwoHopIndex
+
+__all__ = [
+    "register_scheme",
+    "get_scheme",
+    "available_schemes",
+    "build_index",
+]
+
+_REGISTRY: dict[str, Type[ReachabilityIndex]] = {}
+
+
+def register_scheme(name: str, index_class: Type[ReachabilityIndex]) -> None:
+    """Register *index_class* under *name* (overwrites an existing binding)."""
+    if not issubclass(index_class, ReachabilityIndex):
+        raise LabelingError(
+            f"labeling schemes must subclass ReachabilityIndex, got {index_class!r}"
+        )
+    _REGISTRY[name.lower()] = index_class
+
+
+def get_scheme(name: str) -> Type[ReachabilityIndex]:
+    """Return the index class registered under *name*."""
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        raise LabelingError(
+            f"unknown labeling scheme {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_schemes() -> list[str]:
+    """Return the names of all registered schemes, sorted."""
+    return sorted(_REGISTRY)
+
+
+def build_index(name: str, graph) -> ReachabilityIndex:
+    """Build an index of scheme *name* for *graph*."""
+    return get_scheme(name).build(graph)
+
+
+def scheme_factory(name: str) -> Callable:
+    """Return a zero-configuration factory ``graph -> index`` for *name*."""
+    index_class = get_scheme(name)
+    return index_class.build
+
+
+# Built-in schemes.
+register_scheme("tcm", TCMIndex)
+register_scheme("bfs", BFSIndex)
+register_scheme("dfs", DFSIndex)
+register_scheme("interval", IntervalTreeIndex)
+register_scheme("tree-cover", TreeCoverIndex)
+register_scheme("chain", ChainIndex)
+register_scheme("2-hop", TwoHopIndex)

@@ -1,0 +1,67 @@
+"""The ``TCM`` labeling scheme: transitive closure matrix rows (Section 7).
+
+``TCM`` precomputes the transitive closure matrix ``M`` of the graph and
+assigns the *i*-th row as the label of the *i*-th vertex.  Queries are O(1)
+bit tests; the price is ``n`` bits per label and a polynomial construction
+time, which is exactly the trade-off the paper's Table 2 and Figures 15–17
+explore.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.exceptions import LabelingError
+from repro.graphs.digraph import DiGraph
+from repro.graphs.transitive_closure import TransitiveClosure, transitive_closure
+from repro.labeling.base import ReachabilityIndex
+
+__all__ = ["TCMLabel", "TCMIndex"]
+
+
+class TCMLabel(NamedTuple):
+    """A TCM label: the vertex's column index and its closure row bitset."""
+
+    index: int
+    row: int
+
+
+class TCMIndex(ReachabilityIndex):
+    """Transitive-closure-matrix labeling of a directed graph."""
+
+    scheme_name = "tcm"
+
+    def __init__(self, graph: DiGraph) -> None:
+        super().__init__(graph)
+        self._closure: TransitiveClosure = transitive_closure(graph)
+        self._labels: dict = {
+            vertex: TCMLabel(index=self._closure.index[vertex], row=row)
+            for vertex, row in zip(self._closure.order, self._closure.rows)
+        }
+
+    # ------------------------------------------------------------------
+    # (D, φ, π)
+    # ------------------------------------------------------------------
+    def label_of(self, vertex) -> TCMLabel:
+        """Return the TCM label of *vertex*."""
+        try:
+            return self._labels[vertex]
+        except KeyError:
+            raise LabelingError(f"vertex was not labeled by this index: {vertex!r}") from None
+
+    def reaches_labels(self, source_label: TCMLabel, target_label: TCMLabel) -> bool:
+        """Bit-test the source row at the target's column (constant time)."""
+        return bool((source_label.row >> target_label.index) & 1)
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    def label_length_bits(self, vertex) -> int:
+        """One matrix row: ``n`` bits (the column index is bounded by log n)."""
+        self.label_of(vertex)
+        return self._closure.vertex_count
+
+    @property
+    def closure(self) -> TransitiveClosure:
+        """The underlying transitive closure (exposed for tests and tooling)."""
+        return self._closure

@@ -1,0 +1,14 @@
+"""Data provenance: data items, data labels and dependency queries (Section 6)."""
+
+from repro.provenance.data import DataFlow, DataItem, generate_dataflow
+from repro.provenance.labels import DataLabel, data_label_bits
+from repro.provenance.queries import ProvenanceIndex
+
+__all__ = [
+    "DataFlow",
+    "DataItem",
+    "generate_dataflow",
+    "DataLabel",
+    "data_label_bits",
+    "ProvenanceIndex",
+]

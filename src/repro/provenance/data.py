@@ -1,0 +1,162 @@
+"""Data items flowing over the edges of a run (Section 6).
+
+The workflow model treats every edge of a run as a data channel carrying a
+set of data items produced by the edge's tail module and consumed by its head
+module.  :class:`DataFlow` stores that association and validates the model's
+single-writer rule: every data item is produced by exactly one module
+execution, although it may be read by many.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.exceptions import RunConformanceError
+from repro.workflow.run import RunVertex, WorkflowRun
+
+__all__ = ["DataItem", "DataFlow", "generate_dataflow"]
+
+
+@dataclass(frozen=True)
+class DataItem:
+    """A logical data unit exchanged between module executions."""
+
+    item_id: str
+
+    def __str__(self) -> str:
+        return self.item_id
+
+
+@dataclass
+class DataFlow:
+    """The association of data items with the edges of one run.
+
+    ``assignments`` maps run edges ``(producer, consumer)`` to the tuple of
+    data items flowing over them.  The class maintains the derived
+    ``Output(x)`` (unique producer) and ``Inputs(x)`` (set of consumers)
+    functions used by the data labeling of Section 6.
+    """
+
+    run: WorkflowRun
+    assignments: dict[tuple[RunVertex, RunVertex], tuple[DataItem, ...]] = field(
+        default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        self._producer: dict[DataItem, RunVertex] = {}
+        self._consumers: dict[DataItem, set[RunVertex]] = {}
+        for edge, items in self.assignments.items():
+            self._register(edge, items)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def attach(
+        self,
+        producer: RunVertex,
+        consumer: RunVertex,
+        items: Iterable[DataItem | str],
+    ) -> None:
+        """Attach *items* to the run edge ``producer -> consumer``."""
+        normalized = tuple(
+            item if isinstance(item, DataItem) else DataItem(str(item)) for item in items
+        )
+        edge = (producer, consumer)
+        existing = self.assignments.get(edge, ())
+        self.assignments[edge] = existing + normalized
+        self._register(edge, normalized)
+
+    def _register(
+        self, edge: tuple[RunVertex, RunVertex], items: tuple[DataItem, ...]
+    ) -> None:
+        producer, consumer = edge
+        if not self.run.graph.has_edge(producer, consumer):
+            raise RunConformanceError(
+                f"cannot attach data to {producer} -> {consumer}: the run has no such edge"
+            )
+        for item in items:
+            known_producer = self._producer.get(item)
+            if known_producer is not None and known_producer != producer:
+                raise RunConformanceError(
+                    f"data item {item} is produced by both {known_producer} and "
+                    f"{producer}; the model requires a unique producer"
+                )
+            self._producer[item] = producer
+            self._consumers.setdefault(item, set()).add(consumer)
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    def items(self) -> list[DataItem]:
+        """All data items, in first-registration order."""
+        return list(self._producer)
+
+    def data_on(self, producer: RunVertex, consumer: RunVertex) -> tuple[DataItem, ...]:
+        """Return ``Data(e)`` for the edge ``producer -> consumer``."""
+        return self.assignments.get((producer, consumer), ())
+
+    def output_of(self, item: DataItem | str) -> RunVertex:
+        """Return ``Output(x)``: the unique module execution that wrote *item*."""
+        item = item if isinstance(item, DataItem) else DataItem(str(item))
+        try:
+            return self._producer[item]
+        except KeyError:
+            raise RunConformanceError(f"unknown data item: {item}") from None
+
+    def inputs_of(self, item: DataItem | str) -> set[RunVertex]:
+        """Return ``Inputs(x)``: every module execution that read *item*."""
+        item = item if isinstance(item, DataItem) else DataItem(str(item))
+        if item not in self._producer:
+            raise RunConformanceError(f"unknown data item: {item}")
+        return set(self._consumers.get(item, set()))
+
+    def __contains__(self, item: object) -> bool:
+        normalized = item if isinstance(item, DataItem) else DataItem(str(item))
+        return normalized in self._producer
+
+    def __len__(self) -> int:
+        return len(self._producer)
+
+    @property
+    def max_fanout(self) -> int:
+        """``k``: the largest number of input modules of any data item."""
+        return max((len(consumers) for consumers in self._consumers.values()), default=0)
+
+    def total_assignments(self) -> int:
+        """``Σ_e |Data(e)|`` — the input size of data labeling."""
+        return sum(len(items) for items in self.assignments.values())
+
+
+def generate_dataflow(
+    run: WorkflowRun,
+    *,
+    items_per_edge: int = 1,
+    shared_fraction: float = 0.2,
+    rng: random.Random | None = None,
+) -> DataFlow:
+    """Generate a synthetic data flow for *run*.
+
+    Every edge receives *items_per_edge* fresh data items produced by its
+    tail; additionally, a *shared_fraction* of producers re-send one of their
+    items over each further outgoing edge, so that some items have several
+    input modules (exercising the ``k > 1`` case of the label-length analysis).
+    """
+    rng = rng or random.Random(0)
+    flow = DataFlow(run=run)
+    counter = 0
+    first_item_of: dict[RunVertex, DataItem] = {}
+    for producer, consumer in run.graph.iter_edges():
+        fresh_items = []
+        for _ in range(items_per_edge):
+            counter += 1
+            fresh_items.append(DataItem(f"x{counter}"))
+        if fresh_items:
+            first_item_of.setdefault(producer, fresh_items[0])
+        if producer in first_item_of and rng.random() < shared_fraction:
+            shared = first_item_of[producer]
+            if shared not in fresh_items:
+                fresh_items.append(shared)
+        flow.attach(producer, consumer, fresh_items)
+    return flow

@@ -1,0 +1,46 @@
+"""Data labels: extending module reachability labels to data items (Section 6).
+
+A data item ``x`` is labeled by ``(φ(Output(x)), {φ(v) | v ∈ Inputs(x)})`` —
+the reachability label of its producing module execution plus the labels of
+every module execution that reads it.  With these labels, data-to-data and
+data-to-module dependencies reduce to constant-many module reachability
+checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["DataLabel", "data_label_bits"]
+
+
+@dataclass(frozen=True)
+class DataLabel:
+    """The reachability label of a data item.
+
+    Attributes
+    ----------
+    output:
+        ``φ(Output(x))`` — label of the unique producer.
+    inputs:
+        ``{φ(v) | v ∈ Inputs(x)}`` — labels of all consumers, stored as a
+        tuple in registration order.
+    """
+
+    output: Any
+    inputs: tuple[Any, ...]
+
+    @property
+    def fanout(self) -> int:
+        """Number of input modules of the item (the ``k`` of Section 6)."""
+        return len(self.inputs)
+
+
+def data_label_bits(module_label_bits: int, fanout: int) -> int:
+    """Length of a data label given the module label length and the item fanout.
+
+    Section 6: the label length increases by a factor of ``k + 1`` where ``k``
+    is the number of input modules.
+    """
+    return module_label_bits * (fanout + 1)

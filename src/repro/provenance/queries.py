@@ -1,0 +1,119 @@
+"""Provenance query engine over a labeled run with data flow (Section 6).
+
+:class:`ProvenanceIndex` combines a reachability-labeled run (any object with
+``label_of`` / ``reaches_labels`` — normally a
+:class:`~repro.skeleton.skl.SkeletonLabeledRun`) with a
+:class:`~repro.provenance.data.DataFlow`, and answers the dependency queries
+that motivate the paper:
+
+* does data item ``x`` depend on data item ``x'``?
+* does data item ``x`` depend on module execution ``v``?
+* does module execution ``v`` depend on data item ``x``?
+* which data items were affected by (depend on) a given item — the
+  "downstream of a bad result" query of the introduction.
+"""
+
+from __future__ import annotations
+
+from repro.provenance.data import DataFlow, DataItem
+from repro.provenance.labels import DataLabel
+from repro.workflow.run import RunVertex
+
+__all__ = ["ProvenanceIndex"]
+
+
+class ProvenanceIndex:
+    """Answer data/module dependency queries using reachability labels."""
+
+    def __init__(self, labeled_run, dataflow: DataFlow) -> None:
+        self.labeled_run = labeled_run
+        self.dataflow = dataflow
+        self._data_labels: dict[DataItem, DataLabel] = {}
+        for item in dataflow.items():
+            output_vertex = dataflow.output_of(item)
+            input_vertices = sorted(dataflow.inputs_of(item))
+            self._data_labels[item] = DataLabel(
+                output=labeled_run.label_of(output_vertex),
+                inputs=tuple(labeled_run.label_of(v) for v in input_vertices),
+            )
+
+    # ------------------------------------------------------------------
+    # labels
+    # ------------------------------------------------------------------
+    def data_label(self, item: DataItem | str) -> DataLabel:
+        """Return the data label of *item*."""
+        normalized = item if isinstance(item, DataItem) else DataItem(str(item))
+        return self._data_labels[normalized]
+
+    def items(self) -> list[DataItem]:
+        """All labeled data items."""
+        return list(self._data_labels)
+
+    # ------------------------------------------------------------------
+    # dependency predicates
+    # ------------------------------------------------------------------
+    def data_depends_on_data(self, item: DataItem | str, other: DataItem | str) -> bool:
+        """Does *item* depend on *other*?
+
+        Section 6: ``x`` depends on ``x'`` iff some input module of ``x'``
+        reaches the output module of ``x``.
+        """
+        target = self.data_label(item)
+        source = self.data_label(other)
+        return any(
+            self.labeled_run.reaches_labels(input_label, target.output)
+            for input_label in source.inputs
+        )
+
+    def data_depends_on_module(self, item: DataItem | str, module: RunVertex) -> bool:
+        """Does data item *item* depend on module execution *module*?"""
+        target = self.data_label(item)
+        module_label = self.labeled_run.label_of(module)
+        return self.labeled_run.reaches_labels(module_label, target.output)
+
+    def module_depends_on_data(self, module: RunVertex, item: DataItem | str) -> bool:
+        """Does module execution *module* depend on data item *item*?
+
+        A module depends on a data item when some module that read the item
+        reaches it, or when it read the item directly.
+        """
+        source = self.data_label(item)
+        module_label = self.labeled_run.label_of(module)
+        if any(
+            consumer == module
+            for consumer in self.dataflow.inputs_of(item)
+        ):
+            return True
+        return any(
+            self.labeled_run.reaches_labels(input_label, module_label)
+            for input_label in source.inputs
+        )
+
+    def module_depends_on_module(self, later: RunVertex, earlier: RunVertex) -> bool:
+        """Does *later* depend on *earlier* (i.e. is *later* reachable from it)?"""
+        return self.labeled_run.reaches(earlier, later)
+
+    # ------------------------------------------------------------------
+    # bulk queries
+    # ------------------------------------------------------------------
+    def downstream_items(self, item: DataItem | str) -> list[DataItem]:
+        """Return every data item that depends on *item* (excluding itself)."""
+        normalized = item if isinstance(item, DataItem) else DataItem(str(item))
+        return [
+            candidate
+            for candidate in self._data_labels
+            if candidate != normalized and self.data_depends_on_data(candidate, normalized)
+        ]
+
+    def upstream_items(self, item: DataItem | str) -> list[DataItem]:
+        """Return every data item that *item* depends on (excluding itself)."""
+        normalized = item if isinstance(item, DataItem) else DataItem(str(item))
+        return [
+            candidate
+            for candidate in self._data_labels
+            if candidate != normalized and self.data_depends_on_data(normalized, candidate)
+        ]
+
+    def max_data_label_fanout(self) -> int:
+        """Largest fanout among the labeled items (the ``k`` of the analysis)."""
+        return max((label.fanout for label in self._data_labels.values()), default=0)

@@ -1,0 +1,38 @@
+"""The skeleton-based labeling scheme (the paper's core contribution)."""
+
+from repro.skeleton.construct import PlanConstructionResult, construct_plan
+from repro.skeleton.labels import RunLabel, context_bits, run_label_bits
+from repro.skeleton.online import GroupHandle, OnlineRun, PlusScope
+from repro.skeleton.orders import ContextEncoding, encode_contexts, generate_three_orders
+from repro.skeleton.skl import (
+    LabelingTimings,
+    QueryPath,
+    SkeletonLabeledRun,
+    SkeletonLabeler,
+    classify_query,
+    skeleton_predicate,
+)
+from repro.workflow.plan import ExecutionPlan, PlanNode, PlanNodeKind
+
+__all__ = [
+    "PlanConstructionResult",
+    "construct_plan",
+    "RunLabel",
+    "context_bits",
+    "run_label_bits",
+    "GroupHandle",
+    "OnlineRun",
+    "PlusScope",
+    "ContextEncoding",
+    "encode_contexts",
+    "generate_three_orders",
+    "LabelingTimings",
+    "QueryPath",
+    "SkeletonLabeledRun",
+    "SkeletonLabeler",
+    "classify_query",
+    "skeleton_predicate",
+    "ExecutionPlan",
+    "PlanNode",
+    "PlanNodeKind",
+]

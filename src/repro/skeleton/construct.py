@@ -1,0 +1,386 @@
+"""``ConstructPlan``: extracting the execution plan and context from a run.
+
+Section 5 of the paper shows that the execution plan ``TR`` and the context
+function ``C`` can be computed from the bare run graph in linear time, using
+only the specification, its fork/loop hierarchy ``TG`` and the module names
+on the run vertices — no per-copy bookkeeping from the workflow engine is
+needed.
+
+The implementation follows the paper's strategy:
+
+* regions are processed bottom-up over ``TG`` (every region after all of its
+  descendants);
+* the copies of a region are recovered as the weakly connected components of
+  the surviving run vertices whose origin lies in the region's dominating set
+  (Lemma 5.1 guarantees each copy forms one component once its descendants
+  have been contracted);
+* fork copies sharing a source and sink are grouped into one ``F-``
+  execution, loop copies are split and ordered along the serial-composition
+  edges into one ``L-`` execution per chain;
+* each processed group is *contracted*: its vertices are removed and replaced
+  by a single special edge, which carries the pending ``-`` node until the
+  enclosing ``+`` copy is discovered and adopts it.
+
+Contexts are assigned on the way (deepest copy first), and whatever remains
+uncovered at the end belongs to the ``G+`` root.  The procedure doubles as a
+conformance check: runs that do not derive from the specification fail with
+:class:`~repro.exceptions.PlanConstructionError`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.exceptions import PlanConstructionError
+from repro.graphs.digraph import DiGraph
+from repro.graphs.traversal import weakly_connected_components
+from repro.workflow.hierarchy import ROOT_NAME
+from repro.workflow.plan import ExecutionPlan, PlanNodeKind
+from repro.workflow.run import RunVertex, WorkflowRun
+from repro.workflow.specification import WorkflowSpecification
+from repro.workflow.subgraphs import ResolvedRegion
+
+__all__ = ["PlanConstructionResult", "construct_plan"]
+
+
+@dataclass
+class PlanConstructionResult:
+    """Output of :func:`construct_plan`.
+
+    Attributes
+    ----------
+    plan:
+        The reconstructed execution plan ``TR``.
+    context:
+        The context function ``C``: run vertex -> ``+`` plan node identifier.
+    """
+
+    plan: ExecutionPlan
+    context: dict[RunVertex, int]
+
+
+def construct_plan(spec: WorkflowSpecification, run: WorkflowRun) -> PlanConstructionResult:
+    """Compute the execution plan and context of *run* (Algorithms 4 and 5).
+
+    Raises :class:`PlanConstructionError` when the run graph cannot have been
+    produced by fork/loop executions of *spec*.
+    """
+    builder = _PlanBuilder(spec, run)
+    return builder.build()
+
+
+class _PlanBuilder:
+    """Stateful implementation of the bottom-up plan construction."""
+
+    def __init__(self, spec: WorkflowSpecification, run: WorkflowRun) -> None:
+        self.spec = spec
+        self.run = run
+        self.hierarchy = spec.hierarchy
+        self.work: DiGraph = run.graph.copy()
+        self.plan = ExecutionPlan()
+        self.root_id = self.plan.add_root()
+        self.context: dict[RunVertex, int] = {}
+        # Special edges carrying not-yet-attached group nodes:
+        # edge -> list of (minus node id, parent region name expected to adopt it)
+        self.pending: dict[tuple, list[tuple[int, str]]] = {}
+
+    # ------------------------------------------------------------------
+    # top level
+    # ------------------------------------------------------------------
+    def build(self) -> PlanConstructionResult:
+        for hnode in self.hierarchy.iter_postorder():
+            if hnode.is_root:
+                continue
+            region = hnode.region
+            parent_name = hnode.parent
+            candidates = [
+                v for v in self.work.vertices() if v.module in region.dom_set
+            ]
+            if not candidates:
+                raise PlanConstructionError(
+                    f"run {self.run.name!r} contains no copy of region {region.name!r}"
+                )
+            components = weakly_connected_components(self.work, restrict_to=candidates)
+            if region.is_fork:
+                self._process_fork(region, parent_name, components)
+            else:
+                self._process_loop(region, parent_name, components)
+
+        self._finish_root()
+        self.plan.validate()
+        return PlanConstructionResult(plan=self.plan, context=self.context)
+
+    def _finish_root(self) -> None:
+        """Assign remaining contexts to ``G+`` and adopt top-level groups."""
+        for vertex in self.work.vertices():
+            self.context.setdefault(vertex, self.root_id)
+        unattached: list[tuple] = []
+        for edge, entries in self.pending.items():
+            still_waiting: list[tuple[int, str]] = []
+            for minus_id, parent_name in entries:
+                if parent_name == ROOT_NAME:
+                    if not self.work.has_edge(*edge):
+                        raise PlanConstructionError(
+                            f"special edge {edge!r} for region group {minus_id} vanished "
+                            "before it could be attached to the root"
+                        )
+                    self.plan.attach(minus_id, self.root_id)
+                else:
+                    still_waiting.append((minus_id, parent_name))
+            if still_waiting:
+                unattached.append(edge)
+        if unattached:
+            raise PlanConstructionError(
+                f"some fork/loop executions could not be attached to an enclosing "
+                f"copy: special edges {unattached!r}; the run does not conform to "
+                f"the specification"
+            )
+
+    # ------------------------------------------------------------------
+    # fork regions
+    # ------------------------------------------------------------------
+    def _process_fork(
+        self,
+        region: ResolvedRegion,
+        parent_name: str,
+        components: list[set],
+    ) -> None:
+        copies: list[tuple[set, RunVertex, RunVertex]] = []
+        for component in components:
+            source, sink = self._fork_copy_terminals(region, component)
+            copies.append((component, source, sink))
+
+        groups: dict[tuple[RunVertex, RunVertex], list[set]] = {}
+        for component, source, sink in copies:
+            groups.setdefault((source, sink), []).append(component)
+
+        for (source, sink), group_components in groups.items():
+            minus_id = self.plan.add_node(PlanNodeKind.FORK_GROUP, region.name)
+            for component in group_components:
+                plus_id = self.plan.add_node(
+                    PlanNodeKind.FORK_COPY, region.name, parent=minus_id
+                )
+                self._adopt_pending(
+                    plus_id,
+                    region.name,
+                    scan_vertices=component,
+                    allowed_vertices=component | {source, sink},
+                )
+                for vertex in component:
+                    self.context.setdefault(vertex, plus_id)
+            # Contract: drop every internal vertex of the group and stand in a
+            # single special edge from the shared source to the shared sink.
+            for component in group_components:
+                self.work.remove_vertices(component)
+            if not self.work.has_edge(source, sink):
+                self.work.add_edge(source, sink)
+            self.pending.setdefault((source, sink), []).append((minus_id, parent_name))
+
+    def _fork_copy_terminals(
+        self, region: ResolvedRegion, component: set
+    ) -> tuple[RunVertex, RunVertex]:
+        """Find the shared source and sink of one fork copy."""
+        outside_predecessors: set = set()
+        outside_successors: set = set()
+        for vertex in component:
+            for predecessor in self.work.predecessors(vertex):
+                if predecessor not in component:
+                    outside_predecessors.add(predecessor)
+            for successor in self.work.successors(vertex):
+                if successor not in component:
+                    outside_successors.add(successor)
+        if len(outside_predecessors) != 1 or len(outside_successors) != 1:
+            raise PlanConstructionError(
+                f"fork {region.name!r}: a copy is not self-contained in the run "
+                f"(outside predecessors {sorted(map(str, outside_predecessors))}, "
+                f"outside successors {sorted(map(str, outside_successors))})"
+            )
+        source = next(iter(outside_predecessors))
+        sink = next(iter(outside_successors))
+        if source.module != region.source or sink.module != region.sink:
+            raise PlanConstructionError(
+                f"fork {region.name!r}: copy terminals {source}/{sink} do not "
+                f"originate from {region.source!r}/{region.sink!r}"
+            )
+        return source, sink
+
+    # ------------------------------------------------------------------
+    # loop regions
+    # ------------------------------------------------------------------
+    def _process_loop(
+        self,
+        region: ResolvedRegion,
+        parent_name: str,
+        components: list[set],
+    ) -> None:
+        for component in components:
+            serial_edges = self._serial_edges(region, component)
+            copies = self._split_component(component, serial_edges)
+            ordered = self._order_copies(region, copies, serial_edges)
+
+            minus_id = self.plan.add_node(PlanNodeKind.LOOP_GROUP, region.name)
+            for copy_vertices in ordered:
+                plus_id = self.plan.add_node(
+                    PlanNodeKind.LOOP_COPY, region.name, parent=minus_id
+                )
+                self._adopt_pending(
+                    plus_id,
+                    region.name,
+                    scan_vertices=copy_vertices,
+                    allowed_vertices=copy_vertices,
+                )
+                for vertex in copy_vertices:
+                    self.context.setdefault(vertex, plus_id)
+
+            first_source = self._unique_by_module(region, ordered[0], region.source)
+            last_sink = self._unique_by_module(region, ordered[-1], region.sink)
+            removable = set(component) - {first_source, last_sink}
+            self.work.remove_vertices(removable)
+            if not self.work.has_edge(first_source, last_sink):
+                self.work.add_edge(first_source, last_sink)
+            self.pending.setdefault((first_source, last_sink), []).append(
+                (minus_id, parent_name)
+            )
+
+    def _serial_edges(self, region: ResolvedRegion, component: set) -> set[tuple]:
+        """Edges from a sink-origin vertex to a source-origin vertex inside the chain."""
+        serial: set[tuple] = set()
+        for vertex in component:
+            if vertex.module != region.sink:
+                continue
+            for successor in self.work.successors(vertex):
+                if successor in component and successor.module == region.source:
+                    serial.add((vertex, successor))
+        return serial
+
+    def _split_component(self, component: set, serial_edges: set[tuple]) -> list[set]:
+        """Split a loop chain into individual copies by cutting the serial edges."""
+        remaining = set(component)
+        copies: list[set] = []
+        while remaining:
+            start = next(iter(remaining))
+            copy = {start}
+            remaining.discard(start)
+            queue: deque = deque([start])
+            while queue:
+                current = queue.popleft()
+                neighbors = [
+                    n
+                    for n in self.work.successors(current)
+                    if (current, n) not in serial_edges
+                ] + [
+                    n
+                    for n in self.work.predecessors(current)
+                    if (n, current) not in serial_edges
+                ]
+                for neighbor in neighbors:
+                    if neighbor in remaining:
+                        remaining.discard(neighbor)
+                        copy.add(neighbor)
+                        queue.append(neighbor)
+            copies.append(copy)
+        return copies
+
+    def _order_copies(
+        self,
+        region: ResolvedRegion,
+        copies: list[set],
+        serial_edges: set[tuple],
+    ) -> list[set]:
+        """Order loop copies along the serial-composition edges."""
+        if len(copies) == 1:
+            return copies
+        copy_of: dict[RunVertex, int] = {}
+        for index, copy_vertices in enumerate(copies):
+            for vertex in copy_vertices:
+                copy_of[vertex] = index
+
+        next_of: dict[int, int] = {}
+        has_previous: set[int] = set()
+        for tail, head in serial_edges:
+            tail_copy, head_copy = copy_of[tail], copy_of[head]
+            if tail_copy == head_copy or tail_copy in next_of or head_copy in has_previous:
+                raise PlanConstructionError(
+                    f"loop {region.name!r}: serial edges do not form a simple chain"
+                )
+            next_of[tail_copy] = head_copy
+            has_previous.add(head_copy)
+
+        start_candidates = [i for i in range(len(copies)) if i not in has_previous]
+        if len(start_candidates) != 1:
+            raise PlanConstructionError(
+                f"loop {region.name!r}: could not identify the first copy of the chain"
+            )
+        order: list[set] = []
+        current = start_candidates[0]
+        seen: set[int] = set()
+        while True:
+            if current in seen:
+                raise PlanConstructionError(
+                    f"loop {region.name!r}: serial edges form a cycle"
+                )
+            seen.add(current)
+            order.append(copies[current])
+            if current not in next_of:
+                break
+            current = next_of[current]
+        if len(order) != len(copies):
+            raise PlanConstructionError(
+                f"loop {region.name!r}: the serial chain does not cover every copy"
+            )
+        return order
+
+    def _unique_by_module(
+        self, region: ResolvedRegion, vertices: set, module: str
+    ) -> RunVertex:
+        matches = [v for v in vertices if v.module == module]
+        if len(matches) != 1:
+            raise PlanConstructionError(
+                f"loop {region.name!r}: expected exactly one {module!r} execution in a "
+                f"copy, found {len(matches)}"
+            )
+        return matches[0]
+
+    # ------------------------------------------------------------------
+    # pending group adoption
+    # ------------------------------------------------------------------
+    def _adopt_pending(
+        self,
+        plus_id: int,
+        region_name: str,
+        *,
+        scan_vertices: set,
+        allowed_vertices: set,
+    ) -> None:
+        """Attach child group nodes whose special edge lies inside this copy.
+
+        A pending ``-`` node is adopted only if its special edge has both
+        endpoints inside the copy (including the copy's terminals for forks)
+        and its region's hierarchy parent is the region of this ``+`` copy —
+        the latter guards against shared boundary vertices of unrelated
+        regions.
+        """
+        for vertex in scan_vertices:
+            incident = [
+                (predecessor, vertex) for predecessor in self.work.predecessors(vertex)
+            ] + [
+                (vertex, successor) for successor in self.work.successors(vertex)
+            ]
+            for edge in incident:
+                entries = self.pending.get(edge)
+                if not entries:
+                    continue
+                tail, head = edge
+                if tail not in allowed_vertices or head not in allowed_vertices:
+                    continue
+                keep: list[tuple[int, str]] = []
+                for minus_id, parent_name in entries:
+                    if parent_name == region_name:
+                        self.plan.attach(minus_id, plus_id)
+                    else:
+                        keep.append((minus_id, parent_name))
+                if keep:
+                    self.pending[edge] = keep
+                else:
+                    del self.pending[edge]

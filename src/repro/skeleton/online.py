@@ -1,0 +1,368 @@
+"""Online skeleton labeling: label a run *while it is still executing*.
+
+Section 9 of the paper names this as the natural next step: "design efficient
+and compact dynamic or online labeling schemes, so that data can be labeled
+and stored in a database along with its label as soon as it is generated ...
+this would enable efficient provenance queries on intermediate data results
+even before the workflow completes."
+
+:class:`OnlineRun` implements that scenario for engines that know which fork
+copy / loop iteration they are currently executing (exactly the information a
+system such as Taverna records in its log, as the paper notes for Figure 13).
+The engine drives a small event API:
+
+* :meth:`PlusScope.execute` — a module execution finished inside a scope;
+* :meth:`PlusScope.begin_execution` / :meth:`GroupHandle.new_copy` — a fork or
+  loop of the specification starts executing / gains one more copy;
+* :meth:`OnlineRun.connect` — a data channel between two executions.
+
+The execution plan and the context function are therefore maintained
+incrementally and never need to be reconstructed.  Reachability queries are
+available at any moment; the three-order context encoding is recomputed
+lazily (only when the plan changed since the last query), so a query burst
+between structural changes costs the same O(1) per query as in the offline
+scheme.
+
+Correctness on a growing run follows from the prefix property of workflow
+execution: the visible part of a run is always predecessor-closed (a module
+execution only appears after everything it depends on), and on a
+predecessor-closed prefix the reachability relation between already-visible
+vertices equals the relation in the eventual complete run.  The Algorithm 3
+predicate therefore returns final answers even for queries asked mid-run.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.exceptions import LabelingError, RunConformanceError
+from repro.graphs.digraph import DiGraph
+from repro.labeling.base import ReachabilityIndex
+from repro.skeleton.construct import construct_plan
+from repro.skeleton.labels import RunLabel
+from repro.skeleton.orders import ContextEncoding, encode_contexts
+from repro.skeleton.skl import (
+    LabelingTimings,
+    SkeletonLabeledRun,
+    SkeletonLabeler,
+    skeleton_predicate,
+)
+from repro.workflow.execution import owned_vertices
+from repro.workflow.hierarchy import ROOT_NAME
+from repro.workflow.plan import ExecutionPlan, PlanNodeKind
+from repro.workflow.run import RunVertex, WorkflowRun
+from repro.workflow.specification import WorkflowSpecification
+
+__all__ = ["GroupHandle", "PlusScope", "OnlineRun"]
+
+
+class GroupHandle:
+    """One execution of a fork or loop (an ``F-``/``L-`` plan node) in progress."""
+
+    def __init__(self, run: "OnlineRun", node_id: int, region_name: str) -> None:
+        self._run = run
+        self.node_id = node_id
+        self.region_name = region_name
+
+    def new_copy(self) -> "PlusScope":
+        """Start one more copy of the region (parallel branch or next iteration).
+
+        For loops, copies must be created in serial order — the order of
+        ``new_copy`` calls defines the iteration order.
+        """
+        return self._run._new_copy(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GroupHandle(region={self.region_name!r}, node={self.node_id})"
+
+
+class PlusScope:
+    """A single fork/loop copy (or the whole run) currently being executed."""
+
+    def __init__(self, run: "OnlineRun", node_id: int, hierarchy_name: str) -> None:
+        self._run = run
+        self.node_id = node_id
+        self.hierarchy_name = hierarchy_name
+
+    def execute(self, module: str, instance: Optional[int] = None) -> RunVertex:
+        """Record one execution of *module* whose context is this scope."""
+        return self._run._execute(self, module, instance)
+
+    def begin_execution(self, region_name: str) -> GroupHandle:
+        """Start executing the child region *region_name* inside this scope."""
+        return self._run._begin_execution(self, region_name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PlusScope(region={self.hierarchy_name!r}, node={self.node_id})"
+
+
+class OnlineRun:
+    """A run under execution, labeled incrementally (dynamic SKL).
+
+    Parameters
+    ----------
+    labeler:
+        Either a :class:`~repro.skeleton.skl.SkeletonLabeler` (reused across
+        runs, sharing its skeleton labels) or a
+        :class:`~repro.workflow.specification.WorkflowSpecification`, in which
+        case a TCM-backed labeler is created.
+    name:
+        Name of the run being recorded.
+    validate_edges:
+        When ``True`` (default), :meth:`connect` rejects edges whose origins
+        are neither a specification edge nor a loop-back (serial composition)
+        edge — cheap protection against mis-wired events.
+    """
+
+    def __init__(
+        self,
+        labeler: Union[SkeletonLabeler, WorkflowSpecification],
+        *,
+        name: str = "online-run",
+        validate_edges: bool = True,
+    ) -> None:
+        if isinstance(labeler, WorkflowSpecification):
+            labeler = SkeletonLabeler(labeler, "tcm")
+        self.labeler = labeler
+        self.specification: WorkflowSpecification = labeler.specification
+        self.spec_index: ReachabilityIndex = labeler.spec_index
+        self.name = name
+        self.validate_edges = validate_edges
+
+        self._hierarchy = self.specification.hierarchy
+        self._owned = owned_vertices(self.specification)
+        self._allowed_edges = self._allowed_origin_edges()
+
+        self.graph = DiGraph()
+        self.plan = ExecutionPlan()
+        self.context: dict[RunVertex, int] = {}
+        self._instance_counters: dict[str, int] = {}
+        self._groups_per_scope: dict[tuple[int, str], int] = {}
+        self._scope_of_node: dict[int, str] = {}
+
+        root_id = self.plan.add_root()
+        self._scope_of_node[root_id] = ROOT_NAME
+        self.root_scope = PlusScope(self, root_id, ROOT_NAME)
+
+        self._encoding: Optional[ContextEncoding] = None
+        self._dirty = True
+        self.relabel_count = 0
+
+        # data provenance recorded as the run executes (Section 6 + Section 9)
+        self._data_producer: dict[str, RunVertex] = {}
+        self._data_consumers: dict[str, set[RunVertex]] = {}
+
+    # ------------------------------------------------------------------
+    # event API (driven by the workflow engine)
+    # ------------------------------------------------------------------
+    def _execute(
+        self, scope: PlusScope, module: str, instance: Optional[int]
+    ) -> RunVertex:
+        if not self.specification.has_module(module):
+            raise RunConformanceError(f"unknown module {module!r}")
+        owned = self._owned[scope.hierarchy_name]
+        if module not in owned:
+            raise RunConformanceError(
+                f"module {module!r} is not executed directly inside "
+                f"{'the top-level workflow' if scope.hierarchy_name == ROOT_NAME else scope.hierarchy_name!r}; "
+                f"expected one of {sorted(map(str, owned))}"
+            )
+        if instance is None:
+            self._instance_counters[module] = self._instance_counters.get(module, 0) + 1
+            instance = self._instance_counters[module]
+        else:
+            self._instance_counters[module] = max(
+                self._instance_counters.get(module, 0), instance
+            )
+        vertex = RunVertex(module, instance)
+        if self.graph.has_vertex(vertex):
+            raise RunConformanceError(f"execution {vertex} was already recorded")
+        self.graph.add_vertex(vertex)
+        self.context[vertex] = scope.node_id
+        self._dirty = True
+        return vertex
+
+    def _begin_execution(self, scope: PlusScope, region_name: str) -> GroupHandle:
+        if region_name not in self._hierarchy:
+            raise RunConformanceError(f"unknown fork/loop region {region_name!r}")
+        node = self._hierarchy.node(region_name)
+        if node.parent != scope.hierarchy_name:
+            raise RunConformanceError(
+                f"region {region_name!r} is not nested directly inside "
+                f"{'the top-level workflow' if scope.hierarchy_name == ROOT_NAME else scope.hierarchy_name!r}"
+            )
+        key = (scope.node_id, region_name)
+        if key in self._groups_per_scope:
+            raise RunConformanceError(
+                f"region {region_name!r} was already started inside this scope; "
+                "add further copies through the existing GroupHandle"
+            )
+        kind = PlanNodeKind.FORK_GROUP if node.is_fork else PlanNodeKind.LOOP_GROUP
+        group_id = self.plan.add_node(kind, region_name, parent=scope.node_id)
+        self._groups_per_scope[key] = group_id
+        self._dirty = True
+        return GroupHandle(self, group_id, region_name)
+
+    def _new_copy(self, group: GroupHandle) -> PlusScope:
+        node = self._hierarchy.node(group.region_name)
+        kind = PlanNodeKind.FORK_COPY if node.is_fork else PlanNodeKind.LOOP_COPY
+        copy_id = self.plan.add_node(kind, group.region_name, parent=group.node_id)
+        self._scope_of_node[copy_id] = group.region_name
+        self._dirty = True
+        return PlusScope(self, copy_id, group.region_name)
+
+    def connect(self, producer: RunVertex, consumer: RunVertex) -> None:
+        """Record a data channel from *producer* to *consumer*."""
+        for vertex in (producer, consumer):
+            if not self.graph.has_vertex(vertex):
+                raise RunConformanceError(f"unknown execution {vertex}")
+        if self.validate_edges:
+            origin_pair = (producer.module, consumer.module)
+            if origin_pair not in self._allowed_edges:
+                raise RunConformanceError(
+                    f"edge {producer} -> {consumer} does not correspond to a "
+                    "specification edge or a loop iteration boundary"
+                )
+        self.graph.add_edge(producer, consumer)
+        # Edges never change contexts or the plan, so queries stay valid.
+
+    def attach_data(
+        self, producer: RunVertex, consumer: RunVertex, items: "list[str] | tuple[str, ...]"
+    ) -> None:
+        """Record data items flowing over an existing edge, as soon as they exist.
+
+        This is the future-work scenario of Section 9: every data item becomes
+        queryable (:meth:`data_depends_on_data`, :meth:`data_depends_on_module`)
+        the moment it is produced, long before the workflow completes.  Items
+        must respect the single-writer rule of Section 6.
+        """
+        if not self.graph.has_edge(producer, consumer):
+            raise RunConformanceError(
+                f"cannot attach data to {producer} -> {consumer}: no such channel yet"
+            )
+        for item in items:
+            item_id = str(item)
+            known = self._data_producer.get(item_id)
+            if known is not None and known != producer:
+                raise RunConformanceError(
+                    f"data item {item_id!r} is produced by both {known} and {producer}"
+                )
+            self._data_producer[item_id] = producer
+            self._data_consumers.setdefault(item_id, set()).add(consumer)
+
+    def data_items(self) -> list[str]:
+        """Identifiers of every data item recorded so far."""
+        return list(self._data_producer)
+
+    def _item_producer(self, item: str) -> RunVertex:
+        try:
+            return self._data_producer[str(item)]
+        except KeyError:
+            raise RunConformanceError(f"unknown data item {item!r}") from None
+
+    def data_depends_on_data(self, item: str, other: str) -> bool:
+        """Does *item* depend on *other* in the run recorded so far?"""
+        producer = self._item_producer(item)
+        consumers = self._data_consumers.get(str(other), set())
+        self._item_producer(other)  # raise on unknown items
+        return any(self.reaches(consumer, producer) for consumer in consumers)
+
+    def data_depends_on_module(self, item: str, module: RunVertex) -> bool:
+        """Does data item *item* depend on module execution *module*?"""
+        return self.reaches(module, self._item_producer(item))
+
+    def _allowed_origin_edges(self) -> set[tuple[str, str]]:
+        allowed = set(self.specification.graph.iter_edges())
+        for loop in self.specification.loops:
+            allowed.add((loop.sink, loop.source))
+        return allowed
+
+    # ------------------------------------------------------------------
+    # queries on the partial run
+    # ------------------------------------------------------------------
+    @property
+    def vertex_count(self) -> int:
+        """Number of module executions recorded so far."""
+        return self.graph.vertex_count
+
+    @property
+    def edge_count(self) -> int:
+        """Number of data channels recorded so far."""
+        return self.graph.edge_count
+
+    def _current_encoding(self) -> ContextEncoding:
+        if self._dirty or self._encoding is None:
+            self._encoding = encode_contexts(self.plan, self.context)
+            self._dirty = False
+            self.relabel_count += 1
+        return self._encoding
+
+    def label_of(self, vertex: RunVertex) -> RunLabel:
+        """Return the vertex's label under the *current* state of the run.
+
+        Labels may change as further copies are recorded (positions in the
+        three orders shift); :meth:`reaches` always uses the current labels,
+        so query answers are stable even though the encodings are not final
+        until :meth:`finalize`.
+        """
+        if vertex not in self.context:
+            raise LabelingError(f"execution {vertex} has not been recorded")
+        encoding = self._current_encoding()
+        q1, q2, q3 = encoding[self.context[vertex]]
+        return RunLabel(q1=q1, q2=q2, q3=q3, skeleton=self.spec_index.label_of(vertex.module))
+
+    def reaches(self, source: RunVertex, target: RunVertex) -> bool:
+        """Decide reachability between two already-recorded executions."""
+        return skeleton_predicate(
+            self.label_of(source), self.label_of(target), self.spec_index
+        )
+
+    # ------------------------------------------------------------------
+    # snapshots and finalization
+    # ------------------------------------------------------------------
+    def snapshot(self) -> SkeletonLabeledRun:
+        """Return a queryable labeled view of the run recorded so far.
+
+        The snapshot is independent of the online object: further events do
+        not change it.  The partial graph is not required to be a complete
+        flow network, so run validation is skipped.
+        """
+        run = WorkflowRun(
+            self.specification, self.graph.copy(), name=f"{self.name}@{self.vertex_count}",
+            validate=False,
+        )
+        encoding = self._current_encoding()
+        labels = {
+            vertex: RunLabel(
+                *encoding[node_id], skeleton=self.spec_index.label_of(vertex.module)
+            )
+            for vertex, node_id in self.context.items()
+        }
+        return SkeletonLabeledRun(
+            run=run,
+            spec_index=self.spec_index,
+            labels=labels,
+            encoding=encoding,
+            plan=self.plan,
+            context=dict(self.context),
+            timings=LabelingTimings(0.0, 0.0, 0.0),
+        )
+
+    def finalize(self, *, cross_check: bool = True) -> SkeletonLabeledRun:
+        """Validate the completed run and return its labeled form.
+
+        With ``cross_check`` enabled (default) the incrementally maintained
+        execution plan is verified against an independent reconstruction by
+        :func:`~repro.skeleton.construct.construct_plan` — a strong guarantee
+        that the event stream and the final graph tell the same story.
+        """
+        self.plan.validate()
+        run = WorkflowRun(self.specification, self.graph.copy(), name=self.name)
+        if cross_check:
+            reconstructed = construct_plan(self.specification, run)
+            if reconstructed.plan.signature() != self.plan.signature():
+                raise RunConformanceError(
+                    "the incrementally maintained execution plan does not match the "
+                    "plan reconstructed from the final run graph"
+                )
+        return self.labeler.label_run(run, plan=self.plan, context=dict(self.context))

@@ -1,0 +1,13 @@
+"""SQLite-backed persistence for labeled runs and data provenance."""
+
+from repro.storage.database import connect, initialize_schema
+from repro.storage.schema import SCHEMA_STATEMENTS, SCHEMA_VERSION
+from repro.storage.store import ProvenanceStore
+
+__all__ = [
+    "connect",
+    "initialize_schema",
+    "SCHEMA_STATEMENTS",
+    "SCHEMA_VERSION",
+    "ProvenanceStore",
+]

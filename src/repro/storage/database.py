@@ -1,0 +1,45 @@
+"""SQLite connection management for the provenance store."""
+
+from __future__ import annotations
+
+import sqlite3
+from pathlib import Path
+from typing import Union
+
+from repro.exceptions import StorageError
+from repro.storage.schema import SCHEMA_STATEMENTS, SCHEMA_VERSION
+
+__all__ = ["connect", "initialize_schema"]
+
+PathLike = Union[str, Path]
+
+
+def connect(path: PathLike = ":memory:") -> sqlite3.Connection:
+    """Open a SQLite connection with the pragmas the store relies on.
+
+    ``path`` may be ``":memory:"`` for an ephemeral store.  Foreign keys are
+    enforced and rows are returned as :class:`sqlite3.Row` so columns can be
+    accessed by name.
+    """
+    try:
+        connection = sqlite3.connect(str(path))
+    except sqlite3.Error as exc:
+        raise StorageError(f"could not open provenance database {path!r}: {exc}") from exc
+    connection.row_factory = sqlite3.Row
+    connection.execute("PRAGMA foreign_keys = ON")
+    connection.execute("PRAGMA journal_mode = MEMORY")
+    return connection
+
+
+def initialize_schema(connection: sqlite3.Connection) -> None:
+    """Create all tables and indexes; safe to call on an existing database."""
+    try:
+        with connection:
+            for statement in SCHEMA_STATEMENTS:
+                connection.execute(statement)
+            connection.execute(
+                "INSERT OR REPLACE INTO meta (key, value) VALUES ('schema_version', ?)",
+                (str(SCHEMA_VERSION),),
+            )
+    except sqlite3.Error as exc:
+        raise StorageError(f"could not initialize provenance schema: {exc}") from exc

@@ -1,0 +1,85 @@
+"""SQLite schema for the provenance store.
+
+The store keeps specifications, runs, run labels and data items in a single
+SQLite database so that provenance queries can be answered long after the
+workflow engine produced the run — the deployment scenario that motivates the
+paper (labels are computed once at registration time and then compared at
+query time without touching the graph).
+"""
+
+from __future__ import annotations
+
+__all__ = ["SCHEMA_STATEMENTS", "SCHEMA_VERSION"]
+
+SCHEMA_VERSION = 1
+
+SCHEMA_STATEMENTS: tuple[str, ...] = (
+    """
+    CREATE TABLE IF NOT EXISTS meta (
+        key   TEXT PRIMARY KEY,
+        value TEXT NOT NULL
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS specifications (
+        spec_id   INTEGER PRIMARY KEY AUTOINCREMENT,
+        name      TEXT NOT NULL UNIQUE,
+        document  TEXT NOT NULL,
+        n_modules INTEGER NOT NULL,
+        n_edges   INTEGER NOT NULL,
+        created_at TEXT NOT NULL DEFAULT (datetime('now'))
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS runs (
+        run_id    INTEGER PRIMARY KEY AUTOINCREMENT,
+        spec_id   INTEGER NOT NULL REFERENCES specifications(spec_id) ON DELETE CASCADE,
+        name      TEXT NOT NULL,
+        document  TEXT NOT NULL,
+        n_vertices INTEGER NOT NULL,
+        n_edges    INTEGER NOT NULL,
+        spec_scheme TEXT,
+        created_at TEXT NOT NULL DEFAULT (datetime('now')),
+        UNIQUE (spec_id, name)
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS run_labels (
+        run_id   INTEGER NOT NULL REFERENCES runs(run_id) ON DELETE CASCADE,
+        module   TEXT NOT NULL,
+        instance INTEGER NOT NULL,
+        q1       INTEGER NOT NULL,
+        q2       INTEGER NOT NULL,
+        q3       INTEGER NOT NULL,
+        skeleton TEXT NOT NULL,
+        PRIMARY KEY (run_id, module, instance)
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS data_items (
+        run_id   INTEGER NOT NULL REFERENCES runs(run_id) ON DELETE CASCADE,
+        item_id  TEXT NOT NULL,
+        producer_module   TEXT NOT NULL,
+        producer_instance INTEGER NOT NULL,
+        PRIMARY KEY (run_id, item_id)
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS data_consumers (
+        run_id   INTEGER NOT NULL REFERENCES runs(run_id) ON DELETE CASCADE,
+        item_id  TEXT NOT NULL,
+        consumer_module   TEXT NOT NULL,
+        consumer_instance INTEGER NOT NULL,
+        PRIMARY KEY (run_id, item_id, consumer_module, consumer_instance)
+    )
+    """,
+    """
+    CREATE INDEX IF NOT EXISTS idx_run_labels_run ON run_labels(run_id)
+    """,
+    """
+    CREATE INDEX IF NOT EXISTS idx_data_items_run ON data_items(run_id)
+    """,
+    """
+    CREATE INDEX IF NOT EXISTS idx_data_consumers_item ON data_consumers(run_id, item_id)
+    """,
+)

@@ -1,0 +1,332 @@
+"""The SQLite-backed provenance store.
+
+:class:`ProvenanceStore` persists specifications, labeled runs and data-item
+assignments, and answers reachability and dependency queries straight from
+the stored labels.  The storage layout mirrors the paper's amortization
+argument (Section 7): skeleton labels are stored once per specification
+(rebuilt on demand from the specification document), while every run vertex
+stores only its three context coordinates and the name of its origin module —
+``3 log nR + log nG`` bits of information per vertex.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.exceptions import StorageError
+from repro.labeling.registry import get_scheme
+from repro.provenance.data import DataFlow
+from repro.skeleton.labels import RunLabel
+from repro.skeleton.skl import SkeletonLabeledRun, skeleton_predicate
+from repro.storage.database import connect, initialize_schema
+from repro.workflow.run import RunVertex, WorkflowRun
+from repro.workflow.serialization import (
+    run_from_json,
+    run_to_json,
+    specification_from_json,
+    specification_to_json,
+)
+from repro.workflow.specification import WorkflowSpecification
+
+__all__ = ["ProvenanceStore"]
+
+PathLike = Union[str, Path]
+
+
+class ProvenanceStore:
+    """Persist and query workflow provenance in a SQLite database."""
+
+    def __init__(self, path: PathLike = ":memory:") -> None:
+        self.path = path
+        self._connection = connect(path)
+        initialize_schema(self._connection)
+        self._spec_cache: dict[int, WorkflowSpecification] = {}
+        self._index_cache: dict[tuple[int, str], object] = {}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close the underlying connection."""
+        self._connection.close()
+
+    def __enter__(self) -> "ProvenanceStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # specifications
+    # ------------------------------------------------------------------
+    def add_specification(self, spec: WorkflowSpecification) -> int:
+        """Store *spec* (idempotent by name) and return its identifier."""
+        existing = self._connection.execute(
+            "SELECT spec_id FROM specifications WHERE name = ?", (spec.name,)
+        ).fetchone()
+        if existing is not None:
+            return int(existing["spec_id"])
+        with self._connection:
+            cursor = self._connection.execute(
+                "INSERT INTO specifications (name, document, n_modules, n_edges) "
+                "VALUES (?, ?, ?, ?)",
+                (
+                    spec.name,
+                    specification_to_json(spec),
+                    spec.vertex_count,
+                    spec.edge_count,
+                ),
+            )
+        return int(cursor.lastrowid)
+
+    def get_specification(self, name: str) -> WorkflowSpecification:
+        """Load the specification called *name*."""
+        row = self._connection.execute(
+            "SELECT spec_id, document FROM specifications WHERE name = ?", (name,)
+        ).fetchone()
+        if row is None:
+            raise StorageError(f"no specification named {name!r} in the store")
+        return self._load_specification(int(row["spec_id"]), row["document"])
+
+    def list_specifications(self) -> list[dict]:
+        """Return summaries of every stored specification."""
+        rows = self._connection.execute(
+            "SELECT spec_id, name, n_modules, n_edges FROM specifications ORDER BY spec_id"
+        ).fetchall()
+        return [dict(row) for row in rows]
+
+    def _load_specification(self, spec_id: int, document: Optional[str] = None) -> WorkflowSpecification:
+        if spec_id in self._spec_cache:
+            return self._spec_cache[spec_id]
+        if document is None:
+            row = self._connection.execute(
+                "SELECT document FROM specifications WHERE spec_id = ?", (spec_id,)
+            ).fetchone()
+            if row is None:
+                raise StorageError(f"no specification with id {spec_id}")
+            document = row["document"]
+        spec = specification_from_json(document)
+        self._spec_cache[spec_id] = spec
+        return spec
+
+    # ------------------------------------------------------------------
+    # runs and labels
+    # ------------------------------------------------------------------
+    def add_labeled_run(self, labeled: SkeletonLabeledRun) -> int:
+        """Store a labeled run (its graph, labels and spec scheme) and return its id."""
+        run = labeled.run
+        spec_id = self.add_specification(run.specification)
+        scheme = labeled.spec_index.scheme_name
+        try:
+            with self._connection:
+                cursor = self._connection.execute(
+                    "INSERT INTO runs (spec_id, name, document, n_vertices, n_edges, spec_scheme) "
+                    "VALUES (?, ?, ?, ?, ?, ?)",
+                    (
+                        spec_id,
+                        run.name,
+                        run_to_json(run),
+                        run.vertex_count,
+                        run.edge_count,
+                        scheme,
+                    ),
+                )
+                run_id = int(cursor.lastrowid)
+                self._connection.executemany(
+                    "INSERT INTO run_labels (run_id, module, instance, q1, q2, q3, skeleton) "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?)",
+                    [
+                        (
+                            run_id,
+                            vertex.module,
+                            vertex.instance,
+                            label.q1,
+                            label.q2,
+                            label.q3,
+                            vertex.module,
+                        )
+                        for vertex, label in labeled.labels().items()
+                    ],
+                )
+        except sqlite3.IntegrityError as exc:
+            raise StorageError(
+                f"run {run.name!r} already stored for specification {run.specification.name!r}"
+            ) from exc
+        return run_id
+
+    def get_run(self, run_id: int) -> WorkflowRun:
+        """Load the run graph with identifier *run_id*."""
+        row = self._run_row(run_id)
+        spec = self._load_specification(int(row["spec_id"]))
+        return run_from_json(row["document"], spec)
+
+    def list_runs(self, specification: Optional[str] = None) -> list[dict]:
+        """Return summaries of stored runs, optionally filtered by specification name."""
+        if specification is None:
+            rows = self._connection.execute(
+                "SELECT run_id, name, n_vertices, n_edges, spec_scheme, spec_id "
+                "FROM runs ORDER BY run_id"
+            ).fetchall()
+        else:
+            rows = self._connection.execute(
+                "SELECT r.run_id, r.name, r.n_vertices, r.n_edges, r.spec_scheme, r.spec_id "
+                "FROM runs r JOIN specifications s ON r.spec_id = s.spec_id "
+                "WHERE s.name = ? ORDER BY r.run_id",
+                (specification,),
+            ).fetchall()
+        return [dict(row) for row in rows]
+
+    def _run_row(self, run_id: int) -> sqlite3.Row:
+        row = self._connection.execute(
+            "SELECT * FROM runs WHERE run_id = ?", (run_id,)
+        ).fetchone()
+        if row is None:
+            raise StorageError(f"no run with id {run_id}")
+        return row
+
+    def _spec_index(self, run_id: int):
+        row = self._run_row(run_id)
+        scheme = row["spec_scheme"] or "tcm"
+        key = (int(row["spec_id"]), scheme)
+        if key not in self._index_cache:
+            spec = self._load_specification(int(row["spec_id"]))
+            self._index_cache[key] = get_scheme(scheme).build(spec.graph)
+        return self._index_cache[key]
+
+    def label_of(self, run_id: int, module: str, instance: int) -> RunLabel:
+        """Return the stored run label of one module execution."""
+        row = self._connection.execute(
+            "SELECT q1, q2, q3, skeleton FROM run_labels "
+            "WHERE run_id = ? AND module = ? AND instance = ?",
+            (run_id, module, instance),
+        ).fetchone()
+        if row is None:
+            raise StorageError(
+                f"run {run_id} has no label for execution {module}{instance}"
+            )
+        index = self._spec_index(run_id)
+        return RunLabel(
+            q1=int(row["q1"]),
+            q2=int(row["q2"]),
+            q3=int(row["q3"]),
+            skeleton=index.label_of(row["skeleton"]),
+        )
+
+    def reaches(
+        self,
+        run_id: int,
+        source: Union[RunVertex, tuple[str, int]],
+        target: Union[RunVertex, tuple[str, int]],
+    ) -> bool:
+        """Decide reachability between two stored module executions.
+
+        *source* and *target* may be :class:`RunVertex` instances or plain
+        ``(module, instance)`` tuples.
+        """
+        source_module, source_instance = _coerce_vertex(source)
+        target_module, target_instance = _coerce_vertex(target)
+        source_label = self.label_of(run_id, source_module, source_instance)
+        target_label = self.label_of(run_id, target_module, target_instance)
+        return skeleton_predicate(source_label, target_label, self._spec_index(run_id))
+
+    # ------------------------------------------------------------------
+    # data provenance
+    # ------------------------------------------------------------------
+    def add_dataflow(self, run_id: int, dataflow: DataFlow) -> int:
+        """Store the data items of *dataflow* for run *run_id*; returns item count."""
+        self._run_row(run_id)
+        items = dataflow.items()
+        with self._connection:
+            self._connection.executemany(
+                "INSERT OR REPLACE INTO data_items "
+                "(run_id, item_id, producer_module, producer_instance) VALUES (?, ?, ?, ?)",
+                [
+                    (
+                        run_id,
+                        item.item_id,
+                        dataflow.output_of(item).module,
+                        dataflow.output_of(item).instance,
+                    )
+                    for item in items
+                ],
+            )
+            consumer_rows = []
+            for item in items:
+                for consumer in sorted(dataflow.inputs_of(item)):
+                    consumer_rows.append(
+                        (run_id, item.item_id, consumer.module, consumer.instance)
+                    )
+            self._connection.executemany(
+                "INSERT OR REPLACE INTO data_consumers "
+                "(run_id, item_id, consumer_module, consumer_instance) VALUES (?, ?, ?, ?)",
+                consumer_rows,
+            )
+        return len(items)
+
+    def _producer_of(self, run_id: int, item_id: str) -> tuple[str, int]:
+        row = self._connection.execute(
+            "SELECT producer_module, producer_instance FROM data_items "
+            "WHERE run_id = ? AND item_id = ?",
+            (run_id, item_id),
+        ).fetchone()
+        if row is None:
+            raise StorageError(f"run {run_id} has no data item {item_id!r}")
+        return (row["producer_module"], int(row["producer_instance"]))
+
+    def _consumers_of(self, run_id: int, item_id: str) -> list[tuple[str, int]]:
+        rows = self._connection.execute(
+            "SELECT consumer_module, consumer_instance FROM data_consumers "
+            "WHERE run_id = ? AND item_id = ?",
+            (run_id, item_id),
+        ).fetchall()
+        return [(row["consumer_module"], int(row["consumer_instance"])) for row in rows]
+
+    def data_depends_on_data(self, run_id: int, item_id: str, other_id: str) -> bool:
+        """Does stored data item *item_id* depend on *other_id*?"""
+        producer = self._producer_of(run_id, item_id)
+        consumers = self._consumers_of(run_id, other_id)
+        return any(self.reaches(run_id, consumer, producer) for consumer in consumers)
+
+    def data_depends_on_module(
+        self, run_id: int, item_id: str, module: tuple[str, int]
+    ) -> bool:
+        """Does stored data item *item_id* depend on module execution *module*?"""
+        producer = self._producer_of(run_id, item_id)
+        return self.reaches(run_id, module, producer)
+
+    def list_data_items(self, run_id: int) -> list[str]:
+        """Return the identifiers of every data item stored for *run_id*."""
+        rows = self._connection.execute(
+            "SELECT item_id FROM data_items WHERE run_id = ? ORDER BY item_id", (run_id,)
+        ).fetchall()
+        return [row["item_id"] for row in rows]
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def delete_run(self, run_id: int) -> None:
+        """Remove a run and all dependent rows."""
+        with self._connection:
+            deleted = self._connection.execute(
+                "DELETE FROM runs WHERE run_id = ?", (run_id,)
+            ).rowcount
+        if not deleted:
+            raise StorageError(f"no run with id {run_id}")
+
+    def statistics(self) -> dict:
+        """Return row counts per table (for diagnostics and tests)."""
+        tables = ("specifications", "runs", "run_labels", "data_items", "data_consumers")
+        counts = {}
+        for table in tables:
+            row = self._connection.execute(f"SELECT COUNT(*) AS c FROM {table}").fetchone()
+            counts[table] = int(row["c"])
+        return counts
+
+
+def _coerce_vertex(value: Union[RunVertex, tuple[str, int]]) -> tuple[str, int]:
+    """Accept both RunVertex and plain (module, instance) tuples."""
+    if isinstance(value, RunVertex):
+        return (value.module, value.instance)
+    return (str(value[0]), int(value[1]))

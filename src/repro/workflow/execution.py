@@ -1,0 +1,404 @@
+"""Run generation: simulating fork and loop executions (Definition 6).
+
+This module turns a :class:`~repro.workflow.specification.WorkflowSpecification`
+into concrete :class:`~repro.workflow.run.WorkflowRun` objects.  Generation is
+split into two phases:
+
+1. *Plan building* — decide how many copies every fork and loop gets, producing
+   an :class:`~repro.workflow.plan.ExecutionPlan`.  Copy counts come either
+   from an :class:`ExecutionProfile` (fixed / random counts per region) or from
+   :func:`grow_plan_to_size`, which keeps adding copies until the materialized
+   run would reach a target number of vertices — the knob the paper's
+   experiments sweep (runs from 0.1K to 102.4K vertices).
+2. *Materialization* — expand the plan into the run graph.  The expansion
+   follows Lemma 4.1: a ``F-`` node is the parallel composition of its copies,
+   an ``L-`` node the serial composition, and a ``+`` node is its
+   specification subgraph with every child region replaced by the child's
+   expansion.
+
+Because generation follows the plan, the ground-truth plan and the
+ground-truth context function come for free; they are returned alongside the
+run so that tests can validate the independent ``ConstructPlan`` algorithm of
+Section 5 and so the Figure 13 "run given with its execution plan and
+context" setting can skip reconstruction.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.exceptions import DatasetError, SpecificationError
+from repro.graphs.digraph import DiGraph
+from repro.workflow.hierarchy import ROOT_NAME, ForkLoopHierarchy, HierarchyNode
+from repro.workflow.plan import ExecutionPlan, PlanNodeKind
+from repro.workflow.run import RunVertex, WorkflowRun
+from repro.workflow.specification import WorkflowSpecification
+
+__all__ = [
+    "ExecutionProfile",
+    "ConstantProfile",
+    "RangeProfile",
+    "PerRegionProfile",
+    "GeneratedRun",
+    "owned_vertices",
+    "own_edges",
+    "minimal_expansion_sizes",
+    "build_plan",
+    "grow_plan_to_size",
+    "materialize_plan",
+    "generate_run",
+    "generate_run_with_size",
+]
+
+
+# ----------------------------------------------------------------------
+# execution profiles: how many copies does each region execution get?
+# ----------------------------------------------------------------------
+class ExecutionProfile:
+    """Decides how many copies a region gets each time it is executed."""
+
+    def copies(self, region_name: str, rng: random.Random) -> int:
+        """Return the number of copies (>= 1) for one execution of the region."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ConstantProfile(ExecutionProfile):
+    """Every region execution produces exactly *count* copies."""
+
+    count: int = 1
+
+    def copies(self, region_name: str, rng: random.Random) -> int:
+        if self.count < 1:
+            raise DatasetError("copy counts must be at least 1")
+        return self.count
+
+
+@dataclass(frozen=True)
+class RangeProfile(ExecutionProfile):
+    """Each region execution draws a copy count uniformly from [low, high]."""
+
+    low: int = 1
+    high: int = 3
+
+    def copies(self, region_name: str, rng: random.Random) -> int:
+        if self.low < 1 or self.high < self.low:
+            raise DatasetError(
+                f"invalid copy range [{self.low}, {self.high}]; need 1 <= low <= high"
+            )
+        return rng.randint(self.low, self.high)
+
+
+@dataclass(frozen=True)
+class PerRegionProfile(ExecutionProfile):
+    """Fixed copy counts per region name, with a default for the rest."""
+
+    counts: dict
+    default: int = 1
+
+    def copies(self, region_name: str, rng: random.Random) -> int:
+        count = self.counts.get(region_name, self.default)
+        if count < 1:
+            raise DatasetError(
+                f"copy count for region {region_name!r} must be >= 1, got {count}"
+            )
+        return count
+
+
+# ----------------------------------------------------------------------
+# structural helpers shared by plan building and materialization
+# ----------------------------------------------------------------------
+def owned_vertices(spec: WorkflowSpecification) -> dict[str, frozenset]:
+    """Map each hierarchy node to the specification vertices it *owns*.
+
+    A node owns the vertices of its dominating set that are not dominated by
+    any of its child regions; the root owns every vertex not dominated by a
+    top-level region.  Owned vertices are exactly the ones whose run copies
+    receive this node's ``+`` copy as their context (Definition 9).
+    """
+    hierarchy = spec.hierarchy
+    owned: dict[str, frozenset] = {}
+    for node in hierarchy.iter_preorder():
+        if node.is_root:
+            base = set(spec.graph.vertices())
+        else:
+            base = set(node.region.dom_set)
+        for child in hierarchy.children(node.name):
+            base -= child.region.dom_set
+        owned[node.name] = frozenset(base)
+    return owned
+
+
+def own_edges(spec: WorkflowSpecification) -> dict[str, frozenset]:
+    """Map each hierarchy node to the specification edges it owns.
+
+    A node owns the edges of its region (all edges for the root) that do not
+    belong to any child region.  Materialization adds exactly these edges for
+    every ``+`` copy of the node.
+    """
+    hierarchy = spec.hierarchy
+    edges: dict[str, frozenset] = {}
+    for node in hierarchy.iter_preorder():
+        if node.is_root:
+            base = set(spec.graph.iter_edges())
+        else:
+            base = set(node.region.edges)
+        for child in hierarchy.children(node.name):
+            base -= child.region.edges
+        edges[node.name] = frozenset(base)
+    return edges
+
+
+def minimal_expansion_sizes(spec: WorkflowSpecification) -> dict[str, int]:
+    """Vertices added by one extra copy of each region with all descendants run once."""
+    hierarchy = spec.hierarchy
+    owned = owned_vertices(spec)
+    sizes: dict[str, int] = {}
+    for node in hierarchy.iter_postorder():
+        total = len(owned[node.name])
+        for child in hierarchy.children(node.name):
+            total += sizes[child.name]
+        sizes[node.name] = total
+    return sizes
+
+
+# ----------------------------------------------------------------------
+# plan building
+# ----------------------------------------------------------------------
+def build_plan(
+    spec: WorkflowSpecification,
+    profile: ExecutionProfile | None = None,
+    rng: random.Random | None = None,
+) -> ExecutionPlan:
+    """Build an execution plan by asking *profile* for copy counts.
+
+    Every region that appears inside a ``+`` copy of its parent is executed
+    exactly once (one ``-`` group) with ``profile.copies()`` copies, matching
+    Definition 6 where every specification subgraph occurs in every run.
+    """
+    profile = profile or ConstantProfile(1)
+    rng = rng or random.Random(0)
+    hierarchy = spec.hierarchy
+
+    plan = ExecutionPlan()
+    root_id = plan.add_root()
+
+    def expand(hnode: HierarchyNode, plus_id: int) -> None:
+        for child in hierarchy.children(hnode.name):
+            group_kind = (
+                PlanNodeKind.FORK_GROUP if child.is_fork else PlanNodeKind.LOOP_GROUP
+            )
+            copy_kind = (
+                PlanNodeKind.FORK_COPY if child.is_fork else PlanNodeKind.LOOP_COPY
+            )
+            group_id = plan.add_node(group_kind, child.name, parent=plus_id)
+            count = profile.copies(child.name, rng)
+            if count < 1:
+                raise DatasetError(
+                    f"profile returned {count} copies for region {child.name!r}"
+                )
+            for _ in range(count):
+                copy_id = plan.add_node(copy_kind, child.name, parent=group_id)
+                expand(child, copy_id)
+
+    expand(hierarchy.root, root_id)
+    return plan
+
+
+def grow_plan_to_size(
+    spec: WorkflowSpecification,
+    target_vertices: int,
+    rng: random.Random | None = None,
+) -> ExecutionPlan:
+    """Grow a plan until the materialized run reaches *target_vertices*.
+
+    Starting from the minimal plan (every region executed once, so the run
+    equals the specification), the function repeatedly picks a random ``-``
+    group and adds one more copy of its region (with all nested regions
+    executed once inside the new copy) until the predicted run size reaches
+    the target.  The final size is therefore within one minimal region
+    expansion of the target.
+    """
+    if target_vertices < spec.vertex_count:
+        raise DatasetError(
+            f"target size {target_vertices} is smaller than the specification "
+            f"({spec.vertex_count} vertices); runs can only grow"
+        )
+    rng = rng or random.Random(0)
+    hierarchy = spec.hierarchy
+    expansion_sizes = minimal_expansion_sizes(spec)
+
+    plan = ExecutionPlan()
+    root_id = plan.add_root()
+    groups: list[tuple[int, str]] = []  # (group node id, region name)
+
+    def add_minimal_copy(region_name: str, group_id: int) -> None:
+        child = hierarchy.node(region_name)
+        copy_kind = (
+            PlanNodeKind.FORK_COPY if child.is_fork else PlanNodeKind.LOOP_COPY
+        )
+        copy_id = plan.add_node(copy_kind, region_name, parent=group_id)
+        expand_minimal(child, copy_id)
+
+    def expand_minimal(hnode: HierarchyNode, plus_id: int) -> None:
+        for child in hierarchy.children(hnode.name):
+            group_kind = (
+                PlanNodeKind.FORK_GROUP if child.is_fork else PlanNodeKind.LOOP_GROUP
+            )
+            group_id = plan.add_node(group_kind, child.name, parent=plus_id)
+            groups.append((group_id, child.name))
+            add_minimal_copy(child.name, group_id)
+
+    expand_minimal(hierarchy.root, root_id)
+    size = spec.vertex_count
+
+    if not groups and target_vertices > size:
+        raise DatasetError(
+            "specification has no forks or loops; runs cannot grow beyond the "
+            "specification size"
+        )
+
+    while size < target_vertices:
+        group_id, region_name = groups[rng.randrange(len(groups))]
+        add_minimal_copy(region_name, group_id)
+        size += expansion_sizes[region_name]
+    return plan
+
+
+# ----------------------------------------------------------------------
+# materialization
+# ----------------------------------------------------------------------
+@dataclass
+class GeneratedRun:
+    """A generated run together with its ground-truth plan and context."""
+
+    run: WorkflowRun
+    plan: ExecutionPlan
+    context: dict[RunVertex, int]
+
+
+def materialize_plan(
+    spec: WorkflowSpecification,
+    plan: ExecutionPlan,
+    *,
+    name: str = "run",
+    validate: bool = False,
+) -> GeneratedRun:
+    """Expand *plan* into a concrete run of *spec* (Lemma 4.1 semantics).
+
+    Returns the run, the plan itself and the ground-truth context assignment
+    from run vertices to plan ``+`` nodes.
+    """
+    hierarchy = spec.hierarchy
+    owned = owned_vertices(spec)
+    edges_owned = own_edges(spec)
+    regions = spec.regions
+
+    graph = DiGraph()
+    context: dict[RunVertex, int] = {}
+    counters: dict[str, int] = {}
+
+    def fresh(module: str) -> RunVertex:
+        counters[module] = counters.get(module, 0) + 1
+        vertex = RunVertex(module, counters[module])
+        graph.add_vertex(vertex)
+        return vertex
+
+    def materialize_plus(plus_id: int, boundary: dict) -> dict:
+        """Expand one ``+`` node; returns the map from spec vertices to run vertices."""
+        node = plan.node(plus_id)
+        hname = ROOT_NAME if node.region is None else node.region
+        local: dict = dict(boundary)
+
+        for spec_vertex in owned[hname]:
+            run_vertex = fresh(spec_vertex)
+            local[spec_vertex] = run_vertex
+            context[run_vertex] = plus_id
+
+        group_children = plan.children(plus_id)
+        loop_groups = [g for g in group_children if g.kind is PlanNodeKind.LOOP_GROUP]
+        fork_groups = [g for g in group_children if g.kind is PlanNodeKind.FORK_GROUP]
+
+        # Loop groups first: their terminals may serve as boundary vertices of
+        # sibling forks and as endpoints of the parent's own edges.
+        for group in loop_groups:
+            region = regions[group.region]
+            copies = plan.children(group.node_id)
+            if not copies:
+                raise SpecificationError(
+                    f"plan group {group.node_id} for loop {group.region!r} is empty"
+                )
+            copy_maps = [materialize_plus(copy.node_id, {}) for copy in copies]
+            for previous, current in zip(copy_maps, copy_maps[1:]):
+                graph.add_edge(previous[region.sink], current[region.source])
+            local[region.source] = copy_maps[0][region.source]
+            local[region.sink] = copy_maps[-1][region.sink]
+
+        for group in fork_groups:
+            region = regions[group.region]
+            copies = plan.children(group.node_id)
+            if not copies:
+                raise SpecificationError(
+                    f"plan group {group.node_id} for fork {group.region!r} is empty"
+                )
+            try:
+                fork_boundary = {
+                    region.source: local[region.source],
+                    region.sink: local[region.sink],
+                }
+            except KeyError as exc:
+                raise SpecificationError(
+                    f"fork {group.region!r} boundary vertex {exc.args[0]!r} is not "
+                    "available while materializing its parent copy"
+                ) from None
+            for copy in copies:
+                materialize_plus(copy.node_id, fork_boundary)
+
+        for tail, head in edges_owned[hname]:
+            try:
+                graph.add_edge(local[tail], local[head])
+            except KeyError as exc:
+                raise SpecificationError(
+                    f"edge ({tail!r}, {head!r}) of region {hname!r} references a "
+                    f"vertex not materialized yet: {exc.args[0]!r}"
+                ) from None
+        return local
+
+    materialize_plus(plan.root_id, {})
+    run = WorkflowRun(spec, graph, name=name, validate=validate)
+    return GeneratedRun(run=run, plan=plan, context=context)
+
+
+# ----------------------------------------------------------------------
+# one-call convenience wrappers
+# ----------------------------------------------------------------------
+def generate_run(
+    spec: WorkflowSpecification,
+    profile: ExecutionProfile | None = None,
+    *,
+    rng: random.Random | None = None,
+    seed: Optional[int] = None,
+    name: str = "run",
+) -> GeneratedRun:
+    """Generate a run by drawing copy counts from *profile*."""
+    if rng is None:
+        rng = random.Random(seed if seed is not None else 0)
+    plan = build_plan(spec, profile, rng)
+    return materialize_plan(spec, plan, name=name)
+
+
+def generate_run_with_size(
+    spec: WorkflowSpecification,
+    target_vertices: int,
+    *,
+    rng: random.Random | None = None,
+    seed: Optional[int] = None,
+    name: str = "run",
+) -> GeneratedRun:
+    """Generate a run whose vertex count is approximately *target_vertices*."""
+    if rng is None:
+        rng = random.Random(seed if seed is not None else 0)
+    plan = grow_plan_to_size(spec, target_vertices, rng)
+    return materialize_plan(spec, plan, name=name)

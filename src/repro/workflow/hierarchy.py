@@ -1,0 +1,233 @@
+"""The fork and loop hierarchy ``TG`` (Section 4.1, Figure 6).
+
+All fork and loop subgraphs of a specification are well nested, so they can
+be arranged in an unordered tree: the root corresponds to the whole
+specification graph ``G`` and every other node to one fork or loop region.
+A region's parent is the smallest region that properly contains it (by the
+edge-set containment of Definition 2), or the root if no region does.
+
+The hierarchy drives both the run generator (regions are expanded copy by
+copy following the tree) and ``ConstructPlan`` (regions are recovered from a
+run bottom-up following the tree).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from repro.exceptions import SpecificationError
+from repro.workflow.subgraphs import ResolvedRegion
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checking only
+    from repro.workflow.specification import WorkflowSpecification
+
+__all__ = ["HierarchyNode", "ForkLoopHierarchy"]
+
+ROOT_NAME = "__root__"
+
+
+@dataclass
+class HierarchyNode:
+    """One node of ``TG``: the root or a single fork/loop region.
+
+    Attributes
+    ----------
+    name:
+        Region name, or ``"__root__"`` for the root.
+    region:
+        The resolved region, or ``None`` for the root.
+    parent:
+        Name of the parent node (``None`` for the root).
+    children:
+        Names of child regions, in insertion order.
+    depth:
+        Distance from the root plus one (the root has depth 1, matching the
+        ``[TG]`` convention of Table 1).
+    """
+
+    name: str
+    region: Optional[ResolvedRegion]
+    parent: Optional[str]
+    children: list[str] = field(default_factory=list)
+    depth: int = 1
+
+    @property
+    def is_root(self) -> bool:
+        """``True`` for the node representing the whole specification."""
+        return self.region is None
+
+    @property
+    def is_fork(self) -> bool:
+        """``True`` if the node is a fork region."""
+        return self.region is not None and self.region.is_fork
+
+    @property
+    def is_loop(self) -> bool:
+        """``True`` if the node is a loop region."""
+        return self.region is not None and self.region.is_loop
+
+
+class ForkLoopHierarchy:
+    """The unordered tree ``TG`` over a specification's fork/loop regions."""
+
+    def __init__(self, nodes: dict[str, HierarchyNode], root: str = ROOT_NAME) -> None:
+        self._nodes = nodes
+        self._root = root
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_specification(cls, spec: "WorkflowSpecification") -> "ForkLoopHierarchy":
+        """Build ``TG`` from the validated regions of *spec*.
+
+        The parent of a region is the region with the smallest edge set that
+        strictly contains it; regions contained in no other region become
+        children of the root.
+        """
+        regions = list(spec.regions.values())
+        nodes: dict[str, HierarchyNode] = {
+            ROOT_NAME: HierarchyNode(name=ROOT_NAME, region=None, parent=None, depth=1)
+        }
+
+        def strictly_contains(outer: ResolvedRegion, inner: ResolvedRegion) -> bool:
+            contained = inner.edges <= outer.edges and inner.dom_set <= outer.dom_set
+            strict = inner.edges < outer.edges or inner.dom_set < outer.dom_set
+            return contained and strict
+
+        for region in regions:
+            candidates = [
+                other
+                for other in regions
+                if other.name != region.name and strictly_contains(other, region)
+            ]
+            if candidates:
+                parent = min(
+                    candidates, key=lambda other: (len(other.edges), len(other.dom_set))
+                )
+                parent_name = parent.name
+            else:
+                parent_name = ROOT_NAME
+            nodes[region.name] = HierarchyNode(
+                name=region.name, region=region, parent=parent_name
+            )
+
+        # Wire children and compute depths by walking down from the root.
+        for node in nodes.values():
+            if node.parent is not None:
+                nodes[node.parent].children.append(node.name)
+        hierarchy = cls(nodes)
+        for node in hierarchy.iter_preorder():
+            if node.parent is not None:
+                node.depth = nodes[node.parent].depth + 1
+        return hierarchy
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> HierarchyNode:
+        """The root node, standing for the whole specification graph."""
+        return self._nodes[self._root]
+
+    def node(self, name: str) -> HierarchyNode:
+        """Return the node called *name* (``"__root__"`` for the root)."""
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise SpecificationError(f"unknown hierarchy node: {name!r}") from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._nodes
+
+    def __len__(self) -> int:
+        """``|TG|``: number of regions plus one (the root)."""
+        return len(self._nodes)
+
+    @property
+    def size(self) -> int:
+        """``|TG|`` as reported in Table 1."""
+        return len(self._nodes)
+
+    @property
+    def depth(self) -> int:
+        """``[TG]``: the maximum node depth (root has depth 1)."""
+        return max(node.depth for node in self._nodes.values())
+
+    def children(self, name: str) -> list[HierarchyNode]:
+        """Return the child nodes of *name*."""
+        return [self._nodes[child] for child in self.node(name).children]
+
+    def parent(self, name: str) -> Optional[HierarchyNode]:
+        """Return the parent node of *name*, or ``None`` for the root."""
+        parent_name = self.node(name).parent
+        return None if parent_name is None else self._nodes[parent_name]
+
+    def region_nodes(self) -> list[HierarchyNode]:
+        """All non-root nodes (one per fork/loop region)."""
+        return [node for node in self._nodes.values() if not node.is_root]
+
+    def levels(self) -> dict[int, list[HierarchyNode]]:
+        """Group nodes by depth: ``{1: [root], 2: [...], ...}``."""
+        grouped: dict[int, list[HierarchyNode]] = {}
+        for node in self._nodes.values():
+            grouped.setdefault(node.depth, []).append(node)
+        return grouped
+
+    # ------------------------------------------------------------------
+    # traversals
+    # ------------------------------------------------------------------
+    def iter_preorder(self) -> Iterator[HierarchyNode]:
+        """Yield nodes root-first (parents before children)."""
+        stack = [self._root]
+        while stack:
+            name = stack.pop()
+            node = self._nodes[name]
+            yield node
+            stack.extend(reversed(node.children))
+
+    def iter_postorder(self) -> Iterator[HierarchyNode]:
+        """Yield nodes children-first (every region before its parent)."""
+        order: list[HierarchyNode] = []
+
+        def visit(name: str) -> None:
+            node = self._nodes[name]
+            for child in node.children:
+                visit(child)
+            order.append(node)
+
+        visit(self._root)
+        return iter(order)
+
+    def ancestors(self, name: str) -> list[HierarchyNode]:
+        """Return the chain of ancestors of *name*, nearest first."""
+        chain: list[HierarchyNode] = []
+        current = self.parent(name)
+        while current is not None:
+            chain.append(current)
+            current = self.parent(current.name)
+        return chain
+
+    def descendants(self, name: str) -> list[HierarchyNode]:
+        """Return every node strictly below *name*."""
+        result: list[HierarchyNode] = []
+        stack = list(self.node(name).children)
+        while stack:
+            child = stack.pop()
+            node = self._nodes[child]
+            result.append(node)
+            stack.extend(node.children)
+        return result
+
+    def to_dict(self) -> dict:
+        """Return a JSON-friendly parent/children description of ``TG``."""
+        return {
+            name: {
+                "parent": node.parent,
+                "children": list(node.children),
+                "depth": node.depth,
+                "kind": None if node.is_root else node.region.kind.value,
+            }
+            for name, node in self._nodes.items()
+        }

@@ -1,0 +1,339 @@
+"""Execution plans ``TR`` (Section 4.1, Figure 7).
+
+An execution plan is a semi-ordered tree describing how many times each fork
+and loop of a specification was executed in a run, and how those executions
+nest.  Node kinds follow the paper's notation:
+
+* the root ``G+`` node corresponds to the whole run;
+* an ``F+``/``L+`` node corresponds to a *single* fork/loop copy;
+* an ``F-``/``L-`` node groups *all* copies created by one execution of the
+  fork (parallel composition) or loop (serial composition).
+
+Children of an ``L-`` node are ordered (serial order); the children of every
+other node are unordered, but the plan stores them in a fixed list so the
+three preorder traversals of Algorithm 1 can rely on a stable base order.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional
+
+from repro.exceptions import PlanConstructionError
+
+__all__ = ["PlanNodeKind", "PlanNode", "ExecutionPlan"]
+
+
+class PlanNodeKind(enum.Enum):
+    """Node kinds of the execution plan tree."""
+
+    ROOT = "G+"
+    FORK_GROUP = "F-"
+    FORK_COPY = "F+"
+    LOOP_GROUP = "L-"
+    LOOP_COPY = "L+"
+
+    @property
+    def is_plus(self) -> bool:
+        """``True`` for ``G+``, ``F+`` and ``L+`` nodes."""
+        return self in (PlanNodeKind.ROOT, PlanNodeKind.FORK_COPY, PlanNodeKind.LOOP_COPY)
+
+    @property
+    def is_minus(self) -> bool:
+        """``True`` for ``F-`` and ``L-`` nodes."""
+        return self in (PlanNodeKind.FORK_GROUP, PlanNodeKind.LOOP_GROUP)
+
+
+@dataclass
+class PlanNode:
+    """A single node of the execution plan tree.
+
+    Attributes
+    ----------
+    node_id:
+        Integer identifier, unique within the plan.
+    kind:
+        One of the five :class:`PlanNodeKind` values.
+    region:
+        Name of the fork/loop region this node belongs to (``None`` for the
+        root).
+    parent:
+        Identifier of the parent node (``None`` for the root).
+    children:
+        Identifiers of child nodes; the list order is the serial order for
+        ``L-`` nodes and an arbitrary but fixed order otherwise.
+    """
+
+    node_id: int
+    kind: PlanNodeKind
+    region: Optional[str]
+    parent: Optional[int]
+    children: list[int] = field(default_factory=list)
+
+    @property
+    def is_plus(self) -> bool:
+        """``True`` for ``+`` nodes (single copies and the root)."""
+        return self.kind.is_plus
+
+    @property
+    def is_minus(self) -> bool:
+        """``True`` for ``-`` nodes (groups of copies)."""
+        return self.kind.is_minus
+
+
+class ExecutionPlan:
+    """The execution plan tree ``TR`` of a workflow run."""
+
+    def __init__(self) -> None:
+        self._nodes: dict[int, PlanNode] = {}
+        self._root: Optional[int] = None
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_root(self) -> int:
+        """Create the ``G+`` root node and return its identifier."""
+        if self._root is not None:
+            raise PlanConstructionError("execution plan already has a root")
+        root_id = self._allocate(PlanNodeKind.ROOT, region=None, parent=None)
+        self._root = root_id
+        return root_id
+
+    def add_node(
+        self,
+        kind: PlanNodeKind,
+        region: str,
+        parent: Optional[int] = None,
+    ) -> int:
+        """Create a non-root node; *parent* may be attached later via :meth:`attach`."""
+        if kind is PlanNodeKind.ROOT:
+            raise PlanConstructionError("use add_root() to create the root node")
+        node_id = self._allocate(kind, region=region, parent=parent)
+        if parent is not None:
+            self._nodes[parent].children.append(node_id)
+        return node_id
+
+    def attach(self, child: int, parent: int) -> None:
+        """Attach an orphan node *child* under *parent*."""
+        child_node = self.node(child)
+        if child_node.parent is not None:
+            raise PlanConstructionError(f"plan node {child} already has a parent")
+        child_node.parent = parent
+        self.node(parent).children.append(child)
+
+    def _allocate(
+        self, kind: PlanNodeKind, region: Optional[str], parent: Optional[int]
+    ) -> int:
+        node_id = self._next_id
+        self._next_id += 1
+        self._nodes[node_id] = PlanNode(
+            node_id=node_id, kind=kind, region=region, parent=parent
+        )
+        return node_id
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def root_id(self) -> int:
+        """Identifier of the ``G+`` root node."""
+        if self._root is None:
+            raise PlanConstructionError("execution plan has no root")
+        return self._root
+
+    @property
+    def root(self) -> PlanNode:
+        """The ``G+`` root node."""
+        return self._nodes[self.root_id]
+
+    def node(self, node_id: int) -> PlanNode:
+        """Return the node with identifier *node_id*."""
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise PlanConstructionError(f"unknown plan node: {node_id}") from None
+
+    def __len__(self) -> int:
+        """``|V(TR)|`` — total number of plan nodes."""
+        return len(self._nodes)
+
+    def __contains__(self, node_id: object) -> bool:
+        return node_id in self._nodes
+
+    def nodes(self) -> list[PlanNode]:
+        """All nodes in creation order."""
+        return list(self._nodes.values())
+
+    def children(self, node_id: int) -> list[PlanNode]:
+        """Return child nodes of *node_id* in stored order."""
+        return [self._nodes[c] for c in self.node(node_id).children]
+
+    def parent(self, node_id: int) -> Optional[PlanNode]:
+        """Return the parent node, or ``None`` for the root."""
+        parent_id = self.node(node_id).parent
+        return None if parent_id is None else self._nodes[parent_id]
+
+    def plus_nodes(self) -> list[PlanNode]:
+        """All ``+`` nodes (root and single copies)."""
+        return [n for n in self._nodes.values() if n.is_plus]
+
+    def minus_nodes(self) -> list[PlanNode]:
+        """All ``-`` nodes (copy groups)."""
+        return [n for n in self._nodes.values() if n.is_minus]
+
+    def depth(self) -> int:
+        """Height of the plan tree (root counts as level 1)."""
+        depths = {self.root_id: 1}
+        deepest = 1
+        for node in self.iter_preorder():
+            if node.node_id == self.root_id:
+                continue
+            depths[node.node_id] = depths[node.parent] + 1
+            deepest = max(deepest, depths[node.node_id])
+        return deepest
+
+    def copies_per_region(self) -> dict[str, int]:
+        """Return how many ``+`` copies each region has in this plan."""
+        counts: dict[str, int] = {}
+        for node in self._nodes.values():
+            if node.is_plus and node.region is not None:
+                counts[node.region] = counts.get(node.region, 0) + 1
+        return counts
+
+    def groups_per_region(self) -> dict[str, int]:
+        """Return how many ``-`` groups each region has in this plan."""
+        counts: dict[str, int] = {}
+        for node in self._nodes.values():
+            if node.is_minus and node.region is not None:
+                counts[node.region] = counts.get(node.region, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # traversal
+    # ------------------------------------------------------------------
+    def iter_preorder(
+        self,
+        child_order: Optional[Callable[[PlanNode], list[int]]] = None,
+    ) -> Iterator[PlanNode]:
+        """Yield nodes in preorder (parents before children).
+
+        *child_order*, when given, maps a node to the order in which its
+        children should be visited; this is the hook used by the three
+        traversals of Algorithm 1.
+        """
+        if self._root is None:
+            return
+        stack = [self._root]
+        while stack:
+            node = self._nodes[stack.pop()]
+            yield node
+            ordered_children = (
+                node.children if child_order is None else child_order(node)
+            )
+            stack.extend(reversed(ordered_children))
+
+    def iter_postorder(self) -> Iterator[PlanNode]:
+        """Yield nodes in postorder (children before parents)."""
+        if self._root is None:
+            return
+        order: list[PlanNode] = []
+        stack: list[tuple[int, bool]] = [(self._root, False)]
+        while stack:
+            node_id, expanded = stack.pop()
+            node = self._nodes[node_id]
+            if expanded:
+                order.append(node)
+                continue
+            stack.append((node_id, True))
+            for child in reversed(node.children):
+                stack.append((child, False))
+        yield from order
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check structural invariants of the plan tree.
+
+        ``+`` nodes may only have ``-`` children; ``-`` nodes may only have
+        ``+`` children of the same region, and must have at least one child;
+        every non-root node must be attached; node kinds must match their
+        region role (groups and copies of the same region agree).
+        """
+        if self._root is None:
+            raise PlanConstructionError("execution plan has no root")
+        seen_from_root = set()
+        for node in self.iter_preorder():
+            seen_from_root.add(node.node_id)
+        if seen_from_root != set(self._nodes):
+            orphans = sorted(set(self._nodes) - seen_from_root)
+            raise PlanConstructionError(f"plan has unattached nodes: {orphans}")
+
+        for node in self._nodes.values():
+            children = self.children(node.node_id)
+            if node.is_plus:
+                bad = [c.node_id for c in children if not c.is_minus]
+                if bad:
+                    raise PlanConstructionError(
+                        f"+ node {node.node_id} has non-group children: {bad}"
+                    )
+            else:
+                if not children:
+                    raise PlanConstructionError(
+                        f"- node {node.node_id} ({node.region}) has no copies"
+                    )
+                bad = [
+                    c.node_id
+                    for c in children
+                    if not c.is_plus or c.region != node.region
+                ]
+                if bad:
+                    raise PlanConstructionError(
+                        f"- node {node.node_id} ({node.region}) has invalid children: {bad}"
+                    )
+                expected_child_kind = (
+                    PlanNodeKind.FORK_COPY
+                    if node.kind is PlanNodeKind.FORK_GROUP
+                    else PlanNodeKind.LOOP_COPY
+                )
+                if any(c.kind is not expected_child_kind for c in children):
+                    raise PlanConstructionError(
+                        f"- node {node.node_id} mixes fork and loop copies"
+                    )
+
+    # ------------------------------------------------------------------
+    # structural summaries (used to compare plans from different sources)
+    # ------------------------------------------------------------------
+    def signature(self) -> tuple:
+        """Return an order-insensitive structural fingerprint of the plan.
+
+        Two plans describing the same run have equal signatures regardless of
+        node identifiers or of the (arbitrary) order of unordered children.
+        """
+
+        def canonical(node_id: int) -> tuple:
+            node = self._nodes[node_id]
+            child_forms = [canonical(c) for c in node.children]
+            if node.kind is not PlanNodeKind.LOOP_GROUP:
+                child_forms.sort()
+            return (node.kind.value, node.region, tuple(child_forms))
+
+        return canonical(self.root_id)
+
+    def to_dict(self) -> dict:
+        """Return a JSON-friendly description of the plan."""
+        return {
+            "root": self.root_id,
+            "nodes": [
+                {
+                    "id": node.node_id,
+                    "kind": node.kind.value,
+                    "region": node.region,
+                    "parent": node.parent,
+                    "children": list(node.children),
+                }
+                for node in self._nodes.values()
+            ],
+        }

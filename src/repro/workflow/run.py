@@ -1,0 +1,210 @@
+"""Workflow runs: executions of a specification (Definition 6, Figure 3).
+
+A run is a labeled acyclic flow network whose vertices carry module names
+from the underlying specification.  Module names are generally *not* unique
+in a run — forks and loops replicate modules — so each run vertex pairs its
+module name with an instance number (``b1`` is ``RunVertex("b", 1)``).
+
+The *origin* of a run vertex (Definition 8) is simply its module name, which
+identifies a unique specification vertex.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import NamedTuple, Optional
+
+from repro.exceptions import FlowNetworkError, RunConformanceError
+from repro.graphs.digraph import DiGraph
+from repro.graphs.flow_network import validate_flow_network
+from repro.workflow.specification import WorkflowSpecification
+
+__all__ = ["RunVertex", "WorkflowRun"]
+
+
+class RunVertex(NamedTuple):
+    """A single module execution within a run.
+
+    ``module`` is the specification vertex (the origin, Definition 8) and
+    ``instance`` distinguishes repeated executions of the same module.
+    """
+
+    module: str
+    instance: int
+
+    def __str__(self) -> str:
+        return f"{self.module}{self.instance}"
+
+    @property
+    def origin(self) -> str:
+        """The specification vertex this execution originates from."""
+        return self.module
+
+
+class WorkflowRun:
+    """A run ``R`` of a workflow specification.
+
+    Parameters
+    ----------
+    specification:
+        The specification the run conforms to.
+    graph:
+        The run graph over :class:`RunVertex` vertices.
+    name:
+        Optional human-readable name.
+    validate:
+        When ``True`` (the default) the constructor checks that the run is an
+        acyclic flow network, that every origin exists in the specification,
+        and that the run's terminals originate from the specification's
+        terminals.
+    """
+
+    def __init__(
+        self,
+        specification: WorkflowSpecification,
+        graph: DiGraph,
+        *,
+        name: str = "run",
+        validate: bool = True,
+    ) -> None:
+        self.specification = specification
+        self.graph = graph
+        self.name = name
+        if validate:
+            self._validate()
+            self.source, self.sink = validate_flow_network(self.graph)
+        else:
+            # Partial runs (online labeling snapshots) may not yet form a
+            # single-source/single-sink network; keep best-effort terminals.
+            try:
+                self.source, self.sink = validate_flow_network(self.graph)
+            except FlowNetworkError:
+                self.source = None
+                self.sink = None
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def vertex_count(self) -> int:
+        """``nR`` — number of module executions in the run."""
+        return self.graph.vertex_count
+
+    @property
+    def edge_count(self) -> int:
+        """``mR`` — number of data channels in the run."""
+        return self.graph.edge_count
+
+    def vertices(self) -> list[RunVertex]:
+        """All run vertices in insertion order."""
+        return self.graph.vertices()
+
+    def edges(self) -> list[tuple[RunVertex, RunVertex]]:
+        """All run edges."""
+        return self.graph.edges()
+
+    def origin(self, vertex: RunVertex) -> str:
+        """Return ``Orig(v)``: the specification module this vertex executes."""
+        return vertex.module
+
+    def vertex(self, module: str, instance: int) -> RunVertex:
+        """Return the run vertex for ``module``/``instance`` (must exist)."""
+        candidate = RunVertex(module, instance)
+        if not self.graph.has_vertex(candidate):
+            raise RunConformanceError(f"run has no vertex {candidate!r}")
+        return candidate
+
+    def instances_of(self, module: str) -> list[RunVertex]:
+        """Return every execution of *module* in the run."""
+        return [v for v in self.graph.vertices() if v.module == module]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WorkflowRun(name={self.name!r}, spec={self.specification.name!r}, "
+            f"nR={self.vertex_count}, mR={self.edge_count})"
+        )
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        spec_graph = self.specification.graph
+        for vertex in self.graph.vertices():
+            if not isinstance(vertex, RunVertex):
+                raise RunConformanceError(
+                    f"run vertices must be RunVertex instances, got {vertex!r}"
+                )
+            if not spec_graph.has_vertex(vertex.module):
+                raise RunConformanceError(
+                    f"run vertex {vertex!r} has no origin in the specification"
+                )
+        source, sink = validate_flow_network(self.graph)
+        if source.module != self.specification.source:
+            raise RunConformanceError(
+                f"run source {source!r} does not originate from the specification "
+                f"source {self.specification.source!r}"
+            )
+        if sink.module != self.specification.sink:
+            raise RunConformanceError(
+                f"run sink {sink!r} does not originate from the specification "
+                f"sink {self.specification.sink!r}"
+            )
+        # Every run edge must follow an edge that exists in the specification,
+        # a loop-back edge (sink of a loop to its source), or the boundary of
+        # a replicated region; the cheap necessary condition we enforce here
+        # is that both endpoints' origins are specification modules, which the
+        # loop above already guarantees.  Full conformance is established by
+        # ConstructPlan, which fails on non-conforming runs.
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        specification: WorkflowSpecification,
+        edges: Iterable[tuple[tuple[str, int], tuple[str, int]]],
+        *,
+        name: str = "run",
+        validate: bool = True,
+    ) -> "WorkflowRun":
+        """Build a run from ``((module, instance), (module, instance))`` pairs."""
+        graph = DiGraph()
+        for (tail_module, tail_instance), (head_module, head_instance) in edges:
+            graph.add_edge(
+                RunVertex(tail_module, tail_instance),
+                RunVertex(head_module, head_instance),
+            )
+        return cls(specification, graph, name=name, validate=validate)
+
+    @classmethod
+    def identity_run(
+        cls, specification: WorkflowSpecification, *, name: Optional[str] = None
+    ) -> "WorkflowRun":
+        """Return the trivial run that executes every region exactly once.
+
+        The resulting run graph is isomorphic to the specification graph with
+        every module executed as instance 1.
+        """
+        graph = DiGraph()
+        for module in specification.graph.vertices():
+            graph.add_vertex(RunVertex(module, 1))
+        for tail, head in specification.graph.iter_edges():
+            graph.add_edge(RunVertex(tail, 1), RunVertex(head, 1))
+        return cls(
+            specification,
+            graph,
+            name=name or f"{specification.name}-identity",
+        )
+
+    def to_dict(self) -> dict:
+        """Return a JSON-friendly description of the run."""
+        return {
+            "name": self.name,
+            "specification": self.specification.name,
+            "vertices": [[v.module, v.instance] for v in self.graph.vertices()],
+            "edges": [
+                [[t.module, t.instance], [h.module, h.instance]]
+                for t, h in self.graph.iter_edges()
+            ],
+        }

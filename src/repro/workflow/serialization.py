@@ -1,0 +1,281 @@
+"""Serialization of specifications and runs to XML and JSON.
+
+The paper stores both specifications and runs as XML files (Section 8); this
+module provides round-trip readers and writers in that spirit, plus JSON
+variants which are friendlier for the SQLite provenance store.
+"""
+
+from __future__ import annotations
+
+import json
+import xml.etree.ElementTree as ET
+from pathlib import Path
+from typing import Union
+
+from repro.exceptions import SerializationError
+from repro.graphs.digraph import DiGraph
+from repro.workflow.run import RunVertex, WorkflowRun
+from repro.workflow.specification import WorkflowSpecification
+from repro.workflow.subgraphs import Region, RegionKind
+
+__all__ = [
+    "specification_to_xml",
+    "specification_from_xml",
+    "run_to_xml",
+    "run_from_xml",
+    "specification_to_json",
+    "specification_from_json",
+    "run_to_json",
+    "run_from_json",
+    "write_specification",
+    "read_specification",
+    "write_run",
+    "read_run",
+]
+
+PathLike = Union[str, Path]
+
+
+# ----------------------------------------------------------------------
+# XML: specifications
+# ----------------------------------------------------------------------
+def specification_to_xml(spec: WorkflowSpecification) -> str:
+    """Serialize a specification to an XML document string."""
+    root = ET.Element("specification", {"name": spec.name})
+    modules = ET.SubElement(root, "modules")
+    for module in spec.graph.vertices():
+        ET.SubElement(modules, "module", {"name": str(module)})
+    edges = ET.SubElement(root, "edges")
+    for tail, head in spec.graph.iter_edges():
+        ET.SubElement(edges, "edge", {"from": str(tail), "to": str(head)})
+    regions = ET.SubElement(root, "regions")
+    for region in spec.forks:
+        element = ET.SubElement(regions, "fork", {"name": region.name})
+        for vertex in sorted(map(str, region.internal)):
+            ET.SubElement(element, "member", {"module": vertex})
+    for region in spec.loops:
+        element = ET.SubElement(regions, "loop", {"name": region.name})
+        for vertex in sorted(map(str, region.span)):
+            ET.SubElement(element, "member", {"module": vertex})
+    return ET.tostring(root, encoding="unicode")
+
+
+def specification_from_xml(document: str) -> WorkflowSpecification:
+    """Parse a specification from an XML document string."""
+    try:
+        root = ET.fromstring(document)
+    except ET.ParseError as exc:
+        raise SerializationError(f"invalid specification XML: {exc}") from exc
+    if root.tag != "specification":
+        raise SerializationError(
+            f"expected a <specification> document, got <{root.tag}>"
+        )
+    name = root.get("name", "workflow")
+
+    graph = DiGraph()
+    modules = root.find("modules")
+    if modules is not None:
+        for module in modules.findall("module"):
+            module_name = module.get("name")
+            if module_name is None:
+                raise SerializationError("<module> element is missing its name")
+            graph.add_vertex(module_name)
+    edges = root.find("edges")
+    if edges is not None:
+        for edge in edges.findall("edge"):
+            tail, head = edge.get("from"), edge.get("to")
+            if tail is None or head is None:
+                raise SerializationError("<edge> element is missing from/to")
+            graph.add_edge(tail, head)
+
+    forks: list[Region] = []
+    loops: list[Region] = []
+    regions = root.find("regions")
+    if regions is not None:
+        for element in regions:
+            members = frozenset(
+                member.get("module")
+                for member in element.findall("member")
+            )
+            if None in members:
+                raise SerializationError("<member> element is missing its module")
+            region_name = element.get("name")
+            if region_name is None:
+                raise SerializationError(f"<{element.tag}> element is missing its name")
+            if element.tag == "fork":
+                forks.append(Region(RegionKind.FORK, region_name, members))
+            elif element.tag == "loop":
+                loops.append(Region(RegionKind.LOOP, region_name, members))
+            else:
+                raise SerializationError(f"unknown region kind <{element.tag}>")
+    return WorkflowSpecification(graph, forks, loops, name=name)
+
+
+# ----------------------------------------------------------------------
+# XML: runs
+# ----------------------------------------------------------------------
+def run_to_xml(run: WorkflowRun) -> str:
+    """Serialize a run to an XML document string."""
+    root = ET.Element(
+        "run", {"name": run.name, "specification": run.specification.name}
+    )
+    vertices = ET.SubElement(root, "executions")
+    for vertex in run.graph.vertices():
+        ET.SubElement(
+            vertices,
+            "execution",
+            {"module": str(vertex.module), "instance": str(vertex.instance)},
+        )
+    edges = ET.SubElement(root, "edges")
+    for tail, head in run.graph.iter_edges():
+        ET.SubElement(
+            edges,
+            "edge",
+            {
+                "from_module": str(tail.module),
+                "from_instance": str(tail.instance),
+                "to_module": str(head.module),
+                "to_instance": str(head.instance),
+            },
+        )
+    return ET.tostring(root, encoding="unicode")
+
+
+def run_from_xml(document: str, spec: WorkflowSpecification) -> WorkflowRun:
+    """Parse a run of *spec* from an XML document string."""
+    try:
+        root = ET.fromstring(document)
+    except ET.ParseError as exc:
+        raise SerializationError(f"invalid run XML: {exc}") from exc
+    if root.tag != "run":
+        raise SerializationError(f"expected a <run> document, got <{root.tag}>")
+    name = root.get("name", "run")
+
+    graph = DiGraph()
+    vertices = root.find("executions")
+    if vertices is not None:
+        for vertex in vertices.findall("execution"):
+            module, instance = vertex.get("module"), vertex.get("instance")
+            if module is None or instance is None:
+                raise SerializationError("<execution> element is missing attributes")
+            graph.add_vertex(RunVertex(module, int(instance)))
+    edges = root.find("edges")
+    if edges is not None:
+        for edge in edges.findall("edge"):
+            attributes = [
+                edge.get("from_module"),
+                edge.get("from_instance"),
+                edge.get("to_module"),
+                edge.get("to_instance"),
+            ]
+            if any(value is None for value in attributes):
+                raise SerializationError("<edge> element is missing attributes")
+            graph.add_edge(
+                RunVertex(attributes[0], int(attributes[1])),
+                RunVertex(attributes[2], int(attributes[3])),
+            )
+    return WorkflowRun(spec, graph, name=name)
+
+
+# ----------------------------------------------------------------------
+# JSON
+# ----------------------------------------------------------------------
+def specification_to_json(spec: WorkflowSpecification) -> str:
+    """Serialize a specification to a JSON string."""
+    return json.dumps(spec.to_dict(), sort_keys=True)
+
+
+def specification_from_json(document: str) -> WorkflowSpecification:
+    """Parse a specification from a JSON string."""
+    try:
+        payload = json.loads(document)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid specification JSON: {exc}") from exc
+    try:
+        graph = DiGraph.from_dict(payload["graph"])
+        forks = [
+            Region(RegionKind.FORK, item["name"], frozenset(item["vertices"]))
+            for item in payload.get("forks", [])
+        ]
+        loops = [
+            Region(RegionKind.LOOP, item["name"], frozenset(item["vertices"]))
+            for item in payload.get("loops", [])
+        ]
+        name = payload.get("name", "workflow")
+    except (KeyError, TypeError) as exc:
+        raise SerializationError(f"malformed specification JSON: {exc!r}") from exc
+    return WorkflowSpecification(graph, forks, loops, name=name)
+
+
+def run_to_json(run: WorkflowRun) -> str:
+    """Serialize a run to a JSON string."""
+    return json.dumps(run.to_dict(), sort_keys=True)
+
+
+def run_from_json(document: str, spec: WorkflowSpecification) -> WorkflowRun:
+    """Parse a run of *spec* from a JSON string."""
+    try:
+        payload = json.loads(document)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid run JSON: {exc}") from exc
+    graph = DiGraph()
+    try:
+        for module, instance in payload.get("vertices", []):
+            graph.add_vertex(RunVertex(module, int(instance)))
+        for (tail_module, tail_instance), (head_module, head_instance) in payload["edges"]:
+            graph.add_edge(
+                RunVertex(tail_module, int(tail_instance)),
+                RunVertex(head_module, int(head_instance)),
+            )
+        name = payload.get("name", "run")
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed run JSON: {exc!r}") from exc
+    return WorkflowRun(spec, graph, name=name)
+
+
+# ----------------------------------------------------------------------
+# file helpers
+# ----------------------------------------------------------------------
+def _format_from_path(path: Path) -> str:
+    suffix = path.suffix.lower()
+    if suffix in (".xml",):
+        return "xml"
+    if suffix in (".json",):
+        return "json"
+    raise SerializationError(f"cannot infer format from file extension: {path.name!r}")
+
+
+def write_specification(spec: WorkflowSpecification, path: PathLike) -> None:
+    """Write a specification to *path* (format chosen by extension)."""
+    path = Path(path)
+    document = (
+        specification_to_xml(spec)
+        if _format_from_path(path) == "xml"
+        else specification_to_json(spec)
+    )
+    path.write_text(document, encoding="utf-8")
+
+
+def read_specification(path: PathLike) -> WorkflowSpecification:
+    """Read a specification from *path* (format chosen by extension)."""
+    path = Path(path)
+    document = path.read_text(encoding="utf-8")
+    if _format_from_path(path) == "xml":
+        return specification_from_xml(document)
+    return specification_from_json(document)
+
+
+def write_run(run: WorkflowRun, path: PathLike) -> None:
+    """Write a run to *path* (format chosen by extension)."""
+    path = Path(path)
+    document = run_to_xml(run) if _format_from_path(path) == "xml" else run_to_json(run)
+    path.write_text(document, encoding="utf-8")
+
+
+def read_run(path: PathLike, spec: WorkflowSpecification) -> WorkflowRun:
+    """Read a run of *spec* from *path* (format chosen by extension)."""
+    path = Path(path)
+    document = path.read_text(encoding="utf-8")
+    if _format_from_path(path) == "xml":
+        return run_from_xml(document, spec)
+    return run_from_json(document, spec)

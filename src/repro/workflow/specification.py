@@ -1,0 +1,238 @@
+"""Workflow specifications: ``(G, F, L)`` triples (Definition 3).
+
+A :class:`WorkflowSpecification` bundles an acyclic flow network whose
+vertices are unique module names with a set of fork regions and a set of loop
+regions forming a well-nested fork and loop system (Definition 2).  The class
+validates the model at construction time and exposes the derived structures
+the rest of the library needs: resolved regions, the fork/loop hierarchy and
+reachability over the specification graph.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.exceptions import FlowNetworkError, SpecificationError, WellNestednessError
+from repro.graphs.digraph import DiGraph
+from repro.graphs.flow_network import validate_flow_network
+from repro.workflow.subgraphs import (
+    Region,
+    RegionKind,
+    ResolvedRegion,
+    resolve_fork,
+    resolve_loop,
+)
+
+__all__ = ["WorkflowSpecification"]
+
+
+class WorkflowSpecification:
+    """A validated workflow specification ``(G, F, L)``.
+
+    Parameters
+    ----------
+    graph:
+        The specification graph ``G``; vertices are module names (any
+        hashable, typically strings) and must therefore be unique.
+    forks:
+        Fork regions, each given by its internal vertex set.
+    loops:
+        Loop regions, each given by its full vertex set.
+    name:
+        Optional human-readable name (used by the dataset catalog and the
+        provenance store).
+
+    Raises
+    ------
+    SpecificationError
+        If the graph is not an acyclic flow network, a region is invalid, or
+        region names collide.
+    WellNestednessError
+        If the fork/loop system violates Definition 2.
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        forks: Iterable[Region] = (),
+        loops: Iterable[Region] = (),
+        *,
+        name: str = "workflow",
+    ) -> None:
+        self.name = name
+        self.graph = graph.copy()
+        try:
+            self.source, self.sink = validate_flow_network(self.graph)
+        except FlowNetworkError as exc:
+            raise SpecificationError(
+                f"specification graph is not an acyclic flow network: {exc}"
+            ) from exc
+
+        fork_regions = list(forks)
+        loop_regions = list(loops)
+        for region in fork_regions:
+            if not region.is_fork:
+                raise SpecificationError(
+                    f"region {region.name!r} passed as a fork but has kind {region.kind}"
+                )
+        for region in loop_regions:
+            if not region.is_loop:
+                raise SpecificationError(
+                    f"region {region.name!r} passed as a loop but has kind {region.kind}"
+                )
+
+        names = [r.name for r in fork_regions + loop_regions]
+        if len(set(names)) != len(names):
+            raise SpecificationError(f"region names must be unique, got {names!r}")
+
+        self._regions: dict[str, ResolvedRegion] = {}
+        for region in fork_regions:
+            self._regions[region.name] = resolve_fork(self.graph, region)
+        for region in loop_regions:
+            self._regions[region.name] = resolve_loop(self.graph, region)
+
+        self._check_well_nested()
+        self._hierarchy = None  # built lazily to avoid import cycles
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def vertex_count(self) -> int:
+        """``nG`` — number of modules in the specification."""
+        return self.graph.vertex_count
+
+    @property
+    def edge_count(self) -> int:
+        """``mG`` — number of data channels in the specification."""
+        return self.graph.edge_count
+
+    @property
+    def modules(self) -> list:
+        """All module names, in insertion order."""
+        return self.graph.vertices()
+
+    @property
+    def regions(self) -> dict[str, ResolvedRegion]:
+        """Mapping from region name to its resolved form."""
+        return dict(self._regions)
+
+    @property
+    def forks(self) -> list[ResolvedRegion]:
+        """All fork regions."""
+        return [r for r in self._regions.values() if r.is_fork]
+
+    @property
+    def loops(self) -> list[ResolvedRegion]:
+        """All loop regions."""
+        return [r for r in self._regions.values() if r.is_loop]
+
+    def region(self, name: str) -> ResolvedRegion:
+        """Return the resolved region called *name*."""
+        try:
+            return self._regions[name]
+        except KeyError:
+            raise SpecificationError(f"unknown region: {name!r}") from None
+
+    def has_module(self, module) -> bool:
+        """Return ``True`` if *module* is a vertex of the specification graph."""
+        return self.graph.has_vertex(module)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WorkflowSpecification(name={self.name!r}, nG={self.vertex_count}, "
+            f"mG={self.edge_count}, forks={len(self.forks)}, loops={len(self.loops)})"
+        )
+
+    # ------------------------------------------------------------------
+    # hierarchy
+    # ------------------------------------------------------------------
+    @property
+    def hierarchy(self):
+        """The fork/loop hierarchy ``TG`` (built lazily)."""
+        if self._hierarchy is None:
+            from repro.workflow.hierarchy import ForkLoopHierarchy
+
+            self._hierarchy = ForkLoopHierarchy.from_specification(self)
+        return self._hierarchy
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def _check_well_nested(self) -> None:
+        """Check Definition 2 on every pair of regions."""
+        regions = list(self._regions.values())
+        for i, first in enumerate(regions):
+            for second in regions[i + 1:]:
+                if not _well_nested_pair(first, second):
+                    raise WellNestednessError(
+                        f"regions {first.name!r} and {second.name!r} are neither "
+                        "nested nor disjoint (Definition 2 violated)"
+                    )
+
+    # ------------------------------------------------------------------
+    # convenience constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Sequence[tuple],
+        forks: Iterable[tuple[str, Iterable]] = (),
+        loops: Iterable[tuple[str, Iterable]] = (),
+        *,
+        name: str = "workflow",
+    ) -> "WorkflowSpecification":
+        """Build a specification from an edge list and simple region tuples.
+
+        ``forks`` and ``loops`` are iterables of ``(region_name, vertices)``
+        pairs, matching the semantics of :class:`Region` (internal vertices
+        for forks, full span for loops).
+        """
+        graph = DiGraph(edges=edges)
+        fork_regions = [
+            Region(RegionKind.FORK, region_name, frozenset(vertices))
+            for region_name, vertices in forks
+        ]
+        loop_regions = [
+            Region(RegionKind.LOOP, region_name, frozenset(vertices))
+            for region_name, vertices in loops
+        ]
+        return cls(graph, fork_regions, loop_regions, name=name)
+
+    def to_dict(self) -> dict:
+        """Return a JSON-friendly description of the specification."""
+        return {
+            "name": self.name,
+            "graph": self.graph.to_dict(),
+            "forks": [
+                {"name": r.name, "vertices": sorted(map(str, r.internal))}
+                for r in self.forks
+            ],
+            "loops": [
+                {"name": r.name, "vertices": sorted(map(str, r.span))}
+                for r in self.loops
+            ],
+        }
+
+
+def _well_nested_pair(first: ResolvedRegion, second: ResolvedRegion) -> bool:
+    """Return ``True`` if the two regions satisfy exactly one Definition 2 case.
+
+    Definition 2 asks for strict edge containment; we additionally accept the
+    boundary case where the edge sets coincide but the dominating sets are
+    strictly nested (a fork filling a whole loop body, as in the paper's own
+    running example where fork ``F2`` spans loop ``L1``'s only branch).
+    """
+    dom_first, dom_second = first.dom_set, second.dom_set
+    edges_first, edges_second = first.edges, second.edges
+
+    def nested(dom_inner, edges_inner, dom_outer, edges_outer) -> bool:
+        contained = dom_inner <= dom_outer and edges_inner <= edges_outer
+        strict = dom_inner < dom_outer or edges_inner < edges_outer
+        return contained and strict
+
+    nested_first_in_second = nested(dom_first, edges_first, dom_second, edges_second)
+    nested_second_in_first = nested(dom_second, edges_second, dom_first, edges_first)
+    disjoint = not (dom_first & dom_second) and not (edges_first & edges_second)
+
+    return sum((nested_first_in_second, nested_second_in_first, disjoint)) == 1

@@ -1,0 +1,336 @@
+"""Self-contained subgraph machinery (Definition 1 of the paper).
+
+A *self-contained* subgraph ``H`` of an acyclic flow network ``G`` connects to
+the rest of the graph only through its single source and single sink.  Forks
+must additionally be *atomic* (a single branch between source and sink) and
+loops must be *complete* (they contain every branch between their source and
+sink, and every edge entering the sink or leaving the source).
+
+This module defines :class:`Region` — the user-facing description of a fork or
+loop — and :class:`ResolvedRegion`, the validated form with its source, sink,
+dominating set and edge set computed against a concrete specification graph.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.exceptions import SpecificationError
+from repro.graphs.digraph import DiGraph
+from repro.graphs.traversal import (
+    bfs_reachable,
+    ancestors,
+    weakly_connected_components,
+)
+
+__all__ = [
+    "RegionKind",
+    "Region",
+    "ResolvedRegion",
+    "resolve_fork",
+    "resolve_loop",
+    "is_self_contained",
+    "is_atomic_fork",
+    "is_complete_loop",
+]
+
+
+class RegionKind(enum.Enum):
+    """Kind of a repeatable region: parallel fork or serial loop."""
+
+    FORK = "fork"
+    LOOP = "loop"
+
+
+@dataclass(frozen=True)
+class Region:
+    """User-level description of a fork or loop subgraph.
+
+    Parameters
+    ----------
+    kind:
+        :class:`RegionKind.FORK` or :class:`RegionKind.LOOP`.
+    name:
+        Unique identifier, e.g. ``"F1"`` or ``"L2"``.
+    vertices:
+        For a fork, the set of *internal* vertices (the dotted oval of the
+        paper's figures); the source and sink are inferred from the graph.
+        For a loop, the *full* vertex set including its source and sink.
+    """
+
+    kind: RegionKind
+    name: str
+    vertices: frozenset = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if not self.vertices:
+            raise SpecificationError(f"region {self.name!r} has an empty vertex set")
+        object.__setattr__(self, "vertices", frozenset(self.vertices))
+
+    @property
+    def is_fork(self) -> bool:
+        """``True`` when this region is a fork."""
+        return self.kind is RegionKind.FORK
+
+    @property
+    def is_loop(self) -> bool:
+        """``True`` when this region is a loop."""
+        return self.kind is RegionKind.LOOP
+
+
+@dataclass(frozen=True)
+class ResolvedRegion:
+    """A fork or loop region resolved against a specification graph.
+
+    Attributes
+    ----------
+    kind, name:
+        As in :class:`Region`.
+    source, sink:
+        The subgraph's source and sink vertices ``s(H)`` and ``t(H)``.
+    internal:
+        ``V*(H)`` — all vertices of ``H`` except the source and sink.
+    span:
+        ``V(H)`` — internal vertices plus source and sink.
+    dom_set:
+        The dominating set of Definition 2: ``V*(H)`` for forks and ``V(H)``
+        for loops.
+    edges:
+        ``E(H)``.  For forks this excludes a direct ``(source, sink)`` edge of
+        the surrounding graph (Definition 1, condition 3); for loops it is the
+        full induced edge set.
+    """
+
+    kind: RegionKind
+    name: str
+    source: object
+    sink: object
+    internal: frozenset
+    span: frozenset
+    dom_set: frozenset
+    edges: frozenset
+
+    @property
+    def is_fork(self) -> bool:
+        """``True`` when this region is a fork."""
+        return self.kind is RegionKind.FORK
+
+    @property
+    def is_loop(self) -> bool:
+        """``True`` when this region is a loop."""
+        return self.kind is RegionKind.LOOP
+
+    def to_region(self) -> Region:
+        """Return the user-level :class:`Region` describing this subgraph."""
+        vertices = self.internal if self.is_fork else self.span
+        return Region(kind=self.kind, name=self.name, vertices=frozenset(vertices))
+
+
+def _induced_edges(graph: DiGraph, vertices: frozenset) -> set[tuple]:
+    """Return the edges of *graph* with both endpoints in *vertices*."""
+    return {
+        (tail, head)
+        for tail, head in graph.iter_edges()
+        if tail in vertices and head in vertices
+    }
+
+
+def _require_vertices_exist(graph: DiGraph, region: Region) -> None:
+    missing = [v for v in region.vertices if not graph.has_vertex(v)]
+    if missing:
+        raise SpecificationError(
+            f"region {region.name!r} references unknown vertices: {sorted(map(repr, missing))}"
+        )
+
+
+def _check_internal_connectivity(graph: DiGraph, region_name: str, span: frozenset, source, sink) -> None:
+    """Every vertex of the subgraph must lie on a source->sink path within it."""
+    sub = graph.subgraph(span)
+    reachable_from_source = bfs_reachable(sub, source)
+    reaching_sink = ancestors(sub, sink) | {sink}
+    for vertex in span:
+        if vertex not in reachable_from_source or vertex not in reaching_sink:
+            raise SpecificationError(
+                f"region {region_name!r}: vertex {vertex!r} is not on a path from "
+                f"{source!r} to {sink!r} within the subgraph"
+            )
+
+
+def resolve_fork(graph: DiGraph, region: Region) -> ResolvedRegion:
+    """Resolve and validate a fork region against *graph*.
+
+    The fork is given by its internal vertices; the source is the unique
+    outside predecessor of the internals and the sink the unique outside
+    successor.  The function checks Definition 1 (self-containment) and
+    atomicity; violations raise :class:`SpecificationError`.
+    """
+    if not region.is_fork:
+        raise SpecificationError(f"region {region.name!r} is not a fork")
+    _require_vertices_exist(graph, region)
+    internal = frozenset(region.vertices)
+
+    outside_preds: set = set()
+    outside_succs: set = set()
+    for vertex in internal:
+        for pred in graph.predecessors(vertex):
+            if pred not in internal:
+                outside_preds.add(pred)
+        for succ in graph.successors(vertex):
+            if succ not in internal:
+                outside_succs.add(succ)
+
+    if len(outside_preds) != 1:
+        raise SpecificationError(
+            f"fork {region.name!r} must have exactly one outside predecessor "
+            f"(its source); found {sorted(map(repr, outside_preds))}"
+        )
+    if len(outside_succs) != 1:
+        raise SpecificationError(
+            f"fork {region.name!r} must have exactly one outside successor "
+            f"(its sink); found {sorted(map(repr, outside_succs))}"
+        )
+    source = next(iter(outside_preds))
+    sink = next(iter(outside_succs))
+    if source == sink:
+        raise SpecificationError(
+            f"fork {region.name!r}: source and sink must be distinct, got {source!r}"
+        )
+    if source in internal or sink in internal:
+        raise SpecificationError(
+            f"fork {region.name!r}: the source/sink must not be internal vertices"
+        )
+
+    span = internal | {source, sink}
+    edges = _induced_edges(graph, frozenset(span))
+    edges.discard((source, sink))  # Definition 1 condition (3): the direct edge is not part of the fork
+    if not edges:
+        raise SpecificationError(f"fork {region.name!r} has no edges")
+
+    # Atomicity: the internals must form a single weakly connected branch.
+    internal_components = weakly_connected_components(graph.subgraph(internal))
+    if len(internal_components) != 1:
+        raise SpecificationError(
+            f"fork {region.name!r} is not atomic: its internal vertices split into "
+            f"{len(internal_components)} parallel branches"
+        )
+    _check_internal_connectivity(graph, region.name, frozenset(span), source, sink)
+
+    return ResolvedRegion(
+        kind=RegionKind.FORK,
+        name=region.name,
+        source=source,
+        sink=sink,
+        internal=internal,
+        span=frozenset(span),
+        dom_set=internal,
+        edges=frozenset(edges),
+    )
+
+
+def resolve_loop(graph: DiGraph, region: Region) -> ResolvedRegion:
+    """Resolve and validate a loop region against *graph*.
+
+    The loop is given by its full vertex set.  Its source/sink are the unique
+    source/sink of the induced subgraph.  The function checks self-containment
+    and completeness (Definition 1); violations raise
+    :class:`SpecificationError`.
+    """
+    if not region.is_loop:
+        raise SpecificationError(f"region {region.name!r} is not a loop")
+    _require_vertices_exist(graph, region)
+    span = frozenset(region.vertices)
+    if len(span) < 2:
+        raise SpecificationError(
+            f"loop {region.name!r} must contain at least two vertices (source != sink)"
+        )
+
+    sub = graph.subgraph(span)
+    sources = sub.sources()
+    sinks = sub.sinks()
+    if len(sources) != 1 or len(sinks) != 1:
+        raise SpecificationError(
+            f"loop {region.name!r} must have a single source and sink within its "
+            f"induced subgraph; found sources={sorted(map(repr, sources))}, "
+            f"sinks={sorted(map(repr, sinks))}"
+        )
+    source = sources[0]
+    sink = sinks[0]
+    if source == sink:
+        raise SpecificationError(f"loop {region.name!r}: source equals sink")
+
+    internal = span - {source, sink}
+    # Self-containment condition (2): internal vertices have no outside edges.
+    for vertex in internal:
+        for neighbor in graph.neighbors(vertex):
+            if neighbor not in span:
+                raise SpecificationError(
+                    f"loop {region.name!r} is not self-contained: internal vertex "
+                    f"{vertex!r} connects to outside vertex {neighbor!r}"
+                )
+    # Completeness: no edge leaves the source for the outside, none enters the
+    # sink from the outside.
+    for succ in graph.successors(source):
+        if succ not in span:
+            raise SpecificationError(
+                f"loop {region.name!r} is not complete: source {source!r} has an "
+                f"outgoing edge to outside vertex {succ!r}"
+            )
+    for pred in graph.predecessors(sink):
+        if pred not in span:
+            raise SpecificationError(
+                f"loop {region.name!r} is not complete: sink {sink!r} has an "
+                f"incoming edge from outside vertex {pred!r}"
+            )
+    _check_internal_connectivity(graph, region.name, span, source, sink)
+
+    edges = frozenset(_induced_edges(graph, span))
+    if not edges:
+        raise SpecificationError(f"loop {region.name!r} has no edges")
+
+    return ResolvedRegion(
+        kind=RegionKind.LOOP,
+        name=region.name,
+        source=source,
+        sink=sink,
+        internal=frozenset(internal),
+        span=span,
+        dom_set=span,
+        edges=edges,
+    )
+
+
+def is_self_contained(graph: DiGraph, span: frozenset, source, sink) -> bool:
+    """Check Definition 1 for an arbitrary candidate subgraph.
+
+    ``span`` is the candidate's vertex set, ``source``/``sink`` its claimed
+    terminals.  The check covers conditions (1) and (2) of the definition
+    (single terminals, no outside edges through internal vertices).
+    """
+    if source == sink or source not in span or sink not in span:
+        return False
+    internal = set(span) - {source, sink}
+    for vertex in internal:
+        for neighbor in graph.neighbors(vertex):
+            if neighbor not in span:
+                return False
+    sub = graph.subgraph(span)
+    return sub.sources() == [source] and sub.sinks() == [sink]
+
+
+def is_atomic_fork(graph: DiGraph, internal: frozenset) -> bool:
+    """Return ``True`` if *internal* describes an atomic fork in *graph*."""
+    try:
+        resolve_fork(graph, Region(RegionKind.FORK, "_probe", frozenset(internal)))
+    except SpecificationError:
+        return False
+    return True
+
+
+def is_complete_loop(graph: DiGraph, span: frozenset) -> bool:
+    """Return ``True`` if *span* describes a complete loop subgraph in *graph*."""
+    try:
+        resolve_loop(graph, Region(RegionKind.LOOP, "_probe", frozenset(span)))
+    except SpecificationError:
+        return False
+    return True

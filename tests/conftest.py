@@ -1,0 +1,92 @@
+"""Shared fixtures: the paper's running example and common synthetic workloads."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.datasets.synthetic import SyntheticSpecConfig, generate_specification
+from repro.skeleton.skl import SkeletonLabeler
+from repro.workflow.execution import generate_run_with_size
+from repro.workflow.run import RunVertex, WorkflowRun
+from repro.workflow.specification import WorkflowSpecification
+
+
+def make_paper_specification() -> WorkflowSpecification:
+    """The specification of Figure 2: chain a-b-c-h and a-d-e-f-g-h with F1, F2, L1, L2."""
+    return WorkflowSpecification.from_edges(
+        edges=[
+            ("a", "b"), ("b", "c"), ("c", "h"),
+            ("a", "d"), ("d", "e"), ("e", "f"), ("f", "g"), ("g", "h"),
+        ],
+        forks=[("F1", {"b", "c"}), ("F2", {"f"})],
+        loops=[("L1", {"e", "f", "g"}), ("L2", {"b", "c"})],
+        name="paper-example",
+    )
+
+
+def make_paper_run(spec: WorkflowSpecification) -> WorkflowRun:
+    """The run of Figure 3 (16 vertices, F1 twice, L2 twice/once, L1 twice, F2 once/twice)."""
+    edges = [
+        (("a", 1), ("b", 1)), (("b", 1), ("c", 1)), (("c", 1), ("b", 2)),
+        (("b", 2), ("c", 2)), (("c", 2), ("h", 1)),
+        (("a", 1), ("b", 3)), (("b", 3), ("c", 3)), (("c", 3), ("h", 1)),
+        (("a", 1), ("d", 1)), (("d", 1), ("e", 1)), (("e", 1), ("f", 1)),
+        (("f", 1), ("g", 1)), (("g", 1), ("e", 2)), (("e", 2), ("f", 2)),
+        (("e", 2), ("f", 3)), (("f", 2), ("g", 2)), (("f", 3), ("g", 2)),
+        (("g", 2), ("h", 1)),
+    ]
+    return WorkflowRun.from_edges(spec, edges, name="figure-3")
+
+
+@pytest.fixture(scope="session")
+def paper_spec() -> WorkflowSpecification:
+    """Session-scoped Figure 2 specification."""
+    return make_paper_specification()
+
+
+@pytest.fixture(scope="session")
+def paper_run(paper_spec: WorkflowSpecification) -> WorkflowRun:
+    """Session-scoped Figure 3 run."""
+    return make_paper_run(paper_spec)
+
+
+@pytest.fixture(scope="session")
+def paper_labeler(paper_spec: WorkflowSpecification) -> SkeletonLabeler:
+    """Skeleton labeler over the paper specification with TCM skeleton labels."""
+    return SkeletonLabeler(paper_spec, "tcm")
+
+
+@pytest.fixture(scope="session")
+def paper_labeled_run(paper_labeler: SkeletonLabeler, paper_run: WorkflowRun):
+    """The Figure 3 run labeled with TCM+SKL."""
+    return paper_labeler.label_run(paper_run)
+
+
+@pytest.fixture(scope="session")
+def synthetic_spec() -> WorkflowSpecification:
+    """A mid-size synthetic specification (nG=60, mG=110, |TG|=8, [TG]=3)."""
+    return generate_specification(
+        SyntheticSpecConfig(
+            n_modules=60, n_edges=110, hierarchy_size=8, hierarchy_depth=3,
+            name="synthetic-60", seed=7,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def synthetic_run(synthetic_spec: WorkflowSpecification):
+    """A generated run of about 800 vertices with its ground-truth plan."""
+    return generate_run_with_size(synthetic_spec, 800, seed=13, name="synthetic-run")
+
+
+@pytest.fixture()
+def rng() -> random.Random:
+    """A deterministic random generator for per-test sampling."""
+    return random.Random(0xC0FFEE)
+
+
+def vertex(module: str, instance: int) -> RunVertex:
+    """Shorthand used across tests."""
+    return RunVertex(module, instance)

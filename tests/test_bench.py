@@ -1,0 +1,194 @@
+"""Tests for the benchmark harness (smoke scale) and reporting utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import (
+    figure_12_label_length,
+    figure_13_construction_time,
+    figure_14_query_time,
+    figure_15_label_length_comparison,
+    figure_16_construction_comparison,
+    figure_17_query_comparison,
+    figure_18_spec_influence_label_length,
+    figure_20_spec_influence_query,
+    scheme_comparison,
+    spec_influence,
+    table_1_real_workflows,
+    table_2_complexity,
+)
+from repro.bench.harness import get_scale, paper_run_sizes
+from repro.bench.metrics import (
+    amortized_construction_seconds,
+    amortized_label_bits,
+    sample_query_pairs,
+)
+from repro.bench.reporting import ExperimentResult, format_csv, format_table, write_report
+from repro.exceptions import DatasetError
+
+
+class TestScales:
+    def test_known_scales(self):
+        assert get_scale("smoke").name == "smoke"
+        assert get_scale("default").run_sizes[-1] == 12_800
+        assert get_scale("paper").run_sizes == paper_run_sizes()
+
+    def test_scale_object_passthrough(self):
+        preset = get_scale("smoke")
+        assert get_scale(preset) is preset
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(DatasetError):
+            get_scale("galactic")
+
+    def test_paper_run_sizes_double(self):
+        sizes = paper_run_sizes()
+        assert sizes[0] == 100 and sizes[-1] == 102_400
+        for small, large in zip(sizes, sizes[1:]):
+            assert large == 2 * small
+
+
+class TestMetrics:
+    def test_amortized_label_bits_no_amortization(self):
+        assert amortized_label_bits(30, 10_000, 1_000, None) == 30
+
+    def test_amortized_label_bits_decreases_with_runs(self):
+        one = amortized_label_bits(30, 10_000, 1_000, 1)
+        ten = amortized_label_bits(30, 10_000, 1_000, 10)
+        assert one > ten > 30
+
+    def test_amortized_label_bits_invalid(self):
+        with pytest.raises(ValueError):
+            amortized_label_bits(30, 10_000, 1_000, 0)
+
+    def test_amortized_construction(self):
+        assert amortized_construction_seconds(1.0, 10.0, 10) == pytest.approx(2.0)
+        assert amortized_construction_seconds(1.0, 10.0, None) == pytest.approx(1.0)
+
+    def test_sample_query_pairs_deterministic(self, rng):
+        import random
+
+        first = sample_query_pairs(["a", "b", "c"], 10, random.Random(3))
+        second = sample_query_pairs(["a", "b", "c"], 10, random.Random(3))
+        assert first == second
+        assert len(first) == 10
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table([{"x": 1, "y": 2.5}, {"x": 10, "y": 0.25}])
+        lines = text.splitlines()
+        assert lines[0].startswith("x")
+        assert len(lines) == 4
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_format_csv(self):
+        csv = format_csv([{"a": 1, "b": "z"}], ["a", "b"])
+        assert csv.splitlines() == ["a,b", "1,z"]
+
+    def test_experiment_result_text(self):
+        result = ExperimentResult("figure-0", "demo", [{"a": 1}], notes=["hello"])
+        text = result.to_text()
+        assert "figure-0" in text and "hello" in text
+
+    def test_write_report(self, tmp_path):
+        result = ExperimentResult("figure-0", "demo", [{"a": 1}])
+        path = write_report(result, tmp_path)
+        assert path.read_text().startswith("== figure-0")
+
+
+@pytest.fixture(scope="module")
+def comparison_result():
+    return scheme_comparison("smoke", seed=1)
+
+
+@pytest.fixture(scope="module")
+def influence_result():
+    return spec_influence("smoke", seed=1, spec_sizes=(50, 100))
+
+
+class TestExperimentsSmoke:
+    def test_table_1_matches_published_characteristics(self):
+        rows = {row["workflow"]: row for row in table_1_real_workflows().rows}
+        assert rows["QBLAST"]["nG"] == 58 and rows["QBLAST"]["mG"] == 72
+        assert rows["ProDisc"]["|TG|"] == 9 and rows["ProDisc"]["[TG]"] == 3
+        assert len(rows) == 6
+
+    def test_table_2_has_all_schemes(self):
+        result = table_2_complexity("smoke", seed=1)
+        schemes = {row["scheme"] for row in result.rows}
+        assert {"TCM+SKL", "BFS+SKL", "BFS"} <= schemes
+
+    def test_figure_12_label_length_is_logarithmic(self):
+        result = figure_12_label_length("smoke", seed=1)
+        rows = result.rows
+        assert len(rows) == 3
+        # label length grows, but stays under the 3 log nR asymptote
+        assert rows[-1]["max_label_bits"] >= rows[0]["max_label_bits"]
+        for row in rows:
+            # 3 log2(nR) for the coordinates plus ceil(log2 nG) = 6 for QBLAST,
+            # with +3 slack for the per-coordinate ceil.
+            assert row["max_label_bits"] <= row["bound_3log_nR"] + 9
+            assert row["avg_label_bits"] <= row["max_label_bits"]
+
+    def test_figure_13_plan_setting_is_faster(self):
+        result = figure_13_construction_time("smoke", seed=1)
+        for row in result.rows:
+            assert row["with_plan_ms"] <= row["default_ms"]
+
+    def test_figure_14_query_time_positive(self):
+        result = figure_14_query_time("smoke", seed=1)
+        assert all(row["query_us"] > 0 for row in result.rows)
+
+    def test_scheme_comparison_contains_all_variants(self, comparison_result):
+        schemes = {row["scheme"] for row in comparison_result.rows}
+        assert schemes == {"tcm+skl", "bfs+skl", "tcm", "bfs"}
+
+    def test_figure_15_amortization_monotone(self, comparison_result):
+        result = figure_15_label_length_comparison("smoke", shared=comparison_result)
+        by_key = {
+            (row["run_size"], row["amortized_runs"]): row["max_label_bits"]
+            for row in result.rows
+            if row["scheme"] == "tcm+skl"
+        }
+        for (size, runs), bits in by_key.items():
+            if (size, 1) in by_key and runs == 10:
+                assert bits <= by_key[(size, 1)]
+
+    def test_figure_16_skl_cheaper_than_direct_tcm(self, comparison_result):
+        result = figure_16_construction_comparison("smoke", shared=comparison_result)
+        largest = max(row["run_size"] for row in result.rows if row["scheme"] == "tcm")
+        tcm_direct = next(
+            row["construction_ms"]
+            for row in result.rows
+            if row["scheme"] == "tcm" and row["run_size"] == largest
+        )
+        skl = next(
+            row["construction_ms"]
+            for row in result.rows
+            if row["scheme"] == "bfs+skl" and row["run_size"] == largest
+        )
+        assert skl < tcm_direct * 50  # SKL must not be dramatically slower
+
+    def test_figure_17_bfs_direct_slowest(self, comparison_result):
+        result = figure_17_query_comparison("smoke", shared=comparison_result)
+        largest = max(row["run_size"] for row in result.rows)
+        def query_of(scheme):
+            return next(
+                row["query_us"] for row in result.rows
+                if row["scheme"] == scheme and row["run_size"] == largest
+            )
+        assert query_of("tcm+skl") < query_of("bfs+skl")
+
+    def test_figure_18_and_20_have_all_spec_sizes(self, influence_result):
+        fig18 = figure_18_spec_influence_label_length("smoke", shared=influence_result)
+        fig20 = figure_20_spec_influence_query("smoke", shared=influence_result)
+        assert {row["spec_size"] for row in fig18.rows} == {50, 100}
+        assert {row["spec_size"] for row in fig20.rows} == {50, 100}
+
+    def test_results_render_as_text_and_csv(self, comparison_result):
+        assert "tcm+skl" in comparison_result.to_text()
+        assert comparison_result.to_csv().count("\n") == len(comparison_result.rows)

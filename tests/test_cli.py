@@ -1,0 +1,144 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.workflow.serialization import read_run, read_specification, write_run, write_specification
+
+
+class TestParser:
+    def test_parser_has_all_commands(self):
+        parser = build_parser()
+        subactions = [
+            action for action in parser._actions if hasattr(action, "choices") and action.choices
+        ]
+        commands = set(subactions[0].choices)
+        assert commands == {
+            "generate-spec", "generate-run", "label", "query", "verify", "info",
+            "experiments",
+        }
+
+    def test_missing_command_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestGenerateCommands:
+    def test_generate_spec_and_run(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        exit_code = main([
+            "generate-spec", "--modules", "40", "--edges", "60", "--regions", "5",
+            "--depth", "3", "--seed", "1", "--output", str(spec_path),
+        ])
+        assert exit_code == 0
+        spec = read_specification(spec_path)
+        assert spec.vertex_count == 40 and spec.edge_count == 60
+
+        run_path = tmp_path / "run.json"
+        exit_code = main([
+            "generate-run", "--spec", str(spec_path), "--size", "300",
+            "--seed", "2", "--output", str(run_path),
+        ])
+        assert exit_code == 0
+        run = read_run(run_path, spec)
+        assert run.vertex_count >= 300
+        output = capsys.readouterr().out
+        assert "wrote specification" in output and "wrote run" in output
+
+    def test_generate_spec_infeasible_parameters(self, tmp_path, capsys):
+        exit_code = main([
+            "generate-spec", "--modules", "5", "--edges", "100", "--regions", "10",
+            "--depth", "4", "--output", str(tmp_path / "bad.json"),
+        ])
+        assert exit_code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestLabelAndQuery:
+    @pytest.fixture()
+    def labeled_database(self, tmp_path, paper_spec, paper_run):
+        spec_path = tmp_path / "spec.json"
+        run_path = tmp_path / "run.json"
+        database = tmp_path / "prov.db"
+        write_specification(paper_spec, spec_path)
+        write_run(paper_run, run_path)
+        exit_code = main([
+            "label", "--spec", str(spec_path), "--run", str(run_path),
+            "--database", str(database),
+        ])
+        assert exit_code == 0
+        return database
+
+    def test_query_reachable(self, labeled_database, capsys):
+        exit_code = main([
+            "query", "--database", str(labeled_database), "--run-id", "1",
+            "--source", "a:1", "--target", "h:1",
+        ])
+        assert exit_code == 0
+        assert "reaches" in capsys.readouterr().out
+
+    def test_query_unreachable(self, labeled_database, capsys):
+        exit_code = main([
+            "query", "--database", str(labeled_database), "--run-id", "1",
+            "--source", "b:1", "--target", "c:3",
+        ])
+        assert exit_code == 1
+        assert "does not reach" in capsys.readouterr().out
+
+    def test_query_bad_execution_format(self, labeled_database, capsys):
+        exit_code = main([
+            "query", "--database", str(labeled_database), "--run-id", "1",
+            "--source", "a1", "--target", "h:1",
+        ])
+        assert exit_code == 2
+
+
+class TestVerify:
+    def test_verify_conforming_run(self, tmp_path, paper_spec, paper_run, capsys):
+        spec_path, run_path = tmp_path / "spec.json", tmp_path / "run.json"
+        write_specification(paper_spec, spec_path)
+        write_run(paper_run, run_path)
+        assert main(["verify", "--spec", str(spec_path), "--run", str(run_path)]) == 0
+        output = capsys.readouterr().out
+        assert "conforms" in output and "F1" in output
+
+    def test_verify_non_conforming_run(self, tmp_path, paper_spec, paper_run, capsys):
+        from repro.workflow.run import WorkflowRun
+
+        spec_path, run_path = tmp_path / "spec.json", tmp_path / "bad-run.json"
+        write_specification(paper_spec, spec_path)
+        bad = WorkflowRun.from_edges(
+            paper_spec,
+            [(("a", 1), ("b", 1)), (("b", 1), ("c", 1)), (("c", 1), ("h", 1))],
+            name="missing-branch",
+        )
+        write_run(bad, run_path)
+        assert main(["verify", "--spec", str(spec_path), "--run", str(run_path)]) == 1
+        assert "does NOT conform" in capsys.readouterr().out
+
+
+class TestInfoAndExperiments:
+    def test_info_catalog(self, capsys):
+        assert main(["info", "--catalog", "QBLAST"]) == 0
+        output = capsys.readouterr().out
+        assert "nG (modules)  : 58" in output
+        assert "|TG|          : 6" in output
+
+    def test_info_from_file(self, tmp_path, paper_spec, capsys):
+        path = tmp_path / "spec.xml"
+        write_specification(paper_spec, path)
+        assert main(["info", "--spec", str(path)]) == 0
+        assert "paper-example" in capsys.readouterr().out
+
+    def test_experiments_smoke(self, tmp_path, capsys):
+        exit_code = main([
+            "experiments", "--scale", "smoke", "--seed", "1",
+            "--output-dir", str(tmp_path / "reports"),
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "figure-12" in output and "table-1" in output
+        written = list((tmp_path / "reports").glob("*.txt"))
+        assert len(written) == 12  # tables 1-2, figures 12-20, spec-scheme ablation

@@ -1,0 +1,170 @@
+"""Tests for ConstructPlan (Section 5): plan and context extraction from runs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import PlanConstructionError
+from repro.skeleton.construct import construct_plan
+from repro.workflow.execution import ConstantProfile, PerRegionProfile, generate_run
+from repro.workflow.plan import PlanNodeKind
+from repro.workflow.run import RunVertex, WorkflowRun
+
+
+class TestPaperExample:
+    """The Figure 3 run must produce exactly the Figure 7 execution plan."""
+
+    def test_plan_size(self, paper_spec, paper_run):
+        result = construct_plan(paper_spec, paper_run)
+        assert len(result.plan) == 17  # x1 .. x17 in Figure 7
+
+    def test_copies_per_region(self, paper_spec, paper_run):
+        plan = construct_plan(paper_spec, paper_run).plan
+        assert plan.copies_per_region() == {"F1": 2, "L2": 3, "L1": 2, "F2": 3}
+
+    def test_groups_per_region(self, paper_spec, paper_run):
+        plan = construct_plan(paper_spec, paper_run).plan
+        assert plan.groups_per_region() == {"F1": 1, "L2": 2, "L1": 1, "F2": 2}
+
+    def test_plan_validates(self, paper_spec, paper_run):
+        construct_plan(paper_spec, paper_run).plan.validate()
+
+    def test_context_covers_all_vertices(self, paper_spec, paper_run):
+        result = construct_plan(paper_spec, paper_run)
+        assert set(result.context) == set(paper_run.vertices())
+
+    def test_shared_fork_terminals_get_root_context(self, paper_spec, paper_run):
+        """a1, d1, h1 are dominated only by the whole run (Figure 8, x1)."""
+        result = construct_plan(paper_spec, paper_run)
+        root = result.plan.root_id
+        assert result.context[RunVertex("a", 1)] == root
+        assert result.context[RunVertex("d", 1)] == root
+        assert result.context[RunVertex("h", 1)] == root
+
+    def test_loop_vertices_get_loop_copy_context(self, paper_spec, paper_run):
+        """b1 and c1 share a context (an L2 copy), b2 and c2 share another."""
+        result = construct_plan(paper_spec, paper_run)
+        context = result.context
+        assert context[RunVertex("b", 1)] == context[RunVertex("c", 1)]
+        assert context[RunVertex("b", 2)] == context[RunVertex("c", 2)]
+        assert context[RunVertex("b", 1)] != context[RunVertex("b", 2)]
+        node = result.plan.node(context[RunVertex("b", 1)])
+        assert node.kind is PlanNodeKind.LOOP_COPY and node.region == "L2"
+
+    def test_fork_internal_vertices_get_fork_copy_context(self, paper_spec, paper_run):
+        """f1, f2, f3 sit in F2 copies (Figure 8: x13, x16, x17)."""
+        result = construct_plan(paper_spec, paper_run)
+        for instance in (1, 2, 3):
+            node = result.plan.node(result.context[RunVertex("f", instance)])
+            assert node.kind is PlanNodeKind.FORK_COPY and node.region == "F2"
+
+    def test_empty_fork_copies_exist(self, paper_spec, paper_run):
+        """The two F1 copies dominate no vertex directly (x3, x7 are empty)."""
+        result = construct_plan(paper_spec, paper_run)
+        used = set(result.context.values())
+        f1_copies = [
+            n for n in result.plan.plus_nodes()
+            if n.region == "F1" and n.kind is PlanNodeKind.FORK_COPY
+        ]
+        assert len(f1_copies) == 2
+        assert all(copy.node_id not in used for copy in f1_copies)
+
+    def test_loop_copy_order_follows_serial_edges(self, paper_spec, paper_run):
+        """In the L2 group with two copies, the copy holding b1/c1 precedes b2/c2."""
+        result = construct_plan(paper_spec, paper_run)
+        plan, context = result.plan, result.context
+        first_copy = context[RunVertex("b", 1)]
+        second_copy = context[RunVertex("b", 2)]
+        group = plan.parent(first_copy)
+        assert group.node_id == plan.parent(second_copy).node_id
+        children = group.children
+        assert children.index(first_copy) < children.index(second_copy)
+
+    def test_l1_copies_ordered(self, paper_spec, paper_run):
+        result = construct_plan(paper_spec, paper_run)
+        plan, context = result.plan, result.context
+        first = context[RunVertex("e", 1)]
+        second = context[RunVertex("e", 2)]
+        group = plan.parent(first)
+        assert group.kind is PlanNodeKind.LOOP_GROUP and group.region == "L1"
+        assert group.children.index(first) < group.children.index(second)
+
+
+class TestAgainstGroundTruth:
+    """ConstructPlan must recover the plan the generator used."""
+
+    @pytest.mark.parametrize("profile,seed", [
+        (ConstantProfile(1), 0),
+        (ConstantProfile(2), 1),
+        (ConstantProfile(3), 2),
+        (PerRegionProfile({"F1": 4, "L1": 3}, default=2), 3),
+    ])
+    def test_plan_signature_matches(self, paper_spec, profile, seed):
+        generated = generate_run(paper_spec, profile, seed=seed)
+        result = construct_plan(paper_spec, generated.run)
+        assert result.plan.signature() == generated.plan.signature()
+
+    @pytest.mark.parametrize("profile,seed", [
+        (ConstantProfile(2), 4),
+        (PerRegionProfile({"F1": 3}, default=2), 5),
+    ])
+    def test_context_sizes_match(self, paper_spec, profile, seed):
+        generated = generate_run(paper_spec, profile, seed=seed)
+        result = construct_plan(paper_spec, generated.run)
+        # same number of nonempty contexts and same multiset of context sizes
+        def census(context):
+            sizes: dict[int, int] = {}
+            for node in context.values():
+                sizes[node] = sizes.get(node, 0) + 1
+            return sorted(sizes.values())
+
+        assert census(result.context) == census(generated.context)
+
+    def test_synthetic_spec_signature_matches(self, synthetic_spec, synthetic_run):
+        result = construct_plan(synthetic_spec, synthetic_run.run)
+        assert result.plan.signature() == synthetic_run.plan.signature()
+
+    def test_identity_run_yields_minimal_plan(self, paper_spec):
+        run = WorkflowRun.identity_run(paper_spec)
+        result = construct_plan(paper_spec, run)
+        assert result.plan.copies_per_region() == {"F1": 1, "L2": 1, "L1": 1, "F2": 1}
+        assert len(result.plan.plus_nodes()) == 5
+
+
+class TestConformanceChecking:
+    """Non-conforming runs are rejected rather than silently mislabeled."""
+
+    def test_missing_region_rejected(self, paper_spec):
+        # a run that skips the d-e-f-g branch entirely
+        run = WorkflowRun.from_edges(
+            paper_spec,
+            [(("a", 1), ("b", 1)), (("b", 1), ("c", 1)), (("c", 1), ("h", 1))],
+        )
+        with pytest.raises(PlanConstructionError):
+            construct_plan(paper_spec, run)
+
+    def test_edge_into_fork_copy_rejected(self, paper_spec):
+        """An extra edge into a fork copy's internals breaks self-containment."""
+        edges = [
+            (("a", 1), ("b", 1)), (("b", 1), ("c", 1)), (("c", 1), ("h", 1)),
+            (("a", 1), ("d", 1)), (("d", 1), ("e", 1)), (("e", 1), ("f", 1)),
+            (("f", 1), ("g", 1)), (("g", 1), ("h", 1)),
+            (("d", 1), ("b", 1)),  # illegal: the F1 copy now has two outside predecessors
+        ]
+        run = WorkflowRun.from_edges(paper_spec, edges)
+        with pytest.raises(PlanConstructionError):
+            construct_plan(paper_spec, run)
+
+    def test_branching_loop_chain_rejected(self, paper_spec):
+        """A loop sink feeding two successor copies is not a serial chain."""
+        edges = [
+            (("a", 1), ("b", 1)), (("b", 1), ("c", 1)), (("c", 1), ("h", 1)),
+            (("a", 1), ("d", 1)), (("d", 1), ("e", 1)), (("e", 1), ("f", 1)),
+            (("f", 1), ("g", 1)),
+            (("g", 1), ("e", 2)), (("e", 2), ("f", 2)), (("f", 2), ("g", 2)),
+            (("g", 1), ("e", 3)), (("e", 3), ("f", 3)), (("f", 3), ("g", 3)),
+            (("g", 2), ("h", 1)), (("g", 3), ("h", 1)),
+        ]
+        run = WorkflowRun.from_edges(paper_spec, edges)
+        with pytest.raises(PlanConstructionError):
+            construct_plan(paper_spec, run)

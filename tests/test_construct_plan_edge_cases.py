@@ -1,0 +1,191 @@
+"""Edge-case specifications for plan construction and labeling correctness.
+
+These hand-built specifications exercise the sharing patterns that make
+ConstructPlan subtle: forks nested inside forks that share the same source,
+loops containing the global source or sink, forks whose shared terminals are
+owned by sibling loops, and deep nesting.  For every specification we
+generate several runs, reconstruct the plan from the bare graph, compare it
+against the generator's ground truth, and check every labeled reachability
+answer against an exhaustive oracle.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graphs.traversal import all_pairs_reachability
+from repro.skeleton.construct import construct_plan
+from repro.skeleton.skl import SkeletonLabeler
+from repro.workflow.execution import RangeProfile, generate_run
+from repro.workflow.specification import WorkflowSpecification
+
+
+def nested_forks_sharing_source() -> WorkflowSpecification:
+    """F_inner (a -> c -> b) nested inside F_outer (internals {b, c}), sharing source a."""
+    return WorkflowSpecification.from_edges(
+        edges=[("a", "b"), ("a", "c"), ("c", "b"), ("b", "e")],
+        forks=[("Fouter", {"b", "c"}), ("Finner", {"c"})],
+        name="nested-forks-shared-source",
+    )
+
+
+def loop_containing_global_source() -> WorkflowSpecification:
+    """A loop over {s, x} where s is the workflow's source."""
+    return WorkflowSpecification.from_edges(
+        edges=[("s", "x"), ("x", "t")],
+        loops=[("L", {"s", "x"})],
+        name="loop-at-source",
+    )
+
+
+def loop_containing_global_sink() -> WorkflowSpecification:
+    """A loop over {y, t} where t is the workflow's sink."""
+    return WorkflowSpecification.from_edges(
+        edges=[("s", "y"), ("y", "t")],
+        loops=[("L", {"y", "t"})],
+        name="loop-at-sink",
+    )
+
+
+def fork_source_is_loop_sink() -> WorkflowSpecification:
+    """A fork whose shared source is the sink of a preceding sibling loop."""
+    return WorkflowSpecification.from_edges(
+        edges=[("a", "x"), ("x", "y"), ("y", "f"), ("f", "c")],
+        forks=[("F", {"f"})],
+        loops=[("L", {"x", "y"})],
+        name="fork-after-loop",
+    )
+
+
+def fork_sink_is_loop_source() -> WorkflowSpecification:
+    """A fork whose shared sink is the source of a following sibling loop."""
+    return WorkflowSpecification.from_edges(
+        edges=[("a", "f"), ("f", "x"), ("x", "y"), ("y", "b")],
+        forks=[("F", {"f"})],
+        loops=[("L", {"x", "y"})],
+        name="fork-before-loop",
+    )
+
+
+def fork_filling_loop_branch() -> WorkflowSpecification:
+    """The paper's F2/L1 situation in isolation: a fork spanning a loop's only branch."""
+    return WorkflowSpecification.from_edges(
+        edges=[("s", "e"), ("e", "f"), ("f", "g"), ("g", "t")],
+        forks=[("F", {"f"})],
+        loops=[("L", {"e", "f", "g"})],
+        name="fork-fills-loop",
+    )
+
+
+def two_forks_sharing_both_terminals() -> WorkflowSpecification:
+    """Two edge-disjoint sibling forks with identical source and sink."""
+    return WorkflowSpecification.from_edges(
+        edges=[("s", "x"), ("x", "t"), ("s", "y"), ("y", "z"), ("z", "t")],
+        forks=[("F1", {"x"}), ("F2", {"y", "z"})],
+        name="parallel-sibling-forks",
+    )
+
+
+def deep_nesting_chain() -> WorkflowSpecification:
+    """Loop > fork > loop > fork nesting, four levels deep."""
+    return WorkflowSpecification.from_edges(
+        edges=[
+            ("s", "p"), ("p", "q"), ("q", "r"), ("r", "u"), ("u", "v"), ("v", "w"),
+            ("w", "z"), ("z", "t"),
+        ],
+        # L1 spans p..z; F1 = internals {q,r,u,v,w}; L2 spans r..v; F2 = internals {u}
+        loops=[("L1", {"p", "q", "r", "u", "v", "w", "z"}), ("L2", {"r", "u", "v"})],
+        forks=[("F1", {"q", "r", "u", "v", "w"}), ("F2", {"u"})],
+        name="deep-nesting",
+    )
+
+
+EDGE_CASE_SPECS = [
+    nested_forks_sharing_source,
+    loop_containing_global_source,
+    loop_containing_global_sink,
+    fork_source_is_loop_sink,
+    fork_sink_is_loop_source,
+    fork_filling_loop_branch,
+    two_forks_sharing_both_terminals,
+    deep_nesting_chain,
+]
+
+
+@pytest.mark.parametrize("build_spec", EDGE_CASE_SPECS, ids=lambda f: f.__name__)
+class TestEdgeCaseSpecifications:
+    def test_specification_is_valid(self, build_spec):
+        spec = build_spec()
+        assert spec.hierarchy.size == len(spec.regions) + 1
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_reconstructed_plan_matches_ground_truth(self, build_spec, seed):
+        spec = build_spec()
+        generated = generate_run(spec, RangeProfile(1, 3), seed=seed)
+        result = construct_plan(spec, generated.run)
+        assert result.plan.signature() == generated.plan.signature()
+        assert set(result.context) == set(generated.run.vertices())
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_labeled_reachability_matches_oracle(self, build_spec, seed):
+        spec = build_spec()
+        generated = generate_run(spec, RangeProfile(2, 4), seed=seed)
+        labeled = SkeletonLabeler(spec, "tcm").label_run(generated.run)
+        reach = all_pairs_reachability(generated.run.graph)
+        for source in generated.run.vertices():
+            for target in generated.run.vertices():
+                assert labeled.reaches(source, target) == (target in reach[source]), (
+                    f"{spec.name}: wrong answer for {source} -> {target}"
+                )
+
+    def test_plan_size_bound_holds(self, build_spec):
+        spec = build_spec()
+        generated = generate_run(spec, RangeProfile(1, 4), seed=7)
+        result = construct_plan(spec, generated.run)
+        assert len(result.plan) <= 4 * generated.run.edge_count
+
+
+class TestSpecificStructures:
+    def test_nested_forks_share_run_source(self):
+        """Every copy of both forks hangs off the single shared source a1."""
+        spec = nested_forks_sharing_source()
+        generated = generate_run(spec, RangeProfile(2, 2), seed=3)
+        run = generated.run
+        assert len(run.instances_of("a")) == 1
+        assert len(run.instances_of("c")) == 4  # 2 outer copies x 2 inner copies
+
+    def test_loop_at_source_has_single_global_source(self):
+        spec = loop_containing_global_source()
+        generated = generate_run(spec, RangeProfile(3, 3), seed=1)
+        run = generated.run
+        assert run.source.module == "s"
+        assert len(run.instances_of("s")) == 3
+        assert len(run.instances_of("t")) == 1
+
+    def test_fork_after_loop_attaches_to_last_iteration(self):
+        spec = fork_source_is_loop_sink()
+        generated = generate_run(spec, RangeProfile(3, 3), seed=2)
+        run = generated.run
+        labeled = SkeletonLabeler(spec, "bfs").label_run(run)
+        # every fork copy hangs off the *last* loop iteration's sink, so every
+        # y execution (and every earlier loop vertex) reaches every f execution
+        for y_vertex in run.instances_of("y"):
+            for f_vertex in run.instances_of("f"):
+                assert labeled.reaches(y_vertex, f_vertex)
+                assert not labeled.reaches(f_vertex, y_vertex)
+        # and the fork copies themselves stay mutually unreachable
+        f_copies = run.instances_of("f")
+        assert len(f_copies) == 3
+        for first in f_copies:
+            for second in f_copies:
+                if first != second:
+                    assert not labeled.reaches(first, second)
+
+    def test_deep_nesting_depth(self):
+        spec = deep_nesting_chain()
+        assert spec.hierarchy.depth == 5
+        assert spec.hierarchy.node("F2").parent == "L2"
+        assert spec.hierarchy.node("L2").parent == "F1"
+        assert spec.hierarchy.node("F1").parent == "L1"

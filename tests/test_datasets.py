@@ -1,0 +1,157 @@
+"""Tests for the synthetic generator and the Table 1 catalog."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.datasets.blocks import BodyNode, build_region_tree, minimum_anchor_count
+from repro.datasets.reallife import (
+    REAL_WORKFLOW_PROFILES,
+    load_all_real_workflows,
+    load_real_workflow,
+    real_workflow_names,
+)
+from repro.datasets.synthetic import SyntheticSpecConfig, generate_specification
+from repro.exceptions import DatasetError
+from repro.workflow.subgraphs import RegionKind
+
+
+class TestRegionTree:
+    def test_size_and_depth_exact(self):
+        rng = random.Random(0)
+        root = build_region_tree(8, 4, rng=rng)
+        nodes = root.subtree()
+        assert len(nodes) == 8
+        assert max(node.depth for node in nodes) == 4
+
+    def test_single_node_tree(self):
+        root = build_region_tree(1, 1, rng=random.Random(0))
+        assert root.is_root and root.children == []
+
+    def test_invalid_depth_for_empty_tree(self):
+        with pytest.raises(DatasetError):
+            build_region_tree(1, 2, rng=random.Random(0))
+
+    def test_depth_needs_enough_regions(self):
+        with pytest.raises(DatasetError):
+            build_region_tree(3, 5, rng=random.Random(0))
+
+    def test_depth_two_when_regions_exist(self):
+        with pytest.raises(DatasetError):
+            build_region_tree(4, 1, rng=random.Random(0))
+
+    def test_both_kinds_present_with_two_or_more_regions(self):
+        for seed in range(10):
+            root = build_region_tree(5, 2, rng=random.Random(seed), fork_fraction=0.99)
+            kinds = {node.kind for node in root.descendants()}
+            assert RegionKind.FORK in kinds and RegionKind.LOOP in kinds
+
+    def test_minimum_anchor_count(self):
+        root = BodyNode(name="__root__", kind=None)
+        fork = BodyNode(name="F1", kind=RegionKind.FORK, parent=root)
+        loop = BodyNode(name="L1", kind=RegionKind.LOOP, parent=root)
+        root.children = [fork, loop]
+        assert minimum_anchor_count(fork) == 1
+        assert minimum_anchor_count(loop) == 2
+        assert minimum_anchor_count(root) == 3
+
+
+class TestSyntheticGenerator:
+    @pytest.mark.parametrize(
+        "n_modules,n_edges,size,depth",
+        [
+            (30, 40, 4, 2),
+            (50, 100, 8, 3),
+            (100, 200, 10, 4),
+            (200, 400, 10, 4),
+            (25, 24, 1, 1),
+        ],
+    )
+    def test_exact_parameters(self, n_modules, n_edges, size, depth):
+        spec = generate_specification(
+            SyntheticSpecConfig(n_modules, n_edges, size, depth, seed=3)
+        )
+        assert spec.vertex_count == n_modules
+        assert spec.edge_count == n_edges
+        assert spec.hierarchy.size == size
+        assert spec.hierarchy.depth == depth
+
+    def test_keyword_interface(self):
+        spec = generate_specification(
+            n_modules=40, n_edges=60, hierarchy_size=5, hierarchy_depth=3, seed=1
+        )
+        assert spec.vertex_count == 40
+
+    def test_missing_parameters_rejected(self):
+        with pytest.raises(DatasetError):
+            generate_specification(n_modules=40, n_edges=60)
+
+    def test_determinism(self):
+        config = SyntheticSpecConfig(60, 90, 6, 3, seed=9)
+        first = generate_specification(config)
+        second = generate_specification(config)
+        assert first.graph == second.graph
+        assert set(first.regions) == set(second.regions)
+
+    def test_different_seeds_differ(self):
+        first = generate_specification(SyntheticSpecConfig(60, 90, 6, 3, seed=1))
+        second = generate_specification(SyntheticSpecConfig(60, 90, 6, 3, seed=2))
+        assert first.graph != second.graph or set(first.regions) != set(second.regions)
+
+    def test_too_few_modules_rejected(self):
+        with pytest.raises(DatasetError):
+            generate_specification(SyntheticSpecConfig(5, 10, 10, 4, seed=0))
+
+    def test_too_few_edges_rejected(self):
+        with pytest.raises(DatasetError):
+            generate_specification(SyntheticSpecConfig(50, 30, 5, 3, seed=0))
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(DatasetError):
+            generate_specification(SyntheticSpecConfig(10, 200, 3, 2, seed=0))
+
+    def test_fork_fraction_extremes(self):
+        mostly_loops = generate_specification(
+            SyntheticSpecConfig(50, 80, 6, 3, fork_fraction=0.0, seed=4)
+        )
+        assert len(mostly_loops.loops) >= len(mostly_loops.forks)
+        mostly_forks = generate_specification(
+            SyntheticSpecConfig(50, 80, 6, 3, fork_fraction=1.0, seed=4)
+        )
+        assert len(mostly_forks.forks) >= len(mostly_forks.loops)
+
+    def test_generated_spec_is_usable_for_runs(self):
+        from repro.workflow.execution import generate_run_with_size
+
+        spec = generate_specification(SyntheticSpecConfig(40, 70, 6, 3, seed=5))
+        generated = generate_run_with_size(spec, 400, seed=5)
+        assert generated.run.vertex_count >= 400
+
+
+class TestRealWorkflowCatalog:
+    def test_names(self):
+        assert real_workflow_names() == ["EBI", "PubMed", "QBLAST", "BioAID", "ProScan", "ProDisc"]
+
+    @pytest.mark.parametrize("profile", REAL_WORKFLOW_PROFILES, ids=lambda p: p.name)
+    def test_table1_characteristics_exact(self, profile):
+        spec = load_real_workflow(profile.name)
+        assert spec.vertex_count == profile.n_modules
+        assert spec.edge_count == profile.n_edges
+        assert spec.hierarchy.size == profile.hierarchy_size
+        assert spec.hierarchy.depth == profile.hierarchy_depth
+
+    def test_lookup_is_case_insensitive(self):
+        assert load_real_workflow("qblast").name == "QBLAST"
+
+    def test_unknown_workflow_rejected(self):
+        with pytest.raises(DatasetError):
+            load_real_workflow("SuperBLAST")
+
+    def test_load_all(self):
+        catalog = load_all_real_workflows()
+        assert set(catalog) == set(real_workflow_names())
+
+    def test_catalog_is_deterministic(self):
+        assert load_real_workflow("EBI").graph == load_real_workflow("EBI").graph

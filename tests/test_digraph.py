@@ -1,0 +1,198 @@
+"""Unit tests for the DiGraph container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import EdgeNotFoundError, GraphError, VertexNotFoundError
+from repro.graphs.digraph import DiGraph
+
+
+@pytest.fixture()
+def diamond() -> DiGraph:
+    """A small diamond: s -> a -> t, s -> b -> t."""
+    return DiGraph(edges=[("s", "a"), ("s", "b"), ("a", "t"), ("b", "t")])
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = DiGraph()
+        assert graph.vertex_count == 0
+        assert graph.edge_count == 0
+        assert graph.vertices() == []
+        assert graph.edges() == []
+
+    def test_vertices_only(self):
+        graph = DiGraph(vertices=["x", "y", "z"])
+        assert graph.vertex_count == 3
+        assert graph.edge_count == 0
+
+    def test_edges_add_endpoints(self, diamond: DiGraph):
+        assert diamond.vertex_count == 4
+        assert diamond.edge_count == 4
+
+    def test_insertion_order_preserved(self):
+        graph = DiGraph(vertices=["c", "a", "b"])
+        assert graph.vertices() == ["c", "a", "b"]
+
+    def test_duplicate_vertex_is_noop(self):
+        graph = DiGraph(vertices=["a", "a", "a"])
+        assert graph.vertex_count == 1
+
+    def test_duplicate_edge_is_noop(self):
+        graph = DiGraph(edges=[("a", "b"), ("a", "b")])
+        assert graph.edge_count == 1
+
+    def test_self_loop_rejected(self):
+        graph = DiGraph()
+        with pytest.raises(GraphError):
+            graph.add_edge("a", "a")
+
+
+class TestQueries:
+    def test_contains(self, diamond: DiGraph):
+        assert "a" in diamond
+        assert "missing" not in diamond
+
+    def test_len_and_iter(self, diamond: DiGraph):
+        assert len(diamond) == 4
+        assert set(iter(diamond)) == {"s", "a", "b", "t"}
+
+    def test_has_edge(self, diamond: DiGraph):
+        assert diamond.has_edge("s", "a")
+        assert not diamond.has_edge("a", "s")
+        assert not diamond.has_edge("nope", "a")
+
+    def test_successors_and_predecessors(self, diamond: DiGraph):
+        assert set(diamond.successors("s")) == {"a", "b"}
+        assert diamond.predecessors("t") == ["a", "b"]
+        assert diamond.predecessors("s") == []
+
+    def test_degrees(self, diamond: DiGraph):
+        assert diamond.out_degree("s") == 2
+        assert diamond.in_degree("s") == 0
+        assert diamond.degree("a") == 2
+
+    def test_neighbors_no_duplicates(self):
+        graph = DiGraph(edges=[("a", "b"), ("b", "c")])
+        assert graph.neighbors("b") == ["c", "a"]
+
+    def test_sources_and_sinks(self, diamond: DiGraph):
+        assert diamond.sources() == ["s"]
+        assert diamond.sinks() == ["t"]
+
+    def test_unknown_vertex_raises(self, diamond: DiGraph):
+        with pytest.raises(VertexNotFoundError):
+            diamond.successors("missing")
+        with pytest.raises(VertexNotFoundError):
+            diamond.in_degree("missing")
+
+    def test_iter_edges_matches_edges(self, diamond: DiGraph):
+        assert list(diamond.iter_edges()) == diamond.edges()
+
+
+class TestMutation:
+    def test_remove_edge(self, diamond: DiGraph):
+        diamond.remove_edge("s", "a")
+        assert not diamond.has_edge("s", "a")
+        assert diamond.edge_count == 3
+
+    def test_remove_missing_edge_raises(self, diamond: DiGraph):
+        with pytest.raises(EdgeNotFoundError):
+            diamond.remove_edge("a", "b")
+
+    def test_remove_vertex_removes_incident_edges(self, diamond: DiGraph):
+        diamond.remove_vertex("a")
+        assert "a" not in diamond
+        assert diamond.edge_count == 2
+        assert not diamond.has_edge("s", "a")
+        assert not diamond.has_edge("a", "t")
+
+    def test_remove_missing_vertex_raises(self, diamond: DiGraph):
+        with pytest.raises(VertexNotFoundError):
+            diamond.remove_vertex("missing")
+
+    def test_remove_vertices_bulk(self, diamond: DiGraph):
+        diamond.remove_vertices(["a", "b"])
+        assert diamond.vertex_count == 2
+        assert diamond.edge_count == 0
+
+    def test_add_edges_bulk(self):
+        graph = DiGraph()
+        graph.add_edges([("a", "b"), ("b", "c")])
+        assert graph.edge_count == 2
+
+
+class TestDerivedGraphs:
+    def test_copy_is_independent(self, diamond: DiGraph):
+        clone = diamond.copy()
+        clone.remove_vertex("a")
+        assert "a" in diamond
+        assert "a" not in clone
+
+    def test_copy_equality(self, diamond: DiGraph):
+        assert diamond.copy() == diamond
+
+    def test_subgraph_induced(self, diamond: DiGraph):
+        sub = diamond.subgraph(["s", "a", "t"])
+        assert sub.vertex_count == 3
+        assert sub.has_edge("s", "a") and sub.has_edge("a", "t")
+        assert not sub.has_edge("s", "b")
+
+    def test_subgraph_ignores_unknown_vertices(self, diamond: DiGraph):
+        sub = diamond.subgraph(["a", "ghost"])
+        assert sub.vertices() == ["a"]
+
+    def test_edge_subgraph(self, diamond: DiGraph):
+        sub = diamond.edge_subgraph([("s", "a")])
+        assert sub.vertices() == ["s", "a"]
+        assert sub.edge_count == 1
+
+    def test_edge_subgraph_unknown_edge_raises(self, diamond: DiGraph):
+        with pytest.raises(EdgeNotFoundError):
+            diamond.edge_subgraph([("t", "s")])
+
+    def test_reverse(self, diamond: DiGraph):
+        reversed_graph = diamond.reverse()
+        assert reversed_graph.has_edge("a", "s")
+        assert reversed_graph.sources() == ["t"]
+        assert reversed_graph.sinks() == ["s"]
+
+    def test_relabeled(self, diamond: DiGraph):
+        renamed = diamond.relabeled({"s": "source", "t": "sink"})
+        assert renamed.has_edge("source", "a")
+        assert renamed.has_edge("b", "sink")
+        assert "s" not in renamed
+
+    def test_relabeled_collision_raises(self, diamond: DiGraph):
+        with pytest.raises(GraphError):
+            diamond.relabeled({"a": "b"})
+
+
+class TestEqualityAndSerialization:
+    def test_equality_ignores_insertion_order(self):
+        first = DiGraph(edges=[("a", "b"), ("b", "c")])
+        second = DiGraph(edges=[("b", "c"), ("a", "b")])
+        assert first == second
+
+    def test_inequality_on_different_edges(self):
+        first = DiGraph(edges=[("a", "b")])
+        second = DiGraph(edges=[("b", "a")])
+        assert first != second
+
+    def test_equality_with_other_type(self, diamond: DiGraph):
+        assert (diamond == 42) is False or (diamond == 42) is NotImplemented or True
+
+    def test_unhashable(self, diamond: DiGraph):
+        with pytest.raises(TypeError):
+            hash(diamond)
+
+    def test_round_trip_dict(self, diamond: DiGraph):
+        rebuilt = DiGraph.from_dict(diamond.to_dict())
+        assert rebuilt == diamond
+
+    def test_to_dict_lists_isolated_vertices(self):
+        graph = DiGraph(vertices=["lonely"])
+        payload = graph.to_dict()
+        assert payload["vertices"] == ["lonely"]
+        assert payload["edges"] == []

@@ -1,0 +1,42 @@
+"""The example scripts must run end to end without errors."""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = [
+    "quickstart.py",
+    "paper_running_example.py",
+    "data_provenance_queries.py",
+    "provenance_store.py",
+    "online_labeling.py",
+]
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [script])
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    output = capsys.readouterr().out
+    assert output.strip(), f"{script} produced no output"
+
+
+def test_scheme_comparison_example_smoke(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["scheme_comparison.py", "--scale", "smoke"])
+    runpy.run_path(str(EXAMPLES_DIR / "scheme_comparison.py"), run_name="__main__")
+    output = capsys.readouterr().out
+    assert "figure-15" in output and "figure-17" in output
+
+
+def test_quickstart_reports_expected_answers(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["quickstart.py"])
+    runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+    output = capsys.readouterr().out
+    assert "not reachable (decided by the fork rule)" in output
+    assert "reachable (decided by the loop rule)" in output

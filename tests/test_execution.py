@@ -1,0 +1,235 @@
+"""Unit tests for run generation: profiles, plan building and materialization."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.graphs.traversal import is_dag
+from repro.workflow.execution import (
+    ConstantProfile,
+    PerRegionProfile,
+    RangeProfile,
+    build_plan,
+    generate_run,
+    generate_run_with_size,
+    grow_plan_to_size,
+    materialize_plan,
+    minimal_expansion_sizes,
+    own_edges,
+    owned_vertices,
+)
+from repro.workflow.hierarchy import ROOT_NAME
+from repro.workflow.plan import PlanNodeKind
+from repro.workflow.run import RunVertex
+from repro.workflow.specification import WorkflowSpecification
+
+
+class TestProfiles:
+    def test_constant_profile(self, rng):
+        assert ConstantProfile(3).copies("F1", rng) == 3
+
+    def test_constant_profile_rejects_zero(self, rng):
+        with pytest.raises(DatasetError):
+            ConstantProfile(0).copies("F1", rng)
+
+    def test_range_profile_within_bounds(self, rng):
+        profile = RangeProfile(2, 5)
+        for _ in range(50):
+            assert 2 <= profile.copies("L1", rng) <= 5
+
+    def test_range_profile_invalid_bounds(self, rng):
+        with pytest.raises(DatasetError):
+            RangeProfile(0, 3).copies("L1", rng)
+        with pytest.raises(DatasetError):
+            RangeProfile(5, 2).copies("L1", rng)
+
+    def test_per_region_profile(self, rng):
+        profile = PerRegionProfile({"F1": 4}, default=2)
+        assert profile.copies("F1", rng) == 4
+        assert profile.copies("L1", rng) == 2
+
+    def test_per_region_profile_rejects_zero(self, rng):
+        with pytest.raises(DatasetError):
+            PerRegionProfile({"F1": 0}).copies("F1", rng)
+
+
+class TestStructuralHelpers:
+    def test_owned_vertices_paper(self, paper_spec):
+        owned = owned_vertices(paper_spec)
+        assert owned[ROOT_NAME] == {"a", "d", "h"}
+        assert owned["F1"] == frozenset()          # everything inside L2
+        assert owned["L2"] == {"b", "c"}
+        assert owned["L1"] == {"e", "g"}
+        assert owned["F2"] == {"f"}
+
+    def test_owned_vertices_partition(self, paper_spec):
+        owned = owned_vertices(paper_spec)
+        union = set()
+        total = 0
+        for vertices in owned.values():
+            union |= vertices
+            total += len(vertices)
+        assert union == set(paper_spec.modules)
+        assert total == paper_spec.vertex_count  # disjoint partition
+
+    def test_own_edges_partition(self, paper_spec):
+        edges = own_edges(paper_spec)
+        union = set()
+        total = 0
+        for edge_set in edges.values():
+            union |= edge_set
+            total += len(edge_set)
+        assert union == set(paper_spec.graph.iter_edges())
+        assert total == paper_spec.edge_count
+
+    def test_minimal_expansion_sizes(self, paper_spec):
+        sizes = minimal_expansion_sizes(paper_spec)
+        assert sizes["L2"] == 2
+        assert sizes["F2"] == 1
+        assert sizes["F1"] == 2       # owns nothing, contains L2
+        assert sizes["L1"] == 3       # e, g + F2
+        assert sizes[ROOT_NAME] == paper_spec.vertex_count
+
+
+class TestBuildPlan:
+    def test_minimal_plan_structure(self, paper_spec):
+        plan = build_plan(paper_spec, ConstantProfile(1))
+        plan.validate()
+        assert plan.copies_per_region() == {"F1": 1, "L2": 1, "L1": 1, "F2": 1}
+        assert plan.groups_per_region() == {"F1": 1, "L2": 1, "L1": 1, "F2": 1}
+
+    def test_constant_two_plan(self, paper_spec):
+        plan = build_plan(paper_spec, ConstantProfile(2), random.Random(0))
+        plan.validate()
+        copies = plan.copies_per_region()
+        assert copies["F1"] == 2
+        # L2 appears once in each of the two F1 copies, twice each time
+        assert copies["L2"] == 4
+
+    def test_nested_group_counts(self, paper_spec):
+        plan = build_plan(paper_spec, PerRegionProfile({"F1": 3}, default=1))
+        groups = plan.groups_per_region()
+        assert groups["F1"] == 1
+        assert groups["L2"] == 3  # one L2 execution per F1 copy
+
+
+class TestMaterialization:
+    def test_identity_run_matches_spec(self, paper_spec):
+        plan = build_plan(paper_spec, ConstantProfile(1))
+        generated = materialize_plan(paper_spec, plan)
+        run = generated.run
+        assert run.vertex_count == paper_spec.vertex_count
+        assert run.edge_count == paper_spec.edge_count
+        origins = {(t.module, h.module) for t, h in run.graph.iter_edges()}
+        assert origins == set(paper_spec.graph.iter_edges())
+
+    def test_generated_run_is_dag_flow_network(self, paper_spec):
+        generated = generate_run(paper_spec, ConstantProfile(3), seed=5)
+        assert is_dag(generated.run.graph)
+        assert generated.run.source.module == "a"
+        assert generated.run.sink.module == "h"
+
+    def test_context_covers_every_vertex(self, paper_spec):
+        generated = generate_run(paper_spec, ConstantProfile(2), seed=5)
+        assert set(generated.context) == set(generated.run.vertices())
+        plus_ids = {n.node_id for n in generated.plan.plus_nodes()}
+        assert set(generated.context.values()) <= plus_ids
+
+    def test_instance_numbers_unique_per_module(self, paper_spec):
+        generated = generate_run(paper_spec, ConstantProfile(3), seed=1)
+        seen: set[RunVertex] = set()
+        for vertex in generated.run.vertices():
+            assert vertex not in seen
+            seen.add(vertex)
+
+    def test_fork_copies_share_terminals(self, paper_spec):
+        generated = generate_run(paper_spec, PerRegionProfile({"F1": 4}, default=1), seed=2)
+        run = generated.run
+        # all four F1 copies hang off the single a1 / h1 pair
+        assert len(run.instances_of("a")) == 1
+        assert len(run.instances_of("h")) == 1
+        assert len(run.instances_of("b")) == 4
+
+    def test_loop_copies_chain_serially(self, paper_spec):
+        generated = generate_run(paper_spec, PerRegionProfile({"L1": 3}, default=1), seed=2)
+        run = generated.run
+        # three L1 copies -> three e's and three g's, connected g_i -> e_{i+1}
+        assert len(run.instances_of("e")) == 3
+        assert len(run.instances_of("g")) == 3
+        serial_edges = [
+            (t, h) for t, h in run.graph.iter_edges()
+            if t.module == "g" and h.module == "e"
+        ]
+        assert len(serial_edges) == 2
+
+    def test_paper_figure3_shape_reproducible(self, paper_spec):
+        """A plan with the Figure 3 copy counts yields a 16-vertex run."""
+        from repro.workflow.plan import ExecutionPlan
+
+        plan = ExecutionPlan()
+        root = plan.add_root()
+        f1_group = plan.add_node(PlanNodeKind.FORK_GROUP, "F1", parent=root)
+        copy_one = plan.add_node(PlanNodeKind.FORK_COPY, "F1", parent=f1_group)
+        copy_two = plan.add_node(PlanNodeKind.FORK_COPY, "F1", parent=f1_group)
+        l2_first = plan.add_node(PlanNodeKind.LOOP_GROUP, "L2", parent=copy_one)
+        plan.add_node(PlanNodeKind.LOOP_COPY, "L2", parent=l2_first)
+        plan.add_node(PlanNodeKind.LOOP_COPY, "L2", parent=l2_first)
+        l2_second = plan.add_node(PlanNodeKind.LOOP_GROUP, "L2", parent=copy_two)
+        plan.add_node(PlanNodeKind.LOOP_COPY, "L2", parent=l2_second)
+        l1_group = plan.add_node(PlanNodeKind.LOOP_GROUP, "L1", parent=root)
+        l1_first = plan.add_node(PlanNodeKind.LOOP_COPY, "L1", parent=l1_group)
+        l1_second = plan.add_node(PlanNodeKind.LOOP_COPY, "L1", parent=l1_group)
+        f2_first = plan.add_node(PlanNodeKind.FORK_GROUP, "F2", parent=l1_first)
+        plan.add_node(PlanNodeKind.FORK_COPY, "F2", parent=f2_first)
+        f2_second = plan.add_node(PlanNodeKind.FORK_GROUP, "F2", parent=l1_second)
+        plan.add_node(PlanNodeKind.FORK_COPY, "F2", parent=f2_second)
+        plan.add_node(PlanNodeKind.FORK_COPY, "F2", parent=f2_second)
+
+        generated = materialize_plan(paper_spec, plan)
+        assert generated.run.vertex_count == 16
+        assert generated.run.edge_count == 18
+
+    def test_empty_group_rejected(self, paper_spec):
+        from repro.exceptions import SpecificationError
+        from repro.workflow.plan import ExecutionPlan
+
+        plan = ExecutionPlan()
+        root = plan.add_root()
+        plan.add_node(PlanNodeKind.FORK_GROUP, "F1", parent=root)
+        plan.add_node(PlanNodeKind.LOOP_GROUP, "L1", parent=root)
+        with pytest.raises(SpecificationError):
+            materialize_plan(paper_spec, plan)
+
+
+class TestGrowToSize:
+    def test_target_reached(self, paper_spec):
+        generated = generate_run_with_size(paper_spec, 500, seed=1)
+        assert generated.run.vertex_count >= 500
+        assert generated.run.vertex_count <= 500 + paper_spec.vertex_count
+
+    def test_small_target_gives_identity_size(self, paper_spec):
+        generated = generate_run_with_size(paper_spec, paper_spec.vertex_count, seed=1)
+        assert generated.run.vertex_count == paper_spec.vertex_count
+
+    def test_target_below_spec_rejected(self, paper_spec):
+        with pytest.raises(DatasetError):
+            grow_plan_to_size(paper_spec, paper_spec.vertex_count - 1, random.Random(0))
+
+    def test_region_free_spec_cannot_grow(self):
+        spec = WorkflowSpecification.from_edges([("s", "x"), ("x", "t")], name="flat")
+        with pytest.raises(DatasetError):
+            grow_plan_to_size(spec, 10, random.Random(0))
+
+    def test_growth_is_deterministic_per_seed(self, paper_spec):
+        first = generate_run_with_size(paper_spec, 300, seed=9)
+        second = generate_run_with_size(paper_spec, 300, seed=9)
+        assert first.run.vertex_count == second.run.vertex_count
+        assert first.plan.signature() == second.plan.signature()
+
+    def test_synthetic_spec_growth(self, synthetic_spec):
+        generated = generate_run_with_size(synthetic_spec, 1000, seed=2)
+        assert generated.run.vertex_count >= 1000
+        assert is_dag(generated.run.graph)

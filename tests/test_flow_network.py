@@ -1,0 +1,165 @@
+"""Unit tests for acyclic flow networks and composition operations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import FlowNetworkError
+from repro.graphs.digraph import DiGraph
+from repro.graphs.flow_network import (
+    every_vertex_on_source_sink_path,
+    find_sink,
+    find_source,
+    internal_vertices,
+    is_acyclic_flow_network,
+    parallel_composition,
+    replace_subgraph,
+    serial_composition,
+    validate_flow_network,
+)
+
+
+@pytest.fixture()
+def diamond() -> DiGraph:
+    return DiGraph(edges=[("s", "a"), ("s", "b"), ("a", "t"), ("b", "t")])
+
+
+class TestValidation:
+    def test_find_source_and_sink(self, diamond: DiGraph):
+        assert find_source(diamond) == "s"
+        assert find_sink(diamond) == "t"
+
+    def test_internal_vertices(self, diamond: DiGraph):
+        assert internal_vertices(diamond) == {"a", "b"}
+
+    def test_validate_returns_terminals(self, diamond: DiGraph):
+        assert validate_flow_network(diamond) == ("s", "t")
+
+    def test_is_acyclic_flow_network_true(self, diamond: DiGraph):
+        assert is_acyclic_flow_network(diamond)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(FlowNetworkError):
+            validate_flow_network(DiGraph())
+
+    def test_two_sources_rejected(self):
+        graph = DiGraph(edges=[("s1", "t"), ("s2", "t")])
+        with pytest.raises(FlowNetworkError):
+            validate_flow_network(graph)
+
+    def test_two_sinks_rejected(self):
+        graph = DiGraph(edges=[("s", "t1"), ("s", "t2")])
+        with pytest.raises(FlowNetworkError):
+            validate_flow_network(graph)
+
+    def test_cycle_rejected(self):
+        graph = DiGraph(edges=[("s", "a"), ("a", "b"), ("b", "a"), ("a", "t")])
+        with pytest.raises(FlowNetworkError):
+            validate_flow_network(graph)
+
+    def test_isolated_vertex_rejected(self):
+        graph = DiGraph(edges=[("s", "t")])
+        graph.add_vertex("floating")
+        assert not is_acyclic_flow_network(graph)
+
+    def test_single_vertex_rejected(self):
+        graph = DiGraph(vertices=["only"])
+        with pytest.raises(FlowNetworkError):
+            validate_flow_network(graph)
+
+    def test_every_vertex_on_path(self, diamond: DiGraph):
+        assert every_vertex_on_source_sink_path(diamond)
+
+
+class TestCompositions:
+    def test_parallel_composition_merges_terminals(self):
+        first = DiGraph(edges=[("s", "a"), ("a", "t")])
+        second = DiGraph(edges=[("s2", "b"), ("b", "t2")])
+        combined = parallel_composition([first, second])
+        assert find_source(combined) == "s"
+        assert find_sink(combined) == "t"
+        assert combined.has_edge("s", "b")
+        assert combined.has_edge("b", "t")
+        assert combined.vertex_count == 4  # s, t, a, b
+
+    def test_parallel_composition_empty_rejected(self):
+        with pytest.raises(FlowNetworkError):
+            parallel_composition([])
+
+    def test_parallel_composition_with_rename(self):
+        network = DiGraph(edges=[("s", "a"), ("a", "t")])
+        combined = parallel_composition(
+            [network, network], rename=lambda i, v: f"{v}_{i}"
+        )
+        assert combined.vertex_count == 4  # shared terminals + a_0 + a_1
+        assert combined.has_edge("s_0", "a_1")
+
+    def test_serial_composition_adds_bridge_edge(self):
+        first = DiGraph(edges=[("s1", "t1")])
+        second = DiGraph(edges=[("s2", "t2")])
+        combined = serial_composition([first, second])
+        assert combined.has_edge("t1", "s2")
+        assert find_source(combined) == "s1"
+        assert find_sink(combined) == "t2"
+
+    def test_serial_composition_three_networks(self):
+        nets = [DiGraph(edges=[(f"s{i}", f"t{i}")]) for i in range(3)]
+        combined = serial_composition(nets)
+        assert combined.edge_count == 5  # 3 originals + 2 bridges
+
+    def test_serial_composition_empty_rejected(self):
+        with pytest.raises(FlowNetworkError):
+            serial_composition([])
+
+
+class TestReplacement:
+    def test_replace_inner_subgraph(self):
+        graph = DiGraph(edges=[("s", "x"), ("x", "y"), ("y", "t")])
+        replacement = DiGraph(edges=[("p", "q"), ("q", "r")])
+        result = replace_subgraph(
+            graph,
+            old_vertices={"x", "y"},
+            old_source="x",
+            old_sink="y",
+            replacement=replacement,
+            replacement_source="p",
+            replacement_sink="r",
+        )
+        assert result.has_edge("s", "x")
+        assert result.has_edge("x", "q")
+        assert result.has_edge("q", "y")
+        assert result.has_edge("y", "t")
+
+    def test_replace_requires_terminals_in_old_vertices(self):
+        graph = DiGraph(edges=[("s", "x"), ("x", "t")])
+        with pytest.raises(FlowNetworkError):
+            replace_subgraph(
+                graph, {"x"}, "s", "x", DiGraph(edges=[("p", "q")]), "p", "q"
+            )
+
+    def test_replace_rejects_non_self_contained(self):
+        graph = DiGraph(edges=[("s", "x"), ("x", "y"), ("y", "t"), ("x", "t")])
+        # {x, y} is not self-contained here because x also feeds t directly,
+        # but x is the claimed source so that edge is fine; instead make an
+        # internal vertex leak: y -> t is the sink's outgoing edge, so use a
+        # different subgraph whose internal vertex has an outside edge.
+        graph2 = DiGraph(edges=[("s", "x"), ("x", "y"), ("y", "z"), ("z", "t"), ("y", "t")])
+        with pytest.raises(FlowNetworkError):
+            replace_subgraph(
+                graph2,
+                old_vertices={"x", "y", "z"},
+                old_source="x",
+                old_sink="z",
+                replacement=DiGraph(edges=[("p", "q")]),
+                replacement_source="p",
+                replacement_sink="q",
+            )
+
+    def test_replace_rejects_vertex_collision(self):
+        graph = DiGraph(edges=[("s", "x"), ("x", "y"), ("y", "t")])
+        # the replacement's internal vertex "s" collides with the surrounding graph
+        replacement = DiGraph(edges=[("p", "s"), ("s", "q")])
+        with pytest.raises(FlowNetworkError):
+            replace_subgraph(
+                graph, {"x", "y"}, "x", "y", replacement, "p", "q"
+            )

@@ -1,0 +1,101 @@
+"""Unit tests for the fork/loop hierarchy TG."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SpecificationError
+from repro.workflow.hierarchy import ROOT_NAME
+
+
+class TestPaperHierarchy:
+    """The hierarchy of Figure 6: root -> {F1 -> L2, L1 -> F2}."""
+
+    def test_size_and_depth(self, paper_spec):
+        hierarchy = paper_spec.hierarchy
+        assert hierarchy.size == 5
+        assert hierarchy.depth == 3
+
+    def test_parent_relationships(self, paper_spec):
+        hierarchy = paper_spec.hierarchy
+        assert hierarchy.node("F1").parent == ROOT_NAME
+        assert hierarchy.node("L1").parent == ROOT_NAME
+        assert hierarchy.node("L2").parent == "F1"
+        assert hierarchy.node("F2").parent == "L1"
+
+    def test_children(self, paper_spec):
+        hierarchy = paper_spec.hierarchy
+        assert {c.name for c in hierarchy.children(ROOT_NAME)} == {"F1", "L1"}
+        assert {c.name for c in hierarchy.children("F1")} == {"L2"}
+        assert hierarchy.children("L2") == []
+
+    def test_depths(self, paper_spec):
+        hierarchy = paper_spec.hierarchy
+        assert hierarchy.root.depth == 1
+        assert hierarchy.node("F1").depth == 2
+        assert hierarchy.node("L2").depth == 3
+
+    def test_node_kind_predicates(self, paper_spec):
+        hierarchy = paper_spec.hierarchy
+        assert hierarchy.root.is_root
+        assert hierarchy.node("F1").is_fork
+        assert hierarchy.node("L1").is_loop
+
+    def test_parent_of_root_is_none(self, paper_spec):
+        assert paper_spec.hierarchy.parent(ROOT_NAME) is None
+
+    def test_unknown_node_raises(self, paper_spec):
+        with pytest.raises(SpecificationError):
+            paper_spec.hierarchy.node("missing")
+
+    def test_contains_and_len(self, paper_spec):
+        hierarchy = paper_spec.hierarchy
+        assert "F1" in hierarchy
+        assert "missing" not in hierarchy
+        assert len(hierarchy) == 5
+
+
+class TestTraversals:
+    def test_preorder_visits_parents_first(self, paper_spec):
+        order = [n.name for n in paper_spec.hierarchy.iter_preorder()]
+        assert order[0] == ROOT_NAME
+        assert order.index("F1") < order.index("L2")
+        assert order.index("L1") < order.index("F2")
+        assert len(order) == 5
+
+    def test_postorder_visits_children_first(self, paper_spec):
+        order = [n.name for n in paper_spec.hierarchy.iter_postorder()]
+        assert order[-1] == ROOT_NAME
+        assert order.index("L2") < order.index("F1")
+        assert order.index("F2") < order.index("L1")
+
+    def test_ancestors(self, paper_spec):
+        ancestors = [n.name for n in paper_spec.hierarchy.ancestors("L2")]
+        assert ancestors == ["F1", ROOT_NAME]
+
+    def test_descendants(self, paper_spec):
+        names = {n.name for n in paper_spec.hierarchy.descendants(ROOT_NAME)}
+        assert names == {"F1", "F2", "L1", "L2"}
+        assert {n.name for n in paper_spec.hierarchy.descendants("F1")} == {"L2"}
+
+    def test_levels(self, paper_spec):
+        levels = paper_spec.hierarchy.levels()
+        assert {n.name for n in levels[1]} == {ROOT_NAME}
+        assert {n.name for n in levels[2]} == {"F1", "L1"}
+        assert {n.name for n in levels[3]} == {"L2", "F2"}
+
+    def test_region_nodes(self, paper_spec):
+        assert {n.name for n in paper_spec.hierarchy.region_nodes()} == {"F1", "F2", "L1", "L2"}
+
+    def test_to_dict(self, paper_spec):
+        payload = paper_spec.hierarchy.to_dict()
+        assert payload["F1"]["parent"] == ROOT_NAME
+        assert payload["F1"]["kind"] == "fork"
+        assert payload[ROOT_NAME]["kind"] is None
+
+    def test_synthetic_hierarchy_consistency(self, synthetic_spec):
+        hierarchy = synthetic_spec.hierarchy
+        for node in hierarchy.region_nodes():
+            parent = hierarchy.parent(node.name)
+            assert node.name in [c.name for c in hierarchy.children(parent.name)]
+            assert node.depth == parent.depth + 1

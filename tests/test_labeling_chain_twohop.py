@@ -1,0 +1,139 @@
+"""Unit tests for the chain-decomposition and 2-hop labeling schemes."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exceptions import LabelingError
+from repro.graphs.digraph import DiGraph
+from repro.graphs.traversal import simple_paths_exist_matrix
+from repro.labeling.chain import ChainIndex
+from repro.labeling.registry import available_schemes, build_index
+from repro.labeling.twohop import TwoHopIndex
+
+
+@pytest.fixture()
+def dag() -> DiGraph:
+    return DiGraph(
+        edges=[
+            ("s", "a"), ("s", "b"), ("a", "c"), ("b", "c"),
+            ("c", "t"), ("s", "t"), ("b", "t"), ("a", "d"), ("d", "t"),
+        ]
+    )
+
+
+def random_dag(seed: int, size: int = 14) -> DiGraph:
+    rng = random.Random(seed)
+    vertices = [f"v{i}" for i in range(size)]
+    graph = DiGraph(vertices=vertices)
+    for j in range(1, size):
+        for i in rng.sample(range(j), k=min(j, rng.randint(0, 3))):
+            graph.add_edge(vertices[i], vertices[j])
+    return graph
+
+
+def assert_matches_oracle(index, graph: DiGraph) -> None:
+    oracle = simple_paths_exist_matrix(graph)
+    for (u, v), expected in oracle.items():
+        assert index.reaches(u, v) == expected, f"{index.scheme_name}: {u} -> {v}"
+
+
+class TestChainIndex:
+    def test_correctness_on_dag(self, dag):
+        assert_matches_oracle(ChainIndex.build(dag), dag)
+
+    def test_correctness_on_paper_spec(self, paper_spec):
+        assert_matches_oracle(ChainIndex.build(paper_spec.graph), paper_spec.graph)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_correctness_on_random_dags(self, seed):
+        graph = random_dag(seed)
+        assert_matches_oracle(ChainIndex.build(graph), graph)
+
+    def test_chain_count_bounded_by_vertices(self, dag):
+        index = ChainIndex.build(dag)
+        assert 1 <= index.chain_count <= dag.vertex_count
+
+    def test_chain_of_path_graph_is_single(self):
+        path = DiGraph(edges=[("a", "b"), ("b", "c"), ("c", "d")])
+        index = ChainIndex.build(path)
+        assert index.chain_count == 1
+        label = index.label_of("a")
+        assert label.chain == 0 and label.position == 0
+
+    def test_label_bits_positive(self, dag):
+        index = ChainIndex.build(dag)
+        assert index.label_length_bits("s") > 0
+        assert index.max_label_length_bits() >= index.label_length_bits("t")
+
+    def test_unknown_vertex_raises(self, dag):
+        with pytest.raises(LabelingError):
+            ChainIndex.build(dag).label_of("nope")
+
+    def test_cycle_rejected(self):
+        with pytest.raises(LabelingError):
+            ChainIndex.build(DiGraph(edges=[("a", "b"), ("b", "a")]))
+
+    def test_earliest_on_unreachable_chain(self, dag):
+        index = ChainIndex.build(dag)
+        label_t = index.label_of("t")
+        # the sink reaches only its own chain suffix
+        assert label_t.earliest_on(label_t.chain) == label_t.position
+        missing = max(c for c, _ in index.label_of("s").reach) + 1
+        assert label_t.earliest_on(missing) == -1
+
+
+class TestTwoHopIndex:
+    def test_correctness_on_dag(self, dag):
+        assert_matches_oracle(TwoHopIndex.build(dag), dag)
+
+    def test_correctness_on_paper_spec(self, paper_spec):
+        assert_matches_oracle(TwoHopIndex.build(paper_spec.graph), paper_spec.graph)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_correctness_on_random_dags(self, seed):
+        graph = random_dag(seed, size=12)
+        assert_matches_oracle(TwoHopIndex.build(graph), graph)
+
+    def test_label_bits_positive(self, dag):
+        index = TwoHopIndex.build(dag)
+        assert index.label_length_bits("s") > 0
+        assert index.average_hops() >= 1
+
+    def test_unknown_vertex_raises(self, dag):
+        with pytest.raises(LabelingError):
+            TwoHopIndex.build(dag).label_of("nope")
+
+    def test_cycle_rejected(self):
+        with pytest.raises(LabelingError):
+            TwoHopIndex.build(DiGraph(edges=[("a", "b"), ("b", "a")]))
+
+    def test_hop_sets_are_frozen(self, dag):
+        label = TwoHopIndex.build(dag).label_of("a")
+        assert isinstance(label.out_hops, frozenset)
+        assert isinstance(label.in_hops, frozenset)
+
+
+class TestRegistryIntegration:
+    def test_new_schemes_registered(self):
+        names = available_schemes()
+        assert "chain" in names and "2-hop" in names
+
+    @pytest.mark.parametrize("scheme", ["chain", "2-hop"])
+    def test_buildable_via_registry(self, scheme, paper_spec):
+        index = build_index(scheme, paper_spec.graph)
+        assert index.reaches("a", "h")
+        assert not index.reaches("h", "a")
+
+    @pytest.mark.parametrize("scheme", ["chain", "2-hop"])
+    def test_usable_as_skeleton_scheme(self, scheme, paper_spec, paper_run):
+        from repro.graphs.traversal import all_pairs_reachability
+        from repro.skeleton.skl import SkeletonLabeler
+
+        labeled = SkeletonLabeler(paper_spec, scheme).label_run(paper_run)
+        reach = all_pairs_reachability(paper_run.graph)
+        for source in paper_run.vertices():
+            for target in paper_run.vertices():
+                assert labeled.reaches(source, target) == (target in reach[source])

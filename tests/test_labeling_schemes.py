@@ -1,0 +1,179 @@
+"""Unit tests for the TCM, BFS/DFS, interval and tree-cover labeling schemes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphError, LabelingError
+from repro.graphs.digraph import DiGraph
+from repro.graphs.traversal import simple_paths_exist_matrix
+from repro.labeling.bfs import BFSIndex, DFSIndex
+from repro.labeling.interval import IntervalTreeIndex, compute_tree_intervals
+from repro.labeling.registry import available_schemes, build_index, get_scheme, register_scheme
+from repro.labeling.tcm import TCMIndex
+from repro.labeling.tree_cover import TreeCoverIndex, compress_intervals
+from repro.labeling.base import ReachabilityIndex
+
+
+@pytest.fixture()
+def dag() -> DiGraph:
+    return DiGraph(
+        edges=[
+            ("s", "a"), ("s", "b"), ("a", "c"), ("b", "c"),
+            ("c", "t"), ("s", "t"), ("b", "t"),
+        ]
+    )
+
+
+@pytest.fixture()
+def tree() -> DiGraph:
+    return DiGraph(edges=[("r", "a"), ("r", "b"), ("a", "c"), ("a", "d"), ("b", "e")])
+
+
+def assert_matches_oracle(index: ReachabilityIndex, graph: DiGraph) -> None:
+    oracle = simple_paths_exist_matrix(graph)
+    for (u, v), expected in oracle.items():
+        assert index.reaches(u, v) == expected, f"{index.scheme_name}: {u} -> {v}"
+
+
+class TestTCM:
+    def test_correctness(self, dag):
+        assert_matches_oracle(TCMIndex.build(dag), dag)
+
+    def test_label_length_is_n(self, dag):
+        index = TCMIndex.build(dag)
+        assert index.label_length_bits("s") == dag.vertex_count
+        assert index.max_label_length_bits() == dag.vertex_count
+
+    def test_labels_are_comparable_without_graph(self, dag):
+        index = TCMIndex.build(dag)
+        label_s, label_t = index.label_of("s"), index.label_of("t")
+        assert index.reaches_labels(label_s, label_t)
+        assert not index.reaches_labels(label_t, label_s)
+
+    def test_unknown_vertex_raises(self, dag):
+        with pytest.raises(LabelingError):
+            TCMIndex.build(dag).label_of("nope")
+
+    def test_total_label_bits(self, dag):
+        index = TCMIndex.build(dag)
+        assert index.total_label_bits() == dag.vertex_count ** 2
+
+
+class TestTraversalSchemes:
+    def test_bfs_correctness(self, dag):
+        assert_matches_oracle(BFSIndex.build(dag), dag)
+
+    def test_dfs_correctness(self, dag):
+        assert_matches_oracle(DFSIndex.build(dag), dag)
+
+    def test_zero_label_length(self, dag):
+        index = BFSIndex.build(dag)
+        assert index.label_length_bits("s") == 0
+        assert index.max_label_length_bits() == 0
+        assert index.average_label_length_bits() == 0.0
+
+    def test_label_is_vertex_identity(self, dag):
+        assert BFSIndex.build(dag).label_of("a") == "a"
+
+    def test_unknown_vertex_raises(self, dag):
+        with pytest.raises(LabelingError):
+            DFSIndex.build(dag).label_of("nope")
+
+
+class TestIntervalScheme:
+    def test_correctness_on_tree(self, tree):
+        assert_matches_oracle(IntervalTreeIndex.build(tree), tree)
+
+    def test_label_length_two_log_n(self, tree):
+        index = IntervalTreeIndex.build(tree)
+        expected = 2 * (tree.vertex_count).bit_length()
+        assert index.label_length_bits("r") == expected
+
+    def test_forest_supported(self):
+        forest = DiGraph(edges=[("r1", "a"), ("r2", "b")])
+        index = IntervalTreeIndex.build(forest)
+        assert index.reaches("r1", "a")
+        assert not index.reaches("r1", "b")
+
+    def test_non_tree_rejected(self, dag):
+        with pytest.raises(GraphError):
+            IntervalTreeIndex.build(dag)
+
+    def test_cycle_rejected(self):
+        with pytest.raises(GraphError):
+            compute_tree_intervals(DiGraph(edges=[("a", "b"), ("b", "a")]))
+
+    def test_interval_nesting(self, tree):
+        labels = compute_tree_intervals(tree)
+        root, child = labels["r"], labels["a"]
+        assert root.low <= child.low and child.post <= root.post
+
+
+class TestTreeCover:
+    def test_correctness_on_dag(self, dag):
+        assert_matches_oracle(TreeCoverIndex.build(dag), dag)
+
+    def test_correctness_on_tree(self, tree):
+        assert_matches_oracle(TreeCoverIndex.build(tree), tree)
+
+    def test_correctness_on_paper_spec(self, paper_spec):
+        assert_matches_oracle(TreeCoverIndex.build(paper_spec.graph), paper_spec.graph)
+
+    def test_cycle_rejected(self):
+        with pytest.raises(LabelingError):
+            TreeCoverIndex.build(DiGraph(edges=[("a", "b"), ("b", "a")]))
+
+    def test_label_bits_positive(self, dag):
+        index = TreeCoverIndex.build(dag)
+        assert index.label_length_bits("s") > 0
+        assert index.max_intervals() >= 1
+
+    def test_compress_intervals_merges_overlaps(self):
+        assert compress_intervals([(1, 3), (2, 5), (7, 8)]) == ((1, 5), (7, 8))
+
+    def test_compress_intervals_merges_adjacent(self):
+        assert compress_intervals([(1, 2), (3, 4)]) == ((1, 4),)
+
+    def test_compress_intervals_drops_contained(self):
+        assert compress_intervals([(1, 10), (2, 3)]) == ((1, 10),)
+
+    def test_compress_intervals_empty(self):
+        assert compress_intervals([]) == ()
+
+
+class TestRegistry:
+    def test_builtin_schemes_present(self):
+        names = available_schemes()
+        for expected in ("tcm", "bfs", "dfs", "interval", "tree-cover"):
+            assert expected in names
+
+    def test_get_scheme_case_insensitive(self):
+        assert get_scheme("TCM") is TCMIndex
+
+    def test_unknown_scheme_raises(self):
+        with pytest.raises(LabelingError):
+            get_scheme("quantum")
+
+    def test_build_index(self, dag):
+        index = build_index("tcm", dag)
+        assert isinstance(index, TCMIndex)
+
+    def test_register_custom_scheme(self, dag):
+        class CustomIndex(BFSIndex):
+            scheme_name = "custom"
+
+        register_scheme("custom", CustomIndex)
+        assert get_scheme("custom") is CustomIndex
+        assert build_index("custom", dag).reaches("s", "t")
+
+    def test_register_non_index_rejected(self):
+        with pytest.raises(LabelingError):
+            register_scheme("bogus", dict)
+
+    def test_every_registered_scheme_is_correct_on_spec(self, paper_spec):
+        for name in available_schemes():
+            if name == "interval":
+                continue  # requires a tree; the spec graph is a DAG
+            index = build_index(name, paper_spec.graph)
+            assert_matches_oracle(index, paper_spec.graph)

@@ -1,0 +1,324 @@
+"""Tests for online (incremental) skeleton labeling of a growing run."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import LabelingError, RunConformanceError
+from repro.graphs.traversal import all_pairs_reachability
+from repro.skeleton.online import OnlineRun
+from repro.skeleton.skl import SkeletonLabeler
+from repro.workflow.run import RunVertex
+
+
+def replay_figure3(online: OnlineRun, *, stop_after: int | None = None):
+    """Replay the Figure 3 run as an event stream; returns recorded vertices.
+
+    Events are emitted in an order a real engine could produce (every
+    execution after its inputs).  ``stop_after`` truncates the stream after
+    that many module-execution events, leaving a valid prefix.
+    """
+    vertices: dict[str, RunVertex] = {}
+    budget = [stop_after if stop_after is not None else 10**9]
+
+    def execute(scope, module):
+        if budget[0] <= 0:
+            raise StopIteration
+        budget[0] -= 1
+        vertex = scope.execute(module)
+        vertices[str(vertex)] = vertex
+        return vertex
+
+    root = online.root_scope
+    try:
+        a1 = execute(root, "a")
+        d1 = execute(root, "d")
+        online.connect(a1, d1)
+
+        # fork F1, first copy: loop L2 executed twice
+        f1 = root.begin_execution("F1")
+        f1_copy1 = f1.new_copy()
+        l2_first = f1_copy1.begin_execution("L2")
+        l2_c1 = l2_first.new_copy()
+        b1 = execute(l2_c1, "b")
+        online.connect(a1, b1)
+        c1 = execute(l2_c1, "c")
+        online.connect(b1, c1)
+        l2_c2 = l2_first.new_copy()
+        b2 = execute(l2_c2, "b")
+        online.connect(c1, b2)
+        c2 = execute(l2_c2, "c")
+        online.connect(b2, c2)
+
+        # fork F1, second copy: loop L2 executed once
+        f1_copy2 = f1.new_copy()
+        l2_second = f1_copy2.begin_execution("L2")
+        l2_c3 = l2_second.new_copy()
+        b3 = execute(l2_c3, "b")
+        online.connect(a1, b3)
+        c3 = execute(l2_c3, "c")
+        online.connect(b3, c3)
+
+        # loop L1 executed twice; F2 once then twice
+        l1 = root.begin_execution("L1")
+        l1_c1 = l1.new_copy()
+        e1 = execute(l1_c1, "e")
+        online.connect(d1, e1)
+        f2_first = l1_c1.begin_execution("F2")
+        f2_c1 = f2_first.new_copy()
+        fv1 = execute(f2_c1, "f")
+        online.connect(e1, fv1)
+        g1 = execute(l1_c1, "g")
+        online.connect(fv1, g1)
+
+        l1_c2 = l1.new_copy()
+        e2 = execute(l1_c2, "e")
+        online.connect(g1, e2)
+        f2_second = l1_c2.begin_execution("F2")
+        f2_c2 = f2_second.new_copy()
+        fv2 = execute(f2_c2, "f")
+        online.connect(e2, fv2)
+        f2_c3 = f2_second.new_copy()
+        fv3 = execute(f2_c3, "f")
+        online.connect(e2, fv3)
+        g2 = execute(l1_c2, "g")
+        online.connect(fv2, g2)
+        online.connect(fv3, g2)
+
+        h1 = execute(root, "h")
+        online.connect(c2, h1)
+        online.connect(c3, h1)
+        online.connect(g2, h1)
+    except StopIteration:
+        pass
+    return vertices
+
+
+class TestEventReplay:
+    def test_full_replay_matches_figure3(self, paper_spec, paper_run):
+        online = OnlineRun(paper_spec, name="figure-3")
+        replay_figure3(online)
+        assert online.vertex_count == paper_run.vertex_count
+        assert online.edge_count == paper_run.edge_count
+        assert set(online.graph.iter_edges()) == set(paper_run.graph.iter_edges())
+
+    def test_finalize_cross_checks_against_reconstruction(self, paper_spec):
+        online = OnlineRun(paper_spec, name="figure-3")
+        replay_figure3(online)
+        labeled = online.finalize()
+        assert labeled.run.vertex_count == 16
+        assert labeled.plan.copies_per_region() == {"F1": 2, "L2": 3, "L1": 2, "F2": 3}
+
+    def test_final_answers_match_batch_labeling(self, paper_spec, paper_run, paper_labeled_run):
+        online = OnlineRun(SkeletonLabeler(paper_spec, "tcm"), name="figure-3")
+        replay_figure3(online)
+        labeled = online.finalize()
+        for source in paper_run.vertices():
+            for target in paper_run.vertices():
+                assert labeled.reaches(source, target) == paper_labeled_run.reaches(
+                    source, target
+                )
+
+    def test_queries_available_mid_run(self, paper_spec):
+        online = OnlineRun(paper_spec)
+        replay_figure3(online, stop_after=8)
+        # the prefix contains a1, d1, b1, c1, b2, c2, b3, c3 but not h1
+        assert online.vertex_count == 8
+        assert online.reaches(RunVertex("a", 1), RunVertex("c", 2))
+        assert online.reaches(RunVertex("c", 1), RunVertex("b", 2))
+        assert not online.reaches(RunVertex("b", 1), RunVertex("c", 3))
+        with pytest.raises(LabelingError):
+            online.reaches(RunVertex("a", 1), RunVertex("h", 1))
+
+    @pytest.mark.parametrize("prefix_length", [2, 5, 8, 11, 16])
+    def test_prefix_answers_equal_final_answers(self, paper_spec, paper_labeled_run, prefix_length):
+        online = OnlineRun(paper_spec)
+        vertices = replay_figure3(online, stop_after=prefix_length)
+        snapshot = online.snapshot()
+        reach = all_pairs_reachability(snapshot.run.graph)
+        for source in vertices.values():
+            for target in vertices.values():
+                expected_final = paper_labeled_run.reaches(source, target)
+                assert online.reaches(source, target) == expected_final
+                assert snapshot.reaches(source, target) == expected_final
+                assert (target in reach[source]) == expected_final
+
+    def test_snapshot_is_independent_of_later_events(self, paper_spec):
+        online = OnlineRun(paper_spec)
+        replay_figure3(online, stop_after=4)
+        snapshot = online.snapshot()
+        before = snapshot.run.vertex_count
+        replay_figure3(OnlineRun(paper_spec))  # unrelated; keep linters quiet
+        online.root_scope.execute("h")
+        assert snapshot.run.vertex_count == before
+
+    def test_relabeling_is_lazy(self, paper_spec):
+        online = OnlineRun(paper_spec)
+        replay_figure3(online)
+        assert online.relabel_count == 0
+        online.reaches(RunVertex("a", 1), RunVertex("h", 1))
+        online.reaches(RunVertex("b", 1), RunVertex("c", 3))
+        assert online.relabel_count == 1  # one encoding served both queries
+        online.root_scope.execute("h", instance=99)
+        online.reaches(RunVertex("a", 1), RunVertex("h", 99))
+        assert online.relabel_count == 2
+
+
+class TestEventValidation:
+    def test_unknown_module_rejected(self, paper_spec):
+        online = OnlineRun(paper_spec)
+        with pytest.raises(RunConformanceError):
+            online.root_scope.execute("zzz")
+
+    def test_module_in_wrong_scope_rejected(self, paper_spec):
+        online = OnlineRun(paper_spec)
+        with pytest.raises(RunConformanceError):
+            online.root_scope.execute("b")  # b lives inside L2, not at top level
+
+    def test_unknown_region_rejected(self, paper_spec):
+        online = OnlineRun(paper_spec)
+        with pytest.raises(RunConformanceError):
+            online.root_scope.begin_execution("F9")
+
+    def test_region_in_wrong_scope_rejected(self, paper_spec):
+        online = OnlineRun(paper_spec)
+        with pytest.raises(RunConformanceError):
+            online.root_scope.begin_execution("L2")  # L2 is nested inside F1
+
+    def test_duplicate_group_rejected(self, paper_spec):
+        online = OnlineRun(paper_spec)
+        online.root_scope.begin_execution("F1")
+        with pytest.raises(RunConformanceError):
+            online.root_scope.begin_execution("F1")
+
+    def test_duplicate_execution_rejected(self, paper_spec):
+        online = OnlineRun(paper_spec)
+        online.root_scope.execute("a", instance=1)
+        with pytest.raises(RunConformanceError):
+            online.root_scope.execute("a", instance=1)
+
+    def test_edge_to_unknown_vertex_rejected(self, paper_spec):
+        online = OnlineRun(paper_spec)
+        a1 = online.root_scope.execute("a")
+        with pytest.raises(RunConformanceError):
+            online.connect(a1, RunVertex("d", 1))
+
+    def test_non_spec_edge_rejected(self, paper_spec):
+        online = OnlineRun(paper_spec)
+        a1 = online.root_scope.execute("a")
+        h1 = online.root_scope.execute("h")
+        with pytest.raises(RunConformanceError):
+            online.connect(a1, h1)  # (a, h) is not a specification edge
+
+    def test_edge_validation_can_be_disabled(self, paper_spec):
+        online = OnlineRun(paper_spec, validate_edges=False)
+        a1 = online.root_scope.execute("a")
+        h1 = online.root_scope.execute("h")
+        online.connect(a1, h1)
+        assert online.edge_count == 1
+
+    def test_loop_back_edges_allowed(self, paper_spec):
+        online = OnlineRun(paper_spec)
+        replay_figure3(online)
+        # the replay already added (c1 -> b2) and (g1 -> e2) loop-back edges
+        assert online.graph.has_edge(RunVertex("c", 1), RunVertex("b", 2))
+        assert online.graph.has_edge(RunVertex("g", 1), RunVertex("e", 2))
+
+    def test_label_of_unknown_vertex_rejected(self, paper_spec):
+        online = OnlineRun(paper_spec)
+        with pytest.raises(LabelingError):
+            online.label_of(RunVertex("a", 1))
+
+    def test_finalize_requires_complete_run(self, paper_spec):
+        online = OnlineRun(paper_spec)
+        replay_figure3(online, stop_after=8)
+        with pytest.raises(Exception):
+            online.finalize()
+
+
+class TestOnlineDataProvenance:
+    """Data items become queryable the moment they are produced (Section 9)."""
+
+    def test_data_dependencies_mid_run(self, paper_spec):
+        online = OnlineRun(paper_spec)
+        replay_figure3(online, stop_after=8)
+        online.attach_data(RunVertex("a", 1), RunVertex("b", 1), ["x1", "x2"])
+        online.attach_data(RunVertex("a", 1), RunVertex("b", 3), ["x1", "x3"])
+        online.attach_data(RunVertex("b", 1), RunVertex("c", 1), ["x4"])
+        online.attach_data(RunVertex("b", 3), RunVertex("c", 3), ["x6"])
+
+        assert sorted(online.data_items()) == ["x1", "x2", "x3", "x4", "x6"]
+        assert online.data_depends_on_data("x4", "x1")       # via b1
+        assert online.data_depends_on_data("x6", "x1")       # via b3
+        assert not online.data_depends_on_data("x6", "x2")   # parallel fork copies
+        assert online.data_depends_on_module("x6", RunVertex("a", 1))
+        assert not online.data_depends_on_module("x6", RunVertex("b", 1))
+
+    def test_data_on_missing_edge_rejected(self, paper_spec):
+        online = OnlineRun(paper_spec)
+        replay_figure3(online, stop_after=4)
+        with pytest.raises(RunConformanceError):
+            online.attach_data(RunVertex("a", 1), RunVertex("c", 1), ["x9"])
+
+    def test_single_writer_enforced(self, paper_spec):
+        online = OnlineRun(paper_spec)
+        replay_figure3(online, stop_after=8)
+        online.attach_data(RunVertex("a", 1), RunVertex("b", 1), ["shared"])
+        with pytest.raises(RunConformanceError):
+            online.attach_data(RunVertex("b", 1), RunVertex("c", 1), ["shared"])
+
+    def test_unknown_item_rejected(self, paper_spec):
+        online = OnlineRun(paper_spec)
+        replay_figure3(online, stop_after=4)
+        with pytest.raises(RunConformanceError):
+            online.data_depends_on_data("ghost", "ghost2")
+
+    def test_multiple_readers_allowed(self, paper_spec):
+        online = OnlineRun(paper_spec)
+        replay_figure3(online)
+        online.attach_data(RunVertex("a", 1), RunVertex("b", 1), ["x1"])
+        online.attach_data(RunVertex("a", 1), RunVertex("b", 3), ["x1"])
+        online.attach_data(RunVertex("c", 3), RunVertex("h", 1), ["x8"])
+        assert online.data_depends_on_data("x8", "x1")
+
+
+class TestOnlineOnSyntheticSpec:
+    def test_replayed_generated_run_matches_batch(self, synthetic_spec, rng):
+        """Replay a generated run's plan as events; answers must match batch SKL."""
+        from repro.workflow.execution import generate_run
+        from repro.workflow.execution import RangeProfile
+        from repro.workflow.plan import PlanNodeKind
+
+        generated = generate_run(synthetic_spec, RangeProfile(1, 2), seed=5)
+        labeler = SkeletonLabeler(synthetic_spec, "tcm")
+        batch = labeler.label_run(
+            generated.run, plan=generated.plan, context=generated.context
+        )
+
+        online = OnlineRun(labeler, validate_edges=False, name="replayed")
+        scope_of_plan_node = {generated.plan.root_id: online.root_scope}
+
+        # replay the plan structure (groups and copies) in preorder
+        for node in generated.plan.iter_preorder():
+            if node.node_id == generated.plan.root_id:
+                continue
+            if node.is_minus:
+                parent_scope = scope_of_plan_node[node.parent]
+                scope_of_plan_node[node.node_id] = parent_scope.begin_execution(node.region)
+            else:
+                group = scope_of_plan_node[node.parent]
+                scope_of_plan_node[node.node_id] = group.new_copy()
+
+        # replay executions with the generator's instance numbers, then edges
+        for vertex, plan_node in generated.context.items():
+            scope = scope_of_plan_node[plan_node]
+            scope.execute(vertex.module, instance=vertex.instance)
+        for tail, head in generated.run.graph.iter_edges():
+            online.connect(tail, head)
+
+        labeled = online.finalize()
+        vertices = generated.run.vertices()
+        for _ in range(300):
+            source, target = rng.choice(vertices), rng.choice(vertices)
+            assert labeled.reaches(source, target) == batch.reaches(source, target)
+            assert online.reaches(source, target) == batch.reaches(source, target)

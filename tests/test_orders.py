@@ -1,0 +1,126 @@
+"""Tests for the three-order context encoding (Algorithm 1 and Lemma 4.5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import LabelingError
+from repro.skeleton.construct import construct_plan
+from repro.skeleton.orders import ContextEncoding, encode_contexts, generate_three_orders
+from repro.workflow.execution import ConstantProfile, generate_run
+from repro.workflow.plan import PlanNodeKind
+
+
+@pytest.fixture(scope="module")
+def paper_plan_and_context(paper_spec, paper_run):
+    result = construct_plan(paper_spec, paper_run)
+    return result.plan, result.context
+
+
+@pytest.fixture(scope="module")
+def paper_encoding(paper_plan_and_context):
+    plan, context = paper_plan_and_context
+    return encode_contexts(plan, context)
+
+
+class TestEncodingBasics:
+    def test_number_of_nonempty_nodes(self, paper_encoding):
+        """Figure 9 numbers nine nonempty + nodes (x1, x5, x6, x9, x12-x17 minus empties)."""
+        assert paper_encoding.nonempty_count == 9
+
+    def test_positions_are_permutations(self, paper_plan_and_context, paper_encoding):
+        count = paper_encoding.nonempty_count
+        for coordinate in range(3):
+            values = sorted(pos[coordinate] for pos in paper_encoding.positions.values())
+            assert values == list(range(1, count + 1))
+
+    def test_root_is_first_in_every_order(self, paper_plan_and_context, paper_encoding):
+        plan, _ = paper_plan_and_context
+        assert paper_encoding[plan.root_id] == (1, 1, 1)
+
+    def test_empty_node_lookup_raises(self, paper_plan_and_context, paper_encoding):
+        plan, context = paper_plan_and_context
+        used = set(context.values())
+        empty_plus = next(n for n in plan.plus_nodes() if n.node_id not in used)
+        with pytest.raises(LabelingError):
+            paper_encoding[empty_plus.node_id]
+
+    def test_contains_and_len(self, paper_plan_and_context, paper_encoding):
+        plan, context = paper_plan_and_context
+        assert plan.root_id in paper_encoding
+        assert len(paper_encoding) == paper_encoding.nonempty_count
+
+    def test_non_plus_context_rejected(self, paper_plan_and_context):
+        plan, context = paper_plan_and_context
+        minus_node = plan.minus_nodes()[0]
+        bad_context = dict(context)
+        some_vertex = next(iter(bad_context))
+        bad_context[some_vertex] = minus_node.node_id
+        with pytest.raises(LabelingError):
+            encode_contexts(plan, bad_context)
+
+    def test_generate_three_orders_consistent_with_encoding(self, paper_plan_and_context, paper_encoding):
+        plan, context = paper_plan_and_context
+        o1, o2, o3 = generate_three_orders(plan, set(context.values()))
+        for node_id, (q1, q2, q3) in paper_encoding.positions.items():
+            assert (o1[node_id], o2[node_id], o3[node_id]) == (q1, q2, q3)
+
+
+def _lca_kind(plan, first: int, second: int) -> PlanNodeKind:
+    """Compute the kind of the least common ancestor of two plan nodes."""
+    ancestors = []
+    node = plan.node(first)
+    while node is not None:
+        ancestors.append(node.node_id)
+        node = plan.parent(node.node_id)
+    ancestor_set = set(ancestors)
+    node = plan.node(second)
+    while node.node_id not in ancestor_set:
+        node = plan.parent(node.node_id)
+    return plan.node(node.node_id).kind
+
+
+class TestLemma45:
+    """The pairwise order of positions reveals the LCA kind (Lemma 4.5)."""
+
+    def test_all_pairs_classification(self, paper_plan_and_context, paper_encoding):
+        plan, _ = paper_plan_and_context
+        nodes = list(paper_encoding.positions)
+        for first in nodes:
+            for second in nodes:
+                if first == second:
+                    continue
+                q = paper_encoding[first]
+                r = paper_encoding[second]
+                lca = _lca_kind(plan, first, second)
+                if q[0] < r[0] and r[1] < q[1]:
+                    assert lca is PlanNodeKind.FORK_GROUP
+                    assert q[2] < r[2]  # part (1b)
+                elif q[0] < r[0] and r[2] < q[2]:
+                    assert lca is PlanNodeKind.LOOP_GROUP
+                    assert q[1] < r[1]  # part (2b)
+                elif q[0] < r[0] and q[1] < r[1] and q[2] < r[2]:
+                    assert lca.is_plus  # part (3)
+
+    def test_lemma_on_generated_run(self, paper_spec):
+        generated = generate_run(paper_spec, ConstantProfile(3), seed=17)
+        result = construct_plan(paper_spec, generated.run)
+        encoding = encode_contexts(result.plan, result.context)
+        plan = result.plan
+        nodes = list(encoding.positions)
+        for first in nodes:
+            for second in nodes:
+                if first == second:
+                    continue
+                q, r = encoding[first], encoding[second]
+                lca = _lca_kind(plan, first, second)
+                product = (q[1] - r[1]) * (q[2] - r[2])
+                if product < 0:
+                    assert lca in (PlanNodeKind.FORK_GROUP, PlanNodeKind.LOOP_GROUP)
+                else:
+                    assert lca.is_plus
+
+    def test_encoding_is_dataclass_frozen(self, paper_encoding):
+        assert isinstance(paper_encoding, ContextEncoding)
+        with pytest.raises((AttributeError, TypeError)):
+            paper_encoding.positions = {}

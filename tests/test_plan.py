@@ -1,0 +1,216 @@
+"""Unit tests for the ExecutionPlan tree structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import PlanConstructionError
+from repro.workflow.plan import ExecutionPlan, PlanNodeKind
+
+
+def build_small_plan() -> ExecutionPlan:
+    """root G+ -> F- (F1) with two F+ copies; second copy holds an L- (L2) with one copy."""
+    plan = ExecutionPlan()
+    root = plan.add_root()
+    fork_group = plan.add_node(PlanNodeKind.FORK_GROUP, "F1", parent=root)
+    plan.add_node(PlanNodeKind.FORK_COPY, "F1", parent=fork_group)
+    second_copy = plan.add_node(PlanNodeKind.FORK_COPY, "F1", parent=fork_group)
+    loop_group = plan.add_node(PlanNodeKind.LOOP_GROUP, "L2", parent=second_copy)
+    plan.add_node(PlanNodeKind.LOOP_COPY, "L2", parent=loop_group)
+    return plan
+
+
+class TestPlanNodeKind:
+    def test_plus_minus_partition(self):
+        plus = {k for k in PlanNodeKind if k.is_plus}
+        minus = {k for k in PlanNodeKind if k.is_minus}
+        assert plus == {PlanNodeKind.ROOT, PlanNodeKind.FORK_COPY, PlanNodeKind.LOOP_COPY}
+        assert minus == {PlanNodeKind.FORK_GROUP, PlanNodeKind.LOOP_GROUP}
+        assert not plus & minus
+
+
+class TestConstruction:
+    def test_root_creation(self):
+        plan = ExecutionPlan()
+        root = plan.add_root()
+        assert plan.root_id == root
+        assert plan.root.kind is PlanNodeKind.ROOT
+        assert plan.root.region is None
+
+    def test_double_root_rejected(self):
+        plan = ExecutionPlan()
+        plan.add_root()
+        with pytest.raises(PlanConstructionError):
+            plan.add_root()
+
+    def test_root_required_for_access(self):
+        plan = ExecutionPlan()
+        with pytest.raises(PlanConstructionError):
+            _ = plan.root_id
+
+    def test_add_node_with_root_kind_rejected(self):
+        plan = ExecutionPlan()
+        plan.add_root()
+        with pytest.raises(PlanConstructionError):
+            plan.add_node(PlanNodeKind.ROOT, "F1")
+
+    def test_orphan_attach(self):
+        plan = ExecutionPlan()
+        root = plan.add_root()
+        orphan = plan.add_node(PlanNodeKind.FORK_GROUP, "F1")
+        assert plan.node(orphan).parent is None
+        plan.attach(orphan, root)
+        assert plan.node(orphan).parent == root
+        assert orphan in plan.root.children
+
+    def test_double_attach_rejected(self):
+        plan = ExecutionPlan()
+        root = plan.add_root()
+        child = plan.add_node(PlanNodeKind.FORK_GROUP, "F1", parent=root)
+        with pytest.raises(PlanConstructionError):
+            plan.attach(child, root)
+
+    def test_unknown_node_rejected(self):
+        plan = ExecutionPlan()
+        plan.add_root()
+        with pytest.raises(PlanConstructionError):
+            plan.node(123)
+
+
+class TestAccessors:
+    def test_len_and_contains(self):
+        plan = build_small_plan()
+        assert len(plan) == 6
+        assert plan.root_id in plan
+        assert 999 not in plan
+
+    def test_children_and_parent(self):
+        plan = build_small_plan()
+        fork_group = plan.children(plan.root_id)[0]
+        assert fork_group.kind is PlanNodeKind.FORK_GROUP
+        assert plan.parent(fork_group.node_id).node_id == plan.root_id
+        assert plan.parent(plan.root_id) is None
+
+    def test_plus_and_minus_nodes(self):
+        plan = build_small_plan()
+        assert len(plan.plus_nodes()) == 4
+        assert len(plan.minus_nodes()) == 2
+
+    def test_copies_and_groups_per_region(self):
+        plan = build_small_plan()
+        assert plan.copies_per_region() == {"F1": 2, "L2": 1}
+        assert plan.groups_per_region() == {"F1": 1, "L2": 1}
+
+    def test_depth(self):
+        plan = build_small_plan()
+        assert plan.depth() == 5  # G+ / F- / F+ / L- / L+
+
+
+class TestTraversal:
+    def test_preorder_parents_before_children(self):
+        plan = build_small_plan()
+        order = [n.node_id for n in plan.iter_preorder()]
+        assert order[0] == plan.root_id
+        position = {node_id: i for i, node_id in enumerate(order)}
+        for node in plan.nodes():
+            if node.parent is not None:
+                assert position[node.parent] < position[node.node_id]
+
+    def test_preorder_custom_child_order(self):
+        plan = build_small_plan()
+        default = [n.node_id for n in plan.iter_preorder()]
+        reversed_order = [
+            n.node_id
+            for n in plan.iter_preorder(lambda node: list(reversed(node.children)))
+        ]
+        assert set(default) == set(reversed_order)
+
+    def test_postorder_children_before_parents(self):
+        plan = build_small_plan()
+        order = [n.node_id for n in plan.iter_postorder()]
+        assert order[-1] == plan.root_id
+        position = {node_id: i for i, node_id in enumerate(order)}
+        for node in plan.nodes():
+            if node.parent is not None:
+                assert position[node.node_id] < position[node.parent]
+
+    def test_empty_plan_traversals(self):
+        plan = ExecutionPlan()
+        assert list(plan.iter_preorder()) == []
+        assert list(plan.iter_postorder()) == []
+
+
+class TestValidation:
+    def test_valid_plan_passes(self):
+        build_small_plan().validate()
+
+    def test_unattached_node_rejected(self):
+        plan = build_small_plan()
+        plan.add_node(PlanNodeKind.FORK_GROUP, "F9")
+        with pytest.raises(PlanConstructionError):
+            plan.validate()
+
+    def test_group_without_copies_rejected(self):
+        plan = ExecutionPlan()
+        root = plan.add_root()
+        plan.add_node(PlanNodeKind.FORK_GROUP, "F1", parent=root)
+        with pytest.raises(PlanConstructionError):
+            plan.validate()
+
+    def test_plus_node_with_plus_child_rejected(self):
+        plan = ExecutionPlan()
+        root = plan.add_root()
+        plan.add_node(PlanNodeKind.FORK_COPY, "F1", parent=root)
+        with pytest.raises(PlanConstructionError):
+            plan.validate()
+
+    def test_group_with_wrong_region_child_rejected(self):
+        plan = ExecutionPlan()
+        root = plan.add_root()
+        group = plan.add_node(PlanNodeKind.FORK_GROUP, "F1", parent=root)
+        plan.add_node(PlanNodeKind.FORK_COPY, "F2", parent=group)
+        with pytest.raises(PlanConstructionError):
+            plan.validate()
+
+    def test_group_with_mixed_copy_kind_rejected(self):
+        plan = ExecutionPlan()
+        root = plan.add_root()
+        group = plan.add_node(PlanNodeKind.FORK_GROUP, "F1", parent=root)
+        plan.add_node(PlanNodeKind.LOOP_COPY, "F1", parent=group)
+        with pytest.raises(PlanConstructionError):
+            plan.validate()
+
+
+class TestSignature:
+    def test_signature_ignores_unordered_child_order(self):
+        first = ExecutionPlan()
+        root = first.add_root()
+        group = first.add_node(PlanNodeKind.FORK_GROUP, "F1", parent=root)
+        copy_a = first.add_node(PlanNodeKind.FORK_COPY, "F1", parent=group)
+        copy_b = first.add_node(PlanNodeKind.FORK_COPY, "F1", parent=group)
+        first.add_node(PlanNodeKind.LOOP_GROUP, "L1", parent=copy_a)
+        nested = first.node(copy_a).children[0]
+        first.add_node(PlanNodeKind.LOOP_COPY, "L1", parent=nested)
+
+        second = ExecutionPlan()
+        root2 = second.add_root()
+        group2 = second.add_node(PlanNodeKind.FORK_GROUP, "F1", parent=root2)
+        copy_c = second.add_node(PlanNodeKind.FORK_COPY, "F1", parent=group2)
+        copy_d = second.add_node(PlanNodeKind.FORK_COPY, "F1", parent=group2)
+        nested2 = second.add_node(PlanNodeKind.LOOP_GROUP, "L1", parent=copy_d)
+        second.add_node(PlanNodeKind.LOOP_COPY, "L1", parent=nested2)
+
+        assert first.signature() == second.signature()
+
+    def test_signature_distinguishes_loop_copy_counts(self):
+        base = build_small_plan()
+        other = build_small_plan()
+        loop_group = [n for n in other.nodes() if n.kind is PlanNodeKind.LOOP_GROUP][0]
+        other.add_node(PlanNodeKind.LOOP_COPY, "L2", parent=loop_group.node_id)
+        assert base.signature() != other.signature()
+
+    def test_to_dict_lists_all_nodes(self):
+        plan = build_small_plan()
+        payload = plan.to_dict()
+        assert payload["root"] == plan.root_id
+        assert len(payload["nodes"]) == len(plan)

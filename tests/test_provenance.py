@@ -1,0 +1,168 @@
+"""Tests for data provenance: data flows, data labels and dependency queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import RunConformanceError
+from repro.provenance.data import DataFlow, DataItem, generate_dataflow
+from repro.provenance.labels import DataLabel, data_label_bits
+from repro.provenance.queries import ProvenanceIndex
+from repro.workflow.run import RunVertex
+
+
+@pytest.fixture()
+def paper_dataflow(paper_run) -> DataFlow:
+    """The data items of Figure 11 (x1 .. x8 on the F1 side of the run)."""
+    flow = DataFlow(run=paper_run)
+    flow.attach(RunVertex("a", 1), RunVertex("b", 1), ["x1", "x2"])
+    flow.attach(RunVertex("a", 1), RunVertex("b", 3), ["x1", "x3"])
+    flow.attach(RunVertex("b", 1), RunVertex("c", 1), ["x4", "x5"])
+    flow.attach(RunVertex("c", 3), RunVertex("h", 1), ["x6", "x7", "x8"])
+    return flow
+
+
+@pytest.fixture()
+def paper_provenance(paper_labeled_run, paper_dataflow) -> ProvenanceIndex:
+    return ProvenanceIndex(paper_labeled_run, paper_dataflow)
+
+
+class TestDataFlow:
+    def test_items_registered(self, paper_dataflow):
+        assert {str(i) for i in paper_dataflow.items()} >= {"x1", "x2", "x4", "x6"}
+        assert len(paper_dataflow) == 8
+
+    def test_output_of(self, paper_dataflow):
+        assert paper_dataflow.output_of("x1") == RunVertex("a", 1)
+        assert paper_dataflow.output_of("x6") == RunVertex("c", 3)
+
+    def test_inputs_of_shared_item(self, paper_dataflow):
+        assert paper_dataflow.inputs_of("x1") == {RunVertex("b", 1), RunVertex("b", 3)}
+
+    def test_inputs_of_private_item(self, paper_dataflow):
+        assert paper_dataflow.inputs_of("x4") == {RunVertex("c", 1)}
+
+    def test_data_on_edge(self, paper_dataflow):
+        items = paper_dataflow.data_on(RunVertex("a", 1), RunVertex("b", 1))
+        assert [str(i) for i in items] == ["x1", "x2"]
+        assert paper_dataflow.data_on(RunVertex("b", 1), RunVertex("b", 2)) == ()
+
+    def test_contains(self, paper_dataflow):
+        assert "x1" in paper_dataflow
+        assert DataItem("x1") in paper_dataflow
+        assert "zzz" not in paper_dataflow
+
+    def test_max_fanout(self, paper_dataflow):
+        assert paper_dataflow.max_fanout == 2
+
+    def test_total_assignments(self, paper_dataflow):
+        assert paper_dataflow.total_assignments() == 9
+
+    def test_unknown_item_raises(self, paper_dataflow):
+        with pytest.raises(RunConformanceError):
+            paper_dataflow.output_of("zzz")
+        with pytest.raises(RunConformanceError):
+            paper_dataflow.inputs_of("zzz")
+
+    def test_attach_to_missing_edge_rejected(self, paper_run):
+        flow = DataFlow(run=paper_run)
+        with pytest.raises(RunConformanceError):
+            flow.attach(RunVertex("b", 1), RunVertex("b", 3), ["y1"])
+
+    def test_duplicate_producer_rejected(self, paper_run):
+        flow = DataFlow(run=paper_run)
+        flow.attach(RunVertex("a", 1), RunVertex("b", 1), ["y1"])
+        with pytest.raises(RunConformanceError):
+            flow.attach(RunVertex("b", 1), RunVertex("c", 1), ["y1"])
+
+    def test_same_producer_multiple_consumers_allowed(self, paper_run):
+        flow = DataFlow(run=paper_run)
+        flow.attach(RunVertex("a", 1), RunVertex("b", 1), ["y1"])
+        flow.attach(RunVertex("a", 1), RunVertex("b", 3), ["y1"])
+        assert flow.inputs_of("y1") == {RunVertex("b", 1), RunVertex("b", 3)}
+
+
+class TestGeneratedDataflow:
+    def test_every_edge_gets_items(self, paper_run, rng):
+        flow = generate_dataflow(paper_run, items_per_edge=2, rng=rng)
+        for edge in paper_run.graph.iter_edges():
+            assert len(flow.data_on(*edge)) >= 2
+
+    def test_single_writer_invariant(self, synthetic_run, rng):
+        flow = generate_dataflow(synthetic_run.run, rng=rng)
+        for item in flow.items():
+            producer = flow.output_of(item)
+            for consumer in flow.inputs_of(item):
+                assert synthetic_run.run.graph.has_edge(producer, consumer)
+
+    def test_shared_fraction_zero_gives_fanout_one(self, paper_run, rng):
+        flow = generate_dataflow(paper_run, shared_fraction=0.0, rng=rng)
+        assert flow.max_fanout == 1
+
+
+class TestDataLabels:
+    def test_label_structure(self, paper_provenance):
+        label = paper_provenance.data_label("x1")
+        assert isinstance(label, DataLabel)
+        assert label.fanout == 2
+
+    def test_data_label_bits(self):
+        assert data_label_bits(module_label_bits=20, fanout=3) == 80
+
+    def test_items_listing(self, paper_provenance):
+        assert DataItem("x6") in paper_provenance.items()
+
+
+class TestDependencyQueries:
+    def test_example10_x6_depends_on_x1(self, paper_provenance):
+        """x1 is read by b1 and b3; b3 reaches c3 which writes x6."""
+        assert paper_provenance.data_depends_on_data("x6", "x1")
+
+    def test_x8_does_not_depend_on_x2(self, paper_provenance):
+        """x2 is read only by b1 which cannot reach c3 (parallel fork copies)."""
+        assert not paper_provenance.data_depends_on_data("x6", "x2")
+
+    def test_query1_x8_vs_x1_like(self, paper_provenance):
+        """Introduction query (2): x4 (output of b1 edge) depends on x2 (input of b1)."""
+        assert paper_provenance.data_depends_on_data("x4", "x2")
+
+    def test_data_depends_on_module(self, paper_provenance):
+        assert paper_provenance.data_depends_on_module("x6", RunVertex("a", 1))
+        assert paper_provenance.data_depends_on_module("x6", RunVertex("b", 3))
+        assert not paper_provenance.data_depends_on_module("x6", RunVertex("b", 1))
+
+    def test_module_depends_on_data(self, paper_provenance):
+        assert paper_provenance.module_depends_on_data(RunVertex("h", 1), "x1")
+        assert paper_provenance.module_depends_on_data(RunVertex("b", 1), "x1")
+        assert not paper_provenance.module_depends_on_data(RunVertex("d", 1), "x1")
+
+    def test_module_depends_on_module(self, paper_provenance):
+        assert paper_provenance.module_depends_on_module(
+            RunVertex("h", 1), RunVertex("a", 1)
+        )
+        assert not paper_provenance.module_depends_on_module(
+            RunVertex("a", 1), RunVertex("h", 1)
+        )
+
+    def test_downstream_items(self, paper_provenance):
+        downstream = {str(i) for i in paper_provenance.downstream_items("x1")}
+        assert "x6" in downstream
+        assert "x4" in downstream
+        assert "x2" not in downstream
+
+    def test_upstream_items(self, paper_provenance):
+        upstream = {str(i) for i in paper_provenance.upstream_items("x6")}
+        assert "x1" in upstream and "x3" in upstream
+        assert "x4" not in upstream
+
+    def test_max_data_label_fanout(self, paper_provenance):
+        assert paper_provenance.max_data_label_fanout() == 2
+
+    def test_queries_work_with_generated_dataflow(self, paper_labeled_run, paper_run, rng):
+        flow = generate_dataflow(paper_run, rng=rng)
+        index = ProvenanceIndex(paper_labeled_run, flow)
+        items = index.items()
+        # spot-check a handful of items for internal consistency with module reachability
+        for item in items[:10]:
+            producer = flow.output_of(item)
+            assert index.data_depends_on_module(item, producer) or producer == paper_run.source

@@ -1,0 +1,71 @@
+"""The public API surface: exports, __all__ consistency and package metadata."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.graphs",
+    "repro.workflow",
+    "repro.labeling",
+    "repro.skeleton",
+    "repro.provenance",
+    "repro.storage",
+    "repro.datasets",
+    "repro.bench",
+]
+
+
+class TestExports:
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_all_names_resolve(self, package):
+        module = importlib.import_module(package)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{package}.{name} is exported but missing"
+
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_all_has_no_duplicates(self, package):
+        module = importlib.import_module(package)
+        exported = list(getattr(module, "__all__", []))
+        assert len(exported) == len(set(exported))
+
+    def test_top_level_convenience_names(self):
+        for name in (
+            "WorkflowSpecification", "WorkflowRun", "RunVertex", "SkeletonLabeler",
+            "SkeletonLabeledRun", "OnlineRun", "generate_run", "generate_run_with_size",
+            "construct_plan", "DiGraph", "TCMIndex", "BFSIndex",
+        ):
+            assert name in repro.__all__
+            assert hasattr(repro, name)
+
+    def test_exceptions_form_a_single_hierarchy(self):
+        from repro import exceptions
+
+        for name in exceptions.__all__:
+            exc = getattr(exceptions, name)
+            assert issubclass(exc, exceptions.ReproError) or exc is exceptions.ReproError
+
+    def test_main_module_importable(self):
+        module = importlib.import_module("repro.__main__")
+        assert hasattr(module, "main")
+
+    def test_dunder_main_runs_cli(self, capsys):
+        import subprocess
+        import sys
+
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "info", "--catalog", "EBI"],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        assert "nG (modules)  : 29" in completed.stdout

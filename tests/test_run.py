@@ -1,0 +1,97 @@
+"""Unit tests for WorkflowRun and RunVertex."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import RunConformanceError
+from repro.graphs.digraph import DiGraph
+from repro.workflow.run import RunVertex, WorkflowRun
+
+
+class TestRunVertex:
+    def test_str(self):
+        assert str(RunVertex("b", 3)) == "b3"
+
+    def test_origin_property(self):
+        assert RunVertex("module", 1).origin == "module"
+
+    def test_tuple_behaviour(self):
+        vertex = RunVertex("b", 2)
+        module, instance = vertex
+        assert (module, instance) == ("b", 2)
+        assert vertex == RunVertex("b", 2)
+        assert vertex != RunVertex("b", 3)
+
+
+class TestWorkflowRun:
+    def test_paper_run_dimensions(self, paper_run):
+        assert paper_run.vertex_count == 16
+        assert paper_run.edge_count == 18
+        assert paper_run.source == RunVertex("a", 1)
+        assert paper_run.sink == RunVertex("h", 1)
+
+    def test_origin(self, paper_run):
+        assert paper_run.origin(RunVertex("b", 3)) == "b"
+
+    def test_instances_of(self, paper_run):
+        assert {v.instance for v in paper_run.instances_of("b")} == {1, 2, 3}
+        assert paper_run.instances_of("a") == [RunVertex("a", 1)]
+
+    def test_vertex_lookup(self, paper_run):
+        assert paper_run.vertex("f", 2) == RunVertex("f", 2)
+        with pytest.raises(RunConformanceError):
+            paper_run.vertex("f", 99)
+
+    def test_identity_run(self, paper_spec):
+        run = WorkflowRun.identity_run(paper_spec)
+        assert run.vertex_count == paper_spec.vertex_count
+        assert run.edge_count == paper_spec.edge_count
+        assert all(v.instance == 1 for v in run.vertices())
+
+    def test_unknown_origin_rejected(self, paper_spec):
+        graph = DiGraph(edges=[(RunVertex("a", 1), RunVertex("zzz", 1)),
+                               (RunVertex("zzz", 1), RunVertex("h", 1))])
+        with pytest.raises(RunConformanceError):
+            WorkflowRun(paper_spec, graph)
+
+    def test_non_runvertex_rejected(self, paper_spec):
+        graph = DiGraph(edges=[("a", "h")])
+        with pytest.raises(RunConformanceError):
+            WorkflowRun(paper_spec, graph)
+
+    def test_source_must_originate_from_spec_source(self, paper_spec):
+        graph = DiGraph(edges=[(RunVertex("b", 1), RunVertex("h", 1))])
+        with pytest.raises(RunConformanceError):
+            WorkflowRun(paper_spec, graph)
+
+    def test_sink_must_originate_from_spec_sink(self, paper_spec):
+        graph = DiGraph(edges=[(RunVertex("a", 1), RunVertex("b", 1))])
+        with pytest.raises(RunConformanceError):
+            WorkflowRun(paper_spec, graph)
+
+    def test_validation_can_be_skipped(self, paper_spec):
+        graph = DiGraph(edges=[(RunVertex("a", 1), RunVertex("zzz", 1)),
+                               (RunVertex("zzz", 1), RunVertex("h", 1))])
+        run = WorkflowRun(paper_spec, graph, validate=False)
+        assert run.vertex_count == 3
+
+    def test_to_dict_round_trip_fields(self, paper_run):
+        payload = paper_run.to_dict()
+        assert payload["specification"] == "paper-example"
+        assert ["a", 1] in payload["vertices"]
+        assert [["a", 1], ["b", 1]] in payload["edges"]
+
+    def test_from_edges(self, paper_spec):
+        run = WorkflowRun.from_edges(
+            paper_spec,
+            [
+                (("a", 1), ("b", 1)), (("b", 1), ("c", 1)), (("c", 1), ("h", 1)),
+                (("a", 1), ("d", 1)), (("d", 1), ("e", 1)), (("e", 1), ("f", 1)),
+                (("f", 1), ("g", 1)), (("g", 1), ("h", 1)),
+            ],
+        )
+        assert run.vertex_count == 8
+
+    def test_repr(self, paper_run):
+        assert "figure-3" in repr(paper_run)

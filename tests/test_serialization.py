@@ -1,0 +1,129 @@
+"""Unit tests for XML / JSON serialization of specifications and runs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SerializationError
+from repro.workflow.serialization import (
+    read_run,
+    read_specification,
+    run_from_json,
+    run_from_xml,
+    run_to_json,
+    run_to_xml,
+    specification_from_json,
+    specification_from_xml,
+    specification_to_json,
+    specification_to_xml,
+    write_run,
+    write_specification,
+)
+
+
+class TestSpecificationXML:
+    def test_round_trip(self, paper_spec):
+        document = specification_to_xml(paper_spec)
+        rebuilt = specification_from_xml(document)
+        assert rebuilt.name == paper_spec.name
+        assert rebuilt.graph == paper_spec.graph
+        assert set(rebuilt.regions) == set(paper_spec.regions)
+
+    def test_round_trip_preserves_hierarchy(self, paper_spec):
+        rebuilt = specification_from_xml(specification_to_xml(paper_spec))
+        assert rebuilt.hierarchy.size == paper_spec.hierarchy.size
+        assert rebuilt.hierarchy.depth == paper_spec.hierarchy.depth
+
+    def test_invalid_xml_rejected(self):
+        with pytest.raises(SerializationError):
+            specification_from_xml("<not-closed")
+
+    def test_wrong_root_tag_rejected(self):
+        with pytest.raises(SerializationError):
+            specification_from_xml("<run></run>")
+
+    def test_unknown_region_kind_rejected(self, paper_spec):
+        document = specification_to_xml(paper_spec).replace("<fork ", "<swirl ")
+        with pytest.raises(SerializationError):
+            specification_from_xml(document)
+
+
+class TestSpecificationJSON:
+    def test_round_trip(self, paper_spec):
+        rebuilt = specification_from_json(specification_to_json(paper_spec))
+        assert rebuilt.graph == paper_spec.graph
+        assert {r.name for r in rebuilt.forks} == {"F1", "F2"}
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(SerializationError):
+            specification_from_json("{not json")
+
+    def test_missing_graph_rejected(self):
+        with pytest.raises(SerializationError):
+            specification_from_json('{"name": "x"}')
+
+
+class TestRunXML:
+    def test_round_trip(self, paper_spec, paper_run):
+        rebuilt = run_from_xml(run_to_xml(paper_run), paper_spec)
+        assert rebuilt.vertex_count == paper_run.vertex_count
+        assert rebuilt.edge_count == paper_run.edge_count
+        assert set(rebuilt.graph.iter_edges()) == set(paper_run.graph.iter_edges())
+
+    def test_invalid_run_xml(self, paper_spec):
+        with pytest.raises(SerializationError):
+            run_from_xml("<oops/>", paper_spec)
+
+    def test_missing_attributes_rejected(self, paper_spec):
+        document = "<run><executions><execution module='a'/></executions></run>"
+        with pytest.raises(SerializationError):
+            run_from_xml(document, paper_spec)
+
+
+class TestRunJSON:
+    def test_round_trip(self, paper_spec, paper_run):
+        rebuilt = run_from_json(run_to_json(paper_run), paper_spec)
+        assert rebuilt.name == paper_run.name
+        assert set(rebuilt.graph.iter_edges()) == set(paper_run.graph.iter_edges())
+
+    def test_invalid_json_rejected(self, paper_spec):
+        with pytest.raises(SerializationError):
+            run_from_json("]", paper_spec)
+
+    def test_malformed_payload_rejected(self, paper_spec):
+        with pytest.raises(SerializationError):
+            run_from_json('{"vertices": [["a", "xx"]], "edges": []}', paper_spec)
+
+
+class TestFileHelpers:
+    def test_specification_file_round_trip_xml(self, paper_spec, tmp_path):
+        path = tmp_path / "spec.xml"
+        write_specification(paper_spec, path)
+        assert read_specification(path).graph == paper_spec.graph
+
+    def test_specification_file_round_trip_json(self, paper_spec, tmp_path):
+        path = tmp_path / "spec.json"
+        write_specification(paper_spec, path)
+        assert read_specification(path).graph == paper_spec.graph
+
+    def test_run_file_round_trip_xml(self, paper_spec, paper_run, tmp_path):
+        path = tmp_path / "run.xml"
+        write_run(paper_run, path)
+        rebuilt = read_run(path, paper_spec)
+        assert rebuilt.vertex_count == paper_run.vertex_count
+
+    def test_run_file_round_trip_json(self, paper_spec, paper_run, tmp_path):
+        path = tmp_path / "run.json"
+        write_run(paper_run, path)
+        rebuilt = read_run(path, paper_spec)
+        assert rebuilt.edge_count == paper_run.edge_count
+
+    def test_unknown_extension_rejected(self, paper_spec, tmp_path):
+        with pytest.raises(SerializationError):
+            write_specification(paper_spec, tmp_path / "spec.yaml")
+
+    def test_generated_run_round_trip(self, synthetic_spec, synthetic_run, tmp_path):
+        path = tmp_path / "generated.json"
+        write_run(synthetic_run.run, path)
+        rebuilt = read_run(path, synthetic_spec)
+        assert rebuilt.vertex_count == synthetic_run.run.vertex_count

@@ -1,0 +1,275 @@
+"""Tests for the skeleton-based labeling scheme (Algorithms 2 and 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import LabelingError
+from repro.labeling.tcm import TCMIndex
+from repro.skeleton.labels import RunLabel, context_bits, run_label_bits
+from repro.skeleton.skl import (
+    QueryPath,
+    SkeletonLabeler,
+    classify_query,
+    skeleton_predicate,
+)
+from repro.workflow.run import RunVertex
+
+
+class TestPaperQueries:
+    """The three provenance queries discussed in the introduction and Example 6."""
+
+    def test_parallel_fork_copies_unreachable(self, paper_labeled_run):
+        assert not paper_labeled_run.reaches(RunVertex("b", 1), RunVertex("c", 3))
+        assert not paper_labeled_run.reaches(RunVertex("c", 3), RunVertex("b", 1))
+
+    def test_successive_loop_iterations_reachable(self, paper_labeled_run):
+        assert paper_labeled_run.reaches(RunVertex("c", 1), RunVertex("b", 2))
+        assert not paper_labeled_run.reaches(RunVertex("b", 2), RunVertex("c", 1))
+
+    def test_same_copy_falls_back_to_skeleton(self, paper_labeled_run):
+        assert paper_labeled_run.reaches(RunVertex("b", 1), RunVertex("c", 1))
+        assert not paper_labeled_run.reaches(RunVertex("c", 1), RunVertex("d", 1))
+
+    def test_example6_f1_to_e2(self, paper_labeled_run):
+        assert paper_labeled_run.reaches(RunVertex("f", 1), RunVertex("e", 2))
+        assert not paper_labeled_run.reaches(RunVertex("e", 2), RunVertex("f", 1))
+
+    def test_reflexive(self, paper_labeled_run):
+        for vertex in paper_labeled_run.run.vertices():
+            assert paper_labeled_run.reaches(vertex, vertex)
+
+    def test_source_reaches_everything(self, paper_labeled_run, paper_run):
+        source = paper_run.source
+        for vertex in paper_run.vertices():
+            assert paper_labeled_run.reaches(source, vertex)
+
+    def test_everything_reaches_sink(self, paper_labeled_run, paper_run):
+        sink = paper_run.sink
+        for vertex in paper_run.vertices():
+            assert paper_labeled_run.reaches(vertex, sink)
+
+
+class TestLineageQueries:
+    def test_downstream_of_source_is_everything(self, paper_labeled_run, paper_run):
+        downstream = set(paper_labeled_run.downstream_of(paper_run.source))
+        assert downstream == set(paper_run.vertices()) - {paper_run.source}
+
+    def test_upstream_of_sink_is_everything(self, paper_labeled_run, paper_run):
+        upstream = set(paper_labeled_run.upstream_of(paper_run.sink))
+        assert upstream == set(paper_run.vertices()) - {paper_run.sink}
+
+    def test_downstream_excludes_parallel_fork_copy(self, paper_labeled_run):
+        downstream = set(paper_labeled_run.downstream_of(RunVertex("b", 1)))
+        assert RunVertex("c", 1) in downstream
+        assert RunVertex("b", 2) in downstream     # next loop iteration
+        assert RunVertex("h", 1) in downstream
+        assert RunVertex("c", 3) not in downstream  # parallel fork copy
+        assert RunVertex("f", 1) not in downstream  # other branch
+
+    def test_upstream_matches_graph_ancestors(self, paper_labeled_run, paper_run):
+        from repro.graphs.traversal import ancestors
+
+        for vertex in paper_run.vertices():
+            expected = ancestors(paper_run.graph, vertex)
+            assert set(paper_labeled_run.upstream_of(vertex)) == expected
+
+    def test_downstream_matches_graph_descendants(self, paper_labeled_run, paper_run):
+        from repro.graphs.traversal import descendants
+
+        for vertex in paper_run.vertices():
+            expected = descendants(paper_run.graph, vertex)
+            assert set(paper_labeled_run.downstream_of(vertex)) == expected
+
+
+class TestQueryClassification:
+    def test_fork_query_path(self, paper_labeled_run):
+        assert (
+            paper_labeled_run.query_path(RunVertex("b", 1), RunVertex("c", 3))
+            == QueryPath.FORK
+        )
+
+    def test_loop_query_path(self, paper_labeled_run):
+        assert (
+            paper_labeled_run.query_path(RunVertex("c", 1), RunVertex("b", 2))
+            == QueryPath.LOOP
+        )
+
+    def test_skeleton_query_path(self, paper_labeled_run):
+        assert (
+            paper_labeled_run.query_path(RunVertex("b", 1), RunVertex("c", 1))
+            == QueryPath.SKELETON
+        )
+
+    def test_classify_matches_predicate_semantics(self, paper_labeled_run):
+        run = paper_labeled_run.run
+        for source in run.vertices():
+            for target in run.vertices():
+                path = paper_labeled_run.query_path(source, target)
+                if path == QueryPath.FORK:
+                    assert not paper_labeled_run.reaches(source, target)
+
+    def test_fast_path_fraction_bounds(self, paper_labeled_run):
+        vertices = paper_labeled_run.run.vertices()
+        pairs = [(u, v) for u in vertices[:6] for v in vertices[:6]]
+        fraction = paper_labeled_run.fast_path_fraction(pairs)
+        assert 0.0 <= fraction <= 1.0
+
+    def test_fast_path_fraction_empty(self, paper_labeled_run):
+        assert paper_labeled_run.fast_path_fraction([]) == 0.0
+
+
+class TestLabels:
+    def test_label_structure(self, paper_labeled_run):
+        label = paper_labeled_run.label_of(RunVertex("b", 1))
+        assert isinstance(label, RunLabel)
+        assert label.context == (label.q1, label.q2, label.q3)
+        assert all(coordinate >= 1 for coordinate in label.context)
+
+    def test_labels_dictionary_copy(self, paper_labeled_run):
+        labels = paper_labeled_run.labels()
+        labels.clear()
+        assert paper_labeled_run.labels()  # the internal mapping is unaffected
+
+    def test_unknown_vertex_raises(self, paper_labeled_run):
+        with pytest.raises(LabelingError):
+            paper_labeled_run.label_of(RunVertex("b", 99))
+
+    def test_same_context_same_coordinates(self, paper_labeled_run):
+        first = paper_labeled_run.label_of(RunVertex("b", 1))
+        second = paper_labeled_run.label_of(RunVertex("c", 1))
+        assert first.context == second.context
+
+    def test_coordinates_bounded_by_nonempty_count(self, paper_labeled_run):
+        bound = paper_labeled_run.nonempty_plus_count
+        for vertex in paper_labeled_run.run.vertices():
+            label = paper_labeled_run.label_of(vertex)
+            assert max(label.context) <= bound
+
+    def test_skeleton_part_is_spec_label(self, paper_labeled_run, paper_spec):
+        label = paper_labeled_run.label_of(RunVertex("f", 2))
+        spec_label = paper_labeled_run.spec_index.label_of("f")
+        assert label.skeleton == spec_label
+
+
+class TestLabelLengths:
+    def test_label_bits_helpers(self):
+        assert context_bits(1) == 1
+        assert context_bits(2) == 1
+        assert context_bits(9) == 4
+        assert run_label_bits(9, 3) == 3 * 4 + 3
+
+    def test_measured_max_below_lemma_bound(self, paper_labeled_run):
+        assert paper_labeled_run.max_label_length_bits() <= (
+            paper_labeled_run.worst_case_label_bits()
+        )
+
+    def test_average_not_above_max(self, paper_labeled_run):
+        assert (
+            paper_labeled_run.average_label_length_bits()
+            <= paper_labeled_run.max_label_length_bits()
+        )
+
+    def test_skeleton_reference_bits(self, paper_labeled_run, paper_spec):
+        import math
+
+        assert paper_labeled_run.skeleton_reference_bits == math.ceil(
+            math.log2(paper_spec.vertex_count)
+        )
+
+    def test_label_length_grows_logarithmically(self, paper_spec, paper_labeler):
+        from repro.workflow.execution import generate_run_with_size
+
+        small = paper_labeler.label_run(generate_run_with_size(paper_spec, 100, seed=3).run)
+        large = paper_labeler.label_run(generate_run_with_size(paper_spec, 1600, seed=3).run)
+        assert large.max_label_length_bits() > small.max_label_length_bits()
+        # 16x more vertices must cost far less than 16x more label bits
+        assert large.max_label_length_bits() < 2 * small.max_label_length_bits()
+
+
+class TestPredicateEdgeCases:
+    def test_skeleton_predicate_equal_labels(self, paper_labeled_run):
+        label = paper_labeled_run.label_of(RunVertex("a", 1))
+        assert skeleton_predicate(label, label, paper_labeled_run.spec_index)
+
+    def test_classify_query_pure_function(self):
+        first = RunLabel(1, 1, 1, None)
+        second = RunLabel(2, 3, 3, None)
+        assert classify_query(first, second) == QueryPath.SKELETON
+
+    def test_classify_fork_rule(self):
+        # q2 larger, q3 smaller -> fork; unreachable both ways
+        first = RunLabel(2, 3, 2, None)
+        second = RunLabel(3, 2, 4, None)
+        assert classify_query(first, second) == QueryPath.FORK
+
+    def test_classify_loop_rule(self):
+        first = RunLabel(2, 2, 4, None)
+        second = RunLabel(3, 3, 2, None)
+        assert classify_query(first, second) == QueryPath.LOOP
+
+
+class TestLabelerConfiguration:
+    def test_scheme_by_name(self, paper_spec):
+        labeler = SkeletonLabeler(paper_spec, "bfs")
+        assert labeler.spec_index.scheme_name == "bfs"
+
+    def test_scheme_by_class(self, paper_spec):
+        labeler = SkeletonLabeler(paper_spec, TCMIndex)
+        assert isinstance(labeler.spec_index, TCMIndex)
+
+    def test_scheme_by_instance(self, paper_spec):
+        index = TCMIndex.build(paper_spec.graph)
+        labeler = SkeletonLabeler(paper_spec, index)
+        assert labeler.spec_index is index
+
+    def test_invalid_scheme_rejected(self, paper_spec):
+        with pytest.raises(LabelingError):
+            SkeletonLabeler(paper_spec, 42)
+
+    def test_plan_and_context_must_come_together(self, paper_labeler, paper_run, paper_spec):
+        from repro.skeleton.construct import construct_plan
+
+        result = construct_plan(paper_spec, paper_run)
+        with pytest.raises(LabelingError):
+            paper_labeler.label_run(paper_run, plan=result.plan)
+
+    def test_mismatched_specification_rejected(self, paper_labeler):
+        from repro.workflow.specification import WorkflowSpecification
+        from repro.workflow.run import WorkflowRun
+
+        other_spec = WorkflowSpecification.from_edges(
+            [("s", "x"), ("x", "t")], name="other"
+        )
+        other_run = WorkflowRun.identity_run(other_spec)
+        with pytest.raises(LabelingError):
+            paper_labeler.label_run(other_run)
+
+    def test_provided_plan_gives_same_answers(self, paper_spec, paper_labeler, paper_run):
+        from repro.skeleton.construct import construct_plan
+
+        result = construct_plan(paper_spec, paper_run)
+        with_plan = paper_labeler.label_run(
+            paper_run, plan=result.plan, context=result.context
+        )
+        fresh = paper_labeler.label_run(paper_run)
+        for source in paper_run.vertices():
+            for target in paper_run.vertices():
+                assert with_plan.reaches(source, target) == fresh.reaches(source, target)
+
+    def test_timings_recorded(self, paper_labeled_run):
+        timings = paper_labeled_run.timings
+        assert timings.total_seconds >= 0
+        assert timings.plan_seconds >= 0
+        assert timings.total_seconds == pytest.approx(
+            timings.plan_seconds + timings.encoding_seconds + timings.assignment_seconds
+        )
+
+    def test_missing_context_entry_rejected(self, paper_spec, paper_labeler, paper_run):
+        from repro.skeleton.construct import construct_plan
+
+        result = construct_plan(paper_spec, paper_run)
+        partial_context = dict(result.context)
+        partial_context.pop(RunVertex("f", 1))
+        with pytest.raises(LabelingError):
+            paper_labeler.label_run(paper_run, plan=result.plan, context=partial_context)

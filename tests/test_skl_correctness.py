@@ -1,0 +1,112 @@
+"""Randomized end-to-end correctness: SKL answers must match an independent oracle.
+
+For a variety of specifications (the paper's example, synthetic ones of
+different shapes, the Table 1 catalog) and runs of different sizes, every
+skeleton-labeled reachability answer is compared against networkx's
+reachability on the very same run graph.
+"""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.datasets.reallife import load_real_workflow
+from repro.datasets.synthetic import SyntheticSpecConfig, generate_specification
+from repro.skeleton.skl import SkeletonLabeler
+from repro.workflow.execution import RangeProfile, generate_run, generate_run_with_size
+
+QUERY_SAMPLE = 400
+
+
+def to_networkx(run) -> nx.DiGraph:
+    graph = nx.DiGraph()
+    graph.add_nodes_from(run.graph.vertices())
+    graph.add_edges_from(run.graph.iter_edges())
+    return graph
+
+
+def oracle_reachability(run):
+    graph = to_networkx(run)
+    return {vertex: nx.descendants(graph, vertex) | {vertex} for vertex in graph.nodes}
+
+
+def assert_labeled_run_correct(spec, run, scheme, rng, *, exhaustive=False):
+    labeler = SkeletonLabeler(spec, scheme)
+    labeled = labeler.label_run(run)
+    reach = oracle_reachability(run)
+    vertices = run.vertices()
+    if exhaustive:
+        pairs = [(u, v) for u in vertices for v in vertices]
+    else:
+        pairs = [(rng.choice(vertices), rng.choice(vertices)) for _ in range(QUERY_SAMPLE)]
+    for source, target in pairs:
+        expected = target in reach[source]
+        assert labeled.reaches(source, target) == expected, (
+            f"{scheme}+skl wrong for {source} -> {target} on {run.name}"
+        )
+
+
+class TestPaperExampleExhaustive:
+    @pytest.mark.parametrize("scheme", ["tcm", "bfs", "dfs", "tree-cover"])
+    def test_all_pairs_match_oracle(self, paper_spec, paper_run, scheme, rng):
+        assert_labeled_run_correct(paper_spec, paper_run, scheme, rng, exhaustive=True)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_runs_exhaustive(self, paper_spec, seed, rng):
+        generated = generate_run(
+            paper_spec, RangeProfile(1, 4), seed=seed, name=f"random-{seed}"
+        )
+        assert_labeled_run_correct(paper_spec, generated.run, "tcm", rng, exhaustive=True)
+
+
+class TestSyntheticSpecs:
+    @pytest.mark.parametrize(
+        "n_modules,n_edges,size,depth,seed",
+        [
+            (20, 25, 4, 2, 1),
+            (30, 45, 5, 3, 2),
+            (50, 100, 8, 4, 3),
+            (60, 80, 12, 5, 4),
+            (80, 200, 6, 2, 5),
+        ],
+    )
+    def test_sampled_queries_match_oracle(self, n_modules, n_edges, size, depth, seed, rng):
+        spec = generate_specification(
+            SyntheticSpecConfig(
+                n_modules=n_modules, n_edges=n_edges, hierarchy_size=size,
+                hierarchy_depth=depth, seed=seed, name=f"spec-{seed}",
+            )
+        )
+        generated = generate_run_with_size(spec, 6 * n_modules, seed=seed)
+        assert_labeled_run_correct(spec, generated.run, "tcm", rng)
+
+    @pytest.mark.parametrize("scheme", ["bfs", "tree-cover"])
+    def test_alternative_skeleton_schemes(self, synthetic_spec, synthetic_run, scheme, rng):
+        assert_labeled_run_correct(synthetic_spec, synthetic_run.run, scheme, rng)
+
+    def test_ground_truth_plan_agrees_with_reconstruction(self, synthetic_spec, synthetic_run, rng):
+        labeler = SkeletonLabeler(synthetic_spec, "tcm")
+        reconstructed = labeler.label_run(synthetic_run.run)
+        provided = labeler.label_run(
+            synthetic_run.run, plan=synthetic_run.plan, context=synthetic_run.context
+        )
+        vertices = synthetic_run.run.vertices()
+        for _ in range(QUERY_SAMPLE):
+            source, target = rng.choice(vertices), rng.choice(vertices)
+            assert reconstructed.reaches(source, target) == provided.reaches(source, target)
+
+
+class TestCatalogWorkflows:
+    @pytest.mark.parametrize("name", ["EBI", "PubMed", "QBLAST"])
+    def test_catalog_runs_match_oracle(self, name, rng):
+        spec = load_real_workflow(name)
+        generated = generate_run_with_size(spec, 500, seed=11, name=f"{name}-run")
+        assert_labeled_run_correct(spec, generated.run, "tcm", rng)
+
+    def test_larger_bioaid_run(self, rng):
+        spec = load_real_workflow("BioAID")
+        generated = generate_run_with_size(spec, 2000, seed=12)
+        assert_labeled_run_correct(spec, generated.run, "bfs", rng)

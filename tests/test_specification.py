@@ -1,0 +1,151 @@
+"""Unit tests for WorkflowSpecification validation and accessors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SpecificationError, WellNestednessError
+from repro.graphs.digraph import DiGraph
+from repro.workflow.specification import WorkflowSpecification
+from repro.workflow.subgraphs import Region, RegionKind
+
+
+class TestConstruction:
+    def test_paper_spec_dimensions(self, paper_spec):
+        assert paper_spec.vertex_count == 8
+        assert paper_spec.edge_count == 8
+        assert paper_spec.source == "a"
+        assert paper_spec.sink == "h"
+
+    def test_regions_resolved(self, paper_spec):
+        assert set(paper_spec.regions) == {"F1", "F2", "L1", "L2"}
+        assert {r.name for r in paper_spec.forks} == {"F1", "F2"}
+        assert {r.name for r in paper_spec.loops} == {"L1", "L2"}
+
+    def test_region_lookup(self, paper_spec):
+        region = paper_spec.region("F1")
+        assert region.source == "a" and region.sink == "h"
+
+    def test_region_lookup_unknown(self, paper_spec):
+        with pytest.raises(SpecificationError):
+            paper_spec.region("F99")
+
+    def test_modules_and_has_module(self, paper_spec):
+        assert set(paper_spec.modules) == {"a", "b", "c", "d", "e", "f", "g", "h"}
+        assert paper_spec.has_module("a")
+        assert not paper_spec.has_module("zzz")
+
+    def test_graph_is_copied(self, paper_spec):
+        graph = DiGraph(edges=[("s", "x"), ("x", "t")])
+        spec = WorkflowSpecification(graph, name="copy-test")
+        graph.add_edge("s", "t")
+        assert spec.edge_count == 2
+
+    def test_spec_without_regions(self):
+        spec = WorkflowSpecification.from_edges([("s", "x"), ("x", "t")], name="plain")
+        assert spec.forks == [] and spec.loops == []
+        assert spec.hierarchy.size == 1
+        assert spec.hierarchy.depth == 1
+
+    def test_from_edges_round_trip_dict(self, paper_spec):
+        payload = paper_spec.to_dict()
+        assert payload["name"] == "paper-example"
+        assert {f["name"] for f in payload["forks"]} == {"F1", "F2"}
+        assert {l["name"] for l in payload["loops"]} == {"L1", "L2"}
+
+    def test_repr_mentions_counts(self, paper_spec):
+        text = repr(paper_spec)
+        assert "nG=8" in text and "mG=8" in text
+
+
+class TestValidationErrors:
+    def test_not_a_flow_network(self):
+        graph = DiGraph(edges=[("s1", "t"), ("s2", "t")])
+        with pytest.raises(SpecificationError):
+            WorkflowSpecification(graph)
+
+    def test_duplicate_region_names(self):
+        graph = DiGraph(edges=[("s", "x"), ("x", "y"), ("y", "t")])
+        forks = [Region(RegionKind.FORK, "R", {"x"})]
+        loops = [Region(RegionKind.LOOP, "R", {"x", "y"})]
+        with pytest.raises(SpecificationError):
+            WorkflowSpecification(graph, forks, loops)
+
+    def test_fork_passed_as_loop(self):
+        graph = DiGraph(edges=[("s", "x"), ("x", "t")])
+        with pytest.raises(SpecificationError):
+            WorkflowSpecification(graph, forks=[Region(RegionKind.LOOP, "L", {"x"})])
+
+    def test_loop_passed_as_fork(self):
+        graph = DiGraph(edges=[("s", "x"), ("x", "t")])
+        with pytest.raises(SpecificationError):
+            WorkflowSpecification(graph, loops=[Region(RegionKind.FORK, "F", {"x"})])
+
+    def test_overlapping_regions_rejected(self):
+        # two loops sharing one edge but neither containing the other
+        graph = DiGraph(
+            edges=[("s", "x"), ("x", "y"), ("y", "z"), ("z", "t")]
+        )
+        loops = [
+            Region(RegionKind.LOOP, "L1", {"x", "y"}),
+            Region(RegionKind.LOOP, "L2", {"y", "z"}),
+        ]
+        with pytest.raises(WellNestednessError):
+            WorkflowSpecification(graph, loops=loops)
+
+    def test_invalid_fork_rejected(self):
+        graph = DiGraph(edges=[("s", "x"), ("s", "y"), ("x", "t"), ("y", "t")])
+        with pytest.raises(SpecificationError):
+            WorkflowSpecification(graph, forks=[Region(RegionKind.FORK, "F", {"x", "y"})])
+
+    def test_identical_fork_and_loop_edge_sets_with_identical_domsets_rejected(self):
+        # a loop over {x, y} and another loop over {x, y} under different names
+        graph = DiGraph(edges=[("s", "x"), ("x", "y"), ("y", "t")])
+        loops = [
+            Region(RegionKind.LOOP, "L1", {"x", "y"}),
+            Region(RegionKind.LOOP, "L2", {"x", "y"}),
+        ]
+        with pytest.raises(WellNestednessError):
+            WorkflowSpecification(graph, loops=loops)
+
+
+class TestWellNestedBoundaryCases:
+    def test_fork_filling_whole_loop_branch_is_accepted(self):
+        """The paper's F2-inside-L1 situation: equal edge sets, nested dom sets."""
+        graph = DiGraph(edges=[("s", "e"), ("e", "f"), ("f", "g"), ("g", "t")])
+        spec = WorkflowSpecification(
+            graph,
+            forks=[Region(RegionKind.FORK, "F", {"f"})],
+            loops=[Region(RegionKind.LOOP, "L", {"e", "f", "g"})],
+        )
+        hierarchy = spec.hierarchy
+        assert hierarchy.node("F").parent == "L"
+
+    def test_nested_loops_accepted(self):
+        graph = DiGraph(edges=[("s", "w"), ("w", "x"), ("x", "y"), ("y", "z"), ("z", "t")])
+        spec = WorkflowSpecification(
+            graph,
+            loops=[
+                Region(RegionKind.LOOP, "outer", {"w", "x", "y", "z"}),
+                Region(RegionKind.LOOP, "inner", {"x", "y"}),
+            ],
+        )
+        assert spec.hierarchy.node("inner").parent == "outer"
+
+    def test_sibling_regions_accepted(self, paper_spec):
+        hierarchy = paper_spec.hierarchy
+        assert hierarchy.node("F1").parent == "__root__"
+        assert hierarchy.node("L1").parent == "__root__"
+
+    def test_shared_fork_terminals_accepted(self):
+        """Two edge-disjoint forks sharing their source and sink."""
+        graph = DiGraph(edges=[("s", "x"), ("x", "t"), ("s", "y"), ("y", "t")])
+        spec = WorkflowSpecification(
+            graph,
+            forks=[
+                Region(RegionKind.FORK, "F1", {"x"}),
+                Region(RegionKind.FORK, "F2", {"y"}),
+            ],
+        )
+        assert spec.region("F1").source == "s"
+        assert spec.region("F2").source == "s"

@@ -1,0 +1,160 @@
+"""Tests for the SQLite provenance store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import StorageError
+from repro.provenance.data import DataFlow
+from repro.skeleton.labels import RunLabel
+from repro.storage.store import ProvenanceStore
+from repro.workflow.run import RunVertex
+
+
+@pytest.fixture()
+def store() -> ProvenanceStore:
+    with ProvenanceStore(":memory:") as opened:
+        yield opened
+
+
+@pytest.fixture()
+def stored_run(store, paper_labeled_run) -> int:
+    return store.add_labeled_run(paper_labeled_run)
+
+
+class TestSpecificationPersistence:
+    def test_add_and_get(self, store, paper_spec):
+        spec_id = store.add_specification(paper_spec)
+        assert spec_id >= 1
+        loaded = store.get_specification("paper-example")
+        assert loaded.graph == paper_spec.graph
+        assert set(loaded.regions) == set(paper_spec.regions)
+
+    def test_add_is_idempotent_by_name(self, store, paper_spec):
+        first = store.add_specification(paper_spec)
+        second = store.add_specification(paper_spec)
+        assert first == second
+        assert len(store.list_specifications()) == 1
+
+    def test_missing_specification_raises(self, store):
+        with pytest.raises(StorageError):
+            store.get_specification("ghost")
+
+    def test_list_specifications_summary(self, store, paper_spec, synthetic_spec):
+        store.add_specification(paper_spec)
+        store.add_specification(synthetic_spec)
+        summaries = store.list_specifications()
+        assert {s["name"] for s in summaries} == {"paper-example", "synthetic-60"}
+        assert all("n_modules" in s for s in summaries)
+
+
+class TestRunPersistence:
+    def test_add_labeled_run(self, store, paper_labeled_run, stored_run):
+        assert stored_run >= 1
+        stats = store.statistics()
+        assert stats["runs"] == 1
+        assert stats["run_labels"] == paper_labeled_run.run.vertex_count
+
+    def test_duplicate_run_name_rejected(self, store, paper_labeled_run, stored_run):
+        with pytest.raises(StorageError):
+            store.add_labeled_run(paper_labeled_run)
+
+    def test_get_run_round_trip(self, store, paper_run, stored_run):
+        loaded = store.get_run(stored_run)
+        assert loaded.vertex_count == paper_run.vertex_count
+        assert set(loaded.graph.iter_edges()) == set(paper_run.graph.iter_edges())
+
+    def test_get_missing_run_raises(self, store):
+        with pytest.raises(StorageError):
+            store.get_run(999)
+
+    def test_list_runs(self, store, stored_run):
+        runs = store.list_runs()
+        assert len(runs) == 1
+        assert runs[0]["spec_scheme"] == "tcm"
+        assert store.list_runs(specification="paper-example")[0]["run_id"] == stored_run
+        assert store.list_runs(specification="other") == []
+
+    def test_delete_run(self, store, stored_run):
+        store.delete_run(stored_run)
+        assert store.list_runs() == []
+        assert store.statistics()["run_labels"] == 0
+        with pytest.raises(StorageError):
+            store.delete_run(stored_run)
+
+
+class TestStoredLabels:
+    def test_label_round_trip(self, store, paper_labeled_run, stored_run):
+        label = store.label_of(stored_run, "b", 2)
+        original = paper_labeled_run.label_of(RunVertex("b", 2))
+        assert isinstance(label, RunLabel)
+        assert label.context == original.context
+
+    def test_missing_label_raises(self, store, stored_run):
+        with pytest.raises(StorageError):
+            store.label_of(stored_run, "b", 99)
+
+    def test_reaches_matches_in_memory_answers(self, store, paper_labeled_run, stored_run):
+        run = paper_labeled_run.run
+        for source in run.vertices():
+            for target in run.vertices():
+                assert store.reaches(stored_run, source, target) == paper_labeled_run.reaches(
+                    source, target
+                )
+
+    def test_reaches_accepts_tuples(self, store, stored_run):
+        assert store.reaches(stored_run, ("a", 1), ("h", 1))
+        assert not store.reaches(stored_run, ("h", 1), ("a", 1))
+
+    def test_bfs_scheme_round_trip(self, store, paper_spec, paper_run):
+        from repro.skeleton.skl import SkeletonLabeler
+
+        labeled = SkeletonLabeler(paper_spec, "bfs").label_run(paper_run)
+        run_id = store.add_labeled_run(labeled)
+        assert store.reaches(run_id, ("b", 1), ("c", 2))
+        assert not store.reaches(run_id, ("b", 1), ("c", 3))
+
+
+class TestStoredDataProvenance:
+    def test_add_dataflow_and_query(self, store, paper_run, stored_run):
+        flow = DataFlow(run=paper_run)
+        flow.attach(RunVertex("a", 1), RunVertex("b", 1), ["x1", "x2"])
+        flow.attach(RunVertex("a", 1), RunVertex("b", 3), ["x1", "x3"])
+        flow.attach(RunVertex("c", 3), RunVertex("h", 1), ["x6"])
+        count = store.add_dataflow(stored_run, flow)
+        assert count == 4
+        assert store.list_data_items(stored_run) == ["x1", "x2", "x3", "x6"]
+        assert store.data_depends_on_data(stored_run, "x6", "x1")
+        assert not store.data_depends_on_data(stored_run, "x6", "x2")
+        assert store.data_depends_on_module(stored_run, "x6", ("b", 3))
+        assert not store.data_depends_on_module(stored_run, "x6", ("b", 1))
+
+    def test_dataflow_for_missing_run_rejected(self, store, paper_run):
+        flow = DataFlow(run=paper_run)
+        with pytest.raises(StorageError):
+            store.add_dataflow(42, flow)
+
+    def test_unknown_data_item_raises(self, store, stored_run):
+        with pytest.raises(StorageError):
+            store.data_depends_on_data(stored_run, "nope", "nope2")
+
+
+class TestFileBackedStore:
+    def test_persistence_across_connections(self, tmp_path, paper_labeled_run):
+        path = tmp_path / "provenance.db"
+        with ProvenanceStore(path) as store:
+            run_id = store.add_labeled_run(paper_labeled_run)
+        with ProvenanceStore(path) as reopened:
+            assert reopened.reaches(run_id, ("a", 1), ("h", 1))
+            assert reopened.list_runs()[0]["name"] == "figure-3"
+
+    def test_statistics_shape(self, tmp_path):
+        with ProvenanceStore(tmp_path / "empty.db") as store:
+            stats = store.statistics()
+        assert stats == {
+            "specifications": 0,
+            "runs": 0,
+            "run_labels": 0,
+            "data_items": 0,
+            "data_consumers": 0,
+        }

@@ -1,0 +1,165 @@
+"""Unit tests for self-contained subgraph resolution (forks and loops)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SpecificationError
+from repro.graphs.digraph import DiGraph
+from repro.workflow.subgraphs import (
+    Region,
+    RegionKind,
+    is_atomic_fork,
+    is_complete_loop,
+    is_self_contained,
+    resolve_fork,
+    resolve_loop,
+)
+
+
+@pytest.fixture()
+def paper_graph() -> DiGraph:
+    """The Figure 2 specification graph."""
+    return DiGraph(
+        edges=[
+            ("a", "b"), ("b", "c"), ("c", "h"),
+            ("a", "d"), ("d", "e"), ("e", "f"), ("f", "g"), ("g", "h"),
+        ]
+    )
+
+
+class TestRegion:
+    def test_region_requires_vertices(self):
+        with pytest.raises(SpecificationError):
+            Region(RegionKind.FORK, "F1", frozenset())
+
+    def test_region_kind_predicates(self):
+        fork = Region(RegionKind.FORK, "F1", frozenset({"b"}))
+        loop = Region(RegionKind.LOOP, "L1", frozenset({"b", "c"}))
+        assert fork.is_fork and not fork.is_loop
+        assert loop.is_loop and not loop.is_fork
+
+    def test_region_vertices_coerced_to_frozenset(self):
+        region = Region(RegionKind.FORK, "F1", {"b", "c"})
+        assert isinstance(region.vertices, frozenset)
+
+
+class TestResolveFork:
+    def test_fork_f1(self, paper_graph: DiGraph):
+        resolved = resolve_fork(paper_graph, Region(RegionKind.FORK, "F1", {"b", "c"}))
+        assert resolved.source == "a"
+        assert resolved.sink == "h"
+        assert resolved.internal == {"b", "c"}
+        assert resolved.dom_set == {"b", "c"}
+        assert resolved.edges == {("a", "b"), ("b", "c"), ("c", "h")}
+
+    def test_fork_f2(self, paper_graph: DiGraph):
+        resolved = resolve_fork(paper_graph, Region(RegionKind.FORK, "F2", {"f"}))
+        assert resolved.source == "e"
+        assert resolved.sink == "g"
+        assert resolved.span == {"e", "f", "g"}
+
+    def test_fork_excludes_direct_edge(self):
+        graph = DiGraph(edges=[("s", "x"), ("x", "t"), ("s", "t")])
+        resolved = resolve_fork(graph, Region(RegionKind.FORK, "F", {"x"}))
+        assert ("s", "t") not in resolved.edges
+
+    def test_fork_to_region_round_trip(self, paper_graph: DiGraph):
+        resolved = resolve_fork(paper_graph, Region(RegionKind.FORK, "F1", {"b", "c"}))
+        assert resolved.to_region().vertices == frozenset({"b", "c"})
+
+    def test_fork_with_two_outside_predecessors_rejected(self):
+        graph = DiGraph(edges=[("s", "x"), ("p", "x"), ("x", "t"), ("s", "p"), ("p", "t")])
+        with pytest.raises(SpecificationError):
+            resolve_fork(graph, Region(RegionKind.FORK, "F", {"x"}))
+
+    def test_fork_not_atomic_rejected(self):
+        # two parallel internal branches between the same terminals
+        graph = DiGraph(edges=[("s", "x"), ("s", "y"), ("x", "t"), ("y", "t")])
+        with pytest.raises(SpecificationError):
+            resolve_fork(graph, Region(RegionKind.FORK, "F", {"x", "y"}))
+
+    def test_fork_unknown_vertex_rejected(self, paper_graph: DiGraph):
+        with pytest.raises(SpecificationError):
+            resolve_fork(paper_graph, Region(RegionKind.FORK, "F", {"zzz"}))
+
+    def test_fork_wrong_kind_rejected(self, paper_graph: DiGraph):
+        with pytest.raises(SpecificationError):
+            resolve_fork(paper_graph, Region(RegionKind.LOOP, "L", {"b", "c"}))
+
+    def test_fork_source_equals_sink_rejected(self):
+        # single outside neighbour on both sides
+        graph = DiGraph(edges=[("s", "x"), ("x", "y"), ("y", "s2"), ("s2", "z"), ("z", "t")])
+        # internals {x, y} have outside pred s and outside succ s2 (fine);
+        # internals {z} has outside pred s2 and outside succ t (fine);
+        # but internals {x, y, z} has two outside preds -> rejected
+        with pytest.raises(SpecificationError):
+            resolve_fork(graph, Region(RegionKind.FORK, "F", {"x", "y", "z"}))
+
+
+class TestResolveLoop:
+    def test_loop_l2(self, paper_graph: DiGraph):
+        resolved = resolve_loop(paper_graph, Region(RegionKind.LOOP, "L2", {"b", "c"}))
+        assert resolved.source == "b"
+        assert resolved.sink == "c"
+        assert resolved.dom_set == {"b", "c"}
+        assert resolved.edges == {("b", "c")}
+
+    def test_loop_l1(self, paper_graph: DiGraph):
+        resolved = resolve_loop(paper_graph, Region(RegionKind.LOOP, "L1", {"e", "f", "g"}))
+        assert resolved.source == "e"
+        assert resolved.sink == "g"
+        assert resolved.internal == {"f"}
+
+    def test_loop_needs_two_vertices(self, paper_graph: DiGraph):
+        with pytest.raises(SpecificationError):
+            resolve_loop(paper_graph, Region(RegionKind.LOOP, "L", {"b"}))
+
+    def test_loop_not_complete_rejected(self):
+        # the source has an outgoing edge that leaves the candidate span
+        graph = DiGraph(edges=[("s", "x"), ("x", "y"), ("x", "z"), ("y", "t"), ("z", "t")])
+        with pytest.raises(SpecificationError):
+            resolve_loop(graph, Region(RegionKind.LOOP, "L", {"x", "y"}))
+
+    def test_loop_not_self_contained_rejected(self):
+        # internal vertex y also feeds t directly outside the span
+        graph = DiGraph(edges=[("s", "x"), ("x", "y"), ("y", "z"), ("z", "t"), ("y", "t")])
+        with pytest.raises(SpecificationError):
+            resolve_loop(graph, Region(RegionKind.LOOP, "L", {"x", "y", "z"}))
+
+    def test_loop_two_sources_rejected(self):
+        graph = DiGraph(edges=[("s", "x"), ("s", "y"), ("x", "z"), ("y", "z"), ("z", "t")])
+        with pytest.raises(SpecificationError):
+            resolve_loop(graph, Region(RegionKind.LOOP, "L", {"x", "y", "z"}))
+
+    def test_loop_wrong_kind_rejected(self, paper_graph: DiGraph):
+        with pytest.raises(SpecificationError):
+            resolve_loop(paper_graph, Region(RegionKind.FORK, "F", {"b", "c"}))
+
+    def test_loop_including_direct_edge(self):
+        graph = DiGraph(edges=[("s", "x"), ("x", "y"), ("x", "z"), ("z", "y"), ("y", "t")])
+        resolved = resolve_loop(graph, Region(RegionKind.LOOP, "L", {"x", "y", "z"}))
+        assert ("x", "y") in resolved.edges
+        assert resolved.source == "x"
+        assert resolved.sink == "y"
+
+
+class TestPredicates:
+    def test_is_self_contained_true(self, paper_graph: DiGraph):
+        assert is_self_contained(paper_graph, frozenset({"b", "c"}), "b", "c")
+
+    def test_is_self_contained_false_when_internal_leaks(self, paper_graph: DiGraph):
+        # f is internal to the candidate span {d, e, f, h} but connects to g outside it
+        assert not is_self_contained(paper_graph, frozenset({"d", "e", "f", "h"}), "d", "h")
+
+    def test_is_self_contained_source_must_differ_from_sink(self, paper_graph: DiGraph):
+        assert not is_self_contained(paper_graph, frozenset({"b"}), "b", "b")
+
+    def test_is_atomic_fork(self, paper_graph: DiGraph):
+        assert is_atomic_fork(paper_graph, frozenset({"b", "c"}))
+        assert not is_atomic_fork(paper_graph, frozenset({"b", "e"}))
+
+    def test_is_complete_loop(self, paper_graph: DiGraph):
+        assert is_complete_loop(paper_graph, frozenset({"e", "f", "g"}))
+        # {a, b} is not complete: its source a also feeds d outside the span
+        assert not is_complete_loop(paper_graph, frozenset({"a", "b"}))

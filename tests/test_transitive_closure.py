@@ -1,0 +1,83 @@
+"""Unit tests for the bitset transitive closure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import VertexNotFoundError
+from repro.graphs.digraph import DiGraph
+from repro.graphs.transitive_closure import transitive_closure
+from repro.graphs.traversal import simple_paths_exist_matrix
+
+
+@pytest.fixture()
+def dag() -> DiGraph:
+    return DiGraph(
+        edges=[("s", "a"), ("s", "b"), ("a", "c"), ("b", "c"), ("c", "t"), ("s", "t")]
+    )
+
+
+class TestClosure:
+    def test_matches_traversal_oracle(self, dag: DiGraph):
+        closure = transitive_closure(dag)
+        oracle = simple_paths_exist_matrix(dag)
+        for (u, v), expected in oracle.items():
+            assert closure.reaches(u, v) == expected
+
+    def test_reflexive(self, dag: DiGraph):
+        closure = transitive_closure(dag)
+        for v in dag.vertices():
+            assert closure.reaches(v, v)
+
+    def test_reachable_set(self, dag: DiGraph):
+        closure = transitive_closure(dag)
+        assert closure.reachable_set("a") == {"a", "c", "t"}
+
+    def test_label_bits_equals_vertex_count(self, dag: DiGraph):
+        closure = transitive_closure(dag)
+        assert closure.label_bits() == dag.vertex_count
+
+    def test_row_lookup(self, dag: DiGraph):
+        closure = transitive_closure(dag)
+        row = closure.row("s")
+        assert row.bit_count() == dag.vertex_count  # source reaches everything
+
+    def test_unknown_vertex_raises(self, dag: DiGraph):
+        closure = transitive_closure(dag)
+        with pytest.raises(VertexNotFoundError):
+            closure.reaches("s", "nope")
+        with pytest.raises(VertexNotFoundError):
+            closure.row("nope")
+
+    def test_to_matrix_dimensions(self, dag: DiGraph):
+        closure = transitive_closure(dag)
+        matrix = closure.to_matrix()
+        assert len(matrix) == dag.vertex_count
+        assert all(len(row) == dag.vertex_count for row in matrix)
+
+    def test_to_matrix_diagonal(self, dag: DiGraph):
+        closure = transitive_closure(dag)
+        matrix = closure.to_matrix()
+        for i in range(dag.vertex_count):
+            assert matrix[i][i] == 1
+
+    def test_vertex_count_property(self, dag: DiGraph):
+        assert transitive_closure(dag).vertex_count == dag.vertex_count
+
+    def test_cyclic_graph_fallback(self):
+        cyclic = DiGraph(edges=[("a", "b"), ("b", "c"), ("c", "a"), ("c", "d")])
+        closure = transitive_closure(cyclic)
+        assert closure.reaches("a", "d")
+        assert closure.reaches("b", "a")
+        assert not closure.reaches("d", "a")
+
+    def test_single_vertex(self):
+        graph = DiGraph(vertices=["only"])
+        closure = transitive_closure(graph)
+        assert closure.reaches("only", "only")
+        assert closure.label_bits() == 1
+
+    def test_empty_graph(self):
+        closure = transitive_closure(DiGraph())
+        assert closure.vertex_count == 0
+        assert closure.to_matrix() == []

@@ -1,0 +1,147 @@
+"""Unit tests for traversal utilities (reachability, components, topo sort)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import NotADagError, VertexNotFoundError
+from repro.graphs.digraph import DiGraph
+from repro.graphs.traversal import (
+    all_pairs_reachability,
+    ancestors,
+    bfs_reachable,
+    descendants,
+    dfs_reachable,
+    is_dag,
+    is_reachable,
+    is_weakly_connected,
+    simple_paths_exist_matrix,
+    topological_sort,
+    weakly_connected_components,
+)
+
+
+@pytest.fixture()
+def chain() -> DiGraph:
+    return DiGraph(edges=[("a", "b"), ("b", "c"), ("c", "d")])
+
+
+@pytest.fixture()
+def two_components() -> DiGraph:
+    return DiGraph(edges=[("a", "b"), ("x", "y")])
+
+
+@pytest.fixture()
+def cyclic() -> DiGraph:
+    return DiGraph(edges=[("a", "b"), ("b", "c"), ("c", "a")])
+
+
+class TestReachability:
+    def test_bfs_reachable_includes_start(self, chain: DiGraph):
+        assert bfs_reachable(chain, "b") == {"b", "c", "d"}
+
+    def test_dfs_reachable_matches_bfs(self, chain: DiGraph):
+        assert dfs_reachable(chain, "a") == bfs_reachable(chain, "a")
+
+    def test_reachable_from_sink_is_singleton(self, chain: DiGraph):
+        assert bfs_reachable(chain, "d") == {"d"}
+
+    def test_bfs_unknown_vertex_raises(self, chain: DiGraph):
+        with pytest.raises(VertexNotFoundError):
+            bfs_reachable(chain, "zzz")
+
+    def test_is_reachable_forward(self, chain: DiGraph):
+        assert is_reachable(chain, "a", "d")
+
+    def test_is_reachable_backward_false(self, chain: DiGraph):
+        assert not is_reachable(chain, "d", "a")
+
+    def test_is_reachable_reflexive(self, chain: DiGraph):
+        assert is_reachable(chain, "b", "b")
+
+    def test_is_reachable_dfs_method(self, chain: DiGraph):
+        assert is_reachable(chain, "a", "c", method="dfs")
+
+    def test_is_reachable_invalid_method(self, chain: DiGraph):
+        with pytest.raises(ValueError):
+            is_reachable(chain, "a", "b", method="magic")
+
+    def test_is_reachable_unknown_target(self, chain: DiGraph):
+        with pytest.raises(VertexNotFoundError):
+            is_reachable(chain, "a", "zzz")
+
+    def test_descendants_excludes_self(self, chain: DiGraph):
+        assert descendants(chain, "b") == {"c", "d"}
+
+    def test_ancestors_excludes_self(self, chain: DiGraph):
+        assert ancestors(chain, "c") == {"a", "b"}
+
+    def test_ancestors_of_source_empty(self, chain: DiGraph):
+        assert ancestors(chain, "a") == set()
+
+
+class TestComponents:
+    def test_single_component(self, chain: DiGraph):
+        assert len(weakly_connected_components(chain)) == 1
+
+    def test_two_components(self, two_components: DiGraph):
+        components = weakly_connected_components(two_components)
+        assert sorted(sorted(c) for c in components) == [["a", "b"], ["x", "y"]]
+
+    def test_restrict_to_subset(self, chain: DiGraph):
+        components = weakly_connected_components(chain, restrict_to={"a", "b", "d"})
+        assert sorted(sorted(c) for c in components) == [["a", "b"], ["d"]]
+
+    def test_restrict_to_ignores_unknown(self, chain: DiGraph):
+        components = weakly_connected_components(chain, restrict_to={"a", "ghost"})
+        assert components == [{"a"}]
+
+    def test_is_weakly_connected_true(self, chain: DiGraph):
+        assert is_weakly_connected(chain)
+
+    def test_is_weakly_connected_false(self, two_components: DiGraph):
+        assert not is_weakly_connected(two_components)
+
+    def test_empty_graph_is_connected(self):
+        assert is_weakly_connected(DiGraph())
+
+
+class TestTopologicalSort:
+    def test_chain_order(self, chain: DiGraph):
+        assert topological_sort(chain) == ["a", "b", "c", "d"]
+
+    def test_order_respects_edges(self):
+        graph = DiGraph(edges=[("s", "a"), ("s", "b"), ("a", "t"), ("b", "t")])
+        order = topological_sort(graph)
+        position = {v: i for i, v in enumerate(order)}
+        for tail, head in graph.iter_edges():
+            assert position[tail] < position[head]
+
+    def test_cycle_raises(self, cyclic: DiGraph):
+        with pytest.raises(NotADagError):
+            topological_sort(cyclic)
+
+    def test_is_dag(self, chain: DiGraph, cyclic: DiGraph):
+        assert is_dag(chain)
+        assert not is_dag(cyclic)
+
+
+class TestAllPairs:
+    def test_all_pairs_on_dag(self, chain: DiGraph):
+        reach = all_pairs_reachability(chain)
+        assert reach["a"] == {"a", "b", "c", "d"}
+        assert reach["d"] == {"d"}
+
+    def test_all_pairs_on_cycle_falls_back(self, cyclic: DiGraph):
+        reach = all_pairs_reachability(cyclic)
+        assert reach["a"] == {"a", "b", "c"}
+
+    def test_matrix_matches_is_reachable(self, chain: DiGraph):
+        matrix = simple_paths_exist_matrix(chain)
+        for (u, v), expected in matrix.items():
+            assert expected == is_reachable(chain, u, v)
+
+    def test_matrix_is_reflexive(self, chain: DiGraph):
+        matrix = simple_paths_exist_matrix(chain)
+        for v in chain.vertices():
+            assert matrix[(v, v)]
