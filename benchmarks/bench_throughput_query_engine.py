@@ -1,0 +1,52 @@
+"""Batch query engine throughput: queries/s of single vs batched answering.
+
+Benchmarked operation: one full batched workload (uniform random pairs on
+the largest run of the sweep) through :class:`repro.engine.QueryEngine`.
+Printed series: per-scheme queries/second for the per-pair loop and the
+batched engine, with the speedup factor.  The acceptance bar is a >= 3x
+speedup on the schemes whose per-pair path pays per-query traversals
+(bfs+skl, direct bfs), with the packed-bit direct-tcm kernel close behind.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.bench.experiments import comparison_specification, throughput_query_engine
+from repro.engine import QueryEngine
+from repro.skeleton.skl import SkeletonLabeler
+from repro.workflow.execution import generate_run_with_size
+
+
+def test_throughput_query_engine(benchmark, bench_scale, report_sink):
+    spec = comparison_specification()
+    labeler = SkeletonLabeler(spec, "bfs")
+    run = generate_run_with_size(spec, bench_scale.run_sizes[-1], seed=0).run
+    labeled = labeler.label_run(run)
+    engine = QueryEngine(labeled)
+    rng = random.Random(0)
+    vertices = run.vertices()
+    pairs = [(rng.choice(vertices), rng.choice(vertices)) for _ in range(10_000)]
+
+    benchmark(lambda: engine.reaches_batch(pairs))
+
+    result = report_sink(throughput_query_engine(bench_scale))
+    by_scheme = {row["scheme"]: row for row in result.rows}
+
+    # The headline claim: batching beats the per-pair loop >= 3x on the
+    # schemes whose per-pair path does real per-query work (a spec-graph
+    # traversal per fall-through for bfs+skl, a full run-graph traversal
+    # per query for direct bfs).
+    assert by_scheme["bfs+skl"]["speedup"] >= 3.0
+    assert by_scheme["bfs"]["speedup"] >= 3.0
+    # direct tcm pays a big-integer shift per query; the packed-bit kernel
+    # beats it by ~3x at default scale (kept at 2x for timing headroom).
+    # On the tiny smoke runs the shifts are cheap, so only gate the real
+    # (>= 100k pair) workloads and require no-regression otherwise.
+    if by_scheme["tcm"]["pairs"] >= 100_000:
+        assert by_scheme["tcm"]["speedup"] >= 2.0
+    else:
+        assert by_scheme["tcm"]["speedup"] >= 1.0
+    # tcm+skl queries are already a few integer comparisons; the batch
+    # path must still not be slower.
+    assert by_scheme["tcm+skl"]["speedup"] >= 1.0

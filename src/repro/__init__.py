@@ -11,6 +11,8 @@ The most common entry points are re-exported here:
   :func:`~repro.workflow.execution.generate_run_with_size` — run simulation;
 * :class:`~repro.skeleton.skl.SkeletonLabeler` — the paper's labeling scheme;
 * :mod:`repro.labeling` — the TCM / BFS / tree-cover baselines;
+* :class:`~repro.engine.query.QueryEngine` — batched reachability queries
+  over any index (the high-throughput path for stored-run workloads);
 * :mod:`repro.provenance` — data-level provenance queries;
 * :mod:`repro.datasets` — synthetic and catalog workloads;
 * :mod:`repro.bench` — the experiment harness reproducing every figure/table.
@@ -28,7 +30,8 @@ from repro.exceptions import (
     StorageError,
     WellNestednessError,
 )
-from repro.graphs import DiGraph
+from repro.engine import EngineStats, QueryEngine
+from repro.graphs import CSRGraph, DiGraph, VertexInterner
 from repro.labeling import (
     BFSIndex,
     DFSIndex,
@@ -80,6 +83,11 @@ __all__ = [
     "DatasetError",
     # graphs
     "DiGraph",
+    "CSRGraph",
+    "VertexInterner",
+    # batch query engine
+    "QueryEngine",
+    "EngineStats",
     # labeling
     "ReachabilityIndex",
     "TCMIndex",

@@ -7,6 +7,8 @@ The CLI exposes the typical life cycle of the system:
 * ``label`` — label a run with the skeleton-based scheme and store it in a
   SQLite provenance database;
 * ``query`` — answer a reachability query from the stored labels;
+* ``query-batch`` — answer a whole file of reachability queries in one
+  batch (all labels fetched in one SQL round trip);
 * ``experiments`` — regenerate the paper's tables and figures;
 * ``info`` — show a specification's characteristics (the Table 1 columns).
 
@@ -85,6 +87,23 @@ def build_parser() -> argparse.ArgumentParser:
     query_parser.add_argument("--run-id", type=int, required=True)
     query_parser.add_argument("--source", required=True, help="module:instance, e.g. m0003:1")
     query_parser.add_argument("--target", required=True, help="module:instance, e.g. m0090:2")
+
+    batch_parser = subparsers.add_parser(
+        "query-batch",
+        help="answer many reachability queries in one batch (labels fetched once)",
+    )
+    batch_parser.add_argument("--database", type=Path, required=True)
+    batch_parser.add_argument("--run-id", type=int, required=True)
+    batch_parser.add_argument(
+        "--pairs",
+        required=True,
+        help="file of 'source target' lines (module:instance each), or - for stdin",
+    )
+    batch_parser.add_argument(
+        "--summary-only",
+        action="store_true",
+        help="print only the summary line, not one line per pair",
+    )
 
     verify_parser = subparsers.add_parser(
         "verify", help="check that a run conforms to a specification"
@@ -184,6 +203,54 @@ def _command_query(args: argparse.Namespace) -> int:
     return 0 if answer else 1
 
 
+def _parse_pair_lines(text: str) -> list[tuple[tuple[str, int], tuple[str, int]]]:
+    """Parse 'source target' lines; blank lines and ``#`` comments are skipped."""
+    pairs = []
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            raise ReproError(
+                f"line {line_number}: expected 'source target', got {line!r}"
+            )
+        pairs.append((_parse_execution(parts[0]), _parse_execution(parts[1])))
+    return pairs
+
+
+def _command_query_batch(args: argparse.Namespace) -> int:
+    import time
+
+    if args.pairs == "-":
+        text = sys.stdin.read()
+    else:
+        pairs_path = Path(args.pairs)
+        if not pairs_path.exists():
+            raise ReproError(f"pairs file not found: {pairs_path}")
+        text = pairs_path.read_text()
+    pairs = _parse_pair_lines(text)
+    if not pairs:
+        raise ReproError("no query pairs given")
+    with ProvenanceStore(args.database) as store:
+        started = time.perf_counter()
+        answers = store.reaches_batch(args.run_id, pairs)
+        elapsed = time.perf_counter() - started
+    if not args.summary_only:
+        for (source, target), answer in zip(pairs, answers):
+            verdict = "reaches" if answer else "does-not-reach"
+            print(
+                f"{source[0]}:{source[1]} {verdict} {target[0]}:{target[1]}"
+            )
+    reachable = sum(answers)
+    rate = len(pairs) / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"answered {len(pairs)} queries in {elapsed * 1e3:.2f} ms "
+        f"({rate:,.0f} queries/s); {reachable} reachable"
+    )
+    return 0
+
+
 def _command_verify(args: argparse.Namespace) -> int:
     from repro.skeleton.construct import construct_plan
 
@@ -236,6 +303,7 @@ _COMMANDS = {
     "generate-run": _command_generate_run,
     "label": _command_label,
     "query": _command_query,
+    "query-batch": _command_query_batch,
     "verify": _command_verify,
     "info": _command_info,
     "experiments": _command_experiments,

@@ -1,0 +1,272 @@
+"""Per-scheme batch evaluation kernels for the query engine.
+
+A *kernel* is the compiled form of one labeling index: it resolves every
+vertex's label (and any derived acceleration structure) **once** at build
+time and then answers whole batches of ``(source, target)`` pairs with as
+little per-pair Python dispatch as possible.  :func:`build_kernel` picks the
+best kernel available for an index:
+
+* ``numpy-skl`` — :class:`~repro.skeleton.skl.SkeletonLabeledRun`: the three
+  context coordinates live in integer arrays, Algorithm 3's fork/loop fast
+  path is evaluated vectorized, and the skeleton fall-through becomes one
+  fancy-indexing probe of a dense specification reachability matrix
+  (``nG²`` bytes, capped by :data:`DENSE_SPEC_LIMIT`; larger specs answer
+  fall-throughs through the spec index's own batch path);
+* ``numpy-tcm`` — :class:`~repro.labeling.tcm.TCMIndex`: the closure rows
+  are bit-packed into a byte matrix so a query is a byte gather plus a
+  shift, avoiding CPython's O(n)-digit big-integer shifts on large rows;
+* ``numpy-interval`` — :class:`~repro.labeling.interval.IntervalTreeIndex`:
+  ``post``/``low`` arrays compared vectorized;
+* ``python-generic`` — everything else (and every index when numpy is not
+  installed): a persistent vertex→label table plus the scheme's own
+  ``reaches_many`` batch path (which for the traversal schemes groups
+  queries by source over a :class:`~repro.graphs.csr.CSRGraph`).
+
+Kernels are internal to :mod:`repro.engine`; the public surface is
+:class:`~repro.engine.query.QueryEngine`.
+"""
+
+from __future__ import annotations
+
+from itertools import chain
+from typing import Any, Optional, Sequence
+
+from repro.exceptions import LabelingError
+from repro.labeling.interval import IntervalTreeIndex
+from repro.labeling.tcm import TCMIndex
+from repro.skeleton.skl import SkeletonLabeledRun
+
+try:  # numpy accelerates the kernels but is strictly optional
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only on numpy-less installs
+    _np = None
+
+__all__ = ["build_kernel", "HAS_NUMPY", "DENSE_SPEC_LIMIT", "PACKED_TCM_LIMIT"]
+
+HAS_NUMPY = _np is not None
+
+#: largest specification for which a dense nG x nG reachability matrix is
+#: precomputed (one byte per pair; non-TCM schemes additionally pay nG²
+#: predicate evaluations at build time)
+DENSE_SPEC_LIMIT = 1_024
+
+#: largest graph for which the direct-TCM kernel bit-packs the closure
+#: matrix (n²/8 bytes — the same asymptotic budget the TCM labels already
+#: occupy as big integers)
+PACKED_TCM_LIMIT = 32_768
+
+
+def build_kernel(index: Any):
+    """Compile *index* into the best available batch kernel."""
+    if _np is not None:
+        if type(index) is SkeletonLabeledRun:
+            return _SkeletonKernel(index)
+        if type(index) is TCMIndex and index.closure.vertex_count <= PACKED_TCM_LIMIT:
+            return _PackedTCMKernel(index)
+        if type(index) is IntervalTreeIndex:
+            return _IntervalKernel(index)
+    return _GenericKernel(index)
+
+
+# ----------------------------------------------------------------------
+# pure-python fallback
+# ----------------------------------------------------------------------
+class _GenericKernel:
+    """Persistent label table + the scheme's own ``reaches_many`` loop.
+
+    Always correct for any ``(D, φ, π)`` duck type.  For stable indexes
+    each distinct vertex is resolved through ``label_of`` at most once over
+    the kernel's lifetime; for indexes whose labels may change
+    (``stable_labels = False`` — the traversal schemes, ``OnlineRun``) the
+    table only lives for one batch, so every batch sees current labels.
+    """
+
+    name = "python-generic"
+
+    def __init__(self, index: Any) -> None:
+        self._label_of = index.label_of
+        self._persist_labels = getattr(index, "stable_labels", True)
+        self._labels: dict = {}
+        reaches_many = getattr(index, "reaches_many", None)
+        if reaches_many is None:
+            reaches_labels = index.reaches_labels
+
+            def reaches_many(label_pairs: list) -> list:
+                return [reaches_labels(a, b) for a, b in label_pairs]
+
+        self._reaches_many = reaches_many
+
+    def batch(self, pairs: Sequence[tuple]) -> list:
+        labels = self._labels if self._persist_labels else {}
+        label_of = self._label_of
+        label_pairs = []
+        append = label_pairs.append
+        missing = object()
+        for source, target in pairs:
+            source_label = labels.get(source, missing)
+            if source_label is missing:
+                source_label = labels[source] = label_of(source)
+            target_label = labels.get(target, missing)
+            if target_label is missing:
+                target_label = labels[target] = label_of(target)
+            append((source_label, target_label))
+        return self._reaches_many(label_pairs)
+
+
+# ----------------------------------------------------------------------
+# numpy kernels
+# ----------------------------------------------------------------------
+def _resolve_id_arrays(ids: dict, pairs: Sequence[tuple]):
+    """Map vertex pairs to two integer-id arrays in one C-level pass."""
+    try:
+        flat = _np.fromiter(
+            map(ids.__getitem__, chain.from_iterable(pairs)),
+            dtype=_np.int64,
+            count=2 * len(pairs),
+        )
+    except KeyError as exc:
+        raise LabelingError(
+            f"vertex was not labeled by this index: {exc.args[0]!r}"
+        ) from None
+    return flat[0::2], flat[1::2]
+
+
+def _pack_closure_rows(rows: Sequence[int], size: int):
+    """Bit-pack big-integer closure rows into a little-endian byte matrix."""
+    row_bytes = max(1, (size + 7) // 8)
+    buffer = b"".join(row.to_bytes(row_bytes, "little") for row in rows)
+    return _np.frombuffer(buffer, dtype=_np.uint8).reshape(size, row_bytes)
+
+
+def _spec_reachability_matrix(spec_index: Any):
+    """Dense boolean reachability matrix of a specification index.
+
+    Returns ``(matrix, position_of)`` where ``matrix[i, j]`` says whether
+    the ``i``-th spec vertex reaches the ``j``-th.  For a TCM spec index the
+    matrix is unpacked straight from the closure rows; any other scheme is
+    evaluated all-pairs through its own ``reaches_many``.  ``(None, None)``
+    is returned — making the skeleton kernel answer fall-through queries
+    through the spec index itself — for specifications beyond
+    :data:`DENSE_SPEC_LIMIT` (the dense matrix stores one byte per pair, so
+    the cap bounds it at ~1 MiB) and for spec indexes whose answers track
+    the live graph (``stable_labels = False``).
+    """
+    graph = spec_index.graph
+    vertices = graph.vertices()
+    size = len(vertices)
+    if size > DENSE_SPEC_LIMIT:
+        return None, None
+    if not getattr(spec_index, "stable_labels", True):
+        # Traversal-backed spec indexes answer from the live specification
+        # graph; snapshotting them into a matrix would freeze answers the
+        # per-pair path (and the pure-python kernel) keep fresh.
+        return None, None
+    if type(spec_index) is TCMIndex:
+        closure = spec_index.closure
+        packed = _pack_closure_rows(closure.rows, size)
+        matrix = _np.unpackbits(packed, axis=1, bitorder="little")[:, :size]
+        return matrix.astype(bool), dict(closure.index)
+    labels = [spec_index.label_of(vertex) for vertex in vertices]
+    matrix = _np.empty((size, size), dtype=bool)
+    reaches_many = spec_index.reaches_many
+    for i, source_label in enumerate(labels):
+        matrix[i] = reaches_many([(source_label, target) for target in labels])
+    return matrix, {vertex: i for i, vertex in enumerate(vertices)}
+
+
+class _SkeletonKernel:
+    """Vectorized Algorithm 3 over a skeleton-labeled run."""
+
+    name = "numpy-skl"
+
+    def __init__(self, labeled: SkeletonLabeledRun) -> None:
+        labels = labeled.labels()
+        vertices = list(labels)
+        self._ids = {vertex: i for i, vertex in enumerate(vertices)}
+        size = len(vertices)
+        q1 = _np.empty(size, dtype=_np.int64)
+        q2 = _np.empty(size, dtype=_np.int64)
+        q3 = _np.empty(size, dtype=_np.int64)
+        for i, vertex in enumerate(vertices):
+            label = labels[vertex]
+            q1[i] = label.q1
+            q2[i] = label.q2
+            q3[i] = label.q3
+        self._q1, self._q2, self._q3 = q1, q2, q3
+        spec_index = labeled.spec_index
+        matrix, position_of = _spec_reachability_matrix(spec_index)
+        self._matrix = matrix
+        if matrix is not None:
+            orig = _np.empty(size, dtype=_np.int64)
+            for i, vertex in enumerate(vertices):
+                orig[i] = position_of[vertex.module]
+            self._orig = orig
+            self._skeletons: Optional[list] = None
+            self._spec_reaches_many = None
+        else:
+            # Specification too large for a dense matrix: keep the skeleton
+            # labels and answer fall-through queries through the spec index.
+            self._orig = None
+            self._skeletons = [labels[vertex].skeleton for vertex in vertices]
+            self._spec_reaches_many = spec_index.reaches_many
+
+    def batch(self, pairs: Sequence[tuple]) -> list:
+        a, b = _resolve_id_arrays(self._ids, pairs)
+        q2a, q2b = self._q2[a], self._q2[b]
+        q3a, q3b = self._q3[a], self._q3[b]
+        fast_mask = (q2a - q2b) * (q3a - q3b) < 0
+        fast_answers = (self._q1[a] < self._q1[b]) & (q3a > q3b)
+        if self._matrix is not None:
+            skeleton_answers = self._matrix[self._orig[a], self._orig[b]]
+            return _np.where(fast_mask, fast_answers, skeleton_answers).tolist()
+        answers = fast_answers & fast_mask
+        fallthrough = _np.flatnonzero(~fast_mask)
+        if fallthrough.size:
+            skeletons = self._skeletons
+            label_pairs = [
+                (skeletons[a[i]], skeletons[b[i]]) for i in fallthrough.tolist()
+            ]
+            for i, answer in zip(
+                fallthrough.tolist(), self._spec_reaches_many(label_pairs)
+            ):
+                answers[i] = answer
+        return answers.tolist()
+
+
+class _PackedTCMKernel:
+    """Direct TCM queries as byte gathers on a bit-packed closure matrix."""
+
+    name = "numpy-tcm"
+
+    def __init__(self, index: TCMIndex) -> None:
+        closure = index.closure
+        self._ids = {vertex: i for i, vertex in enumerate(closure.order)}
+        self._packed = _pack_closure_rows(closure.rows, closure.vertex_count)
+
+    def batch(self, pairs: Sequence[tuple]) -> list:
+        a, b = _resolve_id_arrays(self._ids, pairs)
+        bits = (self._packed[a, b >> 3] >> (b & 7)) & 1
+        return (bits != 0).tolist()
+
+
+class _IntervalKernel:
+    """Vectorized interval containment tests."""
+
+    name = "numpy-interval"
+
+    def __init__(self, index: IntervalTreeIndex) -> None:
+        vertices = index.graph.vertices()
+        self._ids = {vertex: i for i, vertex in enumerate(vertices)}
+        size = len(vertices)
+        post = _np.empty(size, dtype=_np.int64)
+        low = _np.empty(size, dtype=_np.int64)
+        for i, vertex in enumerate(vertices):
+            label = index.label_of(vertex)
+            post[i] = label.post
+            low[i] = label.low
+        self._post, self._low = post, low
+
+    def batch(self, pairs: Sequence[tuple]) -> list:
+        a, b = _resolve_id_arrays(self._ids, pairs)
+        post_b = self._post[b]
+        return ((self._low[a] <= post_b) & (post_b <= self._post[a])).tolist()

@@ -1,0 +1,185 @@
+"""The batched reachability query engine.
+
+Answering a reachability query from labels is a handful of integer
+comparisons, so on stored runs the dominant cost of the per-pair API is pure
+Python dispatch: two ``label_of`` calls and several method hops per query.
+:class:`QueryEngine` restructures that work around a *kernel* compiled once
+per index (:mod:`repro.engine.kernels`):
+
+1. **label resolution** — every distinct vertex is resolved to its label
+   (and, with numpy available, into integer-indexed parallel arrays) exactly
+   once when the kernel is built, so a batch never re-derives labels;
+2. **batch dispatch** — :meth:`QueryEngine.reaches_batch` hands the whole
+   workload to the kernel, which answers it vectorized (numpy kernels) or
+   with the scheme's own tight ``reaches_many`` loop (pure-python fallback);
+3. **hot-pair memoization** — :meth:`QueryEngine.reaches` serves point
+   queries through a bounded LRU cache, so the skewed access patterns of
+   interactive provenance traffic short-circuit to a single dict probe.
+   Batches bypass the pair cache on purpose: probing it per pair would cost
+   more than the vectorized evaluation it could save.
+
+The engine works with anything exposing the ``(D, φ, π)`` duck type —
+``label_of``/``reaches``/``reaches_labels`` (plus the optional batch method
+``reaches_many``) — i.e. every
+:class:`~repro.labeling.base.ReachabilityIndex` and
+:class:`~repro.skeleton.skl.SkeletonLabeledRun`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Hashable, Iterable
+from dataclasses import dataclass
+from typing import Any
+
+from repro.engine.kernels import build_kernel
+
+__all__ = ["QueryEngine", "EngineStats", "DEFAULT_CACHE_SIZE"]
+
+Vertex = Hashable
+
+#: default capacity of the hot-pair LRU cache used by the point-query path
+DEFAULT_CACHE_SIZE = 65_536
+
+_MISS = object()
+
+
+@dataclass
+class EngineStats:
+    """Running counters of one :class:`QueryEngine` (reset with :meth:`reset`)."""
+
+    queries: int = 0
+    batches: int = 0
+    cache_hits: int = 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of all queries answered from the hot-pair cache."""
+        if self.queries == 0:
+            return 0.0
+        return self.cache_hits / self.queries
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.queries = 0
+        self.batches = 0
+        self.cache_hits = 0
+
+
+class QueryEngine:
+    """Batched reachability queries over one labeling index.
+
+    Parameters
+    ----------
+    index:
+        The labeling index to query: a
+        :class:`~repro.labeling.base.ReachabilityIndex`, a
+        :class:`~repro.skeleton.skl.SkeletonLabeledRun`, or any object with
+        the same ``label_of`` / ``reaches`` / ``reaches_labels`` surface.
+    cache_size:
+        Capacity of the hot-pair LRU cache used by :meth:`reaches`;
+        ``0`` disables pair memoization.  Forced to ``0`` for indexes
+        whose ``stable_labels`` attribute is ``False`` (the traversal
+        schemes), whose answers track the live graph and must not be
+        memoized.
+    """
+
+    def __init__(self, index: Any, *, cache_size: int = DEFAULT_CACHE_SIZE) -> None:
+        if cache_size < 0:
+            raise ValueError("cache_size must be non-negative")
+        self._index = index
+        # The kernel is compiled lazily on the first batch: the point-query
+        # path never touches it, and building it can be expensive (label
+        # arrays plus, for skeleton runs over non-TCM specs, an all-pairs
+        # sweep of the specification).
+        self._compiled_kernel = None
+        # Traversal-style indexes answer from the live graph
+        # (``stable_labels = False``), so memoizing their answers would let
+        # point queries go stale after a graph mutation while batches stay
+        # fresh; disable the pair cache for them.
+        if not getattr(index, "stable_labels", True):
+            cache_size = 0
+        self._cache_size = cache_size
+        self._pair_cache: OrderedDict = OrderedDict()
+        self.stats = EngineStats()
+
+    @property
+    def _kernel(self):
+        if self._compiled_kernel is None:
+            self._compiled_kernel = build_kernel(self._index)
+        return self._compiled_kernel
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def index(self) -> Any:
+        """The underlying labeling index."""
+        return self._index
+
+    @property
+    def kernel_name(self) -> str:
+        """Which batch kernel the engine compiled for this index."""
+        return self._kernel.name
+
+    @property
+    def cache_size(self) -> int:
+        """Capacity of the hot-pair LRU cache (0 = disabled)."""
+        return self._cache_size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        compiled = self._compiled_kernel.name if self._compiled_kernel else "(lazy)"
+        return (
+            f"{type(self).__name__}(index={type(self._index).__name__}, "
+            f"kernel={compiled!r}, "
+            f"cache={len(self._pair_cache)}/{self._cache_size})"
+        )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def reaches(self, source: Vertex, target: Vertex) -> bool:
+        """Answer one query through the hot-pair LRU cache."""
+        stats = self.stats
+        stats.queries += 1
+        if self._cache_size == 0:
+            return self._index.reaches(source, target)
+        key = (source, target)
+        cache = self._pair_cache
+        cached = cache.get(key, _MISS)
+        if cached is not _MISS:
+            cache.move_to_end(key)
+            stats.cache_hits += 1
+            return cached
+        answer = self._index.reaches(source, target)
+        cache[key] = answer
+        if len(cache) > self._cache_size:
+            cache.popitem(last=False)
+        return answer
+
+    def reaches_batch(self, pairs: Iterable) -> list[bool]:
+        """Answer a batch of ``(source, target)`` queries via the kernel.
+
+        Returns one boolean per input pair, in order.  Unknown vertices
+        raise :class:`~repro.exceptions.LabelingError`, matching the
+        per-pair API.
+        """
+        pairs = pairs if isinstance(pairs, (list, tuple)) else list(pairs)
+        answers = self._kernel.batch(pairs)
+        stats = self.stats
+        stats.queries += len(pairs)
+        stats.batches += 1
+        return answers
+
+    def reaches_pairs(
+        self, sources: Iterable[Vertex], targets: Iterable[Vertex]
+    ) -> list[bool]:
+        """Zip *sources* and *targets* into pairs and answer them as one batch."""
+        return self.reaches_batch(list(zip(sources, targets)))
+
+    # ------------------------------------------------------------------
+    # cache management
+    # ------------------------------------------------------------------
+    def clear_cache(self) -> None:
+        """Drop every memoized hot pair."""
+        self._pair_cache.clear()

@@ -1,5 +1,6 @@
 """Directed-graph substrate used by the workflow and labeling layers."""
 
+from repro.graphs.csr import CSRGraph, VertexInterner
 from repro.graphs.digraph import DiGraph
 from repro.graphs.flow_network import (
     find_sink,
@@ -27,6 +28,8 @@ from repro.graphs.traversal import (
 
 __all__ = [
     "DiGraph",
+    "CSRGraph",
+    "VertexInterner",
     "find_sink",
     "find_source",
     "internal_vertices",

@@ -1,0 +1,325 @@
+"""Integer-interned compressed-sparse-row (CSR) graph backing store.
+
+:class:`DiGraph` stores adjacency as dict-of-dict over arbitrary hashable
+vertices, which is the right shape for the structural surgery the labeling
+algorithms perform but the wrong shape for answering millions of queries:
+every hop pays a hash lookup and every vertex set is a boxed container.
+This module provides the read-optimized counterpart used by the batch query
+engine (:mod:`repro.engine`):
+
+* :class:`VertexInterner` — a bijective table between arbitrary hashable
+  vertices and dense integer identifiers ``0 .. n-1`` in insertion order;
+* :class:`CSRGraph` — an immutable snapshot of a directed graph whose
+  successor and predecessor adjacency are each stored as two flat integer
+  arrays (``indptr`` / ``indices``), the classical CSR layout.
+
+A :class:`CSRGraph` preserves the deterministic iteration order of the
+:class:`DiGraph` it was built from: ``csr.vertices() == digraph.vertices()``
+and ``csr.edges() == digraph.edges()``.  Like :class:`DiGraph` it rejects
+self loops and collapses parallel edges.
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections.abc import Hashable, Iterable, Iterator
+from typing import TYPE_CHECKING, Optional
+
+from repro.exceptions import GraphError, VertexNotFoundError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.graphs.digraph import DiGraph
+
+__all__ = ["VertexInterner", "CSRGraph"]
+
+Vertex = Hashable
+Edge = tuple[Vertex, Vertex]
+
+#: array typecode for vertex identifiers (signed 64-bit, plenty for any graph)
+_ID_TYPECODE = "q"
+
+
+class VertexInterner:
+    """A bijective vertex <-> dense-integer table, in insertion order.
+
+    Interning the same vertex twice returns the same identifier; identifiers
+    are dense (``0 .. len-1``) so they can index flat arrays directly.
+    """
+
+    __slots__ = ("_id_of", "_vertex_at")
+
+    def __init__(self, vertices: Optional[Iterable[Vertex]] = None) -> None:
+        self._id_of: dict[Vertex, int] = {}
+        self._vertex_at: list[Vertex] = []
+        if vertices is not None:
+            for vertex in vertices:
+                self.intern(vertex)
+
+    def intern(self, vertex: Vertex) -> int:
+        """Return the identifier of *vertex*, assigning the next free one if new."""
+        identifier = self._id_of.get(vertex)
+        if identifier is None:
+            identifier = len(self._vertex_at)
+            self._id_of[vertex] = identifier
+            self._vertex_at.append(vertex)
+        return identifier
+
+    def id_of(self, vertex: Vertex) -> int:
+        """Return the identifier of a known vertex; unknown vertices raise."""
+        try:
+            return self._id_of[vertex]
+        except KeyError:
+            raise VertexNotFoundError(vertex) from None
+
+    def vertex_at(self, identifier: int) -> Vertex:
+        """Return the vertex with the given identifier.
+
+        Identifiers are the dense non-negative integers handed out by
+        :meth:`intern`; anything else (including negative values, which
+        plain list indexing would silently accept) raises.
+        """
+        if not 0 <= identifier < len(self._vertex_at):
+            raise VertexNotFoundError(identifier)
+        return self._vertex_at[identifier]
+
+    def __len__(self) -> int:
+        return len(self._vertex_at)
+
+    def __contains__(self, vertex: object) -> bool:
+        return vertex in self._id_of
+
+    def __iter__(self) -> Iterator[Vertex]:
+        return iter(self._vertex_at)
+
+
+class CSRGraph:
+    """An immutable directed graph in compressed-sparse-row form.
+
+    The successors of vertex ``i`` are
+    ``indices[indptr[i] : indptr[i + 1]]`` (and symmetrically for the
+    predecessor arrays).  Construction is linear in the graph size; all
+    adjacency reads afterwards are array slices with no hashing.
+    """
+
+    __slots__ = (
+        "_interner",
+        "_indptr",
+        "_indices",
+        "_pred_indptr",
+        "_pred_indices",
+    )
+
+    def __init__(
+        self,
+        vertices: Optional[Iterable[Vertex]] = None,
+        edges: Optional[Iterable[Edge]] = None,
+    ) -> None:
+        interner = VertexInterner(vertices)
+        successor_lists: list[list[int]] = [[] for _ in range(len(interner))]
+        seen: set[tuple[int, int]] = set()
+        if edges is not None:
+            for tail, head in edges:
+                if tail == head:
+                    raise GraphError(f"self loops are not supported: {tail!r}")
+                tail_id = interner.intern(tail)
+                head_id = interner.intern(head)
+                while len(successor_lists) < len(interner):
+                    successor_lists.append([])
+                if (tail_id, head_id) not in seen:
+                    seen.add((tail_id, head_id))
+                    successor_lists[tail_id].append(head_id)
+        self._interner = interner
+        self._build_arrays(successor_lists)
+
+    def _build_arrays(self, successor_lists: list[list[int]]) -> None:
+        indptr = array(_ID_TYPECODE, [0])
+        indices = array(_ID_TYPECODE)
+        for successors in successor_lists:
+            indices.extend(successors)
+            indptr.append(len(indices))
+        self._indptr = indptr
+        self._indices = indices
+        # The predecessor arrays are derived lazily: the hottest consumer
+        # (per-batch snapshots in the traversal schemes' ``reaches_many``)
+        # only ever walks successors, so eagerly transposing every edge
+        # would double the snapshot cost for nothing.
+        self._pred_indptr: Optional[array] = None
+        self._pred_indices: Optional[array] = None
+
+    def _ensure_predecessors(self) -> tuple[array, array]:
+        """Build the predecessor CSR arrays on first use.
+
+        A counting sort of the edges by head keeps the deterministic
+        (tail-insertion) order within each bucket.
+        """
+        if self._pred_indptr is not None:
+            return self._pred_indptr, self._pred_indices
+        size = len(self._interner)
+        indptr = self._indptr
+        indices = self._indices
+        pred_counts = [0] * size
+        for head in indices:
+            pred_counts[head] += 1
+        pred_indptr = array(_ID_TYPECODE, [0] * (size + 1))
+        for i in range(size):
+            pred_indptr[i + 1] = pred_indptr[i] + pred_counts[i]
+        cursor = list(pred_indptr[:size])
+        pred_indices = array(_ID_TYPECODE, [0] * len(indices))
+        for tail in range(size):
+            for slot in range(indptr[tail], indptr[tail + 1]):
+                head = indices[slot]
+                pred_indices[cursor[head]] = tail
+                cursor[head] += 1
+        self._pred_indptr = pred_indptr
+        self._pred_indices = pred_indices
+        return pred_indptr, pred_indices
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_digraph(cls, graph: "DiGraph") -> "CSRGraph":
+        """Snapshot *graph* into CSR form, preserving its iteration order."""
+        return cls(vertices=graph.vertices(), edges=graph.iter_edges())
+
+    def to_digraph(self) -> "DiGraph":
+        """Rebuild an equivalent mutable :class:`DiGraph` (round trip)."""
+        from repro.graphs.digraph import DiGraph
+
+        graph = DiGraph(vertices=self._interner)
+        for tail, head in self.iter_edges():
+            graph.add_edge(tail, head)
+        return graph
+
+    # ------------------------------------------------------------------
+    # basic queries (vertex-object view)
+    # ------------------------------------------------------------------
+    @property
+    def vertex_count(self) -> int:
+        """Number of vertices."""
+        return len(self._interner)
+
+    @property
+    def edge_count(self) -> int:
+        """Number of edges."""
+        return len(self._indices)
+
+    @property
+    def interner(self) -> VertexInterner:
+        """The vertex-interning table (vertex <-> dense integer id)."""
+        return self._interner
+
+    def __len__(self) -> int:
+        return len(self._interner)
+
+    def __contains__(self, vertex: object) -> bool:
+        return vertex in self._interner
+
+    def __iter__(self) -> Iterator[Vertex]:
+        return iter(self._interner)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(vertices={self.vertex_count}, "
+            f"edges={self.edge_count})"
+        )
+
+    def has_vertex(self, vertex: Vertex) -> bool:
+        """Return ``True`` if *vertex* is in the graph."""
+        return vertex in self._interner
+
+    def has_edge(self, tail: Vertex, head: Vertex) -> bool:
+        """Return ``True`` if the edge ``tail -> head`` is in the graph."""
+        if tail not in self._interner or head not in self._interner:
+            return False
+        head_id = self._interner.id_of(head)
+        return head_id in self.successor_ids(self._interner.id_of(tail))
+
+    def vertices(self) -> list[Vertex]:
+        """All vertices in interning (= original insertion) order."""
+        return list(self._interner)
+
+    def edges(self) -> list[Edge]:
+        """All edges as ``(tail, head)`` pairs in deterministic order."""
+        return list(self.iter_edges())
+
+    def iter_edges(self) -> Iterator[Edge]:
+        """Iterate over all edges lazily, in the original insertion order."""
+        vertex_at = self._interner.vertex_at
+        indptr = self._indptr
+        indices = self._indices
+        for tail_id in range(len(self._interner)):
+            tail = vertex_at(tail_id)
+            for slot in range(indptr[tail_id], indptr[tail_id + 1]):
+                yield (tail, vertex_at(indices[slot]))
+
+    def successors(self, vertex: Vertex) -> list[Vertex]:
+        """Ordered successors of *vertex* (as vertex objects)."""
+        vertex_at = self._interner.vertex_at
+        return [vertex_at(i) for i in self.successor_ids(self._interner.id_of(vertex))]
+
+    def predecessors(self, vertex: Vertex) -> list[Vertex]:
+        """Ordered predecessors of *vertex* (as vertex objects)."""
+        vertex_at = self._interner.vertex_at
+        return [vertex_at(i) for i in self.predecessor_ids(self._interner.id_of(vertex))]
+
+    def out_degree(self, vertex: Vertex) -> int:
+        """Number of edges leaving *vertex*."""
+        identifier = self._interner.id_of(vertex)
+        return self._indptr[identifier + 1] - self._indptr[identifier]
+
+    def in_degree(self, vertex: Vertex) -> int:
+        """Number of edges entering *vertex*."""
+        identifier = self._interner.id_of(vertex)
+        pred_indptr, _ = self._ensure_predecessors()
+        return pred_indptr[identifier + 1] - pred_indptr[identifier]
+
+    # ------------------------------------------------------------------
+    # identifier-level view (the hot-path API used by the query engine)
+    # ------------------------------------------------------------------
+    def id_of(self, vertex: Vertex) -> int:
+        """Dense integer identifier of *vertex*."""
+        return self._interner.id_of(vertex)
+
+    def vertex_at(self, identifier: int) -> Vertex:
+        """Vertex object with the given identifier."""
+        return self._interner.vertex_at(identifier)
+
+    def successor_ids(self, identifier: int) -> array:
+        """Successor identifiers of vertex *identifier* (an array slice)."""
+        if not 0 <= identifier < len(self._interner):
+            raise VertexNotFoundError(identifier)
+        return self._indices[self._indptr[identifier] : self._indptr[identifier + 1]]
+
+    def predecessor_ids(self, identifier: int) -> array:
+        """Predecessor identifiers of vertex *identifier* (an array slice)."""
+        if not 0 <= identifier < len(self._interner):
+            raise VertexNotFoundError(identifier)
+        pred_indptr, pred_indices = self._ensure_predecessors()
+        return pred_indices[pred_indptr[identifier] : pred_indptr[identifier + 1]]
+
+    def reachable_ids(self, source_id: int, *, reverse: bool = False) -> set[int]:
+        """BFS over the flat arrays: every identifier reachable from *source_id*.
+
+        Includes the source itself (reachability is reflexive throughout the
+        library).  With ``reverse=True`` the predecessor arrays are walked
+        instead, yielding the ancestors.
+        """
+        if not 0 <= source_id < len(self._interner):
+            raise VertexNotFoundError(source_id)
+        if reverse:
+            indptr, indices = self._ensure_predecessors()
+        else:
+            indptr, indices = self._indptr, self._indices
+        seen = {source_id}
+        frontier = [source_id]
+        while frontier:
+            next_frontier = []
+            for vertex in frontier:
+                for slot in range(indptr[vertex], indptr[vertex + 1]):
+                    neighbor = indices[slot]
+                    if neighbor not in seen:
+                        seen.add(neighbor)
+                        next_frontier.append(neighbor)
+            frontier = next_frontier
+        return seen

@@ -225,6 +225,17 @@ class DiGraph:
     # ------------------------------------------------------------------
     # derived graphs
     # ------------------------------------------------------------------
+    def to_csr(self):
+        """Snapshot the graph into read-optimized CSR form.
+
+        Returns a :class:`repro.graphs.csr.CSRGraph` — an immutable
+        integer-interned copy with the same vertices, edges and iteration
+        order, used by the batch query engine for traversal-heavy work.
+        """
+        from repro.graphs.csr import CSRGraph
+
+        return CSRGraph.from_digraph(self)
+
     def copy(self) -> "DiGraph":
         """Return an independent copy of the graph."""
         clone = DiGraph()

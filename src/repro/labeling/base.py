@@ -18,7 +18,7 @@ The same interface serves both roles the paper distinguishes:
 from __future__ import annotations
 
 import abc
-from collections.abc import Hashable
+from collections.abc import Hashable, Sequence
 from typing import Any
 
 from repro.graphs.digraph import DiGraph
@@ -33,6 +33,13 @@ class ReachabilityIndex(abc.ABC):
 
     #: short scheme name used by the registry and the benchmark reports
     scheme_name: str = "abstract"
+
+    #: whether answers derived from labels stay valid for the index's
+    #: lifetime.  True for every label-materializing scheme (labels are
+    #: computed at build time); the traversal schemes set it to False
+    #: because they answer from the live graph, so consumers (e.g. the
+    #: query engine's hot-pair cache) must not memoize their answers.
+    stable_labels: bool = True
 
     def __init__(self, graph: DiGraph) -> None:
         self._graph = graph
@@ -67,6 +74,19 @@ class ReachabilityIndex(abc.ABC):
     def reaches(self, source: Vertex, target: Vertex) -> bool:
         """Convenience wrapper: decide reachability between two vertices."""
         return self.reaches_labels(self.label_of(source), self.label_of(target))
+
+    def reaches_many(self, label_pairs: Sequence[tuple[Any, Any]]) -> list[bool]:
+        """Batch form of :meth:`reaches_labels`: one answer per label pair.
+
+        The batch query engine (:mod:`repro.engine`) resolves vertices to
+        labels once and then calls this method with the whole workload, so
+        schemes with a cheap predicate override it with a tight specialized
+        loop (see ``tcm``, ``interval``, ``2-hop`` and the traversal
+        schemes).  The default evaluates ``π`` pair by pair and is always
+        correct.
+        """
+        reaches_labels = self.reaches_labels
+        return [reaches_labels(source, target) for source, target in label_pairs]
 
     # ------------------------------------------------------------------
     # quality metrics (Section 8 measurements)

@@ -10,6 +10,7 @@ index object), mirroring the paper's accounting.
 from __future__ import annotations
 
 from repro.exceptions import LabelingError
+from repro.graphs.csr import CSRGraph
 from repro.graphs.digraph import DiGraph
 from repro.graphs.traversal import is_reachable
 from repro.labeling.base import ReachabilityIndex
@@ -23,6 +24,8 @@ class TraversalIndex(ReachabilityIndex):
     scheme_name = "traversal"
     #: traversal strategy used by :func:`repro.graphs.traversal.is_reachable`
     method = "bfs"
+    #: answers track the live graph, so they must never be memoized
+    stable_labels = False
 
     def __init__(self, graph: DiGraph) -> None:
         super().__init__(graph)
@@ -40,6 +43,35 @@ class TraversalIndex(ReachabilityIndex):
     def reaches_labels(self, source_label, target_label) -> bool:
         """Run a traversal over the stored graph (linear time per query)."""
         return is_reachable(self._graph, source_label, target_label, method=self.method)
+
+    def reaches_many(self, label_pairs) -> list[bool]:
+        """Batch fast path: one CSR traversal per *distinct* source.
+
+        The graph is snapshotted into compressed-sparse-row form
+        (:class:`~repro.graphs.csr.CSRGraph`) — an O(n + m) pass, the cost
+        of a single traversal query — then the pairs are grouped by source
+        and each distinct source's reachable set is computed once over the
+        flat integer arrays, probed for all of that source's targets, and
+        discarded (so peak memory stays O(n) however many sources the batch
+        touches).  The snapshot is taken per call rather than cached so
+        that, like the per-pair path, the answers always reflect the
+        graph's current state.  BFS and DFS visit vertices in different
+        orders but decide the same reachable set, so one implementation
+        serves both schemes.
+        """
+        csr = CSRGraph.from_digraph(self._graph)
+        id_of = csr.id_of
+        positions_by_source: dict[int, list[int]] = {}
+        target_ids: list[int] = []
+        for position, (source, target) in enumerate(label_pairs):
+            positions_by_source.setdefault(id_of(source), []).append(position)
+            target_ids.append(id_of(target))
+        answers: list[bool] = [False] * len(target_ids)
+        for source_id, positions in positions_by_source.items():
+            reached = csr.reachable_ids(source_id)
+            for position in positions:
+                answers[position] = target_ids[position] in reached
+        return answers
 
     # ------------------------------------------------------------------
     # metrics

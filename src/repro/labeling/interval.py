@@ -95,6 +95,13 @@ class IntervalTreeIndex(ReachabilityIndex):
         """``u`` reaches ``v`` iff ``low(u) <= post(v) <= post(u)``."""
         return source_label.low <= target_label.post <= source_label.post
 
+    def reaches_many(self, label_pairs) -> list[bool]:
+        """Batch fast path: the two comparisons inlined into one comprehension."""
+        return [
+            source.low <= target.post <= source.post
+            for source, target in label_pairs
+        ]
+
     def label_length_bits(self, vertex) -> int:
         """Two numbers of ``ceil(log2 n)`` bits each."""
         self.label_of(vertex)

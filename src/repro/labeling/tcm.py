@@ -53,6 +53,13 @@ class TCMIndex(ReachabilityIndex):
         """Bit-test the source row at the target's column (constant time)."""
         return bool((source_label.row >> target_label.index) & 1)
 
+    def reaches_many(self, label_pairs) -> list[bool]:
+        """Batch fast path: the bit tests inlined into one comprehension."""
+        return [
+            (source.row >> target.index) & 1 == 1
+            for source, target in label_pairs
+        ]
+
     # ------------------------------------------------------------------
     # metrics
     # ------------------------------------------------------------------

@@ -113,6 +113,13 @@ class TwoHopIndex(ReachabilityIndex):
         """``u`` reaches ``v`` iff some hop center is below ``u`` and above ``v``."""
         return not source_label.out_hops.isdisjoint(target_label.in_hops)
 
+    def reaches_many(self, label_pairs) -> list[bool]:
+        """Batch fast path: the disjointness tests inlined into one comprehension."""
+        return [
+            not source.out_hops.isdisjoint(target.in_hops)
+            for source, target in label_pairs
+        ]
+
     # ------------------------------------------------------------------
     # metrics
     # ------------------------------------------------------------------

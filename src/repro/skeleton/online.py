@@ -114,6 +114,11 @@ class OnlineRun:
         edge — cheap protection against mis-wired events.
     """
 
+    #: labels shift while the run is being recorded (positions in the three
+    #: orders move as copies arrive), so consumers such as the batch query
+    #: engine must never memoize answers or labels derived from this index
+    stable_labels = False
+
     def __init__(
         self,
         labeler: Union[SkeletonLabeler, WorkflowSpecification],

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import math
 import time
+from collections.abc import Sequence
 from dataclasses import dataclass
 from typing import Optional, Type, Union
 
@@ -38,6 +39,7 @@ from repro.workflow.specification import WorkflowSpecification
 __all__ = [
     "QueryPath",
     "skeleton_predicate",
+    "skeleton_predicate_many",
     "classify_query",
     "SkeletonLabeledRun",
     "SkeletonLabeler",
@@ -72,6 +74,36 @@ def skeleton_predicate(first: RunLabel, second: RunLabel, spec_index: Reachabili
     if (first.q2 - second.q2) * (first.q3 - second.q3) < 0:
         return first.q1 < second.q1 and first.q3 > second.q3
     return spec_index.reaches_labels(first.skeleton, second.skeleton)
+
+
+def skeleton_predicate_many(
+    label_pairs: Sequence[tuple[RunLabel, RunLabel]],
+    spec_index: ReachabilityIndex,
+) -> list[bool]:
+    """Batch form of :func:`skeleton_predicate`, one answer per label pair.
+
+    Algorithm 3 splits each query into a context-coordinate fast path and a
+    skeleton fall-through; this function answers the fast-path queries with
+    inline arithmetic and forwards *all* fall-through queries to the
+    specification index's own ``reaches_many`` batch path in a single call,
+    so the layering of the two schemes is preserved batch-wise.  Used by the
+    query engine (via :meth:`SkeletonLabeledRun.reaches_many`) and by the
+    provenance store's batched queries.
+    """
+    answers: list[bool] = [False] * len(label_pairs)
+    fallthrough_positions: list[int] = []
+    fallthrough_pairs: list[tuple] = []
+    for position, (first, second) in enumerate(label_pairs):
+        if (first.q2 - second.q2) * (first.q3 - second.q3) < 0:
+            answers[position] = first.q1 < second.q1 and first.q3 > second.q3
+        else:
+            fallthrough_positions.append(position)
+            fallthrough_pairs.append((first.skeleton, second.skeleton))
+    if fallthrough_pairs:
+        skeleton_answers = spec_index.reaches_many(fallthrough_pairs)
+        for position, answer in zip(fallthrough_positions, skeleton_answers):
+            answers[position] = answer
+    return answers
 
 
 @dataclass(frozen=True)
@@ -119,6 +151,18 @@ class SkeletonLabeledRun:
     # ------------------------------------------------------------------
     # the (D, φ, π) interface over the run
     # ------------------------------------------------------------------
+    @property
+    def stable_labels(self) -> bool:
+        """Whether answers derived from the labels stay valid over time.
+
+        The run labels themselves are frozen at :meth:`SkeletonLabeler.label_run`
+        time, but the skeleton fall-through consults the specification index,
+        so stability is inherited from it: a traversal-backed spec index
+        (``bfs``/``dfs``) answers from the live specification graph and must
+        not be memoized or snapshotted by consumers.
+        """
+        return getattr(self.spec_index, "stable_labels", True)
+
     def label_of(self, vertex: RunVertex) -> RunLabel:
         """Return ``φr(v)``."""
         try:
@@ -137,6 +181,16 @@ class SkeletonLabeledRun:
     def reaches(self, source: RunVertex, target: RunVertex) -> bool:
         """Decide whether *source* reaches *target* in the run."""
         return self.reaches_labels(self.label_of(source), self.label_of(target))
+
+    def reaches_many(self, label_pairs: Sequence[tuple[RunLabel, RunLabel]]) -> list[bool]:
+        """Batch form of :meth:`reaches_labels` (Algorithm 3, batch-wise).
+
+        Fast-path queries are answered with inline coordinate arithmetic;
+        every skeleton fall-through is forwarded to the specification
+        index's ``reaches_many`` in one call.  This is the method the batch
+        query engine (:mod:`repro.engine`) dispatches to.
+        """
+        return skeleton_predicate_many(label_pairs, self.spec_index)
 
     def query_path(self, source: RunVertex, target: RunVertex) -> str:
         """Return which Algorithm 3 rule answers the query (ablation hook)."""

@@ -7,11 +7,22 @@ argument (Section 7): skeleton labels are stored once per specification
 (rebuilt on demand from the specification document), while every run vertex
 stores only its three context coordinates and the name of its origin module —
 ``3 log nR + log nG`` bits of information per vertex.
+
+Two query paths are offered.  The per-pair path (:meth:`ProvenanceStore.reaches`)
+issues one label SELECT per endpoint and is fine for interactive use.  The
+batched path (:meth:`ProvenanceStore.reaches_batch`,
+:meth:`ProvenanceStore.labels_of_many`, :meth:`ProvenanceStore.downstream_of`,
+:meth:`ProvenanceStore.upstream_of`) resolves all labels behind a query set
+with a single row-value ``IN`` SELECT (chunked at :data:`LABEL_FETCH_CHUNK`)
+and evaluates the Algorithm 3 predicate batch-wise — the path the
+:mod:`repro.engine` throughput work feeds, where SQL round trips rather than
+predicate arithmetic dominate.
 """
 
 from __future__ import annotations
 
 import sqlite3
+from collections.abc import Iterable
 from pathlib import Path
 from typing import Optional, Union
 
@@ -19,7 +30,11 @@ from repro.exceptions import StorageError
 from repro.labeling.registry import get_scheme
 from repro.provenance.data import DataFlow
 from repro.skeleton.labels import RunLabel
-from repro.skeleton.skl import SkeletonLabeledRun, skeleton_predicate
+from repro.skeleton.skl import (
+    SkeletonLabeledRun,
+    skeleton_predicate,
+    skeleton_predicate_many,
+)
 from repro.storage.database import connect, initialize_schema
 from repro.workflow.run import RunVertex, WorkflowRun
 from repro.workflow.serialization import (
@@ -30,9 +45,13 @@ from repro.workflow.serialization import (
 )
 from repro.workflow.specification import WorkflowSpecification
 
-__all__ = ["ProvenanceStore"]
+__all__ = ["ProvenanceStore", "LABEL_FETCH_CHUNK"]
 
 PathLike = Union[str, Path]
+
+#: how many (module, instance) executions one batched label SELECT resolves;
+#: kept well under SQLite's default host-parameter limit (2 params each)
+LABEL_FETCH_CHUNK = 400
 
 
 class ProvenanceStore:
@@ -214,6 +233,78 @@ class ProvenanceStore:
             skeleton=index.label_of(row["skeleton"]),
         )
 
+    def labels_of_many(
+        self,
+        run_id: int,
+        executions: Iterable[Union[RunVertex, tuple[str, int]]],
+    ) -> dict[tuple[str, int], RunLabel]:
+        """Fetch the stored labels of many executions, batched over SQL.
+
+        The distinct executions are resolved with row-value ``IN`` queries of
+        up to :data:`LABEL_FETCH_CHUNK` executions each, so any query set of
+        that size or less costs exactly **one** SQL round trip (versus one
+        per execution through :meth:`label_of`).  Missing executions raise
+        :class:`~repro.exceptions.StorageError`.
+        """
+        index = self._spec_index(run_id)
+        spec_label_of = index.label_of
+        distinct: list[tuple[str, int]] = []
+        seen: set[tuple[str, int]] = set()
+        for execution in executions:
+            key = _coerce_vertex(execution)
+            if key not in seen:
+                seen.add(key)
+                distinct.append(key)
+        labels: dict[tuple[str, int], RunLabel] = {}
+        for start in range(0, len(distinct), LABEL_FETCH_CHUNK):
+            chunk = distinct[start : start + LABEL_FETCH_CHUNK]
+            placeholders = ", ".join(["(?, ?)"] * len(chunk))
+            parameters: list = [run_id]
+            for module, instance in chunk:
+                parameters.append(module)
+                parameters.append(instance)
+            rows = self._connection.execute(
+                "SELECT module, instance, q1, q2, q3, skeleton FROM run_labels "
+                f"WHERE run_id = ? AND (module, instance) IN (VALUES {placeholders})",
+                parameters,
+            ).fetchall()
+            for row in rows:
+                labels[(row["module"], int(row["instance"]))] = RunLabel(
+                    q1=int(row["q1"]),
+                    q2=int(row["q2"]),
+                    q3=int(row["q3"]),
+                    skeleton=spec_label_of(row["skeleton"]),
+                )
+        missing = [key for key in distinct if key not in labels]
+        if missing:
+            module, instance = missing[0]
+            raise StorageError(
+                f"run {run_id} has no label for execution {module}{instance} "
+                f"({len(missing)} of {len(distinct)} requested executions missing)"
+            )
+        return labels
+
+    def all_labels_of(self, run_id: int) -> dict[tuple[str, int], RunLabel]:
+        """Fetch every stored label of a run in one SQL round trip."""
+        index = self._spec_index(run_id)
+        spec_label_of = index.label_of
+        rows = self._connection.execute(
+            "SELECT module, instance, q1, q2, q3, skeleton FROM run_labels "
+            "WHERE run_id = ? ORDER BY module, instance",
+            (run_id,),
+        ).fetchall()
+        if not rows:
+            self._run_row(run_id)  # raise cleanly when the run does not exist
+        return {
+            (row["module"], int(row["instance"])): RunLabel(
+                q1=int(row["q1"]),
+                q2=int(row["q2"]),
+                q3=int(row["q3"]),
+                skeleton=spec_label_of(row["skeleton"]),
+            )
+            for row in rows
+        }
+
     def reaches(
         self,
         run_id: int,
@@ -230,6 +321,73 @@ class ProvenanceStore:
         source_label = self.label_of(run_id, source_module, source_instance)
         target_label = self.label_of(run_id, target_module, target_instance)
         return skeleton_predicate(source_label, target_label, self._spec_index(run_id))
+
+    def reaches_batch(
+        self,
+        run_id: int,
+        pairs: Iterable[tuple],
+    ) -> list[bool]:
+        """Answer many reachability queries over one stored run at once.
+
+        All labels behind the batch are fetched via :meth:`labels_of_many`
+        (a single SQL round trip for up to :data:`LABEL_FETCH_CHUNK` distinct
+        executions) and the Algorithm 3 predicate is evaluated batch-wise,
+        with every skeleton fall-through forwarded to the specification
+        index's own batch path.  Returns one boolean per pair, in order.
+        """
+        coerced = [
+            (_coerce_vertex(source), _coerce_vertex(target)) for source, target in pairs
+        ]
+        labels = self.labels_of_many(
+            run_id, (execution for pair in coerced for execution in pair)
+        )
+        label_pairs = [(labels[source], labels[target]) for source, target in coerced]
+        return skeleton_predicate_many(label_pairs, self._spec_index(run_id))
+
+    def downstream_of(
+        self,
+        run_id: int,
+        execution: Union[RunVertex, tuple[str, int]],
+    ) -> list[tuple[str, int]]:
+        """Every stored execution that depends on *execution* (excluding itself).
+
+        The run's full label set is fetched in one SQL round trip and the
+        predicate is evaluated batch-wise against every candidate — the
+        "which downstream results were affected" sweep of the introduction,
+        answered without reconstructing the run graph.
+        """
+        return self._dependency_sweep(run_id, execution, downstream=True)
+
+    def upstream_of(
+        self,
+        run_id: int,
+        execution: Union[RunVertex, tuple[str, int]],
+    ) -> list[tuple[str, int]]:
+        """Every stored execution that *execution* depends on (excluding itself)."""
+        return self._dependency_sweep(run_id, execution, downstream=False)
+
+    def _dependency_sweep(
+        self,
+        run_id: int,
+        execution: Union[RunVertex, tuple[str, int]],
+        *,
+        downstream: bool,
+    ) -> list[tuple[str, int]]:
+        anchor = _coerce_vertex(execution)
+        labels = self.all_labels_of(run_id)
+        try:
+            anchor_label = labels[anchor]
+        except KeyError:
+            raise StorageError(
+                f"run {run_id} has no label for execution {anchor[0]}{anchor[1]}"
+            ) from None
+        candidates = [key for key in labels if key != anchor]
+        if downstream:
+            label_pairs = [(anchor_label, labels[key]) for key in candidates]
+        else:
+            label_pairs = [(labels[key], anchor_label) for key in candidates]
+        answers = skeleton_predicate_many(label_pairs, self._spec_index(run_id))
+        return [key for key, answer in zip(candidates, answers) if answer]
 
     # ------------------------------------------------------------------
     # data provenance
@@ -284,10 +442,20 @@ class ProvenanceStore:
         return [(row["consumer_module"], int(row["consumer_instance"])) for row in rows]
 
     def data_depends_on_data(self, run_id: int, item_id: str, other_id: str) -> bool:
-        """Does stored data item *item_id* depend on *other_id*?"""
+        """Does stored data item *item_id* depend on *other_id*?
+
+        All consumer-to-producer reachability checks are answered as one
+        batch, so the labels are fetched in a single SQL round trip.
+        """
         producer = self._producer_of(run_id, item_id)
         consumers = self._consumers_of(run_id, other_id)
-        return any(self.reaches(run_id, consumer, producer) for consumer in consumers)
+        if not consumers:
+            return False
+        return any(
+            self.reaches_batch(
+                run_id, [(consumer, producer) for consumer in consumers]
+            )
+        )
 
     def data_depends_on_module(
         self, run_id: int, item_id: str, module: tuple[str, int]

@@ -17,6 +17,7 @@ from repro.bench.experiments import (
     spec_influence,
     table_1_real_workflows,
     table_2_complexity,
+    throughput_query_engine,
 )
 from repro.bench.harness import get_scale, paper_run_sizes
 from repro.bench.metrics import (
@@ -192,3 +193,20 @@ class TestExperimentsSmoke:
     def test_results_render_as_text_and_csv(self, comparison_result):
         assert "tcm+skl" in comparison_result.to_text()
         assert comparison_result.to_csv().count("\n") == len(comparison_result.rows)
+
+    def test_throughput_query_engine_smoke(self):
+        result = throughput_query_engine("smoke", seed=1)
+        schemes = {row["scheme"] for row in result.rows}
+        # both skeleton variants always run; direct baselines fit smoke limits
+        assert {"tcm+skl", "bfs+skl", "tcm", "bfs"} <= schemes
+        for row in result.rows:
+            assert row["pairs"] > 0
+            assert row["single_qps"] > 0
+            assert row["batch_qps"] > 0
+            # the experiment itself raises if batch and single answers differ,
+            # so reaching this point already proves consistency; the speedup
+            # column must at least be populated
+            assert row["speedup"] is not None
+        workloads = {row["scheme"]: row["workload"] for row in result.rows}
+        assert workloads["bfs"] == "hot-source"
+        assert workloads["tcm+skl"] == "uniform"

@@ -16,8 +16,8 @@ class TestParser:
         ]
         commands = set(subactions[0].choices)
         assert commands == {
-            "generate-spec", "generate-run", "label", "query", "verify", "info",
-            "experiments",
+            "generate-spec", "generate-run", "label", "query", "query-batch",
+            "verify", "info", "experiments",
         }
 
     def test_missing_command_errors(self, capsys):
@@ -95,6 +95,111 @@ class TestLabelAndQuery:
         assert exit_code == 2
 
 
+class TestQueryBatch:
+    @pytest.fixture()
+    def labeled_database(self, tmp_path, paper_spec, paper_run):
+        spec_path = tmp_path / "spec.json"
+        run_path = tmp_path / "run.json"
+        database = tmp_path / "prov.db"
+        write_specification(paper_spec, spec_path)
+        write_run(paper_run, run_path)
+        assert main([
+            "label", "--spec", str(spec_path), "--run", str(run_path),
+            "--database", str(database),
+        ]) == 0
+        return database
+
+    def test_query_batch_answers_every_pair(self, labeled_database, tmp_path, capsys):
+        pairs_path = tmp_path / "pairs.txt"
+        pairs_path.write_text(
+            "# provenance queries\n"
+            "a:1 h:1\n"
+            "\n"
+            "h:1 a:1\n"
+            "b:1 c:2\n"
+        )
+        exit_code = main([
+            "query-batch", "--database", str(labeled_database), "--run-id", "1",
+            "--pairs", str(pairs_path),
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "a:1 reaches h:1" in output
+        assert "h:1 does-not-reach a:1" in output
+        assert "b:1 reaches c:2" in output
+        assert "answered 3 queries" in output and "2 reachable" in output
+
+    def test_query_batch_summary_only(self, labeled_database, tmp_path, capsys):
+        pairs_path = tmp_path / "pairs.txt"
+        pairs_path.write_text("a:1 h:1\nh:1 a:1\n")
+        exit_code = main([
+            "query-batch", "--database", str(labeled_database), "--run-id", "1",
+            "--pairs", str(pairs_path), "--summary-only",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "answered 2 queries" in output
+        assert "reaches h:1" not in output
+
+    def test_query_batch_matches_single_queries(self, labeled_database, tmp_path, capsys):
+        queries = [("a:1", "h:1"), ("b:1", "c:3"), ("e:1", "f:2"), ("c:1", "b:2")]
+        single = []
+        for source, target in queries:
+            code = main([
+                "query", "--database", str(labeled_database), "--run-id", "1",
+                "--source", source, "--target", target,
+            ])
+            single.append(code == 0)
+        capsys.readouterr()
+        pairs_path = tmp_path / "pairs.txt"
+        pairs_path.write_text("".join(f"{s} {t}\n" for s, t in queries))
+        assert main([
+            "query-batch", "--database", str(labeled_database), "--run-id", "1",
+            "--pairs", str(pairs_path),
+        ]) == 0
+        output = capsys.readouterr().out
+        for (source, target), answer in zip(queries, single):
+            verdict = "reaches" if answer else "does-not-reach"
+            assert f"{source} {verdict} {target}" in output
+
+    def test_query_batch_from_stdin(self, labeled_database, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("a:1 h:1\n"))
+        exit_code = main([
+            "query-batch", "--database", str(labeled_database), "--run-id", "1",
+            "--pairs", "-",
+        ])
+        assert exit_code == 0
+        assert "a:1 reaches h:1" in capsys.readouterr().out
+
+    def test_query_batch_malformed_line_errors(self, labeled_database, tmp_path, capsys):
+        pairs_path = tmp_path / "pairs.txt"
+        pairs_path.write_text("a:1 h:1 extra\n")
+        exit_code = main([
+            "query-batch", "--database", str(labeled_database), "--run-id", "1",
+            "--pairs", str(pairs_path),
+        ])
+        assert exit_code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_query_batch_empty_file_errors(self, labeled_database, tmp_path, capsys):
+        pairs_path = tmp_path / "pairs.txt"
+        pairs_path.write_text("# nothing here\n")
+        exit_code = main([
+            "query-batch", "--database", str(labeled_database), "--run-id", "1",
+            "--pairs", str(pairs_path),
+        ])
+        assert exit_code == 2
+
+    def test_query_batch_missing_file_errors(self, labeled_database, tmp_path, capsys):
+        exit_code = main([
+            "query-batch", "--database", str(labeled_database), "--run-id", "1",
+            "--pairs", str(tmp_path / "nope.txt"),
+        ])
+        assert exit_code == 2
+
+
 class TestVerify:
     def test_verify_conforming_run(self, tmp_path, paper_spec, paper_run, capsys):
         spec_path, run_path = tmp_path / "spec.json", tmp_path / "run.json"
@@ -141,4 +246,5 @@ class TestInfoAndExperiments:
         output = capsys.readouterr().out
         assert "figure-12" in output and "table-1" in output
         written = list((tmp_path / "reports").glob("*.txt"))
-        assert len(written) == 12  # tables 1-2, figures 12-20, spec-scheme ablation
+        # tables 1-2, figures 12-20, spec-scheme ablation, engine throughput
+        assert len(written) == 13

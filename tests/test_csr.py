@@ -1,0 +1,163 @@
+"""Regression tests for the CSR graph core (repro.graphs.csr)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphError, VertexNotFoundError
+from repro.graphs.csr import CSRGraph, VertexInterner
+from repro.graphs.digraph import DiGraph
+from repro.graphs.traversal import ancestors, descendants
+
+
+def diamond() -> DiGraph:
+    return DiGraph(edges=[("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")])
+
+
+class TestVertexInterner:
+    def test_intern_assigns_dense_ids_in_insertion_order(self):
+        interner = VertexInterner()
+        assert interner.intern("x") == 0
+        assert interner.intern("y") == 1
+        assert interner.intern("z") == 2
+        assert list(interner) == ["x", "y", "z"]
+
+    def test_intern_is_idempotent(self):
+        interner = VertexInterner(["a", "b"])
+        assert interner.intern("a") == 0
+        assert interner.intern("b") == 1
+        assert len(interner) == 2
+
+    def test_round_trip(self):
+        vertices = ["v0", ("tuple", 1), 42, frozenset({"s"})]
+        interner = VertexInterner(vertices)
+        for vertex in vertices:
+            assert interner.vertex_at(interner.id_of(vertex)) == vertex
+        for identifier in range(len(interner)):
+            assert interner.id_of(interner.vertex_at(identifier)) == identifier
+
+    def test_unknown_vertex_raises(self):
+        interner = VertexInterner(["a"])
+        with pytest.raises(VertexNotFoundError):
+            interner.id_of("missing")
+        with pytest.raises(VertexNotFoundError):
+            interner.vertex_at(5)
+
+    def test_negative_identifier_raises(self):
+        interner = VertexInterner(["a", "b", "c"])
+        with pytest.raises(VertexNotFoundError):
+            interner.vertex_at(-1)
+
+    def test_contains(self):
+        interner = VertexInterner(["a"])
+        assert "a" in interner
+        assert "b" not in interner
+
+
+class TestConstruction:
+    def test_from_digraph_preserves_iteration_order(self):
+        graph = DiGraph(
+            vertices=["z", "m", "a"],
+            edges=[("z", "a"), ("m", "a"), ("z", "m"), ("a", "q")],
+        )
+        csr = CSRGraph.from_digraph(graph)
+        assert csr.vertices() == graph.vertices()
+        assert csr.edges() == graph.edges()
+        for vertex in graph.vertices():
+            assert csr.successors(vertex) == graph.successors(vertex)
+            assert csr.predecessors(vertex) == graph.predecessors(vertex)
+
+    def test_to_digraph_round_trip(self):
+        graph = diamond()
+        assert CSRGraph.from_digraph(graph).to_digraph() == graph
+
+    def test_digraph_to_csr_helper(self):
+        graph = diamond()
+        csr = graph.to_csr()
+        assert isinstance(csr, CSRGraph)
+        assert csr.edges() == graph.edges()
+
+    def test_same_edge_stream_matches_digraph(self):
+        edges = [("c", "a"), ("b", "a"), ("c", "b"), ("a", "d"), ("c", "a")]
+        assert CSRGraph(edges=edges).edges() == DiGraph(edges=edges).edges()
+
+    def test_self_loops_rejected(self):
+        with pytest.raises(GraphError):
+            CSRGraph(edges=[("a", "a")])
+
+    def test_parallel_edges_collapsed(self):
+        csr = CSRGraph(edges=[("a", "b"), ("a", "b"), ("a", "b")])
+        assert csr.edge_count == 1
+        assert csr.successors("a") == ["b"]
+
+    def test_empty_graph(self):
+        csr = CSRGraph()
+        assert csr.vertex_count == 0
+        assert csr.edge_count == 0
+        assert csr.vertices() == []
+        assert csr.edges() == []
+        assert len(csr) == 0
+
+    def test_singleton_vertex(self):
+        csr = CSRGraph(vertices=["only"])
+        assert csr.vertex_count == 1
+        assert csr.edge_count == 0
+        assert csr.successors("only") == []
+        assert csr.predecessors("only") == []
+        assert csr.out_degree("only") == 0
+        assert csr.in_degree("only") == 0
+
+
+class TestQueries:
+    def test_degrees_match_digraph(self):
+        graph = diamond()
+        csr = CSRGraph.from_digraph(graph)
+        for vertex in graph.vertices():
+            assert csr.out_degree(vertex) == graph.out_degree(vertex)
+            assert csr.in_degree(vertex) == graph.in_degree(vertex)
+
+    def test_has_edge_and_has_vertex(self):
+        csr = CSRGraph.from_digraph(diamond())
+        assert csr.has_vertex("a") and not csr.has_vertex("nope")
+        assert csr.has_edge("a", "b")
+        assert not csr.has_edge("b", "a")
+        assert not csr.has_edge("a", "nope")
+        assert "a" in csr and "nope" not in csr
+
+    def test_unknown_vertex_raises(self):
+        csr = CSRGraph.from_digraph(diamond())
+        with pytest.raises(VertexNotFoundError):
+            csr.successors("missing")
+        with pytest.raises(VertexNotFoundError):
+            csr.successor_ids(99)
+        with pytest.raises(VertexNotFoundError):
+            csr.predecessor_ids(-1)
+        with pytest.raises(VertexNotFoundError):
+            csr.reachable_ids(99)
+        with pytest.raises(VertexNotFoundError):
+            csr.vertex_at(-1)
+
+    def test_identifier_view_consistent(self):
+        csr = CSRGraph.from_digraph(diamond())
+        a = csr.id_of("a")
+        successor_names = {csr.vertex_at(i) for i in csr.successor_ids(a)}
+        assert successor_names == {"b", "c"}
+
+    def test_reachable_ids_matches_traversal(self):
+        graph = DiGraph(
+            edges=[("a", "b"), ("b", "c"), ("a", "d"), ("d", "c"), ("c", "e"), ("x", "y")]
+        )
+        csr = CSRGraph.from_digraph(graph)
+        for vertex in graph.vertices():
+            reached = {csr.vertex_at(i) for i in csr.reachable_ids(csr.id_of(vertex))}
+            assert reached == descendants(graph, vertex) | {vertex}
+            above = {
+                csr.vertex_at(i)
+                for i in csr.reachable_ids(csr.id_of(vertex), reverse=True)
+            }
+            assert above == ancestors(graph, vertex) | {vertex}
+
+    def test_interner_property_is_shared_table(self):
+        csr = CSRGraph.from_digraph(diamond())
+        assert csr.interner.id_of("a") == csr.id_of("a")
+        assert list(csr.interner) == csr.vertices()

@@ -1,0 +1,212 @@
+"""Property-based cross-scheme equivalence suite.
+
+Every registered labeling scheme must agree, pairwise and with the
+``transitive_closure`` oracle, on random DAGs — through the per-pair API,
+the ``reaches_many`` batch fast paths and the :class:`~repro.engine.QueryEngine`
+(whatever kernel it compiles).  Random workflow specifications and runs then
+check the same equivalences for the skeleton scheme layered over every
+specification scheme.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.synthetic import SyntheticSpecConfig, generate_specification
+from repro.engine import QueryEngine
+from repro.exceptions import DatasetError, GraphError, LabelingError
+from repro.graphs.csr import CSRGraph
+from repro.graphs.digraph import DiGraph
+from repro.graphs.transitive_closure import transitive_closure
+from repro.labeling.registry import available_schemes, build_index
+from repro.skeleton.skl import SkeletonLabeler
+from repro.workflow.execution import generate_run_with_size
+
+SLOW = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+#: every scheme that accepts arbitrary DAGs (interval is forest-only)
+DAG_SCHEMES = tuple(sorted(set(available_schemes()) - {"interval"}))
+
+#: specification schemes exercised under the skeleton labeler
+SPEC_SCHEMES = ("tcm", "bfs", "dfs", "tree-cover", "chain", "2-hop")
+
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+@st.composite
+def random_dags(draw) -> DiGraph:
+    """Random DAGs built edge-wise along a topological vertex order."""
+    size = draw(st.integers(min_value=1, max_value=10))
+    vertices = [f"v{i}" for i in range(size)]
+    graph = DiGraph(vertices=vertices)
+    for j in range(1, size):
+        parent_count = draw(st.integers(min_value=0, max_value=min(3, j)))
+        parents = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=j - 1),
+                min_size=parent_count,
+                max_size=parent_count,
+                unique=True,
+            )
+        )
+        for i in parents:
+            graph.add_edge(vertices[i], vertices[j])
+    return graph
+
+
+@st.composite
+def random_forests(draw) -> DiGraph:
+    """Random forests with edges directed from parents to children."""
+    size = draw(st.integers(min_value=1, max_value=12))
+    vertices = [f"v{i}" for i in range(size)]
+    graph = DiGraph(vertices=vertices)
+    for j in range(1, size):
+        parent = draw(st.integers(min_value=-1, max_value=j - 1))
+        if parent >= 0:
+            graph.add_edge(vertices[parent], vertices[j])
+    return graph
+
+
+@st.composite
+def specification_and_run(draw):
+    """Random well-nested specification plus a generated conforming run."""
+    hierarchy_size = draw(st.integers(min_value=1, max_value=5))
+    if hierarchy_size == 1:
+        depth = 1
+    else:
+        depth = draw(st.integers(min_value=2, max_value=min(3, hierarchy_size)))
+    n_modules = draw(st.integers(min_value=10, max_value=30))
+    extra_edges = draw(st.integers(min_value=0, max_value=n_modules // 2))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    config = SyntheticSpecConfig(
+        n_modules=n_modules,
+        n_edges=n_modules - 1 + extra_edges,
+        hierarchy_size=hierarchy_size,
+        hierarchy_depth=depth,
+        seed=seed,
+        name=f"engine-hypo-{seed}",
+    )
+    try:
+        spec = generate_specification(config)
+    except DatasetError:
+        assume(False)
+    if spec.hierarchy.size == 1:
+        target = spec.vertex_count
+    else:
+        target = draw(
+            st.integers(min_value=spec.vertex_count, max_value=4 * spec.vertex_count)
+        )
+    run_seed = draw(st.integers(min_value=0, max_value=10_000))
+    return spec, generate_run_with_size(spec, target, seed=run_seed)
+
+
+# ----------------------------------------------------------------------
+# direct schemes on random DAGs
+# ----------------------------------------------------------------------
+@given(random_dags())
+@SLOW
+def test_every_dag_scheme_matches_the_closure_oracle(graph: DiGraph):
+    closure = transitive_closure(graph)
+    vertices = graph.vertices()
+    pairs = [(u, v) for u in vertices for v in vertices]
+    oracle = [closure.reaches(u, v) for u, v in pairs]
+    for scheme in DAG_SCHEMES:
+        index = build_index(scheme, graph)
+        assert [index.reaches(u, v) for u, v in pairs] == oracle, scheme
+        # the batch fast path must agree with the per-pair path
+        label_pairs = [(index.label_of(u), index.label_of(v)) for u, v in pairs]
+        assert [bool(a) for a in index.reaches_many(label_pairs)] == oracle, scheme
+        # and so must the engine, whatever kernel it compiled
+        engine = QueryEngine(index)
+        assert [bool(a) for a in engine.reaches_batch(pairs)] == oracle, scheme
+
+
+@given(random_forests())
+@SLOW
+def test_interval_scheme_matches_the_closure_oracle_on_forests(forest: DiGraph):
+    closure = transitive_closure(forest)
+    vertices = forest.vertices()
+    pairs = [(u, v) for u in vertices for v in vertices]
+    oracle = [closure.reaches(u, v) for u, v in pairs]
+    index = build_index("interval", forest)
+    assert [index.reaches(u, v) for u, v in pairs] == oracle
+    engine = QueryEngine(index)
+    assert [bool(a) for a in engine.reaches_batch(pairs)] == oracle
+
+
+@given(random_dags())
+@SLOW
+def test_interval_scheme_rejects_non_forests_consistently(graph: DiGraph):
+    is_forest = all(graph.in_degree(v) <= 1 for v in graph.vertices())
+    if is_forest:
+        build_index("interval", graph)
+    else:
+        try:
+            build_index("interval", graph)
+        except (GraphError, LabelingError):
+            pass
+        else:
+            raise AssertionError("interval accepted a non-forest DAG")
+
+
+@given(random_dags())
+@SLOW
+def test_csr_round_trip_preserves_random_dags(graph: DiGraph):
+    csr = CSRGraph.from_digraph(graph)
+    assert csr.vertices() == graph.vertices()
+    assert csr.edges() == graph.edges()
+    assert csr.to_digraph() == graph
+    closure = transitive_closure(graph)
+    for vertex in graph.vertices():
+        reached = {
+            csr.vertex_at(i) for i in csr.reachable_ids(csr.id_of(vertex))
+        }
+        assert reached == closure.reachable_set(vertex)
+
+
+# ----------------------------------------------------------------------
+# the skeleton scheme over random specifications and runs
+# ----------------------------------------------------------------------
+@given(specification_and_run(), st.integers(min_value=0, max_value=10_000))
+@SLOW
+def test_skeleton_scheme_agrees_across_spec_schemes_and_batch(
+    spec_and_run, query_seed
+):
+    spec, generated = spec_and_run
+    run = generated.run
+    closure = transitive_closure(run.graph)
+    vertices = run.vertices()
+    rng = random.Random(query_seed)
+    pairs = [(rng.choice(vertices), rng.choice(vertices)) for _ in range(120)]
+    oracle = [closure.reaches(u, v) for u, v in pairs]
+    for scheme in SPEC_SCHEMES:
+        labeled = SkeletonLabeler(spec, scheme).label_run(
+            run, plan=generated.plan, context=generated.context
+        )
+        assert [labeled.reaches(u, v) for u, v in pairs] == oracle, scheme
+        engine = QueryEngine(labeled)
+        assert [bool(a) for a in engine.reaches_batch(pairs)] == oracle, scheme
+
+
+@given(specification_and_run(), st.integers(min_value=0, max_value=10_000))
+@SLOW
+def test_engine_point_queries_match_batch(spec_and_run, query_seed):
+    spec, generated = spec_and_run
+    labeled = SkeletonLabeler(spec, "tcm").label_run(
+        generated.run, plan=generated.plan, context=generated.context
+    )
+    engine = QueryEngine(labeled, cache_size=16)
+    vertices = generated.run.vertices()
+    rng = random.Random(query_seed)
+    pairs = [(rng.choice(vertices), rng.choice(vertices)) for _ in range(80)]
+    batched = engine.reaches_batch(pairs)
+    pointwise = [engine.reaches(u, v) for u, v in pairs]
+    assert [bool(a) for a in batched] == [bool(a) for a in pointwise]

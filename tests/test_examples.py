@@ -16,6 +16,7 @@ EXAMPLES = [
     "data_provenance_queries.py",
     "provenance_store.py",
     "online_labeling.py",
+    "batch_queries.py",
 ]
 
 

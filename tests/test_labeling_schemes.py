@@ -80,6 +80,19 @@ class TestTraversalSchemes:
         with pytest.raises(LabelingError):
             DFSIndex.build(dag).label_of("nope")
 
+    def test_batch_path_sees_graph_mutations_like_the_per_pair_path(self):
+        from repro.graphs.digraph import DiGraph
+
+        graph = DiGraph(edges=[("a", "b"), ("c", "d")])
+        index = BFSIndex.build(graph)
+        label_pair = [(index.label_of("b"), index.label_of("c"))]
+        assert index.reaches("b", "c") is False
+        assert index.reaches_many(label_pair) == [False]
+        # traversal schemes store no index, so answers track the live graph
+        graph.add_edge("b", "c")
+        assert index.reaches("b", "c") is True
+        assert index.reaches_many(label_pair) == [True]
+
 
 class TestIntervalScheme:
     def test_correctness_on_tree(self, tree):

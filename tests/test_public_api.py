@@ -59,13 +59,19 @@ class TestExports:
         assert hasattr(module, "main")
 
     def test_dunder_main_runs_cli(self, capsys):
+        import os
         import subprocess
         import sys
+        from pathlib import Path
 
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
         completed = subprocess.run(
             [sys.executable, "-m", "repro", "info", "--catalog", "EBI"],
             capture_output=True,
             text=True,
             check=True,
+            env=env,
         )
         assert "nG (modules)  : 29" in completed.stdout
