@@ -31,7 +31,7 @@ from repro.exceptions import (
     WellNestednessError,
 )
 from repro.engine import EngineStats, QueryEngine
-from repro.graphs import CSRGraph, DiGraph, VertexInterner
+from repro.graphs import CSRGraph, DiGraph, VertexInterner, resolve_pair_ids
 from repro.labeling import (
     BFSIndex,
     DFSIndex,
@@ -39,6 +39,7 @@ from repro.labeling import (
     ReachabilityIndex,
     TCMIndex,
     TreeCoverIndex,
+    VertexHandleAPI,
     available_schemes,
     build_index,
 )
@@ -81,15 +82,17 @@ __all__ = [
     "SerializationError",
     "StorageError",
     "DatasetError",
-    # graphs
+    # graphs / identity layer
     "DiGraph",
     "CSRGraph",
     "VertexInterner",
+    "resolve_pair_ids",
     # batch query engine
     "QueryEngine",
     "EngineStats",
     # labeling
     "ReachabilityIndex",
+    "VertexHandleAPI",
     "TCMIndex",
     "BFSIndex",
     "DFSIndex",

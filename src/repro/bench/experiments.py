@@ -63,6 +63,7 @@ __all__ = [
     "table_1_real_workflows",
     "table_2_complexity",
     "throughput_query_engine",
+    "throughput_handle_path",
     "all_experiments",
 ]
 
@@ -796,6 +797,100 @@ def throughput_query_engine(
     )
 
 
+def _timed_handle_batch(engine, source_ids, target_ids, repetitions: int = 3):
+    """Best-of-N timing of a pre-interned handle batch, after a warm-up."""
+    engine.reaches_many_ids(source_ids[:256], target_ids[:256])
+    best = float("inf")
+    answers = []
+    for _ in range(repetitions):
+        started = time.perf_counter()
+        answers = engine.reaches_many_ids(source_ids, target_ids)
+        best = min(best, time.perf_counter() - started)
+    return answers, best
+
+
+def throughput_handle_path(
+    scale: str | BenchScale = "default", *, seed: int = 0
+) -> ExperimentResult:
+    """Queries/second: pre-interned handle replay vs the object batch path.
+
+    Both paths run the *same* compiled kernel over the *same* workload; the
+    only difference is where the object -> handle resolution happens.  The
+    object path (``reaches_batch``) re-interns every vertex pair on every
+    call — the dict-lookup cost that profiling showed dominating PR 1's
+    uniform tcm+skl batches — while the handle path interns the workload
+    once (``intern_pairs``) and replays integer arrays through
+    ``reaches_many_ids``.  The tcm+skl and direct-tcm rows are the headline
+    (their kernels are pure array arithmetic, so resolution was most of the
+    batch); the tree-cover / chain / 2-hop rows additionally witness that
+    the flattened offset-array kernels compile (no generic fallback) on the
+    schemes that used to fall back to pure python.
+    """
+    preset = get_scale(scale)
+    pair_count = _THROUGHPUT_PAIR_COUNTS.get(preset.name, 20 * preset.query_count)
+    spec = comparison_specification()
+    rng = random.Random(seed)
+
+    run = generate_run_with_size(spec, preset.run_sizes[-1], seed=seed).run
+    run_pairs = sample_query_pairs(run.vertices(), pair_count, rng)
+
+    direct_size = min(preset.run_sizes[-1], preset.direct_tcm_limit)
+    direct_run = generate_run_with_size(spec, direct_size, seed=seed + 1).run
+    direct_pairs = sample_query_pairs(direct_run.vertices(), pair_count, rng)
+
+    spec_pairs = sample_query_pairs(spec.graph.vertices(), pair_count, rng)
+
+    configurations: list[tuple[str, object, list]] = [
+        ("tcm+skl", SkeletonLabeler(spec, "tcm").label_run(run), run_pairs),
+        ("tcm", build_index("tcm", direct_run.graph), direct_pairs),
+        ("tree-cover", build_index("tree-cover", spec.graph), spec_pairs),
+        ("chain", build_index("chain", spec.graph), spec_pairs),
+        ("2-hop", build_index("2-hop", spec.graph), spec_pairs),
+    ]
+
+    rows: list[dict] = []
+    for scheme, index, pairs in configurations:
+        engine = QueryEngine(index)
+        object_answers, object_seconds = _timed_batch(engine, pairs)
+        source_ids, target_ids = engine.intern_pairs(pairs)
+        handle_answers, handle_seconds = _timed_handle_batch(
+            engine, source_ids, target_ids
+        )
+        if [bool(a) for a in handle_answers] != [bool(a) for a in object_answers]:
+            raise ReproError(
+                f"handle path disagrees with the object path on scheme {scheme!r}"
+            )
+        rows.append(
+            {
+                "scheme": scheme,
+                "kernel": engine.kernel_name,
+                "pairs": len(pairs),
+                "object_qps": round(len(pairs) / object_seconds)
+                if object_seconds > 0
+                else None,
+                "handle_qps": round(len(pairs) / handle_seconds)
+                if handle_seconds > 0
+                else None,
+                "speedup": round(object_seconds / handle_seconds, 2)
+                if handle_seconds > 0
+                else None,
+            }
+        )
+    return ExperimentResult(
+        experiment_id="throughput-handle-path",
+        title="Interned handle replay vs object batch path (queries/s)",
+        rows=rows,
+        notes=[
+            "every handle answer set is verified equal to the object path's",
+            "object path re-interns each vertex pair per call; handle path "
+            "interns once and replays integer handle arrays",
+            "expected outcome: large speedups on kernels that are pure array "
+            "arithmetic (tcm+skl, tcm), where per-call resolution dominated",
+            f"scale={preset.name}; engine kernels per row in the 'kernel' column",
+        ],
+    )
+
+
 def all_experiments(scale: str | BenchScale = "default", *, seed: int = 0) -> list[ExperimentResult]:
     """Run every experiment at the given scale (used by the CLI)."""
     shared_comparison = scheme_comparison(scale, seed=seed)
@@ -814,4 +909,5 @@ def all_experiments(scale: str | BenchScale = "default", *, seed: int = 0) -> li
         figure_20_spec_influence_query(scale, seed=seed, shared=shared_influence),
         ablation_spec_schemes(scale, seed=seed),
         throughput_query_engine(scale, seed=seed),
+        throughput_handle_path(scale, seed=seed),
     ]

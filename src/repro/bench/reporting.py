@@ -7,6 +7,7 @@ the benchmark console output and EXPERIMENTS.md) and as CSV (for plotting).
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional, Sequence, Union
@@ -102,9 +103,31 @@ def format_csv(rows: Sequence[dict], columns: Optional[Sequence[str]] = None) ->
 
 
 def write_report(result: ExperimentResult, directory: PathLike) -> Path:
-    """Write a result's text rendering into *directory* and return the path."""
+    """Write a result into *directory* and return the text rendering's path.
+
+    Two files are produced per experiment: the aligned-table rendering
+    (``<experiment-id>.txt``, the path returned) and a machine-readable
+    ``BENCH_<experiment-id>.json`` with the raw rows and notes — the file
+    CI archives as a build artifact so throughput regressions can be
+    compared across runs.
+    """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / f"{result.experiment_id}.txt"
     path.write_text(result.to_text() + "\n", encoding="utf-8")
+    json_path = directory / f"BENCH_{result.experiment_id}.json"
+    json_path.write_text(
+        json.dumps(
+            {
+                "experiment_id": result.experiment_id,
+                "title": result.title,
+                "rows": result.rows,
+                "notes": result.notes,
+            },
+            indent=2,
+            default=str,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
     return path

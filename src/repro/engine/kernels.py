@@ -2,14 +2,26 @@
 
 A *kernel* is the compiled form of one labeling index: it resolves every
 vertex's label (and any derived acceleration structure) **once** at build
-time and then answers whole batches of ``(source, target)`` pairs with as
-little per-pair Python dispatch as possible.  :func:`build_kernel` picks the
-best kernel available for an index:
+time and then answers whole batches of queries with as little per-pair
+Python dispatch as possible.  Kernels are compiled against the index's
+:class:`~repro.graphs.handles.VertexInterner` — the flat arrays inside a
+kernel are indexed by the same integer handles the index hands out — so
+they offer two entry points:
 
-* ``numpy-skl`` — :class:`~repro.skeleton.skl.SkeletonLabeledRun`: the three
-  context coordinates live in integer arrays, Algorithm 3's fork/loop fast
-  path is evaluated vectorized, and the skeleton fall-through becomes one
-  fancy-indexing probe of a dense specification reachability matrix
+* ``batch(pairs)`` — the object boundary: ``(source, target)`` vertex pairs
+  are interned in one C-level pass and forwarded to the handle path;
+* ``batch_ids(source_ids, target_ids)`` — the handle-native hot path:
+  parallel integer-handle arrays go straight into the vectorized
+  evaluation, with no per-query dictionary lookups at all.
+
+:func:`build_kernel` picks the best kernel available for an index:
+
+* ``numpy-skl`` — any index with the skeleton surface
+  (:class:`~repro.skeleton.skl.SkeletonLabeledRun` and the provenance
+  store's cached stored-run indexes, marked ``kernel_hint = "skl"``): the
+  three context coordinates live in integer arrays, Algorithm 3's fork/loop
+  fast path is evaluated vectorized, and the skeleton fall-through becomes
+  one fancy-indexing probe of a dense specification reachability matrix
   (``nG²`` bytes, capped by :data:`DENSE_SPEC_LIMIT`; larger specs answer
   fall-throughs through the spec index's own batch path);
 * ``numpy-tcm`` — :class:`~repro.labeling.tcm.TCMIndex`: the closure rows
@@ -17,6 +29,15 @@ best kernel available for an index:
   shift, avoiding CPython's O(n)-digit big-integer shifts on large rows;
 * ``numpy-interval`` — :class:`~repro.labeling.interval.IntervalTreeIndex`:
   ``post``/``low`` arrays compared vectorized;
+* ``numpy-tree-cover`` — :class:`~repro.labeling.tree_cover.TreeCoverIndex`:
+  the per-vertex interval *sets* are flattened into offset arrays and
+  probed with one segment-encoded ``searchsorted`` per batch;
+* ``numpy-chain`` — :class:`~repro.labeling.chain.ChainIndex`: the per-chain
+  reach entries are flattened the same way and matched with one
+  segment-encoded ``searchsorted``;
+* ``numpy-2hop`` — :class:`~repro.labeling.twohop.TwoHopIndex`: the hop
+  sets are bit-packed over the distinct hop centers, making a query a
+  byte-row AND plus an any-reduction (capped by :data:`PACKED_HOP_LIMIT`);
 * ``python-generic`` — everything else (and every index when numpy is not
   installed): a persistent vertex→label table plus the scheme's own
   ``reaches_many`` batch path (which for the traversal schemes groups
@@ -28,12 +49,15 @@ Kernels are internal to :mod:`repro.engine`; the public surface is
 
 from __future__ import annotations
 
-from itertools import chain
 from typing import Any, Optional, Sequence
 
 from repro.exceptions import LabelingError
+from repro.graphs.handles import intern_pair_arrays
+from repro.labeling.chain import ChainIndex
 from repro.labeling.interval import IntervalTreeIndex
 from repro.labeling.tcm import TCMIndex
+from repro.labeling.tree_cover import TreeCoverIndex
+from repro.labeling.twohop import TwoHopIndex
 from repro.skeleton.skl import SkeletonLabeledRun
 
 try:  # numpy accelerates the kernels but is strictly optional
@@ -41,7 +65,13 @@ try:  # numpy accelerates the kernels but is strictly optional
 except ImportError:  # pragma: no cover - exercised only on numpy-less installs
     _np = None
 
-__all__ = ["build_kernel", "HAS_NUMPY", "DENSE_SPEC_LIMIT", "PACKED_TCM_LIMIT"]
+__all__ = [
+    "build_kernel",
+    "HAS_NUMPY",
+    "DENSE_SPEC_LIMIT",
+    "PACKED_TCM_LIMIT",
+    "PACKED_HOP_LIMIT",
+]
 
 HAS_NUMPY = _np is not None
 
@@ -55,16 +85,30 @@ DENSE_SPEC_LIMIT = 1_024
 #: occupy as big integers)
 PACKED_TCM_LIMIT = 32_768
 
+#: largest graph for which the 2-hop kernel bit-packs the hop sets over the
+#: distinct hop centers (2·n·C/8 bytes with C <= n hop centers — the same
+#: budget class as the packed TCM matrix)
+PACKED_HOP_LIMIT = 32_768
+
 
 def build_kernel(index: Any):
     """Compile *index* into the best available batch kernel."""
     if _np is not None:
-        if type(index) is SkeletonLabeledRun:
+        if (
+            getattr(index, "kernel_hint", None) == "skl"
+            or type(index) is SkeletonLabeledRun
+        ):
             return _SkeletonKernel(index)
         if type(index) is TCMIndex and index.closure.vertex_count <= PACKED_TCM_LIMIT:
             return _PackedTCMKernel(index)
         if type(index) is IntervalTreeIndex:
             return _IntervalKernel(index)
+        if type(index) is TreeCoverIndex:
+            return _TreeCoverKernel(index)
+        if type(index) is ChainIndex:
+            return _ChainKernel(index)
+        if type(index) is TwoHopIndex and index.graph.vertex_count <= PACKED_HOP_LIMIT:
+            return _TwoHopKernel(index)
     return _GenericKernel(index)
 
 
@@ -79,6 +123,8 @@ class _GenericKernel:
     the kernel's lifetime; for indexes whose labels may change
     (``stable_labels = False`` — the traversal schemes, ``OnlineRun``) the
     table only lives for one batch, so every batch sees current labels.
+    The handle path delegates to the index's own ``reaches_many_ids``
+    (every :class:`~repro.labeling.base.VertexHandleAPI` host has one).
     """
 
     name = "python-generic"
@@ -87,6 +133,7 @@ class _GenericKernel:
         self._label_of = index.label_of
         self._persist_labels = getattr(index, "stable_labels", True)
         self._labels: dict = {}
+        self._reaches_many_ids = getattr(index, "reaches_many_ids", None)
         reaches_many = getattr(index, "reaches_many", None)
         if reaches_many is None:
             reaches_labels = index.reaches_labels
@@ -112,23 +159,58 @@ class _GenericKernel:
             append((source_label, target_label))
         return self._reaches_many(label_pairs)
 
+    def batch_ids(self, source_ids, target_ids) -> list:
+        if self._reaches_many_ids is None:
+            raise LabelingError(
+                "this index does not expose vertex handles "
+                "(no reaches_many_ids); use the object-pair batch API"
+            )
+        return self._reaches_many_ids(source_ids, target_ids)
+
 
 # ----------------------------------------------------------------------
 # numpy kernels
 # ----------------------------------------------------------------------
-def _resolve_id_arrays(ids: dict, pairs: Sequence[tuple]):
-    """Map vertex pairs to two integer-id arrays in one C-level pass."""
-    try:
-        flat = _np.fromiter(
-            map(ids.__getitem__, chain.from_iterable(pairs)),
-            dtype=_np.int64,
-            count=2 * len(pairs),
-        )
-    except KeyError as exc:
-        raise LabelingError(
-            f"vertex was not labeled by this index: {exc.args[0]!r}"
-        ) from None
-    return flat[0::2], flat[1::2]
+class _ArrayKernel:
+    """Shared plumbing of the numpy kernels: interning and handle checks.
+
+    Subclasses fill their flat arrays in the order of ``index.interner`` and
+    implement ``_evaluate(a, b) -> bool ndarray`` over two handle arrays.
+    ``batch`` answers object pairs (interned once, then the handle path);
+    ``batch_ids`` answers pre-interned handle arrays directly and returns
+    the numpy boolean array itself — the zero-copy hot path.
+    """
+
+    name = "numpy-abstract"
+
+    def __init__(self, index: Any) -> None:
+        self._interner = index.interner
+        self._size = len(self._interner)
+
+    def batch(self, pairs: Sequence[tuple]) -> list:
+        a, b = intern_pair_arrays(self._interner.id_map, pairs)
+        return self._evaluate(a, b).tolist()
+
+    def batch_ids(self, source_ids, target_ids):
+        a = _np.asarray(source_ids, dtype=_np.int64)
+        b = _np.asarray(target_ids, dtype=_np.int64)
+        if a.shape != b.shape or a.ndim != 1:
+            raise LabelingError(
+                "source_ids and target_ids must be parallel one-dimensional "
+                f"sequences (got shapes {a.shape} and {b.shape})"
+            )
+        if a.size:
+            for ids in (a, b):
+                low = int(ids.min())
+                high = int(ids.max())
+                if low < 0 or high >= self._size:
+                    raise LabelingError(
+                        f"unknown vertex handle: {low if low < 0 else high!r}"
+                    )
+        return self._evaluate(a, b)
+
+    def _evaluate(self, a, b):  # pragma: no cover - subclasses implement
+        raise NotImplementedError
 
 
 def _pack_closure_rows(rows: Sequence[int], size: int):
@@ -174,21 +256,20 @@ def _spec_reachability_matrix(spec_index: Any):
     return matrix, {vertex: i for i, vertex in enumerate(vertices)}
 
 
-class _SkeletonKernel:
+class _SkeletonKernel(_ArrayKernel):
     """Vectorized Algorithm 3 over a skeleton-labeled run."""
 
     name = "numpy-skl"
 
-    def __init__(self, labeled: SkeletonLabeledRun) -> None:
-        labels = labeled.labels()
-        vertices = list(labels)
-        self._ids = {vertex: i for i, vertex in enumerate(vertices)}
-        size = len(vertices)
+    def __init__(self, labeled: Any) -> None:
+        super().__init__(labeled)
+        label_of = labeled.label_of
+        labels = [label_of(vertex) for vertex in self._interner]
+        size = len(labels)
         q1 = _np.empty(size, dtype=_np.int64)
         q2 = _np.empty(size, dtype=_np.int64)
         q3 = _np.empty(size, dtype=_np.int64)
-        for i, vertex in enumerate(vertices):
-            label = labels[vertex]
+        for i, label in enumerate(labels):
             q1[i] = label.q1
             q2[i] = label.q2
             q3[i] = label.q3
@@ -198,7 +279,7 @@ class _SkeletonKernel:
         self._matrix = matrix
         if matrix is not None:
             orig = _np.empty(size, dtype=_np.int64)
-            for i, vertex in enumerate(vertices):
+            for i, vertex in enumerate(self._interner):
                 orig[i] = position_of[vertex.module]
             self._orig = orig
             self._skeletons: Optional[list] = None
@@ -207,18 +288,17 @@ class _SkeletonKernel:
             # Specification too large for a dense matrix: keep the skeleton
             # labels and answer fall-through queries through the spec index.
             self._orig = None
-            self._skeletons = [labels[vertex].skeleton for vertex in vertices]
+            self._skeletons = [label.skeleton for label in labels]
             self._spec_reaches_many = spec_index.reaches_many
 
-    def batch(self, pairs: Sequence[tuple]) -> list:
-        a, b = _resolve_id_arrays(self._ids, pairs)
+    def _evaluate(self, a, b):
         q2a, q2b = self._q2[a], self._q2[b]
         q3a, q3b = self._q3[a], self._q3[b]
         fast_mask = (q2a - q2b) * (q3a - q3b) < 0
         fast_answers = (self._q1[a] < self._q1[b]) & (q3a > q3b)
         if self._matrix is not None:
             skeleton_answers = self._matrix[self._orig[a], self._orig[b]]
-            return _np.where(fast_mask, fast_answers, skeleton_answers).tolist()
+            return _np.where(fast_mask, fast_answers, skeleton_answers)
         answers = fast_answers & fast_mask
         fallthrough = _np.flatnonzero(~fast_mask)
         if fallthrough.size:
@@ -230,43 +310,154 @@ class _SkeletonKernel:
                 fallthrough.tolist(), self._spec_reaches_many(label_pairs)
             ):
                 answers[i] = answer
-        return answers.tolist()
+        return answers
 
 
-class _PackedTCMKernel:
+class _PackedTCMKernel(_ArrayKernel):
     """Direct TCM queries as byte gathers on a bit-packed closure matrix."""
 
     name = "numpy-tcm"
 
     def __init__(self, index: TCMIndex) -> None:
+        super().__init__(index)
         closure = index.closure
-        self._ids = {vertex: i for i, vertex in enumerate(closure.order)}
         self._packed = _pack_closure_rows(closure.rows, closure.vertex_count)
 
-    def batch(self, pairs: Sequence[tuple]) -> list:
-        a, b = _resolve_id_arrays(self._ids, pairs)
+    def _evaluate(self, a, b):
         bits = (self._packed[a, b >> 3] >> (b & 7)) & 1
-        return (bits != 0).tolist()
+        return bits != 0
 
 
-class _IntervalKernel:
+class _IntervalKernel(_ArrayKernel):
     """Vectorized interval containment tests."""
 
     name = "numpy-interval"
 
     def __init__(self, index: IntervalTreeIndex) -> None:
-        vertices = index.graph.vertices()
-        self._ids = {vertex: i for i, vertex in enumerate(vertices)}
-        size = len(vertices)
+        super().__init__(index)
+        size = self._size
         post = _np.empty(size, dtype=_np.int64)
         low = _np.empty(size, dtype=_np.int64)
-        for i, vertex in enumerate(vertices):
+        for i, vertex in enumerate(self._interner):
             label = index.label_of(vertex)
             post[i] = label.post
             low[i] = label.low
         self._post, self._low = post, low
 
-    def batch(self, pairs: Sequence[tuple]) -> list:
-        a, b = _resolve_id_arrays(self._ids, pairs)
+    def _evaluate(self, a, b):
         post_b = self._post[b]
-        return ((self._low[a] <= post_b) & (post_b <= self._post[a])).tolist()
+        return (self._low[a] <= post_b) & (post_b <= self._post[a])
+
+
+class _TreeCoverKernel(_ArrayKernel):
+    """Tree-cover interval *sets* flattened into offset arrays.
+
+    Vertex ``i``'s intervals occupy slots ``offsets[i] : offsets[i + 1]`` of
+    the flat ``low`` / ``high`` arrays.  Because each vertex's intervals are
+    sorted and disjoint, encoding every slot's ``low`` as
+    ``owner * stride + low`` yields one globally sorted array, so a whole
+    batch is answered with a single ``searchsorted``: the candidate interval
+    for query ``(u, post(v))`` is the last slot whose encoded ``low`` does
+    not exceed ``u * stride + post(v)``, and the query holds iff that slot
+    still belongs to ``u``'s segment and covers ``post(v)``.
+    """
+
+    name = "numpy-tree-cover"
+
+    def __init__(self, index: TreeCoverIndex) -> None:
+        super().__init__(index)
+        labels = [index.label_of(vertex) for vertex in self._interner]
+        self._post = _np.fromiter(
+            (label.post for label in labels), dtype=_np.int64, count=self._size
+        )
+        counts = [len(label.intervals) for label in labels]
+        offsets = _np.zeros(self._size + 1, dtype=_np.int64)
+        _np.cumsum(counts, out=offsets[1:])
+        flat = [pair for label in labels for pair in label.intervals]
+        lows = _np.fromiter((low for low, _ in flat), dtype=_np.int64, count=len(flat))
+        highs = _np.fromiter((high for _, high in flat), dtype=_np.int64, count=len(flat))
+        # postorder numbers are 1..n, so n + 2 separates the segments
+        self._stride = self._size + 2
+        owners = _np.repeat(_np.arange(self._size, dtype=_np.int64), counts)
+        self._encoded_low = owners * self._stride + lows
+        self._offsets = offsets
+        self._high = highs
+
+    def _evaluate(self, a, b):
+        post_b = self._post[b]
+        keys = a * self._stride + post_b
+        slots = _np.searchsorted(self._encoded_low, keys, side="right") - 1
+        valid = slots >= self._offsets[a]
+        slots = _np.where(valid, slots, 0)
+        return valid & (self._high[slots] >= post_b)
+
+
+class _ChainKernel(_ArrayKernel):
+    """Chain reach entries flattened into offset arrays.
+
+    Each vertex's ``reach`` entries are sorted by chain id, so encoding a
+    slot as ``owner * chain_count + chain`` yields a globally sorted array
+    with at most one slot per ``(owner, chain)`` key; one exact-match
+    ``searchsorted`` per batch finds, for every query ``(u, v)``, ``u``'s
+    earliest reachable position on ``v``'s chain (or nothing).
+    """
+
+    name = "numpy-chain"
+
+    def __init__(self, index: ChainIndex) -> None:
+        super().__init__(index)
+        labels = [index.label_of(vertex) for vertex in self._interner]
+        self._chain = _np.fromiter(
+            (label.chain for label in labels), dtype=_np.int64, count=self._size
+        )
+        self._position = _np.fromiter(
+            (label.position for label in labels), dtype=_np.int64, count=self._size
+        )
+        counts = [len(label.reach) for label in labels]
+        flat = [entry for label in labels for entry in label.reach]
+        chains = _np.fromiter((c for c, _ in flat), dtype=_np.int64, count=len(flat))
+        positions = _np.fromiter((p for _, p in flat), dtype=_np.int64, count=len(flat))
+        self._stride = max(1, index.chain_count)
+        owners = _np.repeat(_np.arange(self._size, dtype=_np.int64), counts)
+        self._encoded = owners * self._stride + chains
+        self._reach_position = positions
+
+    def _evaluate(self, a, b):
+        keys = a * self._stride + self._chain[b]
+        if not len(self._encoded):  # empty graph edge case
+            return _np.zeros(len(a), dtype=bool)
+        slots = _np.searchsorted(self._encoded, keys, side="left")
+        clipped = _np.minimum(slots, len(self._encoded) - 1)
+        hit = (slots < len(self._encoded)) & (self._encoded[clipped] == keys)
+        return hit & (self._reach_position[clipped] <= self._position[b])
+
+
+class _TwoHopKernel(_ArrayKernel):
+    """2-hop queries as byte-row intersections of bit-packed hop sets."""
+
+    name = "numpy-2hop"
+
+    def __init__(self, index: TwoHopIndex) -> None:
+        super().__init__(index)
+        labels = [index.label_of(vertex) for vertex in self._interner]
+        centers: dict = {}
+        for label in labels:
+            for center in sorted(
+                label.out_hops | label.in_hops, key=self._interner.id_of
+            ):
+                centers.setdefault(center, len(centers))
+        row_bytes = max(1, (len(centers) + 7) // 8)
+        out_masks = _np.zeros((self._size, row_bytes), dtype=_np.uint8)
+        in_masks = _np.zeros((self._size, row_bytes), dtype=_np.uint8)
+        for i, label in enumerate(labels):
+            for center in label.out_hops:
+                position = centers[center]
+                out_masks[i, position >> 3] |= 1 << (position & 7)
+            for center in label.in_hops:
+                position = centers[center]
+                in_masks[i, position >> 3] |= 1 << (position & 7)
+        self._out = out_masks
+        self._in = in_masks
+
+    def _evaluate(self, a, b):
+        return (self._out[a] & self._in[b]).any(axis=1)

@@ -7,20 +7,29 @@ Python dispatch: two ``label_of`` calls and several method hops per query.
 per index (:mod:`repro.engine.kernels`):
 
 1. **label resolution** — every distinct vertex is resolved to its label
-   (and, with numpy available, into integer-indexed parallel arrays) exactly
+   (and, with numpy available, into handle-indexed parallel arrays) exactly
    once when the kernel is built, so a batch never re-derives labels;
 2. **batch dispatch** — :meth:`QueryEngine.reaches_batch` hands the whole
    workload to the kernel, which answers it vectorized (numpy kernels) or
    with the scheme's own tight ``reaches_many`` loop (pure-python fallback);
-3. **hot-pair memoization** — :meth:`QueryEngine.reaches` serves point
-   queries through a bounded LRU cache, so the skewed access patterns of
-   interactive provenance traffic short-circuit to a single dict probe.
-   Batches bypass the pair cache on purpose: probing it per pair would cost
-   more than the vectorized evaluation it could save.
+3. **handle-native entry points** — :meth:`QueryEngine.intern_pairs` maps a
+   workload's vertex pairs to integer handles **once**, after which
+   :meth:`QueryEngine.reaches_many_ids` replays it with zero per-query
+   dictionary lookups (the object-pair path pays that resolution on every
+   call);
+4. **hot-pair memoization** — :meth:`QueryEngine.reaches` and
+   :meth:`QueryEngine.reaches_ids` serve point queries through a bounded
+   LRU cache keyed on interned handle pairs: handle-keyed hits are a single
+   dict probe with no vertex resolution at all, while object-pair hits pay
+   two id-map lookups to build the key (comparable to hashing the vertex
+   pair) and then the same probe.  Batches bypass the pair cache on
+   purpose: probing it per pair would cost more than the vectorized
+   evaluation it could save.
 
 The engine works with anything exposing the ``(D, φ, π)`` duck type —
 ``label_of``/``reaches``/``reaches_labels`` (plus the optional batch method
-``reaches_many``) — i.e. every
+``reaches_many`` and the :class:`~repro.labeling.base.VertexHandleAPI`
+handle surface) — i.e. every
 :class:`~repro.labeling.base.ReachabilityIndex` and
 :class:`~repro.skeleton.skl.SkeletonLabeledRun`.
 """
@@ -30,9 +39,11 @@ from __future__ import annotations
 from collections import OrderedDict
 from collections.abc import Hashable, Iterable
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Optional
 
 from repro.engine.kernels import build_kernel
+from repro.exceptions import LabelingError
+from repro.graphs.handles import intern_pair_arrays
 
 __all__ = ["QueryEngine", "EngineStats", "DEFAULT_CACHE_SIZE"]
 
@@ -66,6 +77,29 @@ class EngineStats:
         self.cache_hits = 0
 
 
+class _HotPairCache(OrderedDict):
+    """LRU store keyed on interned handle pairs.
+
+    Membership tests additionally accept ``(source, target)`` *vertex* pairs
+    (translated through the engine's interner), so introspection written
+    against the historical object-keyed cache keeps working.  The raw key is
+    checked first, so when vertices are themselves small integers a handle
+    pair and a vertex pair can be indistinguishable — an inherent ambiguity
+    of the compatibility shim, not of the cache (which only ever stores
+    handle pairs).
+    """
+
+    def __init__(self, translate) -> None:
+        super().__init__()
+        self._translate = translate
+
+    def __contains__(self, key: object) -> bool:
+        if OrderedDict.__contains__(self, key):
+            return True
+        translated = self._translate(key)
+        return translated is not None and OrderedDict.__contains__(self, translated)
+
+
 class QueryEngine:
     """Batched reachability queries over one labeling index.
 
@@ -77,11 +111,11 @@ class QueryEngine:
         :class:`~repro.skeleton.skl.SkeletonLabeledRun`, or any object with
         the same ``label_of`` / ``reaches`` / ``reaches_labels`` surface.
     cache_size:
-        Capacity of the hot-pair LRU cache used by :meth:`reaches`;
-        ``0`` disables pair memoization.  Forced to ``0`` for indexes
-        whose ``stable_labels`` attribute is ``False`` (the traversal
-        schemes), whose answers track the live graph and must not be
-        memoized.
+        Capacity of the hot-pair LRU cache used by :meth:`reaches` and
+        :meth:`reaches_ids`; ``0`` disables pair memoization.  Forced to
+        ``0`` for indexes whose ``stable_labels`` attribute is ``False``
+        (the traversal schemes), whose answers track the live graph and
+        must not be memoized.
     """
 
     def __init__(self, index: Any, *, cache_size: int = DEFAULT_CACHE_SIZE) -> None:
@@ -100,7 +134,13 @@ class QueryEngine:
         if not getattr(index, "stable_labels", True):
             cache_size = 0
         self._cache_size = cache_size
-        self._pair_cache: OrderedDict = OrderedDict()
+        # Whether the index exposes the vertex-handle surface; checked on
+        # the class so the (possibly lazy) interner is not built here.
+        self._has_handles = getattr(type(index), "interner", None) is not None
+        # The interner's id dict, bound on first point query so the hot
+        # path pays two plain dict lookups, not a property chain.
+        self._id_map: Optional[dict] = None
+        self._pair_cache: _HotPairCache = _HotPairCache(self._translate_pair)
         self.stats = EngineStats()
 
     @property
@@ -109,6 +149,22 @@ class QueryEngine:
             self._compiled_kernel = build_kernel(self._index)
         return self._compiled_kernel
 
+    def _translate_pair(self, key: object) -> Optional[tuple]:
+        """Vertex pair -> handle pair, or ``None`` when it cannot resolve."""
+        if not self._has_handles or not isinstance(key, tuple) or len(key) != 2:
+            return None
+        try:
+            id_map = self._index.interner.id_map
+        except LabelingError:
+            # e.g. a stale traversal interner: membership must answer False,
+            # not raise, for a pair that can no longer be resolved
+            return None
+        source_id = id_map.get(key[0])
+        target_id = id_map.get(key[1])
+        if source_id is None or target_id is None:
+            return None
+        return (source_id, target_id)
+
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
@@ -116,6 +172,15 @@ class QueryEngine:
     def index(self) -> Any:
         """The underlying labeling index."""
         return self._index
+
+    @property
+    def interner(self):
+        """The index's vertex <-> handle table (handle-native callers' entry)."""
+        if not self._has_handles:
+            raise LabelingError(
+                f"{type(self._index).__name__} does not expose vertex handles"
+            )
+        return self._index.interner
 
     @property
     def kernel_name(self) -> str:
@@ -136,22 +201,90 @@ class QueryEngine:
         )
 
     # ------------------------------------------------------------------
+    # interning (the one-time object -> handle boundary)
+    # ------------------------------------------------------------------
+    def intern(self, vertex: Vertex) -> int:
+        """Resolve one vertex to its integer handle (unknown vertices raise)."""
+        intern = getattr(self._index, "intern", None)
+        if intern is not None:
+            return intern(vertex)
+        identifier = self.interner.id_map.get(vertex)
+        if identifier is None:
+            raise LabelingError(
+                f"vertex was not labeled by this index: {vertex!r}"
+            )
+        return identifier
+
+    def intern_pairs(self, pairs: Iterable):
+        """Map ``(source, target)`` vertex pairs to two parallel handle arrays.
+
+        Do this once per workload; the arrays replay through
+        :meth:`reaches_many_ids` with no further vertex resolution.
+        """
+        pairs = pairs if isinstance(pairs, (list, tuple)) else list(pairs)
+        intern_pairs = getattr(self._index, "intern_pairs", None)
+        if intern_pairs is not None:
+            return intern_pairs(pairs)
+        return intern_pair_arrays(self.interner.id_map, pairs)
+
+    # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
     def reaches(self, source: Vertex, target: Vertex) -> bool:
-        """Answer one query through the hot-pair LRU cache."""
+        """Answer one query through the hot-pair LRU cache.
+
+        The pair is interned once and cached under its handle pair, so the
+        same hot pair is shared with :meth:`reaches_ids` callers.
+        """
         stats = self.stats
         stats.queries += 1
         if self._cache_size == 0:
             return self._index.reaches(source, target)
-        key = (source, target)
+        if self._has_handles:
+            id_map = self._id_map
+            if id_map is None:
+                # Only reached with the cache enabled, i.e. stable labels:
+                # the interner cannot go stale, so binding its dict is safe.
+                id_map = self._id_map = self._index.interner.id_map
+            source_id = id_map.get(source)
+            target_id = id_map.get(target)
+            if source_id is None or target_id is None:
+                raise LabelingError(
+                    "vertex was not labeled by this index: "
+                    f"{source if source_id is None else target!r}"
+                )
+            return self._cached(
+                (source_id, target_id),
+                lambda: self._index.reaches(source, target),
+            )
+        # Duck-typed indexes without a handle surface: object-pair keys.
+        return self._cached(
+            (source, target), lambda: self._index.reaches(source, target)
+        )
+
+    def reaches_ids(self, source_id: int, target_id: int) -> bool:
+        """Handle-native point query: cache hits skip vertex resolution entirely."""
+        stats = self.stats
+        stats.queries += 1
+        reaches_ids = getattr(self._index, "reaches_ids", None)
+        if reaches_ids is None:
+            raise LabelingError(
+                f"{type(self._index).__name__} does not expose vertex handles"
+            )
+        if self._cache_size == 0:
+            return reaches_ids(source_id, target_id)
+        return self._cached(
+            (source_id, target_id), lambda: reaches_ids(source_id, target_id)
+        )
+
+    def _cached(self, key: tuple, compute) -> bool:
         cache = self._pair_cache
         cached = cache.get(key, _MISS)
         if cached is not _MISS:
             cache.move_to_end(key)
-            stats.cache_hits += 1
+            self.stats.cache_hits += 1
             return cached
-        answer = self._index.reaches(source, target)
+        answer = compute()
         cache[key] = answer
         if len(cache) > self._cache_size:
             cache.popitem(last=False)
@@ -168,6 +301,21 @@ class QueryEngine:
         answers = self._kernel.batch(pairs)
         stats = self.stats
         stats.queries += len(pairs)
+        stats.batches += 1
+        return answers
+
+    def reaches_many_ids(self, source_ids, target_ids):
+        """Answer a pre-interned batch: two parallel handle arrays in, answers out.
+
+        This is the replay hot path: no vertex objects are touched at all.
+        Under a numpy kernel the result is the kernel's boolean array
+        (convert with ``list(...)`` if needed); the pure-python fallback
+        returns a list.  Out-of-range handles raise
+        :class:`~repro.exceptions.LabelingError`.
+        """
+        answers = self._kernel.batch_ids(source_ids, target_ids)
+        stats = self.stats
+        stats.queries += len(answers)
         stats.batches += 1
         return answers
 

@@ -1,7 +1,8 @@
 """Directed-graph substrate used by the workflow and labeling layers."""
 
-from repro.graphs.csr import CSRGraph, VertexInterner
+from repro.graphs.csr import CSRGraph
 from repro.graphs.digraph import DiGraph
+from repro.graphs.handles import VertexInterner, resolve_pair_ids
 from repro.graphs.flow_network import (
     find_sink,
     find_source,
@@ -30,6 +31,7 @@ __all__ = [
     "DiGraph",
     "CSRGraph",
     "VertexInterner",
+    "resolve_pair_ids",
     "find_sink",
     "find_source",
     "internal_vertices",

@@ -7,11 +7,14 @@ every hop pays a hash lookup and every vertex set is a boxed container.
 This module provides the read-optimized counterpart used by the batch query
 engine (:mod:`repro.engine`):
 
-* :class:`VertexInterner` — a bijective table between arbitrary hashable
-  vertices and dense integer identifiers ``0 .. n-1`` in insertion order;
 * :class:`CSRGraph` — an immutable snapshot of a directed graph whose
   successor and predecessor adjacency are each stored as two flat integer
   arrays (``indptr`` / ``indices``), the classical CSR layout.
+
+The vertex <-> integer table backing a :class:`CSRGraph` is a
+:class:`~repro.graphs.handles.VertexInterner`; it grew into the library-wide
+identity layer and now lives in :mod:`repro.graphs.handles` (re-exported
+here for backwards compatibility).
 
 A :class:`CSRGraph` preserves the deterministic iteration order of the
 :class:`DiGraph` it was built from: ``csr.vertices() == digraph.vertices()``
@@ -26,6 +29,7 @@ from collections.abc import Hashable, Iterable, Iterator
 from typing import TYPE_CHECKING, Optional
 
 from repro.exceptions import GraphError, VertexNotFoundError
+from repro.graphs.handles import VertexInterner
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.graphs.digraph import DiGraph
@@ -37,59 +41,6 @@ Edge = tuple[Vertex, Vertex]
 
 #: array typecode for vertex identifiers (signed 64-bit, plenty for any graph)
 _ID_TYPECODE = "q"
-
-
-class VertexInterner:
-    """A bijective vertex <-> dense-integer table, in insertion order.
-
-    Interning the same vertex twice returns the same identifier; identifiers
-    are dense (``0 .. len-1``) so they can index flat arrays directly.
-    """
-
-    __slots__ = ("_id_of", "_vertex_at")
-
-    def __init__(self, vertices: Optional[Iterable[Vertex]] = None) -> None:
-        self._id_of: dict[Vertex, int] = {}
-        self._vertex_at: list[Vertex] = []
-        if vertices is not None:
-            for vertex in vertices:
-                self.intern(vertex)
-
-    def intern(self, vertex: Vertex) -> int:
-        """Return the identifier of *vertex*, assigning the next free one if new."""
-        identifier = self._id_of.get(vertex)
-        if identifier is None:
-            identifier = len(self._vertex_at)
-            self._id_of[vertex] = identifier
-            self._vertex_at.append(vertex)
-        return identifier
-
-    def id_of(self, vertex: Vertex) -> int:
-        """Return the identifier of a known vertex; unknown vertices raise."""
-        try:
-            return self._id_of[vertex]
-        except KeyError:
-            raise VertexNotFoundError(vertex) from None
-
-    def vertex_at(self, identifier: int) -> Vertex:
-        """Return the vertex with the given identifier.
-
-        Identifiers are the dense non-negative integers handed out by
-        :meth:`intern`; anything else (including negative values, which
-        plain list indexing would silently accept) raises.
-        """
-        if not 0 <= identifier < len(self._vertex_at):
-            raise VertexNotFoundError(identifier)
-        return self._vertex_at[identifier]
-
-    def __len__(self) -> int:
-        return len(self._vertex_at)
-
-    def __contains__(self, vertex: object) -> bool:
-        return vertex in self._id_of
-
-    def __iter__(self) -> Iterator[Vertex]:
-        return iter(self._vertex_at)
 
 
 class CSRGraph:

@@ -40,7 +40,7 @@ class DiGraph:
         already present are added automatically.
     """
 
-    __slots__ = ("_succ", "_pred", "_edge_count")
+    __slots__ = ("_succ", "_pred", "_edge_count", "_vertex_version")
 
     def __init__(
         self,
@@ -51,6 +51,7 @@ class DiGraph:
         self._succ: dict[Vertex, dict[Vertex, None]] = {}
         self._pred: dict[Vertex, dict[Vertex, None]] = {}
         self._edge_count = 0
+        self._vertex_version = 0
         if vertices is not None:
             for vertex in vertices:
                 self.add_vertex(vertex)
@@ -70,6 +71,18 @@ class DiGraph:
     def edge_count(self) -> int:
         """Number of edges in the graph."""
         return self._edge_count
+
+    @property
+    def vertex_version(self) -> int:
+        """Monotone counter bumped whenever the vertex *set* changes.
+
+        Edge mutations do not affect it: vertex identity (and therefore any
+        interned handle) survives edge surgery, which is what lets the
+        traversal schemes serve handle-native queries against a live graph.
+        Consumers holding a :class:`~repro.graphs.handles.VertexInterner`
+        snapshot compare this counter to detect stale handles.
+        """
+        return self._vertex_version
 
     def __len__(self) -> int:
         return len(self._succ)
@@ -172,6 +185,7 @@ class DiGraph:
         if vertex not in self._succ:
             self._succ[vertex] = {}
             self._pred[vertex] = {}
+            self._vertex_version += 1
 
     def add_vertices(self, vertices: Iterable[Vertex]) -> None:
         """Insert every vertex from *vertices*."""
@@ -216,6 +230,7 @@ class DiGraph:
             self.remove_edge(tail, vertex)
         del self._succ[vertex]
         del self._pred[vertex]
+        self._vertex_version += 1
 
     def remove_vertices(self, vertices: Iterable[Vertex]) -> None:
         """Remove every vertex in *vertices* with its incident edges."""
@@ -225,6 +240,17 @@ class DiGraph:
     # ------------------------------------------------------------------
     # derived graphs
     # ------------------------------------------------------------------
+    def intern_vertices(self):
+        """Snapshot the vertex set into a fresh interner (vertex <-> dense id).
+
+        Returns a :class:`repro.graphs.handles.VertexInterner` assigning ids
+        in the graph's insertion order, so it agrees with the interner of any
+        :class:`~repro.graphs.csr.CSRGraph` snapshot taken at the same time.
+        """
+        from repro.graphs.handles import VertexInterner
+
+        return VertexInterner(self._succ)
+
     def to_csr(self):
         """Snapshot the graph into read-optimized CSR form.
 

@@ -1,6 +1,6 @@
 """Reachability labeling schemes for directed graphs."""
 
-from repro.labeling.base import ReachabilityIndex
+from repro.labeling.base import ReachabilityIndex, VertexHandleAPI
 from repro.labeling.bfs import BFSIndex, DFSIndex, TraversalIndex
 from repro.labeling.chain import ChainIndex, ChainLabel
 from repro.labeling.interval import IntervalLabel, IntervalTreeIndex, compute_tree_intervals
@@ -17,6 +17,7 @@ from repro.labeling.twohop import TwoHopIndex, TwoHopLabel
 
 __all__ = [
     "ReachabilityIndex",
+    "VertexHandleAPI",
     "BFSIndex",
     "DFSIndex",
     "TraversalIndex",

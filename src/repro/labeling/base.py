@@ -19,16 +19,149 @@ from __future__ import annotations
 
 import abc
 from collections.abc import Hashable, Sequence
-from typing import Any
+from typing import Any, Optional
 
+from repro.exceptions import LabelingError, VertexNotFoundError
 from repro.graphs.digraph import DiGraph
+from repro.graphs.handles import VertexInterner, intern_pair_arrays
 
-__all__ = ["ReachabilityIndex"]
+__all__ = ["ReachabilityIndex", "VertexHandleAPI"]
 
 Vertex = Hashable
 
 
-class ReachabilityIndex(abc.ABC):
+class VertexHandleAPI:
+    """Mixin: the interned integer-handle query surface of a labeling index.
+
+    Hosts must provide ``label_of`` / ``reaches_labels`` / ``reaches_many``
+    and a ``stable_labels`` attribute, plus the two template hooks
+    :meth:`_handle_vertices` (the labeled vertex universe, in the order
+    handles are assigned) and :meth:`_handle_version` (a token that changes
+    when that universe changes; ``None`` means it never does).
+
+    The mixin then offers the handle-native counterparts of the object API:
+    :meth:`intern` / :meth:`intern_pairs` map vertices to handles **once**
+    at the workload boundary, and :meth:`reaches_ids` /
+    :meth:`reaches_many_ids` answer queries from handles alone — no
+    per-query dictionary lookups.  Handles index a per-index label table, so
+    they are only meaningful for the index that issued them.
+    """
+
+    _handle_interner: Optional[VertexInterner] = None
+    _handle_interner_version: Any = None
+    _handle_label_table: Optional[list] = None
+
+    # -- template hooks -------------------------------------------------
+    def _handle_vertices(self):
+        """The vertex universe handles are assigned over, in handle order."""
+        raise NotImplementedError  # pragma: no cover - hosts override
+
+    def _handle_version(self):
+        """Staleness token for the vertex universe (``None`` = immutable)."""
+        return None
+
+    # -- interning ------------------------------------------------------
+    @property
+    def interner(self) -> VertexInterner:
+        """The vertex <-> handle table of this index (built on first use).
+
+        For indexes that answer from a live graph (``stable_labels`` is
+        ``False``) the table is validated against the graph's vertex version
+        on every access: handles survive edge mutations but a changed vertex
+        *set* raises :class:`~repro.exceptions.LabelingError` rather than
+        silently remapping identities.
+        """
+        if self._handle_interner is None:
+            self._handle_interner = VertexInterner(self._handle_vertices())
+            self._handle_interner_version = self._handle_version()
+        elif not getattr(self, "stable_labels", True):
+            if self._handle_version() != self._handle_interner_version:
+                raise LabelingError(
+                    "vertex handles are stale: the vertex set changed after "
+                    "the interner was built; re-intern against a fresh index"
+                )
+        return self._handle_interner
+
+    def intern(self, vertex: Vertex) -> int:
+        """Resolve *vertex* to its integer handle (unknown vertices raise)."""
+        try:
+            return self.interner.id_of(vertex)
+        except VertexNotFoundError:
+            raise LabelingError(
+                f"vertex was not labeled by this index: {vertex!r}"
+            ) from None
+
+    def intern_pairs(self, pairs: Sequence[tuple]):
+        """Resolve ``(source, target)`` pairs to two parallel handle arrays.
+
+        This is the one-time boundary conversion: do it once per workload,
+        keep the arrays, and replay them through :meth:`reaches_many_ids`
+        (or an engine kernel) as often as needed.
+        """
+        return intern_pair_arrays(self.interner.id_map, pairs)
+
+    # -- handle-native queries ------------------------------------------
+    def _handle_labels_cacheable(self) -> bool:
+        """Whether the handle-ordered label table may be built once and kept.
+
+        Defaults to ``stable_labels``; hosts whose *labels* are frozen even
+        though their *answers* track a live structure override this (e.g. a
+        skeleton-labeled run over a traversal-backed spec index: the run
+        labels never change, only the fall-through predicate is live).
+        """
+        return getattr(self, "stable_labels", True)
+
+    def _handle_labels(self) -> list:
+        """Labels in handle order (cached when the host's labels are frozen)."""
+        interner = self.interner  # staleness check happens here
+        if self._handle_labels_cacheable():
+            if self._handle_label_table is None:
+                label_of = self.label_of
+                self._handle_label_table = [label_of(v) for v in interner]
+            return self._handle_label_table
+        label_of = self.label_of
+        return [label_of(v) for v in interner]
+
+    def _check_handle(self, identifier, size: int) -> int:
+        if not 0 <= identifier < size:
+            raise LabelingError(f"unknown vertex handle: {identifier!r}")
+        return identifier
+
+    def reaches_ids(self, source_id: int, target_id: int) -> bool:
+        """Handle-native point query: ``π`` applied to two interned handles."""
+        labels = self._handle_labels()
+        size = len(labels)
+        self._check_handle(source_id, size)
+        self._check_handle(target_id, size)
+        return self.reaches_labels(labels[source_id], labels[target_id])
+
+    def reaches_many_ids(self, source_ids, target_ids) -> list:
+        """Handle-native batch query: one answer per ``(source, target)`` handle pair.
+
+        *source_ids* and *target_ids* are parallel integer sequences (the
+        shape :meth:`intern_pairs` returns).  Out-of-range handles raise
+        :class:`~repro.exceptions.LabelingError`; validation is two O(n)
+        reductions, not a per-pair branch.
+        """
+        if len(source_ids) != len(target_ids):
+            raise LabelingError(
+                "source_ids and target_ids must have the same length "
+                f"({len(source_ids)} != {len(target_ids)})"
+            )
+        labels = self._handle_labels()
+        size = len(labels)
+        if len(source_ids):
+            for ids in (source_ids, target_ids):
+                low, high = min(ids), max(ids)
+                if low < 0 or high >= size:
+                    self._check_handle(low if low < 0 else high, size)
+        label_pairs = [
+            (labels[s], labels[t]) for s, t in zip(source_ids, target_ids)
+        ]
+        return self.reaches_many(label_pairs)
+
+
+class ReachabilityIndex(VertexHandleAPI, abc.ABC):
     """A reachability labeling scheme instantiated for one fixed graph."""
 
     #: short scheme name used by the registry and the benchmark reports
@@ -43,6 +176,13 @@ class ReachabilityIndex(abc.ABC):
 
     def __init__(self, graph: DiGraph) -> None:
         self._graph = graph
+
+    # -- vertex-handle template hooks (see VertexHandleAPI) -------------
+    def _handle_vertices(self):
+        return self._graph.vertices()
+
+    def _handle_version(self):
+        return getattr(self._graph, "vertex_version", None)
 
     # ------------------------------------------------------------------
     # construction

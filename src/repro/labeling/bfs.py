@@ -31,6 +31,12 @@ class TraversalIndex(ReachabilityIndex):
         super().__init__(graph)
         self._vertices = set(graph.vertices())
 
+    def _handle_labels_cacheable(self) -> bool:
+        # Labels are the vertex identities themselves, valid exactly as long
+        # as the interner is (a vertex-set change raises staleness first),
+        # so the handle table need not be rebuilt per query.
+        return True
+
     # ------------------------------------------------------------------
     # (D, φ, π)
     # ------------------------------------------------------------------

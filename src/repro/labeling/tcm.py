@@ -39,6 +39,12 @@ class TCMIndex(ReachabilityIndex):
             for vertex, row in zip(self._closure.order, self._closure.rows)
         }
 
+    def _handle_vertices(self):
+        # Handle order must match the closure's row order (the packed batch
+        # kernel indexes closure rows by handle), which is frozen at build
+        # time even if the graph object is mutated afterwards.
+        return self._closure.order
+
     # ------------------------------------------------------------------
     # (D, φ, π)
     # ------------------------------------------------------------------

@@ -26,8 +26,8 @@ from collections.abc import Sequence
 from dataclasses import dataclass
 from typing import Optional, Type, Union
 
-from repro.exceptions import LabelingError
-from repro.labeling.base import ReachabilityIndex
+from repro.exceptions import LabelingError, VertexNotFoundError
+from repro.labeling.base import ReachabilityIndex, VertexHandleAPI
 from repro.labeling.registry import get_scheme
 from repro.skeleton.construct import construct_plan
 from repro.skeleton.labels import RunLabel, context_bits, run_label_bits
@@ -120,13 +120,24 @@ class LabelingTimings:
         return self.plan_seconds + self.encoding_seconds + self.assignment_seconds
 
 
-class SkeletonLabeledRun:
+class SkeletonLabeledRun(VertexHandleAPI):
     """A run labeled by the skeleton-based scheme.
 
     Instances behave like a reachability index over the run: they hand out
     labels, answer reachability queries in constant time and report label
-    lengths for the benchmark harness.
+    lengths for the benchmark harness.  Like every index they also expose
+    the interned vertex-handle surface (:class:`~repro.labeling.base.VertexHandleAPI`):
+    :meth:`intern` / :meth:`intern_pairs` map run vertices to dense integer
+    handles once, and :meth:`reaches_ids` / :meth:`reaches_many_ids` answer
+    queries from handles alone.  The run's label set is frozen at labeling
+    time, so its handles never go stale (even over a traversal-backed
+    specification index).
     """
+
+    #: tells :func:`repro.engine.kernels.build_kernel` to compile the
+    #: skeleton kernel for any object with this surface (e.g. the provenance
+    #: store's cached stored-run indexes), not just this exact class
+    kernel_hint = "skl"
 
     def __init__(
         self,
@@ -173,6 +184,26 @@ class SkeletonLabeledRun:
     def labels(self) -> dict[RunVertex, RunLabel]:
         """Return a copy of the full label assignment."""
         return dict(self._labels)
+
+    # -- vertex-handle template hooks (see VertexHandleAPI) -------------
+    def _handle_vertices(self):
+        # Handles are assigned in label order (= run-graph insertion order),
+        # frozen at labeling time; the label set never changes afterwards,
+        # so no staleness token is needed even for unstable spec indexes.
+        return self._labels
+
+    def _handle_labels_cacheable(self) -> bool:
+        # The run labels are frozen at labeling time even when the spec
+        # index is traversal-backed (stable_labels False) — only the
+        # fall-through *predicate* is live, never the labels themselves.
+        return True
+
+    def vertex_at(self, identifier: int) -> RunVertex:
+        """Return the run vertex a handle from :meth:`intern` refers to."""
+        try:
+            return self.interner.vertex_at(identifier)
+        except VertexNotFoundError:
+            raise LabelingError(f"unknown vertex handle: {identifier!r}") from None
 
     def reaches_labels(self, first: RunLabel, second: RunLabel) -> bool:
         """``πr``: constant-time reachability from two labels."""

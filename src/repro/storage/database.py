@@ -7,7 +7,7 @@ from pathlib import Path
 from typing import Union
 
 from repro.exceptions import StorageError
-from repro.storage.schema import SCHEMA_STATEMENTS, SCHEMA_VERSION
+from repro.storage.schema import SCHEMA_MIGRATIONS, SCHEMA_STATEMENTS, SCHEMA_VERSION
 
 __all__ = ["connect", "initialize_schema"]
 
@@ -32,11 +32,25 @@ def connect(path: PathLike = ":memory:") -> sqlite3.Connection:
 
 
 def initialize_schema(connection: sqlite3.Connection) -> None:
-    """Create all tables and indexes; safe to call on an existing database."""
+    """Create all tables and indexes; safe to call on an existing database.
+
+    Databases written by earlier schema versions are migrated in place:
+    columns added since (see :data:`~repro.storage.schema.SCHEMA_MIGRATIONS`)
+    are ``ALTER TABLE``-ed on, with ``NULL`` for pre-existing rows.
+    """
     try:
         with connection:
             for statement in SCHEMA_STATEMENTS:
                 connection.execute(statement)
+            for table, column, declaration in SCHEMA_MIGRATIONS:
+                existing = {
+                    row[1]
+                    for row in connection.execute(f"PRAGMA table_info({table})")
+                }
+                if column not in existing:
+                    connection.execute(
+                        f"ALTER TABLE {table} ADD COLUMN {column} {declaration}"
+                    )
             connection.execute(
                 "INSERT OR REPLACE INTO meta (key, value) VALUES ('schema_version', ?)",
                 (str(SCHEMA_VERSION),),

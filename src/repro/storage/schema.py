@@ -9,9 +9,9 @@ query time without touching the graph).
 
 from __future__ import annotations
 
-__all__ = ["SCHEMA_STATEMENTS", "SCHEMA_VERSION"]
+__all__ = ["SCHEMA_STATEMENTS", "SCHEMA_MIGRATIONS", "SCHEMA_VERSION"]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 SCHEMA_STATEMENTS: tuple[str, ...] = (
     """
@@ -52,6 +52,7 @@ SCHEMA_STATEMENTS: tuple[str, ...] = (
         q2       INTEGER NOT NULL,
         q3       INTEGER NOT NULL,
         skeleton TEXT NOT NULL,
+        vertex_id INTEGER,
         PRIMARY KEY (run_id, module, instance)
     )
     """,
@@ -82,4 +83,15 @@ SCHEMA_STATEMENTS: tuple[str, ...] = (
     """
     CREATE INDEX IF NOT EXISTS idx_data_consumers_item ON data_consumers(run_id, item_id)
     """,
+)
+
+#: columns added after schema version 1, applied with ``ALTER TABLE`` when an
+#: existing database predates them.  ``vertex_id`` (version 2) persists each
+#: run vertex's interned handle — the id assigned by the labeled run's
+#: :class:`~repro.graphs.handles.VertexInterner` — so a store reopened in a
+#: later session hands out the *same* handles as the in-memory run it came
+#: from.  Legacy rows keep ``NULL`` and fall back to a deterministic
+#: ``(module, instance)`` ordering.
+SCHEMA_MIGRATIONS: tuple[tuple[str, str, str], ...] = (
+    ("run_labels", "vertex_id", "INTEGER"),
 )

@@ -13,20 +13,34 @@ issues one label SELECT per endpoint and is fine for interactive use.  The
 batched path (:meth:`ProvenanceStore.reaches_batch`,
 :meth:`ProvenanceStore.labels_of_many`, :meth:`ProvenanceStore.downstream_of`,
 :meth:`ProvenanceStore.upstream_of`) resolves all labels behind a query set
-with a single row-value ``IN`` SELECT (chunked at :data:`LABEL_FETCH_CHUNK`)
-and evaluates the Algorithm 3 predicate batch-wise — the path the
-:mod:`repro.engine` throughput work feeds, where SQL round trips rather than
-predicate arithmetic dominate.
+with a single row-value ``IN`` SELECT (chunked at :data:`LABEL_FETCH_CHUNK`,
+guarded against SQLite's 999-host-parameter limit) and evaluates the
+Algorithm 3 predicate batch-wise.
+
+For replayed workloads the store additionally keeps, per ``(run_id,
+spec_scheme)``, a cached skeleton-labeled view of the run whose labels are
+fetched from SQL **at most once** and whose compiled
+:class:`~repro.engine.QueryEngine` kernel is reused across calls: repeated
+:meth:`~ProvenanceStore.reaches_batch` /
+:meth:`~ProvenanceStore.downstream_of` / :meth:`~ProvenanceStore.upstream_of`
+calls pay neither label re-resolution nor SQL round trips.  The interner
+behind those handles is persisted with the run (the ``vertex_id`` column),
+so handles are stable across store sessions; :meth:`ProvenanceStore.query_engine`
+exposes the cached engine for handle-native callers (the CLI's
+``query-batch`` interns its whole input file once through it).
 """
 
 from __future__ import annotations
 
 import sqlite3
+from collections import OrderedDict
 from collections.abc import Iterable
 from pathlib import Path
 from typing import Optional, Union
 
+from repro.engine.query import QueryEngine
 from repro.exceptions import StorageError
+from repro.labeling.base import VertexHandleAPI
 from repro.labeling.registry import get_scheme
 from repro.provenance.data import DataFlow
 from repro.skeleton.labels import RunLabel
@@ -45,13 +59,52 @@ from repro.workflow.serialization import (
 )
 from repro.workflow.specification import WorkflowSpecification
 
-__all__ = ["ProvenanceStore", "LABEL_FETCH_CHUNK"]
+__all__ = [
+    "ProvenanceStore",
+    "LABEL_FETCH_CHUNK",
+    "SQLITE_MAX_VARIABLE_NUMBER",
+    "row_value_chunk",
+]
 
 PathLike = Union[str, Path]
 
 #: how many (module, instance) executions one batched label SELECT resolves;
 #: kept well under SQLite's default host-parameter limit (2 params each)
 LABEL_FETCH_CHUNK = 400
+
+#: SQLite's historical default for SQLITE_MAX_VARIABLE_NUMBER — the lowest
+#: host-parameter limit a deployed SQLite is likely to enforce (3.32 raised
+#: the default to 32766, but binaries built with the old limit are common)
+SQLITE_MAX_VARIABLE_NUMBER = 999
+
+#: how many stored runs keep their label cache + compiled engine resident at
+#: once; beyond this the least-recently-queried run is evicted (its labels
+#: and kernel are rebuilt from SQL on the next query), bounding store memory
+#: on workloads that sweep across many runs
+STORED_RUN_CACHE_LIMIT = 16
+
+
+def row_value_chunk(columns_per_row: int = 2, reserved: int = 1) -> int:
+    """Largest row-value ``IN`` chunk whose parameters fit the SQLite limit.
+
+    A chunk of ``k`` rows binds ``k * columns_per_row`` parameters plus
+    *reserved* fixed ones (the ``run_id``).  The returned size is
+    :data:`LABEL_FETCH_CHUNK` capped so that total never exceeds
+    :data:`SQLITE_MAX_VARIABLE_NUMBER` — today's 2-column chunks of 400
+    bind 801 parameters and pass untouched, but adding a column to the row
+    value can no longer silently overflow the limit.
+    """
+    if columns_per_row < 1:
+        raise ValueError("columns_per_row must be at least 1")
+    if reserved < 0:
+        raise ValueError("reserved must be non-negative")
+    hard_cap = (SQLITE_MAX_VARIABLE_NUMBER - reserved) // columns_per_row
+    if hard_cap < 1:
+        raise ValueError(
+            f"{columns_per_row} columns per row cannot fit SQLite's "
+            f"{SQLITE_MAX_VARIABLE_NUMBER}-parameter limit"
+        )
+    return max(1, min(LABEL_FETCH_CHUNK, hard_cap))
 
 
 class ProvenanceStore:
@@ -63,6 +116,13 @@ class ProvenanceStore:
         initialize_schema(self._connection)
         self._spec_cache: dict[int, WorkflowSpecification] = {}
         self._index_cache: dict[tuple[int, str], object] = {}
+        # Cached skeleton-labeled views of stored runs and the compiled
+        # batch engines over them (see _StoredRunIndex).  Keyed by run_id —
+        # a run's spec scheme is fixed at insert time, so the (run_id,
+        # scheme) identity the engines represent is preserved while warm
+        # lookups stay SQL-free.  LRU-bounded at STORED_RUN_CACHE_LIMIT.
+        self._stored_run_cache: "OrderedDict[int, _StoredRunIndex]" = OrderedDict()
+        self._engine_cache: dict[int, tuple[QueryEngine, int]] = {}
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -153,9 +213,14 @@ class ProvenanceStore:
                     ),
                 )
                 run_id = int(cursor.lastrowid)
+                # The interned handle of each vertex is persisted alongside
+                # its label, so a store reopened later hands out exactly the
+                # ids the in-memory labeled run assigned.
+                id_of = labeled.interner.id_of
                 self._connection.executemany(
-                    "INSERT INTO run_labels (run_id, module, instance, q1, q2, q3, skeleton) "
-                    "VALUES (?, ?, ?, ?, ?, ?, ?)",
+                    "INSERT INTO run_labels "
+                    "(run_id, module, instance, q1, q2, q3, skeleton, vertex_id) "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
                     [
                         (
                             run_id,
@@ -165,6 +230,7 @@ class ProvenanceStore:
                             label.q2,
                             label.q3,
                             vertex.module,
+                            id_of(vertex),
                         )
                         for vertex, label in labeled.labels().items()
                     ],
@@ -248,41 +314,37 @@ class ProvenanceStore:
         """
         index = self._spec_index(run_id)
         spec_label_of = index.label_of
-        distinct: list[tuple[str, int]] = []
-        seen: set[tuple[str, int]] = set()
-        for execution in executions:
-            key = _coerce_vertex(execution)
-            if key not in seen:
-                seen.add(key)
-                distinct.append(key)
+        distinct = _distinct_executions(executions)
         labels: dict[tuple[str, int], RunLabel] = {}
-        for start in range(0, len(distinct), LABEL_FETCH_CHUNK):
-            chunk = distinct[start : start + LABEL_FETCH_CHUNK]
+        for row in self._fetch_label_rows(run_id, distinct):
+            labels[(row["module"], int(row["instance"]))] = RunLabel(
+                q1=int(row["q1"]),
+                q2=int(row["q2"]),
+                q3=int(row["q3"]),
+                skeleton=spec_label_of(row["skeleton"]),
+            )
+        _require_complete(run_id, distinct, labels)
+        return labels
+
+    def _fetch_label_rows(self, run_id: int, executions: list[tuple[str, int]]):
+        """Yield the ``run_labels`` rows of *executions*, chunked over SQL.
+
+        Chunks are sized by :func:`row_value_chunk`, so each round trip binds
+        at most :data:`SQLITE_MAX_VARIABLE_NUMBER` host parameters.
+        """
+        chunk_size = row_value_chunk(columns_per_row=2, reserved=1)
+        for start in range(0, len(executions), chunk_size):
+            chunk = executions[start : start + chunk_size]
             placeholders = ", ".join(["(?, ?)"] * len(chunk))
             parameters: list = [run_id]
             for module, instance in chunk:
                 parameters.append(module)
                 parameters.append(instance)
-            rows = self._connection.execute(
+            yield from self._connection.execute(
                 "SELECT module, instance, q1, q2, q3, skeleton FROM run_labels "
                 f"WHERE run_id = ? AND (module, instance) IN (VALUES {placeholders})",
                 parameters,
             ).fetchall()
-            for row in rows:
-                labels[(row["module"], int(row["instance"]))] = RunLabel(
-                    q1=int(row["q1"]),
-                    q2=int(row["q2"]),
-                    q3=int(row["q3"]),
-                    skeleton=spec_label_of(row["skeleton"]),
-                )
-        missing = [key for key in distinct if key not in labels]
-        if missing:
-            module, instance = missing[0]
-            raise StorageError(
-                f"run {run_id} has no label for execution {module}{instance} "
-                f"({len(missing)} of {len(distinct)} requested executions missing)"
-            )
-        return labels
 
     def all_labels_of(self, run_id: int) -> dict[tuple[str, int], RunLabel]:
         """Fetch every stored label of a run in one SQL round trip."""
@@ -322,6 +384,40 @@ class ProvenanceStore:
         target_label = self.label_of(run_id, target_module, target_instance)
         return skeleton_predicate(source_label, target_label, self._spec_index(run_id))
 
+    def _stored_index(self, run_id: int) -> "_StoredRunIndex":
+        """The cached skeleton-labeled view of a stored run (no SQL on hit)."""
+        index = self._stored_run_cache.get(run_id)
+        if index is not None:
+            self._stored_run_cache.move_to_end(run_id)
+            return index
+        row = self._run_row(run_id)
+        scheme = row["spec_scheme"] or "tcm"
+        index = _StoredRunIndex(self, run_id, scheme, self._spec_index(run_id))
+        self._stored_run_cache[run_id] = index
+        while len(self._stored_run_cache) > STORED_RUN_CACHE_LIMIT:
+            evicted_run, _ = self._stored_run_cache.popitem(last=False)
+            self._engine_cache.pop(evicted_run, None)
+        return index
+
+    def query_engine(self, run_id: int) -> QueryEngine:
+        """The cached batch :class:`~repro.engine.QueryEngine` over a stored run.
+
+        The first call loads the run's full label set (one SQL round trip,
+        ordered by the persisted interner ids) and compiles the engine's
+        skeleton kernel; every later call returns the same engine, so
+        replayed workloads pay no SQL and no label resolution.  Handle-native
+        callers intern their workload once
+        (``engine.intern_pairs(pairs)``) and replay it through
+        ``engine.reaches_many_ids``.
+        """
+        index = self._stored_index(run_id)
+        index.ensure_all()
+        cached = self._engine_cache.get(run_id)
+        if cached is None or cached[1] != index.version:
+            cached = (QueryEngine(index), index.version)
+            self._engine_cache[run_id] = cached
+        return cached[0]
+
     def reaches_batch(
         self,
         run_id: int,
@@ -329,20 +425,31 @@ class ProvenanceStore:
     ) -> list[bool]:
         """Answer many reachability queries over one stored run at once.
 
-        All labels behind the batch are fetched via :meth:`labels_of_many`
-        (a single SQL round trip for up to :data:`LABEL_FETCH_CHUNK` distinct
-        executions) and the Algorithm 3 predicate is evaluated batch-wise,
-        with every skeleton fall-through forwarded to the specification
-        index's own batch path.  Returns one boolean per pair, in order.
+        Labels the batch needs but the run's cached view is missing are
+        fetched with chunked row-value ``IN`` SELECTs (a single SQL round
+        trip for up to :data:`LABEL_FETCH_CHUNK` distinct executions) and
+        kept, so replaying a workload touches SQL only once; when the
+        cached view is complete the batch is answered by the compiled
+        :meth:`query_engine` kernel instead of re-evaluating the predicate
+        from label objects.  Returns one boolean per pair, in order.
         """
         coerced = [
             (_coerce_vertex(source), _coerce_vertex(target)) for source, target in pairs
         ]
-        labels = self.labels_of_many(
-            run_id, (execution for pair in coerced for execution in pair)
+        index = self._stored_index(run_id)
+        index.ensure(
+            _distinct_executions(
+                execution for pair in coerced for execution in pair
+            )
         )
-        label_pairs = [(labels[source], labels[target]) for source, target in coerced]
-        return skeleton_predicate_many(label_pairs, self._spec_index(run_id))
+        if index.fully_loaded:
+            answers = self.query_engine(run_id).reaches_batch(coerced)
+            return answers if isinstance(answers, list) else list(answers)
+        label_pairs = [
+            (index.label_of(source), index.label_of(target))
+            for source, target in coerced
+        ]
+        return skeleton_predicate_many(label_pairs, index.spec_index)
 
     def downstream_of(
         self,
@@ -374,20 +481,27 @@ class ProvenanceStore:
         downstream: bool,
     ) -> list[tuple[str, int]]:
         anchor = _coerce_vertex(execution)
-        labels = self.all_labels_of(run_id)
-        try:
-            anchor_label = labels[anchor]
-        except KeyError:
+        index = self._stored_index(run_id)
+        index.ensure_all()
+        if not index.has_label(anchor):
             raise StorageError(
                 f"run {run_id} has no label for execution {anchor[0]}{anchor[1]}"
-            ) from None
-        candidates = [key for key in labels if key != anchor]
+            )
+        engine = self.query_engine(run_id)
+        interner = engine.interner
+        anchor_id = interner.id_of(anchor)
+        candidates = [i for i in range(len(interner)) if i != anchor_id]
+        anchors = [anchor_id] * len(candidates)
         if downstream:
-            label_pairs = [(anchor_label, labels[key]) for key in candidates]
+            answers = engine.reaches_many_ids(anchors, candidates)
         else:
-            label_pairs = [(labels[key], anchor_label) for key in candidates]
-        answers = skeleton_predicate_many(label_pairs, self._spec_index(run_id))
-        return [key for key, answer in zip(candidates, answers) if answer]
+            answers = engine.reaches_many_ids(candidates, anchors)
+        vertex_at = interner.vertex_at
+        return [
+            vertex_at(identifier)
+            for identifier, answer in zip(candidates, answers)
+            if answer
+        ]
 
     # ------------------------------------------------------------------
     # data provenance
@@ -475,13 +589,15 @@ class ProvenanceStore:
     # maintenance
     # ------------------------------------------------------------------
     def delete_run(self, run_id: int) -> None:
-        """Remove a run and all dependent rows."""
+        """Remove a run and all dependent rows (evicting its cached engine)."""
         with self._connection:
             deleted = self._connection.execute(
                 "DELETE FROM runs WHERE run_id = ?", (run_id,)
             ).rowcount
         if not deleted:
             raise StorageError(f"no run with id {run_id}")
+        self._stored_run_cache.pop(run_id, None)
+        self._engine_cache.pop(run_id, None)
 
     def statistics(self) -> dict:
         """Return row counts per table (for diagnostics and tests)."""
@@ -491,6 +607,181 @@ class ProvenanceStore:
             row = self._connection.execute(f"SELECT COUNT(*) AS c FROM {table}").fetchone()
             counts[table] = int(row["c"])
         return counts
+
+
+class _StoredRunIndex(VertexHandleAPI):
+    """A skeleton-labeled view of one stored run, with a growing label cache.
+
+    The store hands every batched query path through one of these (cached
+    per ``(run_id, spec_scheme)``): labels already fetched from SQL are kept
+    for the store's lifetime, so a replayed workload resolves each label at
+    most once.  Once the full label set is loaded (:meth:`ensure_all`) the
+    object exposes the complete ``(D, φ, π)`` + vertex-handle surface of a
+    :class:`~repro.skeleton.skl.SkeletonLabeledRun` — including
+    ``kernel_hint = "skl"`` — so :func:`repro.engine.kernels.build_kernel`
+    compiles the same vectorized skeleton kernel for it.  Handle order
+    follows the persisted ``vertex_id`` column (the interner of the run
+    that was stored), falling back to ``(module, instance)`` order for rows
+    written before schema version 2.
+    """
+
+    kernel_hint = "skl"
+
+    def __init__(
+        self, store: ProvenanceStore, run_id: int, scheme: str, spec_index
+    ) -> None:
+        self._store = store
+        self.run_id = run_id
+        self.scheme = scheme
+        self.spec_index = spec_index
+        self._cached: dict[RunVertex, RunLabel] = {}
+        self._fully_loaded = False
+        #: bumped whenever the cached label universe changes; the store's
+        #: engine cache is keyed on it so a stale kernel is never reused
+        self.version = 0
+
+    # -- label cache ----------------------------------------------------
+    @property
+    def fully_loaded(self) -> bool:
+        """Whether every label of the run is in the cache."""
+        return self._fully_loaded
+
+    def has_label(self, execution: tuple[str, int]) -> bool:
+        """Whether *execution*'s label is cached (complete after ensure_all)."""
+        return execution in self._cached
+
+    def ensure(self, executions: list[tuple[str, int]]) -> None:
+        """Load the labels of *executions* that are not cached yet.
+
+        Missing labels are fetched with chunked row-value ``IN`` SELECTs;
+        executions absent from the store raise
+        :class:`~repro.exceptions.StorageError` (same contract as
+        :meth:`ProvenanceStore.labels_of_many`).
+        """
+        needed = [key for key in executions if key not in self._cached]
+        if not needed:
+            return
+        spec_label_of = self.spec_index.label_of
+        fetched: dict[tuple[str, int], RunLabel] = {}
+        for row in self._store._fetch_label_rows(self.run_id, needed):
+            fetched[(row["module"], int(row["instance"]))] = RunLabel(
+                q1=int(row["q1"]),
+                q2=int(row["q2"]),
+                q3=int(row["q3"]),
+                skeleton=spec_label_of(row["skeleton"]),
+            )
+        _require_complete(self.run_id, needed, fetched)
+        for (module, instance), label in fetched.items():
+            self._cached[RunVertex(module, instance)] = label
+        self.version += 1
+
+    def ensure_all(self) -> None:
+        """Load the run's complete label set (one SQL round trip, once).
+
+        The cache is rebuilt in persisted-interner order, so the handles
+        this index (and any engine over it) assigns match the ids the
+        original :class:`~repro.skeleton.skl.SkeletonLabeledRun` interned.
+        """
+        if self._fully_loaded:
+            return
+        spec_label_of = self.spec_index.label_of
+        rows = self._store._connection.execute(
+            "SELECT module, instance, q1, q2, q3, skeleton FROM run_labels "
+            "WHERE run_id = ? "
+            "ORDER BY (vertex_id IS NULL), vertex_id, module, instance",
+            (self.run_id,),
+        ).fetchall()
+        self._cached = {
+            RunVertex(row["module"], int(row["instance"])): RunLabel(
+                q1=int(row["q1"]),
+                q2=int(row["q2"]),
+                q3=int(row["q3"]),
+                skeleton=spec_label_of(row["skeleton"]),
+            )
+            for row in rows
+        }
+        # handle tables were built over the partial universe; rebuild lazily
+        self._handle_interner = None
+        self._handle_label_table = None
+        self._fully_loaded = True
+        self.version += 1
+
+    # -- the (D, φ, π) + handle surface over the stored run --------------
+    @property
+    def stable_labels(self) -> bool:
+        """Inherited from the spec index, like SkeletonLabeledRun."""
+        return getattr(self.spec_index, "stable_labels", True)
+
+    def _handle_vertices(self):
+        if not self._fully_loaded:  # pragma: no cover - internal misuse guard
+            raise StorageError(
+                "vertex handles over a stored run require the full label set; "
+                "call ensure_all() first"
+            )
+        return self._cached
+
+    def _handle_labels_cacheable(self) -> bool:
+        # Stored labels are frozen rows; like SkeletonLabeledRun, only the
+        # fall-through predicate can be live, never the labels.
+        return True
+
+    def labels(self) -> dict[RunVertex, RunLabel]:
+        """A copy of the cached label assignment (complete after ensure_all)."""
+        return dict(self._cached)
+
+    def label_of(self, vertex) -> RunLabel:
+        """The cached label of one execution (RunVertex or plain tuple)."""
+        try:
+            return self._cached[vertex]
+        except KeyError:
+            raise StorageError(
+                f"run {self.run_id} has no cached label for execution "
+                f"{vertex[0]}{vertex[1]}"
+            ) from None
+
+    def reaches_labels(self, first: RunLabel, second: RunLabel) -> bool:
+        """``πr`` over two stored labels (Algorithm 3)."""
+        return skeleton_predicate(first, second, self.spec_index)
+
+    def reaches(self, source, target) -> bool:
+        """Decide reachability between two cached executions."""
+        return self.reaches_labels(self.label_of(source), self.label_of(target))
+
+    def reaches_many(self, label_pairs) -> list[bool]:
+        """Batch ``πr`` with a single spec-index call for all fall-throughs."""
+        return skeleton_predicate_many(label_pairs, self.spec_index)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "full" if self._fully_loaded else f"{len(self._cached)} cached"
+        return (
+            f"_StoredRunIndex(run_id={self.run_id}, scheme={self.scheme!r}, "
+            f"labels={state})"
+        )
+
+
+def _distinct_executions(executions) -> list[tuple[str, int]]:
+    """Coerce to (module, instance) tuples, deduplicated in first-seen order."""
+    distinct: list[tuple[str, int]] = []
+    seen: set[tuple[str, int]] = set()
+    for execution in executions:
+        key = _coerce_vertex(execution)
+        if key not in seen:
+            seen.add(key)
+            distinct.append(key)
+    return distinct
+
+
+def _require_complete(
+    run_id: int, requested: list[tuple[str, int]], found: dict
+) -> None:
+    """Raise the canonical missing-execution error when a fetch came up short."""
+    missing = [key for key in requested if key not in found]
+    if missing:
+        module, instance = missing[0]
+        raise StorageError(
+            f"run {run_id} has no label for execution {module}{instance} "
+            f"({len(missing)} of {len(requested)} requested executions missing)"
+        )
 
 
 def _coerce_vertex(value: Union[RunVertex, tuple[str, int]]) -> tuple[str, int]:

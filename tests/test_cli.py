@@ -162,6 +162,28 @@ class TestQueryBatch:
             verdict = "reaches" if answer else "does-not-reach"
             assert f"{source} {verdict} {target}" in output
 
+    def test_query_batch_large_file_uses_handle_path(
+        self, labeled_database, tmp_path, capsys
+    ):
+        # Past _HANDLE_PATH_MIN_PAIRS the CLI interns the whole file once
+        # through the store's cached engine; answers must be identical to
+        # the small-file path.
+        from repro.cli import _HANDLE_PATH_MIN_PAIRS
+
+        lines = ["a:1 h:1", "h:1 a:1", "b:1 c:2"]
+        repeats = _HANDLE_PATH_MIN_PAIRS // len(lines) + 1
+        pairs_path = tmp_path / "pairs.txt"
+        pairs_path.write_text("".join(f"{line}\n" for line in lines * repeats))
+        exit_code = main([
+            "query-batch", "--database", str(labeled_database), "--run-id", "1",
+            "--pairs", str(pairs_path), "--summary-only",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        total = len(lines) * repeats
+        assert f"answered {total} queries" in output
+        assert f"{2 * repeats} reachable" in output
+
     def test_query_batch_from_stdin(self, labeled_database, capsys, monkeypatch):
         import io
 
@@ -246,5 +268,8 @@ class TestInfoAndExperiments:
         output = capsys.readouterr().out
         assert "figure-12" in output and "table-1" in output
         written = list((tmp_path / "reports").glob("*.txt"))
-        # tables 1-2, figures 12-20, spec-scheme ablation, engine throughput
-        assert len(written) == 13
+        # tables 1-2, figures 12-20, spec-scheme ablation, engine throughput,
+        # handle-path throughput
+        assert len(written) == 14
+        # every report also carries a machine-readable BENCH_*.json twin
+        assert len(list((tmp_path / "reports").glob("BENCH_*.json"))) == 14

@@ -74,11 +74,17 @@ class TestKernelDispatch:
         assert QueryEngine(build_index("tcm", graph)).kernel_name == "numpy-tcm"
         forest = DiGraph(edges=[("r", "a"), ("r", "b")])
         assert QueryEngine(build_index("interval", forest)).kernel_name == "numpy-interval"
+        assert QueryEngine(build_index("chain", graph)).kernel_name == "numpy-chain"
+        assert (
+            QueryEngine(build_index("tree-cover", graph)).kernel_name
+            == "numpy-tree-cover"
+        )
+        assert QueryEngine(build_index("2-hop", graph)).kernel_name == "numpy-2hop"
 
-    def test_generic_kernel_for_traversal_and_chain(self):
+    def test_generic_kernel_for_traversal(self):
         graph = small_dag()
         assert QueryEngine(build_index("bfs", graph)).kernel_name == "python-generic"
-        assert QueryEngine(build_index("chain", graph)).kernel_name == "python-generic"
+        assert QueryEngine(build_index("dfs", graph)).kernel_name == "python-generic"
 
     @pytest.mark.skipif(not HAS_NUMPY, reason="numpy not installed")
     def test_skeleton_kernel_fallthrough_without_dense_matrix(
