@@ -1,25 +1,28 @@
 #!/usr/bin/env python3
-"""Answer provenance query workloads in batches with the QueryEngine.
+"""Answer provenance query workloads through the declarative session API.
 
 The per-pair API (``labeled.reaches(u, v)``) is the right tool for a
 handful of interactive queries, but replaying a large stored workload pays
-Python dispatch per pair.  This walkthrough shows the batch path introduced
-by :mod:`repro.engine`:
+Python dispatch per pair.  This walkthrough shows the one documented way
+in — :class:`repro.api.ProvenanceSession` — and what its planner compiles
+each query to:
 
-1. label a run once with the skeleton scheme;
-2. wrap the labeled run in a :class:`~repro.engine.QueryEngine` (the engine
-   compiles a per-scheme kernel — vectorized when numpy is available);
-3. answer a whole workload with one ``reaches_batch`` call and compare the
-   throughput with the per-pair loop;
-4. intern the workload **once** (``engine.intern_pairs``) and replay it
-   through the handle-native ``reaches_many_ids`` — the object -> id
-   resolution that dominates step 3 disappears from the hot path;
-5. do the same against a :class:`~repro.storage.ProvenanceStore`, where the
-   batched path additionally collapses per-query SQL round trips into one
-   and ``store.query_engine(run_id)`` exposes the cached kernel.
+1. label a run once with the skeleton scheme and open a session over it;
+2. answer a whole workload with one :class:`~repro.api.BatchQuery` (the
+   planner compiles a per-scheme kernel — vectorized when numpy is
+   available) and compare the throughput with the per-pair loop;
+3. replay the workload handle-natively: intern it **once**, then pass the
+   integer arrays back through a ``BatchQuery`` — the object -> id
+   resolution disappears from the hot path;
+4. open the same session API over a :class:`~repro.storage.ProvenanceStore`
+   and answer point, batch and sweep queries from stored labels (one SQL
+   round trip, cached kernels);
+5. sweep **all** runs of the specification at once with a
+   :class:`~repro.api.CrossRunQuery` — the spec-side kernel is compiled
+   once and every run's label columns stream through it.
 
-The CLI mirrors step 4: ``repro-provenance query-batch --database prov.db
---run-id 1 --pairs queries.txt``.
+The CLI mirrors steps 3-5: ``repro-provenance query-batch --format bin``,
+``pack-workload`` and ``sweep``.
 """
 
 from __future__ import annotations
@@ -29,7 +32,14 @@ import tempfile
 import time
 from pathlib import Path
 
-from repro import QueryEngine, SkeletonLabeler
+from repro import (
+    BatchQuery,
+    CrossRunQuery,
+    DownstreamQuery,
+    PointQuery,
+    ProvenanceSession,
+    SkeletonLabeler,
+)
 from repro.datasets import load_real_workflow
 from repro.storage import ProvenanceStore
 from repro.workflow import generate_run_with_size
@@ -42,6 +52,7 @@ def main() -> None:
     labeled = labeler.label_run(
         generated.run, plan=generated.plan, context=generated.context
     )
+    session = ProvenanceSession.for_index(labeled)
     print(f"labeled run: {labeled.run.vertex_count} executions, "
           f"spec scheme {labeled.spec_index.scheme_name!r}")
 
@@ -55,61 +66,71 @@ def main() -> None:
     single_answers = [labeled.reaches(source, target) for source, target in workload]
     single_seconds = time.perf_counter() - started
 
-    # ... versus one batched call through the engine.
-    engine = QueryEngine(labeled)
+    # ... versus one declarative BatchQuery through the session.
+    batch_plan = session.compile(BatchQuery(pairs=workload))
     started = time.perf_counter()
-    batch_answers = engine.reaches_batch(workload)
+    batch_answers = batch_plan.execute()
     batch_seconds = time.perf_counter() - started
 
-    assert batch_answers == single_answers
-    print(f"engine kernel : {engine.kernel_name}")
+    assert list(map(bool, batch_answers)) == single_answers
     print(f"per-pair loop : {len(workload) / single_seconds:>12,.0f} queries/s")
-    print(f"batched engine: {len(workload) / batch_seconds:>12,.0f} queries/s "
+    print(f"session batch : {len(workload) / batch_seconds:>12,.0f} queries/s "
           f"({single_seconds / batch_seconds:.1f}x)")
 
-    # The handle-native path: intern the workload once at the boundary, then
-    # replay pure integer-handle arrays — no per-call vertex resolution.
-    source_ids, target_ids = engine.intern_pairs(workload)
+    # The handle-native replay: intern the workload once at the boundary
+    # (the labeled run's public handle API), then the same BatchQuery shape
+    # carries pure integer-handle arrays.
+    source_ids, target_ids = labeled.intern_pairs(workload)
     started = time.perf_counter()
-    handle_answers = engine.reaches_many_ids(source_ids, target_ids)
+    handle_answers = session.run(
+        BatchQuery(source_ids=source_ids, target_ids=target_ids)
+    )
     handle_seconds = time.perf_counter() - started
     assert [bool(a) for a in handle_answers] == single_answers
     print(f"handle replay : {len(workload) / handle_seconds:>12,.0f} queries/s "
           f"({single_seconds / handle_seconds:.1f}x; interned once, replayed free)")
 
-    # Hot point queries go through the engine's LRU cache.
-    engine.stats.reset()
-    hot = (vertices[0], vertices[-1])
-    for _ in range(1_000):
-        engine.reaches(*hot)
-    print(f"point-query cache hit rate: {engine.stats.cache_hit_rate:.3f}")
-
-    # The same batch API on a stored run: labels for the whole query set are
-    # fetched in a single SQL round trip instead of two SELECTs per pair.
+    # The same session API over a provenance store: one declarative surface
+    # whether the labels live in memory or in SQLite.
     database = Path(tempfile.mkdtemp()) / "provenance.db"
     with ProvenanceStore(database) as store:
         run_id = store.add_labeled_run(labeled)
-        sample = workload[:500]
-        stored_answers = store.reaches_batch(run_id, sample)
-        assert stored_answers == single_answers[:500]
-        print(f"store batch: {len(sample)} stored-label queries answered, "
-              f"{sum(stored_answers)} reachable")
+        for seed in (1, 2):
+            extra = generate_run_with_size(
+                spec, 2_000, seed=seed, name=f"qblast-2k-{seed}"
+            )
+            store.add_labeled_run(labeler.label_run(
+                extra.run, plan=extra.plan, context=extra.context
+            ))
+        stored = store.session()
 
-        # Batched dependency sweep: everything downstream of one execution.
+        sample = workload[:500]
+        stored_answers = stored.run(BatchQuery(pairs=sample, run_id=run_id))
+        assert list(map(bool, stored_answers)) == single_answers[:500]
+        print(f"store batch: {len(sample)} stored-label queries answered, "
+              f"{sum(map(bool, stored_answers))} reachable")
+
         anchor = vertices[1]
-        affected = store.downstream_of(run_id, (anchor.module, anchor.instance))
+        assert stored.run(PointQuery(anchor, anchor, run_id=run_id))
+        affected = stored.run(
+            DownstreamQuery((anchor.module, anchor.instance), run_id=run_id)
+        )
         print(f"downstream of {anchor}: {len(affected)} executions "
               f"(one SQL round trip)")
 
-        # Replay against the store's cached engine: the labels were loaded
-        # (and the kernel compiled) at most once, and the persisted interner
-        # hands out the same handles the in-memory run assigned.
-        stored_engine = store.query_engine(run_id)
-        stored_sources, stored_targets = stored_engine.intern_pairs(sample)
-        replayed = stored_engine.reaches_many_ids(stored_sources, stored_targets)
-        assert [bool(a) for a in replayed] == stored_answers
-        print(f"store replay: {len(sample)} queries re-answered from the "
-              f"cached {stored_engine.kernel_name} kernel, zero SQL")
+        # The scaling query: one dependency sweep across EVERY stored run of
+        # the specification.  The spec kernel is compiled once; each run
+        # streams its raw label columns through it.
+        started = time.perf_counter()
+        sweep = stored.run(
+            CrossRunQuery(spec.name, (anchor.module, anchor.instance))
+        )
+        sweep_seconds = time.perf_counter() - started
+        print(f"cross-run sweep: {sweep.affected_count} affected executions "
+              f"across {sweep.run_count} runs in {sweep_seconds * 1e3:.1f} ms")
+        assert sorted(sweep.per_run[run_id]) == sorted(
+            (v.module, v.instance) for v in affected
+        )
 
 
 if __name__ == "__main__":

@@ -6,7 +6,8 @@ provenance in a database.  This example labels several runs of one catalog
 workflow, stores the labels (not the transitive closure, not the graph) in a
 SQLite file, and then answers reachability and data-dependency queries purely
 from the stored labels — the deployment scenario the paper's amortization
-argument is about.
+argument is about.  Queries go through the store's declarative session
+(:class:`~repro.api.ProvenanceSession`), the one documented query surface.
 """
 
 from __future__ import annotations
@@ -15,7 +16,7 @@ import random
 import tempfile
 from pathlib import Path
 
-from repro import SkeletonLabeler
+from repro import DataDependencyQuery, PointQuery, SkeletonLabeler
 from repro.datasets import load_real_workflow
 from repro.provenance import generate_dataflow
 from repro.storage import ProvenanceStore
@@ -47,21 +48,26 @@ def main() -> None:
 
         print("\nstore statistics:", store.statistics())
 
-        # Reachability straight from the stored labels.
+        # Reachability straight from the stored labels, through the session.
+        session = store.session()
         run = store.get_run(run_ids[-1])
         vertices = run.vertices()
         rng = random.Random(42)
         print("\nsample reachability answers from the stored labels:")
         for _ in range(5):
             source, target = rng.choice(vertices), rng.choice(vertices)
-            answer = store.reaches(run_ids[-1], source, target)
+            answer = session.run(PointQuery(source, target, run_id=run_ids[-1]))
             print(f"  {source} -> {target}: {'reachable' if answer else 'not reachable'}")
 
         # Data dependencies from the stored data items.
         items = store.list_data_items(run_ids[-1])
         first, last = items[0], items[-1]
-        forwards = store.data_depends_on_data(run_ids[-1], last, first)
-        backwards = store.data_depends_on_data(run_ids[-1], first, last)
+        forwards = session.run(
+            DataDependencyQuery(last, on_item=first, run_id=run_ids[-1])
+        )
+        backwards = session.run(
+            DataDependencyQuery(first, on_item=last, run_id=run_ids[-1])
+        )
         print(f"\n  {last} depends on {first}: {forwards}")
         print(f"  {first} depends on {last}: {backwards}")
 

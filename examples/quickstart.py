@@ -1,20 +1,28 @@
 #!/usr/bin/env python3
-"""Quickstart: label a workflow run and answer provenance reachability queries.
+"""Quickstart: label a workflow run and answer provenance queries.
 
 This walks through the paper's running example (Figures 1-3):
 
 1. define a workflow specification with forks and loops;
 2. simulate a run (forks replicated in parallel, loops in series);
 3. label the run with the skeleton-based scheme (SKL);
-4. answer reachability queries in constant time from the labels alone.
+4. open a :class:`~repro.api.ProvenanceSession` over the labeled run and
+   answer reachability and dependency queries declaratively — the same
+   query objects run unchanged against an online run or a provenance
+   store.
 """
 
 from __future__ import annotations
 
 from repro import (
+    BatchQuery,
+    DownstreamQuery,
     PerRegionProfile,
+    PointQuery,
+    ProvenanceSession,
     RunVertex,
     SkeletonLabeler,
+    UpstreamQuery,
     WorkflowSpecification,
     generate_run,
 )
@@ -54,7 +62,10 @@ def main() -> None:
           f"average {labeled.average_label_length_bits():.1f} bits, "
           f"built in {labeled.timings.total_seconds * 1e3:.2f} ms")
 
-    # 4. Constant-time reachability queries straight from the labels.
+    # 4. One declarative session over the labeled run.  PointQuery answers
+    #    in constant time from the labels alone; the same session (and the
+    #    same query objects) would front an OnlineRun or a ProvenanceStore.
+    session = ProvenanceSession.for_index(labeled)
     queries = [
         (RunVertex("b", 1), RunVertex("c", 1)),   # same fork copy -> skeleton labels decide
         (RunVertex("c", 1), RunVertex("b", 2)),   # successive loop iterations -> reachable
@@ -62,10 +73,19 @@ def main() -> None:
         (RunVertex("a", 1), RunVertex("h", 1)),   # source to sink
     ]
     for source, target in queries:
-        answer = labeled.reaches(source, target)
+        answer = session.run(PointQuery(source, target))
         rule = labeled.query_path(source, target)
         print(f"  {source} -> {target}: {'reachable' if answer else 'not reachable'} "
               f"(decided by the {rule} rule)")
+
+    # A whole workload is one BatchQuery (answered by the compiled kernel),
+    # and dependency sweeps are first-class queries too.
+    answers = session.run(BatchQuery(pairs=queries))
+    print(f"batch: {sum(map(bool, answers))} of {len(queries)} pairs reachable")
+    affected = session.run(DownstreamQuery(RunVertex("b", 1)))
+    inputs = session.run(UpstreamQuery(RunVertex("h", 1)))
+    print(f"downstream of b1: {len(affected)} executions; "
+          f"upstream of h1: {len(inputs)} executions")
 
 
 if __name__ == "__main__":

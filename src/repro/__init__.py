@@ -11,8 +11,11 @@ The most common entry points are re-exported here:
   :func:`~repro.workflow.execution.generate_run_with_size` — run simulation;
 * :class:`~repro.skeleton.skl.SkeletonLabeler` — the paper's labeling scheme;
 * :mod:`repro.labeling` — the TCM / BFS / tree-cover baselines;
-* :class:`~repro.engine.query.QueryEngine` — batched reachability queries
-  over any index (the high-throughput path for stored-run workloads);
+* :class:`~repro.api.session.ProvenanceSession` and the declarative query
+  objects of :mod:`repro.api` — the one query surface over live indexes,
+  online runs, stored runs and cross-run sweeps;
+* :class:`~repro.engine.query.QueryEngine` — the batched kernel layer the
+  session compiles onto (use the session unless you are building plans);
 * :mod:`repro.provenance` — data-level provenance queries;
 * :mod:`repro.datasets` — synthetic and catalog workloads;
 * :mod:`repro.bench` — the experiment harness reproducing every figure/table.
@@ -29,6 +32,16 @@ from repro.exceptions import (
     SpecificationError,
     StorageError,
     WellNestednessError,
+)
+from repro.api import (
+    BatchQuery,
+    CrossRunQuery,
+    CrossRunSweepResult,
+    DataDependencyQuery,
+    DownstreamQuery,
+    PointQuery,
+    ProvenanceSession,
+    UpstreamQuery,
 )
 from repro.engine import EngineStats, QueryEngine
 from repro.graphs import CSRGraph, DiGraph, VertexInterner, resolve_pair_ids
@@ -87,7 +100,16 @@ __all__ = [
     "CSRGraph",
     "VertexInterner",
     "resolve_pair_ids",
-    # batch query engine
+    # the declarative query surface
+    "ProvenanceSession",
+    "PointQuery",
+    "BatchQuery",
+    "DownstreamQuery",
+    "UpstreamQuery",
+    "CrossRunQuery",
+    "DataDependencyQuery",
+    "CrossRunSweepResult",
+    # batch query engine (the kernel layer under the session)
     "QueryEngine",
     "EngineStats",
     # labeling

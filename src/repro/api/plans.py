@@ -1,0 +1,284 @@
+"""Compiled query plans: the execute-many half of the session's split.
+
+:meth:`ProvenanceSession.compile` turns one declarative query
+(:mod:`repro.api.queries`) into a plan bound to the session's target; the
+plan's :meth:`~QueryPlan.execute` can then run any number of times.  The
+expensive state a plan needs — compiled engine kernels, interners, the
+shared per-specification fall-through kernel — lives in caches (on the
+session target or the store), so re-executing a plan pays only the query
+itself.
+
+Planning decisions read the target's **declared capability flags**
+(:func:`repro.labeling.base.capabilities_of`) — ``handles``,
+``sweep_domain``, ``stable_labels`` — never concrete classes, so any
+duck-typed ``(D, φ, π)`` object that declares the right capabilities gets
+the same plans as the built-in indexes.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.api.queries import (
+    BatchQuery,
+    CrossRunQuery,
+    CrossRunSweepResult,
+    DataDependencyQuery,
+    DownstreamQuery,
+    PointQuery,
+    UpstreamQuery,
+)
+from repro.exceptions import LabelingError, QueryPlanError, StorageError
+from repro.labeling.base import capabilities_of
+from repro.workflow.run import RunVertex
+
+try:  # numpy accelerates sweep-result extraction but is strictly optional
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only on numpy-less installs
+    _np = None
+
+__all__ = [
+    "QueryPlan",
+    "compile_plan",
+    "HANDLE_PATH_MIN_PAIRS",
+]
+
+#: stored-run batch workloads at least this large are answered through the
+#: run's cached handle-native engine (full label load + compiled kernel);
+#: smaller batches fetch only the labels behind the queried pairs — loading
+#: a big run's full label set for a handful of interactive queries would
+#: never amortize
+HANDLE_PATH_MIN_PAIRS = 512
+
+
+def _as_execution(value: Any) -> tuple:
+    """Accept both RunVertex and plain (module, instance) tuples."""
+    if isinstance(value, RunVertex):
+        return (value.module, value.instance)
+    return (str(value[0]), int(value[1]))
+
+
+def _true_positions(answers) -> list[int]:
+    """Row indices answered True (numpy fast path when the array allows)."""
+    if _np is not None and isinstance(answers, _np.ndarray):
+        return _np.flatnonzero(answers).tolist()
+    return [i for i, answer in enumerate(answers) if answer]
+
+
+class QueryPlan:
+    """One query compiled against one session target (execute any number of times)."""
+
+    def __init__(self, target: Any, query: Any) -> None:
+        self.target = target
+        self.query = query
+        if target.kind != "store" and getattr(query, "run_id", None) is not None:
+            raise QueryPlanError(
+                f"{type(query).__name__}.run_id only applies to store-backed "
+                f"sessions; this session fronts {target.describe()}"
+            )
+
+    def execute(self):  # pragma: no cover - subclasses implement
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(target={self.target.describe()}, "
+            f"query={self.query!r})"
+        )
+
+
+class _PointPlan(QueryPlan):
+    """A single pair through the hot path of whatever the target caches."""
+
+    def execute(self) -> bool:
+        query = self.query
+        if self.target.kind == "store":
+            return self.target.store._reaches(
+                self.target.require_run_id(query),
+                _as_execution(query.source),
+                _as_execution(query.target),
+            )
+        # the engine's hot-pair LRU serves repeated point queries in O(1)
+        return self.target.engine().reaches(query.source, query.target)
+
+
+class _BatchPlan(QueryPlan):
+    """A whole workload through the compiled kernel of the target."""
+
+    def execute(self) -> list:
+        query = self.query
+        if query.handle_native:
+            engine = (
+                self.target.store.query_engine(self.target.require_run_id(query))
+                if self.target.kind == "store"
+                else self.target.engine()
+            )
+            answers = engine.reaches_many_ids(query.source_ids, query.target_ids)
+            return answers if isinstance(answers, list) else list(answers)
+        pairs = (
+            query.pairs
+            if isinstance(query.pairs, (list, tuple))
+            else list(query.pairs)
+        )
+        if self.target.kind == "store":
+            run_id = self.target.require_run_id(query)
+            store = self.target.store
+            if (
+                len(pairs) >= HANDLE_PATH_MIN_PAIRS
+                or run_id in store._engine_cache
+            ):
+                # Large (or already-compiled) workloads: intern the whole
+                # batch once against the cached engine and replay handles.
+                engine = store.query_engine(run_id)
+                try:
+                    source_ids, target_ids = engine.intern_pairs(
+                        [
+                            (_as_execution(source), _as_execution(target))
+                            for source, target in pairs
+                        ]
+                    )
+                except LabelingError as exc:
+                    # match the label-fetch path: unknown executions are a
+                    # storage-level error carrying the run context
+                    raise StorageError(f"run {run_id}: {exc}") from None
+                answers = engine.reaches_many_ids(source_ids, target_ids)
+                return answers if isinstance(answers, list) else list(answers)
+            return store._reaches_batch(run_id, pairs)
+        return self.target.engine().reaches_batch(pairs)
+
+
+class _SweepPlan(QueryPlan):
+    """An anchored dependency sweep over the target's whole vertex universe."""
+
+    downstream = True
+
+    def execute(self) -> list:
+        query = self.query
+        if self.target.kind == "store":
+            return self.target.store._dependency_sweep(
+                self.target.require_run_id(query),
+                query.execution,
+                downstream=self.downstream,
+            )
+        engine = self.target.engine()
+        index = engine.index
+        if not capabilities_of(index).sweep_domain:
+            raise QueryPlanError(
+                f"{type(index).__name__} cannot enumerate its labeled "
+                "executions, so dependency sweeps cannot be planned over it"
+            )
+        return engine.dependency_sweep(query.execution, downstream=self.downstream)
+
+
+class _DownstreamPlan(_SweepPlan):
+    downstream = True
+
+
+class _UpstreamPlan(_SweepPlan):
+    downstream = False
+
+
+class _CrossRunPlan(QueryPlan):
+    """Sweep all runs of one specification through a shared spec kernel.
+
+    The per-specification fall-through kernel (the expensive, ``nG²``-ish
+    part of a skeleton kernel) is compiled **once** via the store's
+    per-spec cache; each run then contributes only a streamed
+    :class:`~repro.storage.store.RunLabelArrays` fetch plus one vectorized
+    anchored sweep — no per-run label objects, interners or engines.
+    """
+
+    def __init__(self, target: Any, query: Any) -> None:
+        super().__init__(target, query)
+        if target.kind != "store":
+            raise QueryPlanError(
+                "CrossRunQuery sweeps stored runs; this session fronts "
+                f"{target.describe()}"
+            )
+
+    def execute(self) -> CrossRunSweepResult:
+        query = self.query
+        store = self.target.store
+        anchor = _as_execution(query.execution)
+        downstream = query.direction == "downstream"
+        runs = store.list_runs(query.specification)
+        if not runs:
+            # distinguish "unknown specification" from "no runs yet"
+            store.get_specification(query.specification)
+        per_run: dict[int, list] = {}
+        skipped: list[int] = []
+        for row in runs:
+            run_id = int(row["run_id"])
+            # cached per (spec_id, scheme): compiled once for the whole sweep
+            spec_kernel = store.spec_kernel(run_id)
+            arrays = store.run_label_arrays(run_id)
+            try:
+                anchor_row = arrays.executions.index(anchor)
+            except ValueError:
+                skipped.append(run_id)
+                continue
+            answers = spec_kernel.sweep(
+                arrays.q1,
+                arrays.q2,
+                arrays.q3,
+                arrays.origins,
+                anchor_row,
+                downstream=downstream,
+            )
+            executions = arrays.executions
+            per_run[run_id] = [
+                executions[i] for i in _true_positions(answers)
+            ]
+        return CrossRunSweepResult(
+            specification=query.specification,
+            execution=anchor,
+            direction=query.direction,
+            per_run=per_run,
+            skipped_runs=skipped,
+        )
+
+
+class _DataDependencyPlan(QueryPlan):
+    """Item-to-item / item-to-execution dependency over recorded dataflow."""
+
+    def execute(self) -> bool:
+        query = self.query
+        if self.target.kind == "store":
+            run_id = self.target.require_run_id(query)
+            store = self.target.store
+            if query.on_item is not None:
+                return store.data_depends_on_data(run_id, query.item, query.on_item)
+            return store.data_depends_on_module(
+                run_id, query.item, _as_execution(query.on_module)
+            )
+        if self.target.kind == "online":
+            online = self.target.online
+            if query.on_item is not None:
+                return online.data_depends_on_data(query.item, query.on_item)
+            return online.data_depends_on_module(
+                query.item, RunVertex(*_as_execution(query.on_module))
+            )
+        raise QueryPlanError(
+            "DataDependencyQuery needs recorded dataflow (a store or an "
+            f"online run); this session fronts {self.target.describe()}"
+        )
+
+
+_PLAN_OF = {
+    PointQuery: _PointPlan,
+    BatchQuery: _BatchPlan,
+    DownstreamQuery: _DownstreamPlan,
+    UpstreamQuery: _UpstreamPlan,
+    CrossRunQuery: _CrossRunPlan,
+    DataDependencyQuery: _DataDependencyPlan,
+}
+
+
+def compile_plan(target: Any, query: Any) -> QueryPlan:
+    """Compile one declarative query against one session target."""
+    plan_class = _PLAN_OF.get(type(query))
+    if plan_class is None:
+        raise QueryPlanError(
+            f"not a declarative query object: {type(query).__name__!r}"
+        )
+    return plan_class(target, query)

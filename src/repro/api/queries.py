@@ -1,0 +1,174 @@
+"""The declarative query objects of the unified provenance surface.
+
+A query is pure data: what to ask, not how to answer it.  The session
+(:class:`~repro.api.session.ProvenanceSession`) compiles each query into an
+executable plan over the kernel layer (:mod:`repro.engine`) for whatever
+target it fronts — a live index, a labeled or online run, or a provenance
+store — so the same query object runs unchanged against any of them.
+
+Executions may be written as :class:`~repro.workflow.run.RunVertex`
+instances or plain ``(module, instance)`` tuples, matching the provenance
+store's convention.  ``run_id`` selects the stored run for store-backed
+sessions and must be omitted for in-memory targets (a session fronting one
+index has exactly one run to query).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from repro.exceptions import QueryPlanError
+
+__all__ = [
+    "PointQuery",
+    "BatchQuery",
+    "DownstreamQuery",
+    "UpstreamQuery",
+    "CrossRunQuery",
+    "DataDependencyQuery",
+    "CrossRunSweepResult",
+]
+
+
+@dataclass(frozen=True)
+class PointQuery:
+    """One reachability question: does *source* reach *target*?
+
+    Answers ``bool``.  Point queries on in-memory targets are served
+    through the engine's hot-pair LRU cache; :meth:`ProvenanceSession.run_many`
+    additionally fuses point queries on the same run into one batch.
+    """
+
+    source: Any
+    target: Any
+    run_id: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class BatchQuery:
+    """A whole workload of ``(source, target)`` reachability questions.
+
+    Answers one boolean per pair, in order.  Give either *pairs* (vertex
+    objects, resolved once at the boundary) or the pre-interned
+    *source_ids*/*target_ids* parallel handle arrays (the zero-parse replay
+    form — e.g. a binary workload file resolved against a stored run's
+    persisted interner).
+    """
+
+    pairs: Optional[Sequence[tuple]] = None
+    run_id: Optional[int] = None
+    source_ids: Optional[Sequence[int]] = None
+    target_ids: Optional[Sequence[int]] = None
+
+    def __post_init__(self) -> None:
+        by_pairs = self.pairs is not None
+        by_ids = self.source_ids is not None or self.target_ids is not None
+        if by_ids and (self.source_ids is None or self.target_ids is None):
+            raise QueryPlanError(
+                "BatchQuery needs both source_ids and target_ids for a "
+                "handle-native batch"
+            )
+        if by_pairs == by_ids:
+            raise QueryPlanError(
+                "BatchQuery takes exactly one of pairs or "
+                "(source_ids, target_ids)"
+            )
+
+    @property
+    def handle_native(self) -> bool:
+        """Whether the workload arrives pre-interned as handle arrays."""
+        return self.source_ids is not None
+
+
+@dataclass(frozen=True)
+class DownstreamQuery:
+    """Every execution that depends on *execution* (excluding itself).
+
+    The "which downstream results were affected by this bad input" sweep of
+    the paper's introduction.  Answers a list of executions.
+    """
+
+    execution: Any
+    run_id: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class UpstreamQuery:
+    """Every execution that *execution* depends on (excluding itself).
+
+    The "which inputs and tools produced this result" sweep.  Answers a
+    list of executions.
+    """
+
+    execution: Any
+    run_id: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class CrossRunQuery:
+    """One dependency sweep over **all** stored runs of a specification.
+
+    The scaling form of :class:`DownstreamQuery`/:class:`UpstreamQuery`:
+    the spec-side kernel is compiled once and every run's label columns are
+    streamed through it, instead of building a full per-run engine per run.
+    Only store-backed sessions can plan it.  Answers a
+    :class:`CrossRunSweepResult`.
+    """
+
+    specification: str
+    execution: Any
+    direction: str = "downstream"
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("downstream", "upstream"):
+            raise QueryPlanError(
+                f"CrossRunQuery direction must be 'downstream' or 'upstream', "
+                f"got {self.direction!r}"
+            )
+
+
+@dataclass(frozen=True)
+class DataDependencyQuery:
+    """Does data item *item* depend on another item or a module execution?
+
+    Give exactly one of *on_item* (item-to-item dependency, Section 6) or
+    *on_module* (item-to-execution dependency).  Answers ``bool``.
+    """
+
+    item: str
+    on_item: Optional[str] = None
+    on_module: Optional[Any] = None
+    run_id: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if (self.on_item is None) == (self.on_module is None):
+            raise QueryPlanError(
+                "DataDependencyQuery takes exactly one of on_item or on_module"
+            )
+
+
+@dataclass(frozen=True)
+class CrossRunSweepResult:
+    """The outcome of one :class:`CrossRunQuery`.
+
+    ``per_run`` maps each swept run id to its affected executions (in
+    stored-handle order); runs of the specification that never executed the
+    anchor are listed in ``skipped_runs`` instead of being silently absent.
+    """
+
+    specification: str
+    execution: tuple
+    direction: str
+    per_run: dict = field(default_factory=dict)
+    skipped_runs: list = field(default_factory=list)
+
+    @property
+    def run_count(self) -> int:
+        """Number of runs the sweep answered (excluding skipped ones)."""
+        return len(self.per_run)
+
+    @property
+    def affected_count(self) -> int:
+        """Total number of affected executions across all swept runs."""
+        return sum(len(found) for found in self.per_run.values())

@@ -8,9 +8,17 @@ The CLI exposes the typical life cycle of the system:
   SQLite provenance database;
 * ``query`` — answer a reachability query from the stored labels;
 * ``query-batch`` — answer a whole file of reachability queries in one
-  batch (all labels fetched in one SQL round trip);
+  batch (text ``source target`` lines, or the zero-parse binary handle
+  format via ``--format bin``);
+* ``pack-workload`` — resolve a text pair file against a stored run's
+  persisted interner and write the binary handle workload;
+* ``sweep`` — one dependency sweep across **all** stored runs of a
+  specification (the cross-run query);
 * ``experiments`` — regenerate the paper's tables and figures;
 * ``info`` — show a specification's characteristics (the Table 1 columns).
+
+Every query command routes through the one declarative surface,
+:class:`repro.api.ProvenanceSession`.
 
 Example::
 
@@ -28,6 +36,9 @@ import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
+from repro.api.plans import HANDLE_PATH_MIN_PAIRS as _HANDLE_PATH_MIN_PAIRS
+from repro.api.queries import BatchQuery, CrossRunQuery, PointQuery
+from repro.api.workload import decode_pair_workload, write_pair_workload
 from repro.bench.experiments import all_experiments
 from repro.bench.reporting import write_report
 from repro.datasets.reallife import load_real_workflow, real_workflow_names
@@ -44,11 +55,6 @@ from repro.workflow.serialization import (
 )
 
 __all__ = ["main", "build_parser"]
-
-#: query-batch workloads at least this large are answered through the
-#: store's cached handle-native engine (full label load + compiled kernel);
-#: smaller files fetch only the labels behind the queried pairs
-_HANDLE_PATH_MIN_PAIRS = 512
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -105,9 +111,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="file of 'source target' lines (module:instance each), or - for stdin",
     )
     batch_parser.add_argument(
+        "--format",
+        choices=("text", "bin"),
+        default="text",
+        help="text lines, or the binary handle workload written by pack-workload",
+    )
+    batch_parser.add_argument(
         "--summary-only",
         action="store_true",
         help="print only the summary line, not one line per pair",
+    )
+
+    pack_parser = subparsers.add_parser(
+        "pack-workload",
+        help="resolve a text pair file against a run's persisted interner "
+        "and write the zero-parse binary workload",
+    )
+    pack_parser.add_argument("--database", type=Path, required=True)
+    pack_parser.add_argument("--run-id", type=int, required=True)
+    pack_parser.add_argument(
+        "--pairs",
+        required=True,
+        help="text file of 'source target' lines, or - for stdin",
+    )
+    pack_parser.add_argument(
+        "--output", type=Path, required=True, help="binary workload path"
+    )
+
+    sweep_parser = subparsers.add_parser(
+        "sweep",
+        help="one dependency sweep across ALL stored runs of a specification",
+    )
+    sweep_parser.add_argument("--database", type=Path, required=True)
+    sweep_parser.add_argument("--spec", required=True, help="specification name")
+    sweep_parser.add_argument(
+        "--source", required=True, help="anchor execution, module:instance"
+    )
+    sweep_parser.add_argument(
+        "--direction", choices=("downstream", "upstream"), default="downstream"
+    )
+    sweep_parser.add_argument(
+        "--summary-only",
+        action="store_true",
+        help="print only per-run counts, not the affected executions",
     )
 
     verify_parser = subparsers.add_parser(
@@ -200,7 +246,9 @@ def _command_query(args: argparse.Namespace) -> int:
     source = _parse_execution(args.source)
     target = _parse_execution(args.target)
     with ProvenanceStore(args.database) as store:
-        answer = store.reaches(args.run_id, source, target)
+        answer = store.session().run(
+            PointQuery(source, target, run_id=args.run_id)
+        )
     print(
         f"{args.source} {'reaches' if answer else 'does not reach'} {args.target} "
         f"in run {args.run_id}"
@@ -208,9 +256,15 @@ def _command_query(args: argparse.Namespace) -> int:
     return 0 if answer else 1
 
 
-def _parse_pair_lines(text: str) -> list[tuple[tuple[str, int], tuple[str, int]]]:
-    """Parse 'source target' lines; blank lines and ``#`` comments are skipped."""
+def _parse_pair_lines(text: str):
+    """Parse 'source target' lines; blank lines and ``#`` comments are skipped.
+
+    Returns the pairs plus a parallel list of ``(line_number, source_token,
+    target_token)`` records, so errors discovered later (e.g. an execution
+    absent from the queried run) can point back into the input file.
+    """
     pairs = []
+    origins = []
     for line_number, raw_line in enumerate(text.splitlines(), start=1):
         line = raw_line.strip()
         if not line or line.startswith("#"):
@@ -221,55 +275,166 @@ def _parse_pair_lines(text: str) -> list[tuple[tuple[str, int], tuple[str, int]]
                 f"line {line_number}: expected 'source target', got {line!r}"
             )
         pairs.append((_parse_execution(parts[0]), _parse_execution(parts[1])))
-    return pairs
+        origins.append((line_number, parts[0], parts[1]))
+    return pairs, origins
+
+
+def _read_pairs_source(pairs_argument: str) -> tuple[str, str]:
+    """Read the text behind ``--pairs`` (a path or ``-``); returns (text, label)."""
+    if pairs_argument == "-":
+        return sys.stdin.read(), "<stdin>"
+    pairs_path = Path(pairs_argument)
+    if not pairs_path.exists():
+        raise ReproError(f"pairs file not found: {pairs_path}")
+    return pairs_path.read_text(), str(pairs_path)
+
+
+def _raise_unknown_execution(
+    store: ProvenanceStore,
+    run_id: int,
+    pairs,
+    origins,
+    source_label: str,
+    original: Exception,
+) -> None:
+    """Re-raise an unknown-execution failure with file/line/token context."""
+    try:
+        id_map = store.query_engine(run_id).interner.id_map
+    except ReproError:
+        raise ReproError(str(original)) from None
+    for (source, target), (line_number, source_token, target_token) in zip(
+        pairs, origins
+    ):
+        for execution, token in ((source, source_token), (target, target_token)):
+            if execution not in id_map:
+                raise ReproError(
+                    f"{source_label}, line {line_number}: unknown execution "
+                    f"{token!r} in run {run_id}"
+                ) from None
+    raise ReproError(str(original)) from None
 
 
 def _command_query_batch(args: argparse.Namespace) -> int:
     import time
 
-    if args.pairs == "-":
-        text = sys.stdin.read()
-    else:
-        pairs_path = Path(args.pairs)
-        if not pairs_path.exists():
-            raise ReproError(f"pairs file not found: {pairs_path}")
-        text = pairs_path.read_text()
-    pairs = _parse_pair_lines(text)
-    if not pairs:
-        raise ReproError("no query pairs given")
     with ProvenanceStore(args.database) as store:
-        started = time.perf_counter()
-        if len(pairs) >= _HANDLE_PATH_MIN_PAIRS:
-            # Handle-native path for large workloads: the engine is built
-            # once over the stored run's full label set, the whole input
-            # file is interned in one pass, and the batch is answered from
-            # integer handles alone.
-            engine = store.query_engine(args.run_id)
+        session = store.session()
+        if args.format == "bin":
+            if args.pairs == "-":
+                payload = sys.stdin.buffer.read()
+            else:
+                pairs_path = Path(args.pairs)
+                if not pairs_path.exists():
+                    raise ReproError(f"pairs file not found: {pairs_path}")
+                payload = pairs_path.read_bytes()
+            _, source_ids, target_ids = decode_pair_workload(
+                payload, expect_run_id=args.run_id
+            )
+            if not len(source_ids):
+                raise ReproError("no query pairs given")
+            started = time.perf_counter()
             try:
-                source_ids, target_ids = engine.intern_pairs(pairs)
+                answers = session.run(
+                    BatchQuery(
+                        source_ids=source_ids,
+                        target_ids=target_ids,
+                        run_id=args.run_id,
+                    )
+                )
             except LabelingError as exc:
-                # match the small-file path: unknown executions are a
-                # storage-level error carrying the run context
-                raise StorageError(f"run {args.run_id}: {exc}") from None
-            answers = list(engine.reaches_many_ids(source_ids, target_ids))
+                raise ReproError(f"run {args.run_id}: {exc}") from None
+            elapsed = time.perf_counter() - started
+            if args.summary_only:
+                # the whole point of the binary format is the zero-parse
+                # replay; only resolve handles back to names when printing
+                pairs = source_ids
+            else:
+                vertex_at = store.query_engine(args.run_id).interner.vertex_at
+                pairs = [
+                    (vertex_at(int(source_id)), vertex_at(int(target_id)))
+                    for source_id, target_id in zip(source_ids, target_ids)
+                ]
         else:
-            # Small interactive files: fetching only the labels behind the
-            # queried pairs (one chunked SELECT) beats loading the run's
-            # full label set into a kernel this one-shot process would
-            # never amortize.
-            answers = store.reaches_batch(args.run_id, pairs)
-        elapsed = time.perf_counter() - started
+            text, source_label = _read_pairs_source(args.pairs)
+            pairs, origins = _parse_pair_lines(text)
+            if not pairs:
+                raise ReproError("no query pairs given")
+            started = time.perf_counter()
+            try:
+                answers = session.run(
+                    BatchQuery(pairs=pairs, run_id=args.run_id)
+                )
+            except (StorageError, LabelingError) as exc:
+                _raise_unknown_execution(
+                    store, args.run_id, pairs, origins, source_label, exc
+                )
+            elapsed = time.perf_counter() - started
     if not args.summary_only:
         for (source, target), answer in zip(pairs, answers):
             verdict = "reaches" if answer else "does-not-reach"
             print(
                 f"{source[0]}:{source[1]} {verdict} {target[0]}:{target[1]}"
             )
-    reachable = sum(answers)
+    reachable = sum(map(bool, answers))
     rate = len(pairs) / elapsed if elapsed > 0 else float("inf")
     print(
         f"answered {len(pairs)} queries in {elapsed * 1e3:.2f} ms "
         f"({rate:,.0f} queries/s); {reachable} reachable"
+    )
+    return 0
+
+
+def _command_pack_workload(args: argparse.Namespace) -> int:
+    text, source_label = _read_pairs_source(args.pairs)
+    pairs, origins = _parse_pair_lines(text)
+    if not pairs:
+        raise ReproError("no query pairs given")
+    with ProvenanceStore(args.database) as store:
+        engine = store.query_engine(args.run_id)
+        try:
+            source_ids, target_ids = engine.intern_pairs(pairs)
+        except LabelingError as exc:
+            _raise_unknown_execution(
+                store, args.run_id, pairs, origins, source_label, exc
+            )
+    count = write_pair_workload(
+        args.output, source_ids, target_ids, run_id=args.run_id
+    )
+    print(
+        f"packed {count} pairs -> {args.output} ({16 + count * 16} bytes; "
+        f"persisted handles of run {args.run_id})"
+    )
+    return 0
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    import time
+
+    anchor = _parse_execution(args.source)
+    with ProvenanceStore(args.database) as store:
+        started = time.perf_counter()
+        result = store.session().run(
+            CrossRunQuery(args.spec, anchor, args.direction)
+        )
+        elapsed = time.perf_counter() - started
+        names = {row["run_id"]: row["name"] for row in store.list_runs(args.spec)}
+    relation = "downstream of" if args.direction == "downstream" else "upstream of"
+    for run_id, affected in sorted(result.per_run.items()):
+        print(
+            f"run {run_id} ({names.get(run_id, '?')}): "
+            f"{len(affected)} executions {relation} {args.source}"
+        )
+        if not args.summary_only:
+            for module, instance in affected:
+                print(f"  {module}:{instance}")
+    for run_id in result.skipped_runs:
+        print(
+            f"run {run_id} ({names.get(run_id, '?')}): "
+            f"never executed {args.source} (skipped)"
+        )
+    print(
+        f"swept {result.run_count} runs of {args.spec!r} in "
+        f"{elapsed * 1e3:.2f} ms; {result.affected_count} affected executions"
     )
     return 0
 
@@ -327,6 +492,8 @@ _COMMANDS = {
     "label": _command_label,
     "query": _command_query,
     "query-batch": _command_query_batch,
+    "pack-workload": _command_pack_workload,
+    "sweep": _command_sweep,
     "verify": _command_verify,
     "info": _command_info,
     "experiments": _command_experiments,

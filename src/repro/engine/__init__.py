@@ -22,7 +22,14 @@ The per-scheme batch loops live with their schemes
 used by the traversal schemes lives in :mod:`repro.graphs.csr`.
 """
 
-from repro.engine.kernels import build_kernel
+from repro.engine.kernels import SpecKernel, build_kernel, compile_spec_kernel
 from repro.engine.query import DEFAULT_CACHE_SIZE, EngineStats, QueryEngine
 
-__all__ = ["QueryEngine", "EngineStats", "DEFAULT_CACHE_SIZE", "build_kernel"]
+__all__ = [
+    "QueryEngine",
+    "EngineStats",
+    "DEFAULT_CACHE_SIZE",
+    "build_kernel",
+    "SpecKernel",
+    "compile_spec_kernel",
+]

@@ -58,7 +58,6 @@ from repro.labeling.interval import IntervalTreeIndex
 from repro.labeling.tcm import TCMIndex
 from repro.labeling.tree_cover import TreeCoverIndex
 from repro.labeling.twohop import TwoHopIndex
-from repro.skeleton.skl import SkeletonLabeledRun
 
 try:  # numpy accelerates the kernels but is strictly optional
     import numpy as _np
@@ -67,6 +66,8 @@ except ImportError:  # pragma: no cover - exercised only on numpy-less installs
 
 __all__ = [
     "build_kernel",
+    "SpecKernel",
+    "compile_spec_kernel",
     "HAS_NUMPY",
     "DENSE_SPEC_LIMIT",
     "PACKED_TCM_LIMIT",
@@ -91,23 +92,32 @@ PACKED_TCM_LIMIT = 32_768
 PACKED_HOP_LIMIT = 32_768
 
 
-def build_kernel(index: Any):
-    """Compile *index* into the best available batch kernel."""
+def build_kernel(index: Any, *, spec_kernel: Optional["SpecKernel"] = None):
+    """Compile *index* into the best available batch kernel.
+
+    Dispatch reads the index's declared ``kernel_hint`` capability flag
+    (see :func:`repro.labeling.base.capabilities_of`) rather than testing
+    concrete classes, so any duck-typed target that declares a kernel
+    family — the stored-run views, the online-run adapter — compiles the
+    same specialized kernel as the class that family was written for.
+
+    *spec_kernel* optionally supplies a precompiled :class:`SpecKernel`
+    for skeleton-labeled targets, so sweeps over many runs of one
+    specification pay the spec-side compilation exactly once.
+    """
+    hint = getattr(index, "kernel_hint", None)
     if _np is not None:
-        if (
-            getattr(index, "kernel_hint", None) == "skl"
-            or type(index) is SkeletonLabeledRun
-        ):
-            return _SkeletonKernel(index)
-        if type(index) is TCMIndex and index.closure.vertex_count <= PACKED_TCM_LIMIT:
+        if hint == "skl":
+            return _SkeletonKernel(index, spec_kernel=spec_kernel)
+        if hint == "tcm" and index.closure.vertex_count <= PACKED_TCM_LIMIT:
             return _PackedTCMKernel(index)
-        if type(index) is IntervalTreeIndex:
+        if hint == "interval":
             return _IntervalKernel(index)
-        if type(index) is TreeCoverIndex:
+        if hint == "tree-cover":
             return _TreeCoverKernel(index)
-        if type(index) is ChainIndex:
+        if hint == "chain":
             return _ChainKernel(index)
-        if type(index) is TwoHopIndex and index.graph.vertex_count <= PACKED_HOP_LIMIT:
+        if hint == "2-hop" and index.graph.vertex_count <= PACKED_HOP_LIMIT:
             return _TwoHopKernel(index)
     return _GenericKernel(index)
 
@@ -248,6 +258,22 @@ def _spec_reachability_matrix(spec_index: Any):
         packed = _pack_closure_rows(closure.rows, size)
         matrix = _np.unpackbits(packed, axis=1, bitorder="little")[:, :size]
         return matrix.astype(bool), dict(closure.index)
+    kernel = (
+        build_kernel(spec_index)
+        if getattr(spec_index, "kernel_hint", None) not in (None, "skl")
+        else None
+    )
+    if isinstance(kernel, _ArrayKernel):
+        # The scheme compiles its own vectorized kernel (tree-cover, chain,
+        # 2-hop, interval): evaluate the all-pairs matrix through it instead
+        # of nG² per-pair predicate calls.  Handle order equals vertex order
+        # (the interner is built over graph.vertices()).
+        ids = _np.arange(size, dtype=_np.int64)
+        matrix = _np.asarray(
+            kernel.batch_ids(_np.repeat(ids, size), _np.tile(ids, size)),
+            dtype=bool,
+        ).reshape(size, size)
+        return matrix, {vertex: i for i, vertex in enumerate(vertices)}
     labels = [spec_index.label_of(vertex) for vertex in vertices]
     matrix = _np.empty((size, size), dtype=bool)
     reaches_many = spec_index.reaches_many
@@ -256,12 +282,160 @@ def _spec_reachability_matrix(spec_index: Any):
     return matrix, {vertex: i for i, vertex in enumerate(vertices)}
 
 
+_MISSING = object()
+
+
+class SpecKernel:
+    """The compiled skeleton fall-through evaluator of one specification index.
+
+    Algorithm 3 splits every query into a coordinate fast path and a
+    fall-through to the specification labels; this object is the compiled
+    form of that fall-through.  Compiling it is the expensive, *per
+    specification* part of a skeleton kernel (the dense ``nG x nG``
+    reachability matrix — for non-TCM schemes, ``nG²`` predicate
+    evaluations), so it is built **once** per ``(specification, scheme)``
+    and shared: every skeleton kernel over runs of that specification
+    (:func:`build_kernel`'s ``spec_kernel`` parameter, the provenance
+    store's per-spec cache) and every cross-run dependency sweep streams
+    per-run label arrays through the same instance.
+    """
+
+    def __init__(self, spec_index: Any) -> None:
+        self.spec_index = spec_index
+        if _np is not None:
+            self.matrix, self.position_of = _spec_reachability_matrix(spec_index)
+        else:
+            self.matrix, self.position_of = None, None
+        self._label_cache: dict = {}
+
+    @property
+    def dense(self) -> bool:
+        """Whether fall-throughs are answered from the dense spec matrix."""
+        return self.matrix is not None
+
+    def origin_positions(self, modules: Sequence):
+        """Map origin module names to dense-matrix positions (dense only)."""
+        return _np.fromiter(
+            map(self.position_of.__getitem__, modules),
+            dtype=_np.int64,
+            count=len(modules),
+        )
+
+    def _label_of(self, module):
+        """The spec label of one module, cached for stable spec indexes."""
+        if not getattr(self.spec_index, "stable_labels", True):
+            return self.spec_index.label_of(module)
+        label = self._label_cache.get(module, _MISSING)
+        if label is _MISSING:
+            label = self._label_cache[module] = self.spec_index.label_of(module)
+        return label
+
+    def sweep(
+        self,
+        q1,
+        q2,
+        q3,
+        origins: Sequence,
+        anchor: int,
+        *,
+        downstream: bool = True,
+    ):
+        """Anchored Algorithm-3 sweep over one run's streamed label arrays.
+
+        ``q1``/``q2``/``q3`` are the run's parallel context-coordinate
+        arrays (one slot per execution, any row order), *origins* the
+        parallel origin-module names, *anchor* the row of the anchored
+        execution.  Returns one answer per row — ``reaches(anchor, row)``
+        when *downstream*, ``reaches(row, anchor)`` otherwise — with the
+        anchor's own row forced ``False``, matching the dependency-sweep
+        contract of excluding the anchor itself.
+        """
+        if _np is not None:
+            q1 = _np.asarray(q1, dtype=_np.int64)
+            q2 = _np.asarray(q2, dtype=_np.int64)
+            q3 = _np.asarray(q3, dtype=_np.int64)
+            q1a = int(q1[anchor])
+            q2a = int(q2[anchor])
+            q3a = int(q3[anchor])
+            if downstream:
+                fast_mask = (q2a - q2) * (q3a - q3) < 0
+                fast = (q1a < q1) & (q3a > q3)
+            else:
+                fast_mask = (q2 - q2a) * (q3 - q3a) < 0
+                fast = (q1 < q1a) & (q3 > q3a)
+            if self.matrix is not None:
+                orig = self.origin_positions(origins)
+                if downstream:
+                    skeleton = self.matrix[orig[anchor], orig]
+                else:
+                    skeleton = self.matrix[orig, orig[anchor]]
+                answers = _np.where(fast_mask, fast, skeleton)
+            else:
+                answers = fast & fast_mask
+                fallthrough = _np.flatnonzero(~fast_mask).tolist()
+                if fallthrough:
+                    anchor_label = self._label_of(origins[anchor])
+                    if downstream:
+                        pairs = [
+                            (anchor_label, self._label_of(origins[i]))
+                            for i in fallthrough
+                        ]
+                    else:
+                        pairs = [
+                            (self._label_of(origins[i]), anchor_label)
+                            for i in fallthrough
+                        ]
+                    spec_answers = self.spec_index.reaches_many(pairs)
+                    for i, answer in zip(fallthrough, spec_answers):
+                        answers[i] = answer
+            answers[anchor] = False
+            return answers
+        return self._sweep_python(q1, q2, q3, origins, anchor, downstream)
+
+    def _sweep_python(self, q1, q2, q3, origins, anchor, downstream):
+        """Pure-python sweep used when numpy is unavailable."""
+        size = len(q1)
+        answers = [False] * size
+        q1a, q2a, q3a = q1[anchor], q2[anchor], q3[anchor]
+        fallthrough: list[int] = []
+        for i in range(size):
+            if downstream:
+                mask = (q2a - q2[i]) * (q3a - q3[i]) < 0
+                fast = q1a < q1[i] and q3a > q3[i]
+            else:
+                mask = (q2[i] - q2a) * (q3[i] - q3a) < 0
+                fast = q1[i] < q1a and q3[i] > q3a
+            if mask:
+                answers[i] = fast
+            else:
+                fallthrough.append(i)
+        if fallthrough:
+            anchor_label = self._label_of(origins[anchor])
+            if downstream:
+                pairs = [
+                    (anchor_label, self._label_of(origins[i])) for i in fallthrough
+                ]
+            else:
+                pairs = [
+                    (self._label_of(origins[i]), anchor_label) for i in fallthrough
+                ]
+            for i, answer in zip(fallthrough, self.spec_index.reaches_many(pairs)):
+                answers[i] = answer
+        answers[anchor] = False
+        return answers
+
+
+def compile_spec_kernel(spec_index: Any) -> SpecKernel:
+    """Compile the shared fall-through evaluator of one specification index."""
+    return SpecKernel(spec_index)
+
+
 class _SkeletonKernel(_ArrayKernel):
     """Vectorized Algorithm 3 over a skeleton-labeled run."""
 
     name = "numpy-skl"
 
-    def __init__(self, labeled: Any) -> None:
+    def __init__(self, labeled: Any, *, spec_kernel: Optional[SpecKernel] = None) -> None:
         super().__init__(labeled)
         label_of = labeled.label_of
         labels = [label_of(vertex) for vertex in self._interner]
@@ -275,9 +449,14 @@ class _SkeletonKernel(_ArrayKernel):
             q3[i] = label.q3
         self._q1, self._q2, self._q3 = q1, q2, q3
         spec_index = labeled.spec_index
-        matrix, position_of = _spec_reachability_matrix(spec_index)
+        if spec_kernel is None or spec_kernel.spec_index is not spec_index:
+            # A shared kernel is only sound for the exact spec index the
+            # run's fall-throughs consult; compile a private one otherwise.
+            spec_kernel = SpecKernel(spec_index)
+        matrix = spec_kernel.matrix
         self._matrix = matrix
         if matrix is not None:
+            position_of = spec_kernel.position_of
             orig = _np.empty(size, dtype=_np.int64)
             for i, vertex in enumerate(self._interner):
                 orig[i] = position_of[vertex.module]

@@ -116,12 +116,25 @@ class QueryEngine:
         ``0`` for indexes whose ``stable_labels`` attribute is ``False``
         (the traversal schemes), whose answers track the live graph and
         must not be memoized.
+    spec_kernel:
+        Optional precompiled :class:`~repro.engine.kernels.SpecKernel` for
+        skeleton-labeled indexes.  Engines over many runs of one
+        specification can share it so the spec-side compilation (the dense
+        fall-through matrix) is paid once, not per engine; the provenance
+        store passes its per-spec cache entry here.
     """
 
-    def __init__(self, index: Any, *, cache_size: int = DEFAULT_CACHE_SIZE) -> None:
+    def __init__(
+        self,
+        index: Any,
+        *,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        spec_kernel: Optional[Any] = None,
+    ) -> None:
         if cache_size < 0:
             raise ValueError("cache_size must be non-negative")
         self._index = index
+        self._spec_kernel = spec_kernel
         # The kernel is compiled lazily on the first batch: the point-query
         # path never touches it, and building it can be expensive (label
         # arrays plus, for skeleton runs over non-TCM specs, an all-pairs
@@ -146,7 +159,9 @@ class QueryEngine:
     @property
     def _kernel(self):
         if self._compiled_kernel is None:
-            self._compiled_kernel = build_kernel(self._index)
+            self._compiled_kernel = build_kernel(
+                self._index, spec_kernel=self._spec_kernel
+            )
         return self._compiled_kernel
 
     def _translate_pair(self, key: object) -> Optional[tuple]:
@@ -324,6 +339,30 @@ class QueryEngine:
     ) -> list[bool]:
         """Zip *sources* and *targets* into pairs and answer them as one batch."""
         return self.reaches_batch(list(zip(sources, targets)))
+
+    def dependency_sweep(self, anchor: Vertex, *, downstream: bool = True) -> list:
+        """Every labeled vertex *anchor* reaches (or that reaches it), itself excluded.
+
+        The anchored whole-universe sweep behind ``DownstreamQuery`` /
+        ``UpstreamQuery`` and the store's dependency queries: the anchor is
+        interned once and one handle batch answers every candidate through
+        the compiled kernel.  Requires the index's handle surface (the
+        vertex universe is enumerated through its interner).
+        """
+        interner = self.interner
+        anchor_id = self.intern(anchor)
+        candidates = [i for i in range(len(interner)) if i != anchor_id]
+        anchors = [anchor_id] * len(candidates)
+        if downstream:
+            answers = self.reaches_many_ids(anchors, candidates)
+        else:
+            answers = self.reaches_many_ids(candidates, anchors)
+        vertex_at = interner.vertex_at
+        return [
+            vertex_at(candidate)
+            for candidate, answer in zip(candidates, answers)
+            if answer
+        ]
 
     # ------------------------------------------------------------------
     # cache management

@@ -20,6 +20,7 @@ __all__ = [
     "RunConformanceError",
     "PlanConstructionError",
     "LabelingError",
+    "QueryPlanError",
     "SerializationError",
     "StorageError",
     "DatasetError",
@@ -77,6 +78,10 @@ class PlanConstructionError(ReproError):
 
 class LabelingError(ReproError):
     """A labeling scheme was used incorrectly (e.g. unlabeled vertex queried)."""
+
+
+class QueryPlanError(ReproError):
+    """A declarative query cannot be planned against the session's target."""
 
 
 class SerializationError(ReproError):

@@ -1,6 +1,11 @@
 """Reachability labeling schemes for directed graphs."""
 
-from repro.labeling.base import ReachabilityIndex, VertexHandleAPI
+from repro.labeling.base import (
+    QueryCapabilities,
+    ReachabilityIndex,
+    VertexHandleAPI,
+    capabilities_of,
+)
 from repro.labeling.bfs import BFSIndex, DFSIndex, TraversalIndex
 from repro.labeling.chain import ChainIndex, ChainLabel
 from repro.labeling.interval import IntervalLabel, IntervalTreeIndex, compute_tree_intervals
@@ -18,6 +23,8 @@ from repro.labeling.twohop import TwoHopIndex, TwoHopLabel
 __all__ = [
     "ReachabilityIndex",
     "VertexHandleAPI",
+    "QueryCapabilities",
+    "capabilities_of",
     "BFSIndex",
     "DFSIndex",
     "TraversalIndex",

@@ -19,15 +19,64 @@ from __future__ import annotations
 
 import abc
 from collections.abc import Hashable, Sequence
+from dataclasses import dataclass
 from typing import Any, Optional
 
 from repro.exceptions import LabelingError, VertexNotFoundError
 from repro.graphs.digraph import DiGraph
 from repro.graphs.handles import VertexInterner, intern_pair_arrays
 
-__all__ = ["ReachabilityIndex", "VertexHandleAPI"]
+__all__ = [
+    "ReachabilityIndex",
+    "VertexHandleAPI",
+    "QueryCapabilities",
+    "capabilities_of",
+]
 
 Vertex = Hashable
+
+
+@dataclass(frozen=True)
+class QueryCapabilities:
+    """What a query planner may assume about one query target.
+
+    The session planner (:mod:`repro.api`) and the engine's kernel
+    compiler read these *declared* capabilities instead of testing concrete
+    classes, so any object with the ``(D, φ, π)`` duck type — an index, a
+    labeled run, a stored-run view, an online-run adapter — plugs into the
+    same plans by setting the corresponding class attributes.
+    """
+
+    #: answers derived from labels stay valid for the target's lifetime;
+    #: ``False`` means plans must neither memoize answers nor snapshot labels
+    stable_labels: bool
+    #: the :class:`VertexHandleAPI` surface (``intern_pairs`` /
+    #: ``reaches_many_ids``) is available
+    handles: bool
+    #: which per-scheme batch-kernel family compiles for this target
+    #: (``None`` = only the generic label-table kernel applies)
+    kernel_hint: Optional[str]
+    #: a ``reaches_many`` batch entry point exists
+    batch: bool
+    #: the labeled vertex universe can be enumerated (dependency sweeps)
+    sweep_domain: bool
+
+
+def capabilities_of(target: Any) -> QueryCapabilities:
+    """Read the declared capability flags of one query target.
+
+    Every flag is an ordinary attribute lookup with a conservative default,
+    so duck-typed targets that predate the flags still plan correctly (they
+    get the generic kernel and the object-pair paths).
+    """
+    has_handles = getattr(type(target), "interner", None) is not None
+    return QueryCapabilities(
+        stable_labels=bool(getattr(target, "stable_labels", True)),
+        handles=has_handles,
+        kernel_hint=getattr(target, "kernel_hint", None),
+        batch=getattr(target, "reaches_many", None) is not None,
+        sweep_domain=has_handles,
+    )
 
 
 class VertexHandleAPI:
@@ -166,6 +215,14 @@ class ReachabilityIndex(VertexHandleAPI, abc.ABC):
 
     #: short scheme name used by the registry and the benchmark reports
     scheme_name: str = "abstract"
+
+    #: which batch-kernel family :func:`repro.engine.kernels.build_kernel`
+    #: compiles for this scheme (a declared capability, read through
+    #: :func:`capabilities_of`); ``None`` selects the generic label-table
+    #: kernel.  Subclasses that change their predicate's semantics must
+    #: reset this to ``None`` rather than inherit a kernel that no longer
+    #: matches.
+    kernel_hint: Optional[str] = None
 
     #: whether answers derived from labels stay valid for the index's
     #: lifetime.  True for every label-materializing scheme (labels are

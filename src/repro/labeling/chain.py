@@ -52,6 +52,7 @@ class ChainIndex(ReachabilityIndex):
     """Reachability labeling via greedy chain decomposition."""
 
     scheme_name = "chain"
+    kernel_hint = "chain"
 
     def __init__(self, graph: DiGraph) -> None:
         super().__init__(graph)

@@ -78,6 +78,7 @@ class IntervalTreeIndex(ReachabilityIndex):
     """Interval labeling of a forest (edges directed parent -> child)."""
 
     scheme_name = "interval"
+    kernel_hint = "interval"
 
     def __init__(self, graph: DiGraph) -> None:
         super().__init__(graph)

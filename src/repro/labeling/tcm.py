@@ -30,6 +30,7 @@ class TCMIndex(ReachabilityIndex):
     """Transitive-closure-matrix labeling of a directed graph."""
 
     scheme_name = "tcm"
+    kernel_hint = "tcm"
 
     def __init__(self, graph: DiGraph) -> None:
         super().__init__(graph)

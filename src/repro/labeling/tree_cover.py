@@ -61,6 +61,7 @@ class TreeCoverIndex(ReachabilityIndex):
     """Tree-cover reachability labeling of a DAG."""
 
     scheme_name = "tree-cover"
+    kernel_hint = "tree-cover"
 
     def __init__(self, graph: DiGraph) -> None:
         super().__init__(graph)

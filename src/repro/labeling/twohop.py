@@ -37,6 +37,7 @@ class TwoHopIndex(ReachabilityIndex):
     """Reachability labeling via a greedy 2-hop cover."""
 
     scheme_name = "2-hop"
+    kernel_hint = "2-hop"
 
     def __init__(self, graph: DiGraph) -> None:
         super().__init__(graph)

@@ -2,7 +2,7 @@
 
 from repro.skeleton.construct import PlanConstructionResult, construct_plan
 from repro.skeleton.labels import RunLabel, context_bits, run_label_bits
-from repro.skeleton.online import GroupHandle, OnlineRun, PlusScope
+from repro.skeleton.online import GroupHandle, OnlineRun, OnlineRunView, PlusScope
 from repro.skeleton.orders import ContextEncoding, encode_contexts, generate_three_orders
 from repro.skeleton.skl import (
     LabelingTimings,
@@ -22,6 +22,7 @@ __all__ = [
     "run_label_bits",
     "GroupHandle",
     "OnlineRun",
+    "OnlineRunView",
     "PlusScope",
     "ContextEncoding",
     "encode_contexts",

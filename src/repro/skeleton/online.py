@@ -37,7 +37,7 @@ from typing import Optional, Union
 
 from repro.exceptions import LabelingError, RunConformanceError
 from repro.graphs.digraph import DiGraph
-from repro.labeling.base import ReachabilityIndex
+from repro.labeling.base import ReachabilityIndex, VertexHandleAPI
 from repro.skeleton.construct import construct_plan
 from repro.skeleton.labels import RunLabel
 from repro.skeleton.orders import ContextEncoding, encode_contexts
@@ -46,6 +46,7 @@ from repro.skeleton.skl import (
     SkeletonLabeledRun,
     SkeletonLabeler,
     skeleton_predicate,
+    skeleton_predicate_many,
 )
 from repro.workflow.execution import owned_vertices
 from repro.workflow.hierarchy import ROOT_NAME
@@ -53,7 +54,7 @@ from repro.workflow.plan import ExecutionPlan, PlanNodeKind
 from repro.workflow.run import RunVertex, WorkflowRun
 from repro.workflow.specification import WorkflowSpecification
 
-__all__ = ["GroupHandle", "PlusScope", "OnlineRun"]
+__all__ = ["GroupHandle", "PlusScope", "OnlineRun", "OnlineRunView"]
 
 
 class GroupHandle:
@@ -322,6 +323,28 @@ class OnlineRun:
             self.label_of(source), self.label_of(target), self.spec_index
         )
 
+    def version_token(self) -> tuple[int, int]:
+        """A token that changes whenever recorded structure can move labels.
+
+        Covers both appended executions (the vertex set grew, so any handed
+        out vertex handles are stale) and new fork/loop copies (plan nodes
+        shift positions in the three context orders, so labels move even
+        with an unchanged vertex set).  Consumers that compile anything from
+        this run — the session planner's engine over :meth:`query_view` —
+        compare tokens before executing and rebuild on change.
+        """
+        return (self.graph.vertex_version, len(self.plan))
+
+    def query_view(self) -> "OnlineRunView":
+        """A live ``(D, φ, π)`` + vertex-handle view of the run so far.
+
+        Unlike :meth:`snapshot` this is *not* independent of the online
+        object: it always answers from the current labels (and therefore
+        stays correct across appends), at the price of declaring
+        ``stable_labels = False`` so consumers never memoize through it.
+        """
+        return OnlineRunView(self)
+
     # ------------------------------------------------------------------
     # snapshots and finalization
     # ------------------------------------------------------------------
@@ -371,3 +394,65 @@ class OnlineRun:
                     "plan reconstructed from the final run graph"
                 )
         return self.labeler.label_run(run, plan=self.plan, context=dict(self.context))
+
+
+class OnlineRunView(VertexHandleAPI):
+    """The batch-queryable adapter over an :class:`OnlineRun` in progress.
+
+    :class:`OnlineRun` itself only offers the per-pair event-loop API; this
+    view completes the ``(D, φ, π)`` duck type (``reaches_labels`` /
+    ``reaches_many``) plus the :class:`~repro.labeling.base.VertexHandleAPI`
+    surface, so the query engine and the session planner accept a run that
+    is still executing like any other index.
+
+    The view stays *live*: answers always reflect the run recorded so far.
+    It declares ``stable_labels = False``, which makes every consumer
+    re-resolve labels per batch and disables answer memoization, and its
+    vertex handles are validated against the run graph's vertex version —
+    once a new execution is appended, stale handles raise instead of
+    mis-answering, and callers re-intern against a fresh view (the session
+    does this automatically per append).
+    """
+
+    #: labels shift while the run is recorded; never memoize through this view
+    stable_labels = False
+
+    def __init__(self, online: OnlineRun) -> None:
+        self._online = online
+        self.spec_index = online.spec_index
+
+    @property
+    def online(self) -> OnlineRun:
+        """The online run this view adapts."""
+        return self._online
+
+    # -- vertex-handle template hooks (see VertexHandleAPI) -------------
+    def _handle_vertices(self):
+        # context preserves event order, so handles follow append order
+        return list(self._online.context)
+
+    def _handle_version(self):
+        return self._online.graph.vertex_version
+
+    # -- the (D, φ, π) surface over the partial run ----------------------
+    def label_of(self, vertex: RunVertex) -> RunLabel:
+        """The vertex's label under the *current* state of the run."""
+        return self._online.label_of(vertex)
+
+    def reaches_labels(self, first: RunLabel, second: RunLabel) -> bool:
+        """``πr`` over two current labels (Algorithm 3)."""
+        return skeleton_predicate(first, second, self.spec_index)
+
+    def reaches(self, source: RunVertex, target: RunVertex) -> bool:
+        """Decide reachability between two already-recorded executions."""
+        return self._online.reaches(source, target)
+
+    def reaches_many(self, label_pairs) -> list[bool]:
+        """Batch ``πr`` with one spec-index call for all fall-throughs."""
+        return skeleton_predicate_many(label_pairs, self.spec_index)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"OnlineRunView(run={self._online.name!r}, "
+            f"recorded={self._online.vertex_count})"
+        )

@@ -33,11 +33,15 @@ exposes the cached engine for handle-native callers (the CLI's
 from __future__ import annotations
 
 import sqlite3
+import warnings
+from array import array
 from collections import OrderedDict
-from collections.abc import Iterable
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Union
 
+from repro.engine.kernels import SpecKernel, compile_spec_kernel
 from repro.engine.query import QueryEngine
 from repro.exceptions import StorageError
 from repro.labeling.base import VertexHandleAPI
@@ -59,8 +63,14 @@ from repro.workflow.serialization import (
 )
 from repro.workflow.specification import WorkflowSpecification
 
+try:  # numpy accelerates the streaming label arrays but is strictly optional
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only on numpy-less installs
+    _np = None
+
 __all__ = [
     "ProvenanceStore",
+    "RunLabelArrays",
     "LABEL_FETCH_CHUNK",
     "SQLITE_MAX_VARIABLE_NUMBER",
     "row_value_chunk",
@@ -107,6 +117,39 @@ def row_value_chunk(columns_per_row: int = 2, reserved: int = 1) -> int:
     return max(1, min(LABEL_FETCH_CHUNK, hard_cap))
 
 
+@dataclass(frozen=True)
+class RunLabelArrays:
+    """One stored run's label columns as parallel arrays, in handle order.
+
+    This is the streaming form the cross-run sweep consumes: no
+    :class:`~repro.skeleton.labels.RunLabel` objects, no interner, no spec
+    label resolution — just the three context-coordinate columns (numpy
+    ``int64`` arrays when numpy is installed, ``array('q')`` otherwise),
+    the parallel origin-module names, and the ``(module, instance)``
+    executions for reporting.  Row order follows the persisted interner
+    (the ``vertex_id`` column), like every other handle surface.
+    """
+
+    run_id: int
+    executions: list[tuple[str, int]]
+    q1: Sequence[int]
+    q2: Sequence[int]
+    q3: Sequence[int]
+    origins: list[str]
+
+    def __len__(self) -> int:
+        return len(self.executions)
+
+
+def _deprecated_store_entry(old: str, query: str) -> None:
+    warnings.warn(
+        f"ProvenanceStore.{old} is deprecated: run a {query} through the "
+        "store's ProvenanceSession (store.session().run(...)) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 class ProvenanceStore:
     """Persist and query workflow provenance in a SQLite database."""
 
@@ -123,6 +166,12 @@ class ProvenanceStore:
         # lookups stay SQL-free.  LRU-bounded at STORED_RUN_CACHE_LIMIT.
         self._stored_run_cache: "OrderedDict[int, _StoredRunIndex]" = OrderedDict()
         self._engine_cache: dict[int, tuple[QueryEngine, int]] = {}
+        # Compiled fall-through evaluators shared by every run of one
+        # (spec_id, scheme) — unlike the two caches above this one is not
+        # LRU-bounded: one entry per stored specification+scheme, and a
+        # cross-run sweep needs all of a spec's runs to hit the same entry.
+        self._spec_kernel_cache: dict[tuple[int, str], SpecKernel] = {}
+        self._session = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -280,6 +329,83 @@ class ProvenanceStore:
             self._index_cache[key] = get_scheme(scheme).build(spec.graph)
         return self._index_cache[key]
 
+    def spec_kernel(self, run_id: int) -> SpecKernel:
+        """The compiled fall-through evaluator shared by the run's specification.
+
+        Cached per ``(spec_id, spec_scheme)``, so every run of one
+        specification — the stored-run engines and the cross-run sweep —
+        pays the spec-side compilation (for non-TCM schemes, ``nG²``
+        predicate evaluations) exactly once per store.
+        """
+        row = self._run_row(run_id)
+        scheme = row["spec_scheme"] or "tcm"
+        key = (int(row["spec_id"]), scheme)
+        kernel = self._spec_kernel_cache.get(key)
+        if kernel is None:
+            kernel = self._spec_kernel_cache[key] = compile_spec_kernel(
+                self._spec_index(run_id)
+            )
+        return kernel
+
+    def run_label_arrays(self, run_id: int) -> RunLabelArrays:
+        """Stream one run's label columns out of SQL as parallel arrays.
+
+        One ``fetchall`` in persisted-handle order, three array fills — no
+        per-row label objects.  This is the per-run payload of a cross-run
+        sweep: the arrays go straight through the shared
+        :meth:`spec_kernel`.
+        """
+        cursor = self._connection.execute(
+            # the skeleton column is not fetched: the store persists the
+            # origin module name there (see add_labeled_run), so the module
+            # column already carries every origin this sweep needs
+            "SELECT module, instance, q1, q2, q3 FROM run_labels "
+            "WHERE run_id = ? "
+            "ORDER BY (vertex_id IS NULL), vertex_id, module, instance",
+            (run_id,),
+        )
+        # plain tuples instead of sqlite3.Row: this path exists to stream,
+        # so skip the per-row wrapper object the rest of the store wants
+        cursor.row_factory = None
+        rows = cursor.fetchall()
+        if not rows:
+            self._run_row(run_id)  # raise cleanly when the run does not exist
+            modules = instances = q1_col = q2_col = q3_col = ()
+        else:
+            # one C-level transpose; the per-column tuples feed the array
+            # constructors without a Python-level row visit each
+            modules, instances, q1_col, q2_col, q3_col = zip(*rows)
+        count = len(rows)
+        if _np is not None:
+            q1 = _np.fromiter(q1_col, dtype=_np.int64, count=count)
+            q2 = _np.fromiter(q2_col, dtype=_np.int64, count=count)
+            q3 = _np.fromiter(q3_col, dtype=_np.int64, count=count)
+        else:
+            q1 = array("q", q1_col)
+            q2 = array("q", q2_col)
+            q3 = array("q", q3_col)
+        return RunLabelArrays(
+            run_id=run_id,
+            executions=list(zip(modules, instances)),
+            q1=q1,
+            q2=q2,
+            q3=q3,
+            origins=list(modules),
+        )
+
+    def session(self):
+        """The store's :class:`~repro.api.ProvenanceSession` (built lazily).
+
+        The session is the documented query surface over stored runs: one
+        ``session.run(query)`` entry point for point, batch, sweep,
+        cross-run and data-dependency queries.
+        """
+        if self._session is None:
+            from repro.api.session import ProvenanceSession
+
+            self._session = ProvenanceSession(self)
+        return self._session
+
     def label_of(self, run_id: int, module: str, instance: int) -> RunLabel:
         """Return the stored run label of one module execution."""
         row = self._connection.execute(
@@ -375,6 +501,21 @@ class ProvenanceStore:
     ) -> bool:
         """Decide reachability between two stored module executions.
 
+        .. deprecated::
+            Run a :class:`~repro.api.PointQuery` through
+            ``store.session()`` instead; this shim delegates unchanged.
+        """
+        _deprecated_store_entry("reaches", "PointQuery")
+        return self._reaches(run_id, source, target)
+
+    def _reaches(
+        self,
+        run_id: int,
+        source: Union[RunVertex, tuple[str, int]],
+        target: Union[RunVertex, tuple[str, int]],
+    ) -> bool:
+        """Per-pair reachability from stored labels (the session's point plan).
+
         *source* and *target* may be :class:`RunVertex` instances or plain
         ``(module, instance)`` tuples.
         """
@@ -414,7 +555,10 @@ class ProvenanceStore:
         index.ensure_all()
         cached = self._engine_cache.get(run_id)
         if cached is None or cached[1] != index.version:
-            cached = (QueryEngine(index), index.version)
+            cached = (
+                QueryEngine(index, spec_kernel=self.spec_kernel(run_id)),
+                index.version,
+            )
             self._engine_cache[run_id] = cached
         return cached[0]
 
@@ -424,6 +568,20 @@ class ProvenanceStore:
         pairs: Iterable[tuple],
     ) -> list[bool]:
         """Answer many reachability queries over one stored run at once.
+
+        .. deprecated::
+            Run a :class:`~repro.api.BatchQuery` through
+            ``store.session()`` instead; this shim delegates unchanged.
+        """
+        _deprecated_store_entry("reaches_batch", "BatchQuery")
+        return self._reaches_batch(run_id, pairs)
+
+    def _reaches_batch(
+        self,
+        run_id: int,
+        pairs: Iterable[tuple],
+    ) -> list[bool]:
+        """The stored-run batch plan (used by the session's BatchQuery).
 
         Labels the batch needs but the run's cached view is missing are
         fetched with chunked row-value ``IN`` SELECTs (a single SQL round
@@ -458,11 +616,11 @@ class ProvenanceStore:
     ) -> list[tuple[str, int]]:
         """Every stored execution that depends on *execution* (excluding itself).
 
-        The run's full label set is fetched in one SQL round trip and the
-        predicate is evaluated batch-wise against every candidate — the
-        "which downstream results were affected" sweep of the introduction,
-        answered without reconstructing the run graph.
+        .. deprecated::
+            Run a :class:`~repro.api.DownstreamQuery` through
+            ``store.session()`` instead; this shim delegates unchanged.
         """
+        _deprecated_store_entry("downstream_of", "DownstreamQuery")
         return self._dependency_sweep(run_id, execution, downstream=True)
 
     def upstream_of(
@@ -470,7 +628,13 @@ class ProvenanceStore:
         run_id: int,
         execution: Union[RunVertex, tuple[str, int]],
     ) -> list[tuple[str, int]]:
-        """Every stored execution that *execution* depends on (excluding itself)."""
+        """Every stored execution that *execution* depends on (excluding itself).
+
+        .. deprecated::
+            Run an :class:`~repro.api.UpstreamQuery` through
+            ``store.session()`` instead; this shim delegates unchanged.
+        """
+        _deprecated_store_entry("upstream_of", "UpstreamQuery")
         return self._dependency_sweep(run_id, execution, downstream=False)
 
     def _dependency_sweep(
@@ -488,20 +652,7 @@ class ProvenanceStore:
                 f"run {run_id} has no label for execution {anchor[0]}{anchor[1]}"
             )
         engine = self.query_engine(run_id)
-        interner = engine.interner
-        anchor_id = interner.id_of(anchor)
-        candidates = [i for i in range(len(interner)) if i != anchor_id]
-        anchors = [anchor_id] * len(candidates)
-        if downstream:
-            answers = engine.reaches_many_ids(anchors, candidates)
-        else:
-            answers = engine.reaches_many_ids(candidates, anchors)
-        vertex_at = interner.vertex_at
-        return [
-            vertex_at(identifier)
-            for identifier, answer in zip(candidates, answers)
-            if answer
-        ]
+        return engine.dependency_sweep(anchor, downstream=downstream)
 
     # ------------------------------------------------------------------
     # data provenance
@@ -566,7 +717,7 @@ class ProvenanceStore:
         if not consumers:
             return False
         return any(
-            self.reaches_batch(
+            self._reaches_batch(
                 run_id, [(consumer, producer) for consumer in consumers]
             )
         )
@@ -576,7 +727,7 @@ class ProvenanceStore:
     ) -> bool:
         """Does stored data item *item_id* depend on module execution *module*?"""
         producer = self._producer_of(run_id, item_id)
-        return self.reaches(run_id, module, producer)
+        return self._reaches(run_id, module, producer)
 
     def list_data_items(self, run_id: int) -> list[str]:
         """Return the identifiers of every data item stored for *run_id*."""

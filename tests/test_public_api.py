@@ -10,6 +10,8 @@ import repro
 
 PACKAGES = [
     "repro",
+    "repro.api",
+    "repro.engine",
     "repro.graphs",
     "repro.workflow",
     "repro.labeling",
