@@ -38,10 +38,13 @@ _IDENTITY_KEYS = (
     "spec_scheme",
     "workload",
     "kernel",
+    "mode",
     "runs",
     "vertices_per_run",
     "run_size",
     "pairs",
+    "appends",
+    "workers",
 )
 
 
@@ -92,8 +95,11 @@ def check(results_dir: Path, baseline_dir: Path, threshold: float, strict_qps: b
                 compared += 1
                 if metric == "speedup" and old < 3.0:
                     # thin ratios wobble on shared runners: wide margin,
-                    # but never accept dropping below break-even
-                    floor = max(old * 0.5, 1.0)
+                    # but never accept dropping below break-even — unless
+                    # the baseline itself was below break-even (the forced
+                    # worker-pool rows on few-core hosts record honest
+                    # sub-1x ratios; those gate at half their baseline)
+                    floor = max(old * 0.5, 1.0) if old >= 1.0 else old * 0.5
                 else:
                     floor = old * (1.0 - threshold)
                 status = "FAIL" if new < floor else "ok"

@@ -16,13 +16,20 @@ each query to:
    resolution disappears from the hot path;
 4. open the same session API over a :class:`~repro.storage.ProvenanceStore`
    and answer point, batch and sweep queries from stored labels (one SQL
-   round trip, cached kernels);
+   round trip, cached kernels, and **adaptive promotion**: after a few
+   point queries on one run the session switches it from per-pair SQL to
+   the compiled kernel — see ``session.cache_stats()``);
 5. sweep **all** runs of the specification at once with a
    :class:`~repro.api.CrossRunQuery` — the spec-side kernel is compiled
-   once and every run's label columns stream through it.
+   once and every run's label columns stream through it;
+6. ask the **same pair workload of every run** with a
+   :class:`~repro.api.CrossRunBatchQuery` (a runs x pairs matrix) and fan
+   the independent per-run payloads across workers (``workers=``, also on
+   ``CrossRunQuery`` — the executor falls back to the sequential path for
+   small sweeps, single-core hosts and in-memory stores).
 
-The CLI mirrors steps 3-5: ``repro-provenance query-batch --format bin``,
-``pack-workload`` and ``sweep``.
+The CLI mirrors steps 3-6: ``repro-provenance query-batch --format bin``,
+``pack-workload``, ``sweep --workers`` and ``cross-batch``.
 """
 
 from __future__ import annotations
@@ -34,6 +41,7 @@ from pathlib import Path
 
 from repro import (
     BatchQuery,
+    CrossRunBatchQuery,
     CrossRunQuery,
     DownstreamQuery,
     PointQuery,
@@ -120,10 +128,14 @@ def main() -> None:
 
         # The scaling query: one dependency sweep across EVERY stored run of
         # the specification.  The spec kernel is compiled once; each run
-        # streams its raw label columns through it.
+        # streams its raw label columns through it.  The per-run payloads
+        # are independent, so `workers=` fans them across a pool — the
+        # executor auto-selects the sequential path when a pool cannot pay
+        # for itself (few runs, one core, in-memory store), so `None` is
+        # always a safe default.
         started = time.perf_counter()
         sweep = stored.run(
-            CrossRunQuery(spec.name, (anchor.module, anchor.instance))
+            CrossRunQuery(spec.name, (anchor.module, anchor.instance), workers=None)
         )
         sweep_seconds = time.perf_counter() - started
         print(f"cross-run sweep: {sweep.affected_count} affected executions "
@@ -131,6 +143,36 @@ def main() -> None:
         assert sorted(sweep.per_run[run_id]) == sorted(
             (v.module, v.instance) for v in affected
         )
+
+        # The generalized form: the SAME pair workload asked of every run,
+        # answered as a runs x pairs boolean matrix — without building a
+        # per-run engine per run.  Runs missing a queried endpoint are
+        # skipped whole, so every matrix row is a complete answer vector.
+        monitored = [
+            ((anchor.module, anchor.instance), (v.module, v.instance))
+            for v in vertices[:32]
+        ]
+        started = time.perf_counter()
+        cross = stored.run(CrossRunBatchQuery(spec.name, monitored))
+        cross_seconds = time.perf_counter() - started
+        matrix = cross.matrix()
+        print(f"cross-run batch: {len(monitored)} pairs x {cross.run_count} "
+              f"runs in {cross_seconds * 1e3:.1f} ms "
+              f"(matrix rows in run order {cross.run_ids}, "
+              f"{len(cross.skipped_runs)} runs skipped)")
+        assert list(map(bool, matrix[cross.run_ids.index(run_id)])) == [
+            bool(a) for a in stored.run(BatchQuery(pairs=monitored, run_id=run_id))
+        ]
+
+        # Adaptive promotion: the first few point queries on a run pay
+        # per-pair SQL; once the run is hot the session promotes it to the
+        # compiled kernel and later point queries replay with zero SQL.
+        for _ in range(10):
+            stored.run(PointQuery(anchor, vertices[2], run_id=run_id))
+        stats = stored.cache_stats()
+        print(f"session cache: promoted runs {stats['promoted_runs']} "
+              f"(threshold {stats['promote_after']}), "
+              f"{stats['evictions']} evictions")
 
 
 if __name__ == "__main__":

@@ -35,6 +35,10 @@ from repro.exceptions import (
 )
 from repro.api import (
     BatchQuery,
+    CrossRunBatchQuery,
+    CrossRunBatchResult,
+    CrossRunPointQuery,
+    CrossRunPointResult,
     CrossRunQuery,
     CrossRunSweepResult,
     DataDependencyQuery,
@@ -107,8 +111,12 @@ __all__ = [
     "DownstreamQuery",
     "UpstreamQuery",
     "CrossRunQuery",
+    "CrossRunBatchQuery",
+    "CrossRunPointQuery",
     "DataDependencyQuery",
     "CrossRunSweepResult",
+    "CrossRunBatchResult",
+    "CrossRunPointResult",
     # batch query engine (the kernel layer under the session)
     "QueryEngine",
     "EngineStats",

@@ -20,6 +20,10 @@ from repro.api.workload import (
 )
 from repro.api.queries import (
     BatchQuery,
+    CrossRunBatchQuery,
+    CrossRunBatchResult,
+    CrossRunPointQuery,
+    CrossRunPointResult,
     CrossRunQuery,
     CrossRunSweepResult,
     DataDependencyQuery,
@@ -27,17 +31,22 @@ from repro.api.queries import (
     PointQuery,
     UpstreamQuery,
 )
-from repro.api.session import ProvenanceSession
+from repro.api.session import PROMOTE_AFTER_DEFAULT, ProvenanceSession
 
 __all__ = [
     "ProvenanceSession",
+    "PROMOTE_AFTER_DEFAULT",
     "PointQuery",
     "BatchQuery",
     "DownstreamQuery",
     "UpstreamQuery",
     "CrossRunQuery",
+    "CrossRunBatchQuery",
+    "CrossRunPointQuery",
     "DataDependencyQuery",
     "CrossRunSweepResult",
+    "CrossRunBatchResult",
+    "CrossRunPointResult",
     "QueryPlan",
     "compile_plan",
     "HANDLE_PATH_MIN_PAIRS",

@@ -21,6 +21,10 @@ from typing import Any
 
 from repro.api.queries import (
     BatchQuery,
+    CrossRunBatchQuery,
+    CrossRunBatchResult,
+    CrossRunPointQuery,
+    CrossRunPointResult,
     CrossRunQuery,
     CrossRunSweepResult,
     DataDependencyQuery,
@@ -28,14 +32,10 @@ from repro.api.queries import (
     PointQuery,
     UpstreamQuery,
 )
+from repro.engine.parallel import CrossRunExecutor
 from repro.exceptions import LabelingError, QueryPlanError, StorageError
 from repro.labeling.base import capabilities_of
 from repro.workflow.run import RunVertex
-
-try:  # numpy accelerates sweep-result extraction but is strictly optional
-    import numpy as _np
-except ImportError:  # pragma: no cover - exercised only on numpy-less installs
-    _np = None
 
 __all__ = [
     "QueryPlan",
@@ -56,13 +56,6 @@ def _as_execution(value: Any) -> tuple:
     if isinstance(value, RunVertex):
         return (value.module, value.instance)
     return (str(value[0]), int(value[1]))
-
-
-def _true_positions(answers) -> list[int]:
-    """Row indices answered True (numpy fast path when the array allows)."""
-    if _np is not None and isinstance(answers, _np.ndarray):
-        return _np.flatnonzero(answers).tolist()
-    return [i for i, answer in enumerate(answers) if answer]
 
 
 class QueryPlan:
@@ -93,7 +86,10 @@ class _PointPlan(QueryPlan):
     def execute(self) -> bool:
         query = self.query
         if self.target.kind == "store":
-            return self.target.store._reaches(
+            # per-pair SQL while the run is cold; the target transparently
+            # promotes hot runs to their compiled engine (see
+            # _StoreTarget.point_query and ProvenanceSession.cache_stats)
+            return self.target.point_query(
                 self.target.require_run_id(query),
                 _as_execution(query.source),
                 _as_execution(query.target),
@@ -178,62 +174,83 @@ class _UpstreamPlan(_SweepPlan):
     downstream = False
 
 
-class _CrossRunPlan(QueryPlan):
-    """Sweep all runs of one specification through a shared spec kernel.
+class _CrossRunPlanBase(QueryPlan):
+    """Shared plumbing of the cross-run plans: store-only, one executor.
 
     The per-specification fall-through kernel (the expensive, ``nG²``-ish
     part of a skeleton kernel) is compiled **once** via the store's
     per-spec cache; each run then contributes only a streamed
     :class:`~repro.storage.store.RunLabelArrays` fetch plus one vectorized
-    anchored sweep — no per-run label objects, interners or engines.
+    kernel evaluation.  The :class:`~repro.engine.parallel.CrossRunExecutor`
+    prefetches runs in chunks (one ordered SQL scan each) and fans the
+    independent per-run payloads across a worker pool, falling back to the
+    sequential PR 3 streaming path for small run counts.
     """
 
     def __init__(self, target: Any, query: Any) -> None:
         super().__init__(target, query)
         if target.kind != "store":
             raise QueryPlanError(
-                "CrossRunQuery sweeps stored runs; this session fronts "
-                f"{target.describe()}"
+                f"{type(query).__name__} sweeps stored runs; this session "
+                f"fronts {target.describe()}"
             )
+        # compiled once with the plan: re-executions reuse the executor
+        # (and its resolved REPRO_PARALLEL mode); the worker pool itself is
+        # still per-execution — see the ROADMAP's persistent-pool item
+        self._executor = CrossRunExecutor(target.store, workers=query.workers)
+
+
+class _CrossRunPlan(_CrossRunPlanBase):
+    """Sweep all runs of one specification through a shared spec kernel."""
 
     def execute(self) -> CrossRunSweepResult:
         query = self.query
-        store = self.target.store
         anchor = _as_execution(query.execution)
-        downstream = query.direction == "downstream"
-        runs = store.list_runs(query.specification)
-        if not runs:
-            # distinguish "unknown specification" from "no runs yet"
-            store.get_specification(query.specification)
-        per_run: dict[int, list] = {}
-        skipped: list[int] = []
-        for row in runs:
-            run_id = int(row["run_id"])
-            # cached per (spec_id, scheme): compiled once for the whole sweep
-            spec_kernel = store.spec_kernel(run_id)
-            arrays = store.run_label_arrays(run_id)
-            try:
-                anchor_row = arrays.executions.index(anchor)
-            except ValueError:
-                skipped.append(run_id)
-                continue
-            answers = spec_kernel.sweep(
-                arrays.q1,
-                arrays.q2,
-                arrays.q3,
-                arrays.origins,
-                anchor_row,
-                downstream=downstream,
-            )
-            executions = arrays.executions
-            per_run[run_id] = [
-                executions[i] for i in _true_positions(answers)
-            ]
+        per_run, skipped = self._executor.sweep(
+            query.specification, anchor, query.direction
+        )
         return CrossRunSweepResult(
             specification=query.specification,
             execution=anchor,
             direction=query.direction,
             per_run=per_run,
+            skipped_runs=skipped,
+        )
+
+
+class _CrossRunBatchPlan(_CrossRunPlanBase):
+    """The same pair workload against every run: a runs x pairs matrix."""
+
+    def execute(self) -> CrossRunBatchResult:
+        query = self.query
+        pairs = [
+            (_as_execution(source), _as_execution(target))
+            for source, target in query.pairs
+        ]
+        per_run, skipped = self._executor.batch(query.specification, pairs)
+        return CrossRunBatchResult(
+            specification=query.specification,
+            pairs=pairs,
+            per_run=per_run,
+            skipped_runs=skipped,
+        )
+
+
+class _CrossRunPointPlan(_CrossRunPlanBase):
+    """One pair against every run (a single-column batch)."""
+
+    def execute(self) -> CrossRunPointResult:
+        query = self.query
+        source = _as_execution(query.source)
+        target = _as_execution(query.target)
+        per_run, skipped = self._executor.batch(
+            query.specification, [(source, target)]
+        )
+        return CrossRunPointResult(
+            specification=query.specification,
+            source=source,
+            target=target,
+            per_run={run_id: bool(answers[0]) for run_id, answers in per_run.items()},
             skipped_runs=skipped,
         )
 
@@ -270,6 +287,8 @@ _PLAN_OF = {
     DownstreamQuery: _DownstreamPlan,
     UpstreamQuery: _UpstreamPlan,
     CrossRunQuery: _CrossRunPlan,
+    CrossRunBatchQuery: _CrossRunBatchPlan,
+    CrossRunPointQuery: _CrossRunPointPlan,
     DataDependencyQuery: _DataDependencyPlan,
 }
 

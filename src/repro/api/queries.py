@@ -26,8 +26,12 @@ __all__ = [
     "DownstreamQuery",
     "UpstreamQuery",
     "CrossRunQuery",
+    "CrossRunBatchQuery",
+    "CrossRunPointQuery",
     "DataDependencyQuery",
     "CrossRunSweepResult",
+    "CrossRunBatchResult",
+    "CrossRunPointResult",
 ]
 
 
@@ -114,11 +118,17 @@ class CrossRunQuery:
     streamed through it, instead of building a full per-run engine per run.
     Only store-backed sessions can plan it.  Answers a
     :class:`CrossRunSweepResult`.
+
+    ``workers`` controls the parallel executor: ``None`` auto-sizes a
+    thread pool from the CPU count (falling back to the sequential path
+    for small run counts), ``1`` forces the sequential path, and any
+    larger value pins the pool size.
     """
 
     specification: str
     execution: Any
     direction: str = "downstream"
+    workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.direction not in ("downstream", "upstream"):
@@ -126,6 +136,46 @@ class CrossRunQuery:
                 f"CrossRunQuery direction must be 'downstream' or 'upstream', "
                 f"got {self.direction!r}"
             )
+
+
+@dataclass(frozen=True)
+class CrossRunBatchQuery:
+    """The same pair workload asked of **every** stored run of a specification.
+
+    The generalization of :class:`CrossRunQuery` from one anchored sweep to
+    an arbitrary batch: every run of *specification* answers the same
+    ``(source, target)`` pairs, yielding a runs x pairs boolean matrix.
+    Each run contributes only a streamed label-column fetch plus one
+    vectorized kernel evaluation through the shared per-specification
+    kernel — no per-run engines — and the per-run payloads execute in
+    parallel (see :class:`CrossRunQuery` for the ``workers`` semantics).
+    Only store-backed sessions can plan it.  Answers a
+    :class:`CrossRunBatchResult`.
+    """
+
+    specification: str
+    pairs: Sequence[tuple]
+    workers: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.pairs:
+            raise QueryPlanError("CrossRunBatchQuery needs at least one pair")
+
+
+@dataclass(frozen=True)
+class CrossRunPointQuery:
+    """One reachability question asked of **every** stored run of a specification.
+
+    "Did *source* reach *target* in each recorded execution of this
+    workflow?" — the monitoring form of :class:`PointQuery`.  Compiled as a
+    single-pair :class:`CrossRunBatchQuery`, so it rides the same streamed
+    parallel executor.  Answers a :class:`CrossRunPointResult`.
+    """
+
+    specification: str
+    source: Any
+    target: Any
+    workers: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -172,3 +222,67 @@ class CrossRunSweepResult:
     def affected_count(self) -> int:
         """Total number of affected executions across all swept runs."""
         return sum(len(found) for found in self.per_run.values())
+
+
+@dataclass(frozen=True)
+class CrossRunBatchResult:
+    """The outcome of one :class:`CrossRunBatchQuery`: a runs x pairs matrix.
+
+    ``per_run`` maps each answered run id to one boolean per queried pair,
+    in pair order.  Runs of the specification missing any queried endpoint
+    are listed in ``skipped_runs`` instead of contributing a partial row,
+    so every present row is a complete answer vector.
+    """
+
+    specification: str
+    pairs: list
+    per_run: dict = field(default_factory=dict)
+    skipped_runs: list = field(default_factory=list)
+
+    @property
+    def run_ids(self) -> list:
+        """Answered run ids, ascending — the row order of :meth:`matrix`."""
+        return sorted(self.per_run)
+
+    @property
+    def run_count(self) -> int:
+        """Number of runs that answered the batch (excluding skipped ones)."""
+        return len(self.per_run)
+
+    def matrix(self):
+        """The runs x pairs answers, rows in :attr:`run_ids` order.
+
+        A numpy boolean array when numpy is installed, a list of lists
+        otherwise.
+        """
+        rows = [self.per_run[run_id] for run_id in self.run_ids]
+        try:
+            import numpy as np
+        except ImportError:  # pragma: no cover - numpy-less installs
+            return [list(row) for row in rows]
+        return np.asarray(rows, dtype=bool).reshape(len(rows), len(self.pairs))
+
+
+@dataclass(frozen=True)
+class CrossRunPointResult:
+    """The outcome of one :class:`CrossRunPointQuery`.
+
+    ``per_run`` maps each run id to the boolean answer; runs that never
+    executed one of the endpoints are listed in ``skipped_runs``.
+    """
+
+    specification: str
+    source: tuple
+    target: tuple
+    per_run: dict = field(default_factory=dict)
+    skipped_runs: list = field(default_factory=list)
+
+    @property
+    def run_count(self) -> int:
+        """Number of runs that answered the question."""
+        return len(self.per_run)
+
+    @property
+    def reachable_count(self) -> int:
+        """In how many runs *source* reached *target*."""
+        return sum(1 for answer in self.per_run.values() if answer)

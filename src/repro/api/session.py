@@ -31,9 +31,14 @@ from typing import Any, Iterable, Optional
 from repro.api.plans import QueryPlan, compile_plan
 from repro.api.queries import BatchQuery, PointQuery
 from repro.engine.query import QueryEngine
-from repro.exceptions import QueryPlanError
+from repro.exceptions import LabelingError, QueryPlanError, StorageError
 
-__all__ = ["ProvenanceSession"]
+__all__ = ["ProvenanceSession", "PROMOTE_AFTER_DEFAULT"]
+
+#: after this many point queries against one stored run the session
+#: transparently promotes the run from per-pair SQL to its compiled
+#: QueryEngine (configurable per session via ``promote_after``)
+PROMOTE_AFTER_DEFAULT = 8
 
 
 class _IndexTarget:
@@ -55,28 +60,31 @@ class _IndexTarget:
 
 
 class _OnlineTarget:
-    """A run still executing, with per-append plan invalidation.
+    """A run still executing, served by one incrementally maintained kernel.
 
-    The engine is compiled over :meth:`OnlineRun.query_view` and thrown
-    away whenever the run's :meth:`~OnlineRun.version_token` moves (an
-    execution was appended or a fork/loop copy started) — stale vertex
-    handles are never replayed, and the fresh view re-interns the grown
-    vertex set.
+    The compiled :class:`~repro.engine.online.OnlineKernel` persists across
+    appends: executions recorded into already-nonempty scopes extend its
+    label arrays **in place** (only the hot-pair LRU is invalidated), and
+    only structural changes that can move existing labels — a scope turning
+    nonempty for the first time — trigger a full recompile.  Answers always
+    reflect the run recorded so far, like the per-append rebuild this
+    replaces, but an append-heavy monitoring loop no longer pays a
+    recompile per event.
     """
 
     kind = "online"
 
     def __init__(self, online: Any) -> None:
         self.online = online
-        self._engine: Optional[QueryEngine] = None
-        self._token: Any = None
+        self._kernel: Optional[Any] = None
 
-    def engine(self) -> QueryEngine:
-        token = self.online.version_token()
-        if self._engine is None or token != self._token:
-            self._engine = QueryEngine(self.online.query_view())
-            self._token = token
-        return self._engine
+    def engine(self) -> Any:
+        if self._kernel is None:
+            from repro.engine.online import OnlineKernel
+
+            self._kernel = OnlineKernel(self.online)
+        self._kernel.sync()
+        return self._kernel
 
     @property
     def index(self) -> Any:
@@ -87,12 +95,28 @@ class _OnlineTarget:
 
 
 class _StoreTarget:
-    """A provenance store; queries carry the run id they address."""
+    """A provenance store; queries carry the run id they address.
+
+    The target also hosts the session's **adaptive promotion** policy for
+    point queries: a cold run answers each pair with per-pair SQL (two
+    label SELECTs — the right trade for a handful of interactive queries),
+    but once a run has absorbed ``promote_after`` point queries the target
+    promotes it to the store's compiled :class:`QueryEngine`, after which
+    point queries replay through the engine's label cache and hot-pair LRU
+    with **zero** SQL.
+    """
 
     kind = "store"
 
-    def __init__(self, store: Any) -> None:
+    def __init__(self, store: Any, promote_after: int = PROMOTE_AFTER_DEFAULT) -> None:
         self.store = store
+        if promote_after < 1:
+            raise QueryPlanError(
+                f"promote_after must be a positive integer, got {promote_after}"
+            )
+        self.promote_after = int(promote_after)
+        self._point_hits: dict[int, int] = {}
+        self._promoted: set[int] = set()
 
     def require_run_id(self, query: Any) -> int:
         if query.run_id is None:
@@ -101,6 +125,34 @@ class _StoreTarget:
                 "needs a run_id"
             )
         return int(query.run_id)
+
+    def point_query(self, run_id: int, source: tuple, target: tuple) -> bool:
+        """One point query, promoted to the compiled engine once hot."""
+        if run_id not in self._promoted:
+            hits = self._point_hits.get(run_id, 0) + 1
+            self._point_hits[run_id] = hits
+            if hits < self.promote_after:
+                return self.store._reaches(run_id, source, target)
+            self._promoted.add(run_id)
+            # warm the engine now (one SQL round trip for the full label
+            # set); every later point query on this run is SQL-free
+        try:
+            return self.store.query_engine(run_id).reaches(source, target)
+        except LabelingError as exc:
+            # match the cold per-pair path's error contract: unknown
+            # executions are a storage-level error carrying the run context,
+            # before and after promotion alike
+            raise StorageError(f"run {run_id}: {exc}") from None
+
+    def cache_stats(self) -> dict:
+        return {
+            "target_kind": self.kind,
+            "promote_after": self.promote_after,
+            "point_hits": dict(self._point_hits),
+            "promoted_runs": sorted(self._promoted),
+            "promotions": len(self._promoted),
+            **self.store.cache_stats(),
+        }
 
     def describe(self) -> str:
         return f"the provenance store at {self.store.path!r}"
@@ -117,11 +169,13 @@ class ProvenanceSession:
     :meth:`for_index` / :meth:`for_online` constructors skip the sniffing.
     """
 
-    def __init__(self, target: Any) -> None:
+    def __init__(
+        self, target: Any, *, promote_after: int = PROMOTE_AFTER_DEFAULT
+    ) -> None:
         if target is None:
             raise QueryPlanError("ProvenanceSession needs a query target")
         if hasattr(target, "query_engine") and hasattr(target, "list_runs"):
-            self._target = _StoreTarget(target)
+            self._target = _StoreTarget(target, promote_after=promote_after)
         elif hasattr(target, "query_view") and hasattr(target, "version_token"):
             self._target = _OnlineTarget(target)
         elif hasattr(target, "label_of") and hasattr(target, "reaches_labels"):
@@ -154,6 +208,31 @@ class ProvenanceSession:
     def target_kind(self) -> str:
         """Which kind of target this session fronts: index, online or store."""
         return self._target.kind
+
+    def cache_stats(self) -> dict:
+        """Occupancy, promotion and eviction statistics of the session's caches.
+
+        For store-backed sessions this reports the adaptive point-query
+        promotion state (per-run hit counters, promoted runs, the
+        ``promote_after`` threshold) merged with the store's cache
+        occupancy and LRU eviction counters; for online sessions it
+        reports the incremental kernel's extension/rebuild counters; for
+        plain index sessions, the engine's query counters.
+        """
+        target = self._target
+        if target.kind == "store":
+            return target.cache_stats()
+        stats: dict = {"target_kind": target.kind}
+        if target.kind == "online":
+            stats.update(target.engine().cache_stats())
+            return stats
+        engine = target.engine()
+        stats.update(
+            queries=engine.stats.queries,
+            batches=engine.stats.batches,
+            cache_hits=engine.stats.cache_hits,
+        )
+        return stats
 
     def compile(self, query: Any) -> QueryPlan:
         """Compile one declarative query into a reusable executable plan."""

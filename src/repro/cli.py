@@ -13,7 +13,10 @@ The CLI exposes the typical life cycle of the system:
 * ``pack-workload`` — resolve a text pair file against a stored run's
   persisted interner and write the binary handle workload;
 * ``sweep`` — one dependency sweep across **all** stored runs of a
-  specification (the cross-run query);
+  specification (the cross-run query; ``--workers`` fans the per-run
+  payloads across the parallel executor);
+* ``cross-batch`` — the same pair workload asked of **every** stored run
+  of a specification (a runs x pairs matrix, parallel like ``sweep``);
 * ``experiments`` — regenerate the paper's tables and figures;
 * ``info`` — show a specification's characteristics (the Table 1 columns).
 
@@ -37,7 +40,12 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.api.plans import HANDLE_PATH_MIN_PAIRS as _HANDLE_PATH_MIN_PAIRS
-from repro.api.queries import BatchQuery, CrossRunQuery, PointQuery
+from repro.api.queries import (
+    BatchQuery,
+    CrossRunBatchQuery,
+    CrossRunQuery,
+    PointQuery,
+)
 from repro.api.workload import decode_pair_workload, write_pair_workload
 from repro.bench.experiments import all_experiments
 from repro.bench.reporting import write_report
@@ -154,6 +162,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--summary-only",
         action="store_true",
         help="print only per-run counts, not the affected executions",
+    )
+    sweep_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="parallel workers for the per-run payloads (default: auto-sized "
+        "from the CPU count; 1 forces the sequential path)",
+    )
+
+    cross_batch_parser = subparsers.add_parser(
+        "cross-batch",
+        help="answer the same pair workload against EVERY stored run of a "
+        "specification (a runs x pairs matrix)",
+    )
+    cross_batch_parser.add_argument("--database", type=Path, required=True)
+    cross_batch_parser.add_argument(
+        "--spec", required=True, help="specification name"
+    )
+    cross_batch_parser.add_argument(
+        "--pairs",
+        required=True,
+        help="file of 'source target' lines (module:instance each), or - for stdin",
+    )
+    cross_batch_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="parallel workers for the per-run payloads (default: auto)",
+    )
+    cross_batch_parser.add_argument(
+        "--summary-only",
+        action="store_true",
+        help="print only per-run reachable counts, not one line per pair",
     )
 
     verify_parser = subparsers.add_parser(
@@ -414,7 +455,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
     with ProvenanceStore(args.database) as store:
         started = time.perf_counter()
         result = store.session().run(
-            CrossRunQuery(args.spec, anchor, args.direction)
+            CrossRunQuery(args.spec, anchor, args.direction, workers=args.workers)
         )
         elapsed = time.perf_counter() - started
         names = {row["run_id"]: row["name"] for row in store.list_runs(args.spec)}
@@ -435,6 +476,48 @@ def _command_sweep(args: argparse.Namespace) -> int:
     print(
         f"swept {result.run_count} runs of {args.spec!r} in "
         f"{elapsed * 1e3:.2f} ms; {result.affected_count} affected executions"
+    )
+    return 0
+
+
+def _command_cross_batch(args: argparse.Namespace) -> int:
+    import time
+
+    text, _ = _read_pairs_source(args.pairs)
+    pairs, _ = _parse_pair_lines(text)
+    if not pairs:
+        raise ReproError("no query pairs given")
+    with ProvenanceStore(args.database) as store:
+        started = time.perf_counter()
+        result = store.session().run(
+            CrossRunBatchQuery(args.spec, pairs, workers=args.workers)
+        )
+        elapsed = time.perf_counter() - started
+        names = {row["run_id"]: row["name"] for row in store.list_runs(args.spec)}
+    for run_id in result.run_ids:
+        answers = result.per_run[run_id]
+        reachable = sum(answers)
+        print(
+            f"run {run_id} ({names.get(run_id, '?')}): "
+            f"{reachable}/{len(answers)} pairs reachable"
+        )
+        if not args.summary_only:
+            for (source, target), answer in zip(result.pairs, answers):
+                verdict = "reaches" if answer else "does-not-reach"
+                print(
+                    f"  {source[0]}:{source[1]} {verdict} {target[0]}:{target[1]}"
+                )
+    for run_id in result.skipped_runs:
+        print(
+            f"run {run_id} ({names.get(run_id, '?')}): "
+            "missing a queried execution (skipped)"
+        )
+    answered = result.run_count * len(pairs)
+    rate = answered / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"answered {len(pairs)} pairs x {result.run_count} runs of "
+        f"{args.spec!r} in {elapsed * 1e3:.2f} ms ({rate:,.0f} answers/s); "
+        f"{len(result.skipped_runs)} runs skipped"
     )
     return 0
 
@@ -494,6 +577,7 @@ _COMMANDS = {
     "query-batch": _command_query_batch,
     "pack-workload": _command_pack_workload,
     "sweep": _command_sweep,
+    "cross-batch": _command_cross_batch,
     "verify": _command_verify,
     "info": _command_info,
     "experiments": _command_experiments,

@@ -23,6 +23,14 @@ used by the traversal schemes lives in :mod:`repro.graphs.csr`.
 """
 
 from repro.engine.kernels import SpecKernel, build_kernel, compile_spec_kernel
+from repro.engine.online import OnlineKernel, OnlineKernelStats
+from repro.engine.parallel import (
+    CrossRunExecutor,
+    MAX_AUTO_WORKERS,
+    PARALLEL_MIN_RUNS,
+    PREFETCH_CHUNK_RUNS,
+    resolve_workers,
+)
 from repro.engine.query import DEFAULT_CACHE_SIZE, EngineStats, QueryEngine
 
 __all__ = [
@@ -32,4 +40,11 @@ __all__ = [
     "build_kernel",
     "SpecKernel",
     "compile_spec_kernel",
+    "OnlineKernel",
+    "OnlineKernelStats",
+    "CrossRunExecutor",
+    "resolve_workers",
+    "PARALLEL_MIN_RUNS",
+    "PREFETCH_CHUNK_RUNS",
+    "MAX_AUTO_WORKERS",
 ]

@@ -68,6 +68,8 @@ __all__ = [
     "build_kernel",
     "SpecKernel",
     "compile_spec_kernel",
+    "dense_sweep_answers",
+    "dense_pair_answers",
     "HAS_NUMPY",
     "DENSE_SPEC_LIMIT",
     "PACKED_TCM_LIMIT",
@@ -285,6 +287,43 @@ def _spec_reachability_matrix(spec_index: Any):
 _MISSING = object()
 
 
+def dense_sweep_answers(matrix, q1, q2, q3, orig, anchor, downstream):
+    """Anchored Algorithm-3 sweep over raw arrays + a dense spec matrix.
+
+    The one implementation of the dense sweep formula: called by
+    :meth:`SpecKernel.sweep` and shipped (with picklable arguments only)
+    to the parallel executor's process workers, so the two paths cannot
+    drift.  The anchor's own row is forced ``False`` per the
+    dependency-sweep contract.
+    """
+    q1a, q2a, q3a = int(q1[anchor]), int(q2[anchor]), int(q3[anchor])
+    if downstream:
+        fast_mask = (q2a - q2) * (q3a - q3) < 0
+        fast = (q1a < q1) & (q3a > q3)
+        skeleton = matrix[orig[anchor], orig]
+    else:
+        fast_mask = (q2 - q2a) * (q3 - q3a) < 0
+        fast = (q1 < q1a) & (q3 > q3a)
+        skeleton = matrix[orig, orig[anchor]]
+    answers = _np.where(fast_mask, fast, skeleton)
+    answers[anchor] = False
+    return answers
+
+
+def dense_pair_answers(matrix, q1, q2, q3, orig, source_rows, target_rows):
+    """Arbitrary-pair Algorithm-3 evaluation over raw arrays + a dense matrix.
+
+    The dense counterpart of :func:`dense_sweep_answers` for
+    :meth:`SpecKernel.pairs`; shared with the process workers the same way.
+    """
+    q2s, q2t = q2[source_rows], q2[target_rows]
+    q3s, q3t = q3[source_rows], q3[target_rows]
+    fast_mask = (q2s - q2t) * (q3s - q3t) < 0
+    fast = (q1[source_rows] < q1[target_rows]) & (q3s > q3t)
+    skeleton = matrix[orig[source_rows], orig[target_rows]]
+    return _np.where(fast_mask, fast, skeleton)
+
+
 class SpecKernel:
     """The compiled skeleton fall-through evaluator of one specification index.
 
@@ -354,6 +393,16 @@ class SpecKernel:
             q1 = _np.asarray(q1, dtype=_np.int64)
             q2 = _np.asarray(q2, dtype=_np.int64)
             q3 = _np.asarray(q3, dtype=_np.int64)
+            if self.matrix is not None:
+                return dense_sweep_answers(
+                    self.matrix,
+                    q1,
+                    q2,
+                    q3,
+                    self.origin_positions(origins),
+                    anchor,
+                    downstream,
+                )
             q1a = int(q1[anchor])
             q2a = int(q2[anchor])
             q3a = int(q3[anchor])
@@ -363,34 +412,102 @@ class SpecKernel:
             else:
                 fast_mask = (q2 - q2a) * (q3 - q3a) < 0
                 fast = (q1 < q1a) & (q3 > q3a)
-            if self.matrix is not None:
-                orig = self.origin_positions(origins)
+            answers = fast & fast_mask
+            fallthrough = _np.flatnonzero(~fast_mask).tolist()
+            if fallthrough:
+                anchor_label = self._label_of(origins[anchor])
                 if downstream:
-                    skeleton = self.matrix[orig[anchor], orig]
+                    pairs = [
+                        (anchor_label, self._label_of(origins[i]))
+                        for i in fallthrough
+                    ]
                 else:
-                    skeleton = self.matrix[orig, orig[anchor]]
-                answers = _np.where(fast_mask, fast, skeleton)
-            else:
-                answers = fast & fast_mask
-                fallthrough = _np.flatnonzero(~fast_mask).tolist()
-                if fallthrough:
-                    anchor_label = self._label_of(origins[anchor])
-                    if downstream:
-                        pairs = [
-                            (anchor_label, self._label_of(origins[i]))
-                            for i in fallthrough
-                        ]
-                    else:
-                        pairs = [
-                            (self._label_of(origins[i]), anchor_label)
-                            for i in fallthrough
-                        ]
-                    spec_answers = self.spec_index.reaches_many(pairs)
-                    for i, answer in zip(fallthrough, spec_answers):
-                        answers[i] = answer
+                    pairs = [
+                        (self._label_of(origins[i]), anchor_label)
+                        for i in fallthrough
+                    ]
+                spec_answers = self.spec_index.reaches_many(pairs)
+                for i, answer in zip(fallthrough, spec_answers):
+                    answers[i] = answer
             answers[anchor] = False
             return answers
         return self._sweep_python(q1, q2, q3, origins, anchor, downstream)
+
+    def pairs(self, q1, q2, q3, origins, source_rows, target_rows):
+        """Arbitrary-pair Algorithm-3 evaluation over one run's streamed arrays.
+
+        The generalization of :meth:`sweep` from one anchored row to any
+        ``(source, target)`` row combination: *source_rows* / *target_rows*
+        are parallel row-index sequences into the run's label arrays, and
+        the answer per slot is ``reaches(source, target)`` — exactly the
+        formula of the compiled skeleton kernel, so answers are
+        bit-identical to a per-run engine over the same labels.  This is
+        the per-run payload of a cross-run **batch** query: the same pairs
+        asked of every run of a specification, each run contributing only
+        its streamed label columns.
+        """
+        if _np is not None:
+            q1 = _np.asarray(q1, dtype=_np.int64)
+            q2 = _np.asarray(q2, dtype=_np.int64)
+            q3 = _np.asarray(q3, dtype=_np.int64)
+            s = _np.asarray(source_rows, dtype=_np.int64)
+            t = _np.asarray(target_rows, dtype=_np.int64)
+            if self.matrix is not None:
+                return dense_pair_answers(
+                    self.matrix, q1, q2, q3, self.origin_positions(origins), s, t
+                )
+            q2s, q2t = q2[s], q2[t]
+            q3s, q3t = q3[s], q3[t]
+            fast_mask = (q2s - q2t) * (q3s - q3t) < 0
+            fast = (q1[s] < q1[t]) & (q3s > q3t)
+            answers = fast & fast_mask
+            fallthrough = _np.flatnonzero(~fast_mask).tolist()
+            if fallthrough:
+                label_pairs = [
+                    (self._label_of(origins[s[i]]), self._label_of(origins[t[i]]))
+                    for i in fallthrough
+                ]
+                for i, answer in zip(
+                    fallthrough, self.spec_index.reaches_many(label_pairs)
+                ):
+                    answers[i] = answer
+            return answers
+        return self._pairs_python(q1, q2, q3, origins, source_rows, target_rows)
+
+    def _pairs_python(self, q1, q2, q3, origins, source_rows, target_rows):
+        """Pure-python pair evaluation used when numpy is unavailable."""
+        answers = [False] * len(source_rows)
+        fallthrough: list[int] = []
+        for slot, (s, t) in enumerate(zip(source_rows, target_rows)):
+            if (q2[s] - q2[t]) * (q3[s] - q3[t]) < 0:
+                answers[slot] = q1[s] < q1[t] and q3[s] > q3[t]
+            else:
+                fallthrough.append(slot)
+        if fallthrough:
+            label_pairs = [
+                (
+                    self._label_of(origins[source_rows[i]]),
+                    self._label_of(origins[target_rows[i]]),
+                )
+                for i in fallthrough
+            ]
+            for i, answer in zip(fallthrough, self.spec_index.reaches_many(label_pairs)):
+                answers[i] = answer
+        return answers
+
+    def pair_fallthrough(self, source_origin, target_origin) -> bool:
+        """One scalar skeleton fall-through check (the non-fast-path case)."""
+        if self.matrix is not None:
+            return bool(
+                self.matrix[
+                    self.position_of[source_origin], self.position_of[target_origin]
+                ]
+            )
+        return bool(
+            self.spec_index.reaches_labels(
+                self._label_of(source_origin), self._label_of(target_origin)
+            )
+        )
 
     def _sweep_python(self, q1, q2, q3, origins, anchor, downstream):
         """Pure-python sweep used when numpy is unavailable."""

@@ -1,0 +1,451 @@
+"""Parallel cross-run execution: fan per-run label streams across workers.
+
+The cross-run query path (PR 3) compiles one shared
+:class:`~repro.engine.kernels.SpecKernel` per ``(specification, scheme)``
+and streams every run's raw label columns through it — but strictly one run
+at a time, over the store's single SQLite connection.  Profiling shows the
+per-run payload is dominated by the **fetch** (the SQL scan plus the column
+transpose), not the kernel math, so parallelizing only the evaluation would
+serialize on the one connection and win nothing.  This module therefore
+partitions a specification's runs into chunks and hands each chunk to a
+worker that opens its **own read-only connection** to the store file,
+fetches the chunk with a single ordered ``run_id IN`` scan
+(:func:`~repro.storage.store.load_label_arrays`), and evaluates its runs
+through the shared kernel:
+
+* the default pool is a ``ThreadPoolExecutor`` — ``sqlite3``'s step loop
+  and numpy's ufuncs release the GIL, so fetch and kernel work overlap;
+* ``REPRO_PARALLEL=process`` switches to a ``ProcessPoolExecutor`` whose
+  tasks are top-level functions fed picklable payloads (the dense spec
+  matrix plus the chunk's run ids); runs whose spec kernel is not dense —
+  live traversal schemes, numpy-less installs — cannot ship and are
+  evaluated on the submitting side;
+* two operations run through it: the anchored dependency **sweep**
+  (``CrossRunQuery``) and the generalized **pair batch** (the same pairs
+  asked of every run, a runs x pairs matrix) behind ``CrossRunBatchQuery``
+  / ``CrossRunPointQuery``.
+
+The sequential path is retained verbatim (per-run streaming fetch, inline
+evaluation) and auto-selected when the run count is below
+:data:`PARALLEL_MIN_RUNS`, when only one CPU is available, when
+``workers=1`` is requested, or when the store is in-memory (a ``:memory:``
+database is reachable only through its one connection).  Parallel answers
+are bit-identical to sequential ones: every mode evaluates the same
+compiled-kernel formula over the same streamed arrays.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable, Optional, Sequence
+from urllib.parse import quote
+
+from repro.engine.kernels import dense_pair_answers, dense_sweep_answers
+from repro.exceptions import QueryPlanError
+
+try:  # numpy accelerates the kernels but is strictly optional
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only on numpy-less installs
+    _np = None
+
+__all__ = [
+    "CrossRunExecutor",
+    "PARALLEL_MIN_RUNS",
+    "PREFETCH_CHUNK_RUNS",
+    "MAX_AUTO_WORKERS",
+    "resolve_workers",
+]
+
+#: below this many runs the sequential path is auto-selected (pool startup
+#: and per-chunk connections would dominate the handful of payloads)
+PARALLEL_MIN_RUNS = 4
+
+#: the most runs one worker fetches with a single ordered SQL scan; chunks
+#: shrink further when needed so every pool worker gets at least one task
+#: (see CrossRunExecutor._chunks), and stay large enough otherwise to
+#: amortize the per-chunk connection and query setup
+PREFETCH_CHUNK_RUNS = 4
+
+#: cap on auto-sized pools; cross-run payloads are short, so more workers
+#: than this just adds scheduler churn
+MAX_AUTO_WORKERS = 8
+
+
+def resolve_workers(workers: Optional[int], run_count: int) -> int:
+    """How many workers a cross-run execution actually uses.
+
+    An explicit *workers* request is honored (clamped to the run count —
+    there is never more than one task per run in flight); ``None`` sizes
+    the pool from ``os.cpu_count()`` capped at :data:`MAX_AUTO_WORKERS`,
+    and additionally auto-selects the sequential path (returns 1) for
+    small sweeps (< :data:`PARALLEL_MIN_RUNS` runs) or single-core hosts.
+    """
+    if run_count <= 0:
+        return 1
+    if workers is not None:
+        workers = int(workers)
+        if workers < 1:
+            raise QueryPlanError(f"workers must be a positive integer, got {workers}")
+        return min(workers, run_count)
+    cpus = os.cpu_count() or 1
+    if cpus <= 1 or run_count < PARALLEL_MIN_RUNS:
+        return 1
+    return max(1, min(cpus, MAX_AUTO_WORKERS, run_count))
+
+
+def _true_positions(answers) -> list[int]:
+    """Row indices answered True (numpy fast path when the array allows)."""
+    if _np is not None and isinstance(answers, _np.ndarray):
+        return _np.flatnonzero(answers).tolist()
+    return [i for i, answer in enumerate(answers) if answer]
+
+
+def _readonly_connection(path):
+    """A private read-only connection to the store file (one per task)."""
+    import sqlite3
+
+    return sqlite3.connect(f"file:{quote(str(path))}?mode=ro", uri=True)
+
+
+# ----------------------------------------------------------------------
+# worker tasks (top-level so the process pool can pickle them)
+# ----------------------------------------------------------------------
+def _fetch_chunk_arrays(db_path, run_ids):
+    """Fetch one chunk's label arrays over a task-private connection."""
+    # imported lazily: repro.storage imports repro.engine submodules, so a
+    # module-level import here would tangle package initialization order
+    from repro.storage.store import load_label_arrays
+
+    connection = _readonly_connection(db_path)
+    try:
+        return load_label_arrays(connection, run_ids)
+    finally:
+        connection.close()
+
+
+def _thread_chunk_task(db_path, run_ids, kernels, evaluate):
+    """One thread task: private-connection fetch, then per-run evaluation."""
+    arrays_of = _fetch_chunk_arrays(db_path, run_ids)
+    return [evaluate(run_id, kernels[run_id], arrays_of[run_id]) for run_id in run_ids]
+
+
+def _origin_rows(position_of, origins):
+    return _np.fromiter(
+        map(position_of.__getitem__, origins), dtype=_np.int64, count=len(origins)
+    )
+
+
+def _process_chunk_task(payload):
+    """One process task: private-connection fetch + dense evaluation.
+
+    The payload carries only picklable state: the store file path, the
+    chunk's run ids, each run's dense spec matrix + origin-position map,
+    and the operation descriptor (``("sweep", anchor, downstream)`` or
+    ``("batch", pairs)``).  Results come back fully extracted — affected
+    execution tuples for sweeps, boolean lists for batches — so the parent
+    only merges dictionaries.
+    """
+    db_path, run_ids, dense_of, op = payload
+    arrays_of = _fetch_chunk_arrays(db_path, run_ids)
+    results = []
+    if op[0] == "sweep":
+        _, anchor, downstream = op
+        for run_id in run_ids:
+            arrays = arrays_of[run_id]
+            matrix, position_of = dense_of[run_id]
+            try:
+                anchor_row = arrays.executions.index(anchor)
+            except ValueError:
+                results.append((run_id, None))
+                continue
+            answers = dense_sweep_answers(
+                matrix,
+                arrays.q1,
+                arrays.q2,
+                arrays.q3,
+                _origin_rows(position_of, arrays.origins),
+                anchor_row,
+                downstream,
+            )
+            executions = arrays.executions
+            results.append(
+                (run_id, [executions[i] for i in _np.flatnonzero(answers).tolist()])
+            )
+    else:
+        _, pairs = op
+        for run_id in run_ids:
+            arrays = arrays_of[run_id]
+            matrix, position_of = dense_of[run_id]
+            row_of = {
+                execution: row for row, execution in enumerate(arrays.executions)
+            }
+            try:
+                source_rows = _np.fromiter(
+                    (row_of[source] for source, _ in pairs),
+                    dtype=_np.int64,
+                    count=len(pairs),
+                )
+                target_rows = _np.fromiter(
+                    (row_of[target] for _, target in pairs),
+                    dtype=_np.int64,
+                    count=len(pairs),
+                )
+            except KeyError:
+                results.append((run_id, None))
+                continue
+            answers = dense_pair_answers(
+                matrix,
+                arrays.q1,
+                arrays.q2,
+                arrays.q3,
+                _origin_rows(position_of, arrays.origins),
+                source_rows,
+                target_rows,
+            )
+            results.append((run_id, [bool(answer) for answer in answers]))
+    return results
+
+
+class CrossRunExecutor:
+    """Execute one cross-run operation over all runs of a specification.
+
+    Parameters
+    ----------
+    store:
+        The provenance store (anything with ``list_runs`` /
+        ``get_specification`` / ``spec_kernel`` / ``run_label_arrays`` and
+        a ``path``).
+    workers:
+        Worker count; ``None`` auto-sizes (see :func:`resolve_workers`) and
+        falls back to the retained sequential path for small sweeps.
+    mode:
+        ``"thread"`` (default) or ``"process"``; ``None`` reads the
+        ``REPRO_PARALLEL`` environment variable.  Process mode requires
+        numpy and dense spec kernels; ineligible runs are evaluated on the
+        submitting side.
+    """
+
+    def __init__(
+        self,
+        store: Any,
+        *,
+        workers: Optional[int] = None,
+        mode: Optional[str] = None,
+    ) -> None:
+        self.store = store
+        self.workers = workers
+        if mode is None:
+            mode = os.environ.get("REPRO_PARALLEL", "thread") or "thread"
+        if mode not in ("thread", "process"):
+            raise QueryPlanError(
+                f"REPRO_PARALLEL mode must be 'thread' or 'process', got {mode!r}"
+            )
+        self.mode = mode
+
+    # ------------------------------------------------------------------
+    # shared plumbing
+    # ------------------------------------------------------------------
+    def _run_ids(self, specification: str) -> list[int]:
+        runs = self.store.list_runs(specification)
+        if not runs:
+            # distinguish "unknown specification" from "no runs yet"
+            self.store.get_specification(specification)
+        return [int(row["run_id"]) for row in runs]
+
+    def _parallel_workers(self, run_count: int) -> int:
+        """The pool size, or 1 whenever the sequential path must serve."""
+        workers = resolve_workers(self.workers, run_count)
+        if workers > 1 and str(getattr(self.store, "path", ":memory:")) == ":memory:":
+            # an in-memory database is reachable only through the store's
+            # own connection; there is nothing for workers to open
+            return 1
+        return workers
+
+    @staticmethod
+    def _chunks(run_ids: Sequence[int], workers: int = 1):
+        """Chunk runs so the whole pool stays busy.
+
+        The chunk size is :data:`PREFETCH_CHUNK_RUNS` capped at
+        ``ceil(runs / workers)`` — without the cap, a small sweep would
+        submit fewer tasks than workers and leave part of the pool idle.
+        """
+        count = len(run_ids)
+        chunk_size = max(
+            1, min(PREFETCH_CHUNK_RUNS, -(-count // max(1, workers)))
+        )
+        for start in range(0, count, chunk_size):
+            yield list(run_ids[start : start + chunk_size])
+
+    def _execute(
+        self,
+        run_ids: list[int],
+        workers: int,
+        evaluate: Callable,
+        op: tuple,
+    ) -> dict[int, Any]:
+        """Fan chunk tasks over the pool; returns per-run outcomes.
+
+        *evaluate* is the shared-kernel per-run evaluation (used by thread
+        workers and for runs process mode cannot ship); *op* is the
+        picklable operation descriptor for process tasks.
+        """
+        store = self.store
+        kernels = {run_id: store.spec_kernel(run_id) for run_id in run_ids}
+        db_path = store.path
+        outcomes: dict[int, Any] = {}
+        use_processes = self.mode == "process" and _np is not None
+        if use_processes:
+            shippable = []
+            local = []
+            for run_id in run_ids:
+                if getattr(kernels[run_id], "dense", False):
+                    shippable.append(run_id)
+                else:
+                    local.append(run_id)
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(
+                        _process_chunk_task,
+                        (
+                            db_path,
+                            chunk,
+                            {
+                                run_id: (
+                                    kernels[run_id].matrix,
+                                    kernels[run_id].position_of,
+                                )
+                                for run_id in chunk
+                            },
+                            op,
+                        ),
+                    )
+                    for chunk in self._chunks(shippable, workers)
+                ]
+                # non-dense kernels hold live spec indexes that cannot ship
+                # across processes; evaluate them here while the pool works
+                for chunk in self._chunks(local):
+                    arrays_of = _fetch_chunk_arrays(db_path, chunk)
+                    for run_id in chunk:
+                        _, answer = evaluate(
+                            run_id, kernels[run_id], arrays_of[run_id]
+                        )
+                        outcomes[run_id] = answer
+                for future in futures:
+                    outcomes.update(dict(future.result()))
+            return outcomes
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_thread_chunk_task, db_path, chunk, kernels, evaluate)
+                for chunk in self._chunks(run_ids, workers)
+            ]
+            for future in futures:
+                outcomes.update(dict(future.result()))
+        return outcomes
+
+    # ------------------------------------------------------------------
+    # the anchored dependency sweep (CrossRunQuery)
+    # ------------------------------------------------------------------
+    def sweep(
+        self, specification: str, anchor: tuple, direction: str = "downstream"
+    ) -> tuple[dict[int, list], list[int]]:
+        """Sweep every run of *specification*; returns ``(per_run, skipped)``.
+
+        ``per_run`` maps run id to the affected executions (in stored-handle
+        order); runs that never executed *anchor* land in ``skipped``.
+        """
+        downstream = direction == "downstream"
+        run_ids = self._run_ids(specification)
+        workers = self._parallel_workers(len(run_ids))
+
+        def evaluate(run_id: int, kernel, arrays):
+            try:
+                anchor_row = arrays.executions.index(anchor)
+            except ValueError:
+                return run_id, None
+            answers = kernel.sweep(
+                arrays.q1,
+                arrays.q2,
+                arrays.q3,
+                arrays.origins,
+                anchor_row,
+                downstream=downstream,
+            )
+            executions = arrays.executions
+            return run_id, [executions[i] for i in _true_positions(answers)]
+
+        if workers <= 1:
+            return self._run_sequential(run_ids, evaluate)
+        outcomes = self._execute(
+            run_ids, workers, evaluate, ("sweep", anchor, downstream)
+        )
+        return self._split_outcomes(run_ids, outcomes)
+
+    # ------------------------------------------------------------------
+    # the generalized pair batch (CrossRunBatchQuery / CrossRunPointQuery)
+    # ------------------------------------------------------------------
+    def batch(
+        self, specification: str, pairs: Sequence[tuple]
+    ) -> tuple[dict[int, list], list[int]]:
+        """Ask the same *pairs* of every run; returns ``(per_run, skipped)``.
+
+        ``per_run`` maps run id to one boolean per pair, in pair order —
+        the rows of the runs x pairs matrix.  Runs missing **any** queried
+        endpoint land in ``skipped`` (the cross-run analogue of a sweep
+        anchor the run never executed), so a present row is always a
+        complete, trustworthy answer vector.
+        """
+        pairs = list(pairs)
+        if not pairs:
+            raise QueryPlanError("cross-run batch needs at least one pair")
+        run_ids = self._run_ids(specification)
+        workers = self._parallel_workers(len(run_ids))
+
+        def evaluate(run_id: int, kernel, arrays):
+            row_of = {
+                execution: row for row, execution in enumerate(arrays.executions)
+            }
+            try:
+                source_rows = [row_of[source] for source, _ in pairs]
+                target_rows = [row_of[target] for _, target in pairs]
+            except KeyError:
+                return run_id, None
+            answers = kernel.pairs(
+                arrays.q1,
+                arrays.q2,
+                arrays.q3,
+                arrays.origins,
+                source_rows,
+                target_rows,
+            )
+            return run_id, [bool(answer) for answer in answers]
+
+        if workers <= 1:
+            return self._run_sequential(run_ids, evaluate)
+        outcomes = self._execute(run_ids, workers, evaluate, ("batch", pairs))
+        return self._split_outcomes(run_ids, outcomes)
+
+    def _run_sequential(self, run_ids, evaluate) -> tuple[dict[int, Any], list[int]]:
+        """The retained PR 3 path: per-run streaming fetch, inline evaluation."""
+        store = self.store
+        outcomes: dict[int, Any] = {}
+        for run_id in run_ids:
+            # the kernel is cached per (spec_id, scheme): compiled once for
+            # the whole operation, like the parallel paths
+            _, answer = evaluate(
+                run_id, store.spec_kernel(run_id), store.run_label_arrays(run_id)
+            )
+            outcomes[run_id] = answer
+        return self._split_outcomes(run_ids, outcomes)
+
+    @staticmethod
+    def _split_outcomes(run_ids, outcomes) -> tuple[dict[int, Any], list[int]]:
+        per_run: dict[int, Any] = {}
+        skipped: list[int] = []
+        for run_id in run_ids:
+            answer = outcomes[run_id]
+            if answer is None:
+                skipped.append(run_id)
+            else:
+                per_run[run_id] = answer
+        return per_run, skipped

@@ -303,6 +303,17 @@ class OnlineRun:
             self.relabel_count += 1
         return self._encoding
 
+    def context_encoding(self) -> ContextEncoding:
+        """The up-to-date three-order context encoding of the run so far.
+
+        Recomputed lazily (only when the recorded structure changed since
+        the last query); consumers that maintain compiled label arrays
+        incrementally — :class:`~repro.engine.online.OnlineKernel` — read
+        node positions from here instead of going through
+        :meth:`label_of` per vertex.
+        """
+        return self._current_encoding()
+
     def label_of(self, vertex: RunVertex) -> RunLabel:
         """Return the vertex's label under the *current* state of the run.
 

@@ -74,6 +74,7 @@ __all__ = [
     "LABEL_FETCH_CHUNK",
     "SQLITE_MAX_VARIABLE_NUMBER",
     "row_value_chunk",
+    "load_label_arrays",
 ]
 
 PathLike = Union[str, Path]
@@ -141,6 +142,101 @@ class RunLabelArrays:
         return len(self.executions)
 
 
+def load_label_arrays(
+    connection: sqlite3.Connection, run_ids: Sequence[int]
+) -> dict[int, RunLabelArrays]:
+    """Fetch many runs' label columns over *connection*, one scan per chunk.
+
+    The connection-agnostic core of
+    :meth:`ProvenanceStore.run_label_arrays_many`: the parallel cross-run
+    executor calls it from worker threads/processes over **their own**
+    read-only connections to the store file, so the dominant per-run cost
+    (the SQL fetch plus the column transpose) parallelizes instead of
+    serializing on the store's single connection.  Each chunk of runs is
+    one ``run_id IN`` query ordered by ``(run_id, vertex_id)``, sliced at
+    the run boundaries; with numpy the per-run coordinate arrays are
+    zero-copy views into one chunk-wide array.  Run ids without rows yield
+    empty arrays — existence policy is the caller's.
+    """
+    distinct: list[int] = []
+    seen: set[int] = set()
+    for run_id in run_ids:
+        run_id = int(run_id)
+        if run_id not in seen:
+            seen.add(run_id)
+            distinct.append(run_id)
+    arrays: dict[int, RunLabelArrays] = {}
+    chunk_size = row_value_chunk(columns_per_row=1, reserved=0)
+    for start in range(0, len(distinct), chunk_size):
+        chunk = distinct[start : start + chunk_size]
+        placeholders = ", ".join("?" * len(chunk))
+        cursor = connection.execute(
+            # the skeleton column is not fetched: the store persists the
+            # origin module name there (see add_labeled_run), so the
+            # module column already carries every origin a sweep needs
+            "SELECT run_id, module, instance, q1, q2, q3 FROM run_labels "
+            f"WHERE run_id IN ({placeholders}) "
+            "ORDER BY run_id, (vertex_id IS NULL), vertex_id, module, instance",
+            chunk,
+        )
+        # plain tuples instead of sqlite3.Row: this path exists to
+        # stream, so skip the per-row wrapper the rest of the store wants
+        cursor.row_factory = None
+        rows = cursor.fetchall()
+        if rows:
+            # one C-level transpose per chunk; the column tuples feed the
+            # array constructors without a Python-level row visit each
+            rid_col, modules, instances, q1_col, q2_col, q3_col = zip(*rows)
+        else:
+            rid_col = modules = instances = q1_col = q2_col = q3_col = ()
+        count = len(rows)
+        if _np is not None:
+            rid = _np.fromiter(rid_col, dtype=_np.int64, count=count)
+            q1_all = _np.fromiter(q1_col, dtype=_np.int64, count=count)
+            q2_all = _np.fromiter(q2_col, dtype=_np.int64, count=count)
+            q3_all = _np.fromiter(q3_col, dtype=_np.int64, count=count)
+
+            def _bounds(run_id: int) -> tuple[int, int]:
+                return (
+                    int(_np.searchsorted(rid, run_id, side="left")),
+                    int(_np.searchsorted(rid, run_id, side="right")),
+                )
+
+            def _coords(lo: int, hi: int):
+                # slices of the chunk-wide arrays: zero-copy views
+                return q1_all[lo:hi], q2_all[lo:hi], q3_all[lo:hi]
+
+        else:
+            from bisect import bisect_left, bisect_right
+
+            rid_list = list(rid_col)
+            q1_arr = array("q", q1_col)
+            q2_arr = array("q", q2_col)
+            q3_arr = array("q", q3_col)
+
+            def _bounds(run_id: int) -> tuple[int, int]:
+                return (
+                    bisect_left(rid_list, run_id),
+                    bisect_right(rid_list, run_id),
+                )
+
+            def _coords(lo: int, hi: int):
+                return q1_arr[lo:hi], q2_arr[lo:hi], q3_arr[lo:hi]
+
+        for run_id in chunk:
+            lo, hi = _bounds(run_id)
+            q1, q2, q3 = _coords(lo, hi)
+            arrays[run_id] = RunLabelArrays(
+                run_id=run_id,
+                executions=list(zip(modules[lo:hi], instances[lo:hi])),
+                q1=q1,
+                q2=q2,
+                q3=q3,
+                origins=list(modules[lo:hi]),
+            )
+    return arrays
+
+
 def _deprecated_store_entry(old: str, query: str) -> None:
     warnings.warn(
         f"ProvenanceStore.{old} is deprecated: run a {query} through the "
@@ -172,6 +268,10 @@ class ProvenanceStore:
         # cross-run sweep needs all of a spec's runs to hit the same entry.
         self._spec_kernel_cache: dict[tuple[int, str], SpecKernel] = {}
         self._session = None
+        # Lifetime counters behind ProvenanceSession.cache_stats(): how many
+        # stored-run label caches the LRU pushed out (each eviction means the
+        # next query on that run rebuilds from SQL).
+        self._evictions = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -355,43 +455,26 @@ class ProvenanceStore:
         sweep: the arrays go straight through the shared
         :meth:`spec_kernel`.
         """
-        cursor = self._connection.execute(
-            # the skeleton column is not fetched: the store persists the
-            # origin module name there (see add_labeled_run), so the module
-            # column already carries every origin this sweep needs
-            "SELECT module, instance, q1, q2, q3 FROM run_labels "
-            "WHERE run_id = ? "
-            "ORDER BY (vertex_id IS NULL), vertex_id, module, instance",
-            (run_id,),
-        )
-        # plain tuples instead of sqlite3.Row: this path exists to stream,
-        # so skip the per-row wrapper object the rest of the store wants
-        cursor.row_factory = None
-        rows = cursor.fetchall()
-        if not rows:
-            self._run_row(run_id)  # raise cleanly when the run does not exist
-            modules = instances = q1_col = q2_col = q3_col = ()
-        else:
-            # one C-level transpose; the per-column tuples feed the array
-            # constructors without a Python-level row visit each
-            modules, instances, q1_col, q2_col, q3_col = zip(*rows)
-        count = len(rows)
-        if _np is not None:
-            q1 = _np.fromiter(q1_col, dtype=_np.int64, count=count)
-            q2 = _np.fromiter(q2_col, dtype=_np.int64, count=count)
-            q3 = _np.fromiter(q3_col, dtype=_np.int64, count=count)
-        else:
-            q1 = array("q", q1_col)
-            q2 = array("q", q2_col)
-            q3 = array("q", q3_col)
-        return RunLabelArrays(
-            run_id=run_id,
-            executions=list(zip(modules, instances)),
-            q1=q1,
-            q2=q2,
-            q3=q3,
-            origins=list(modules),
-        )
+        return self.run_label_arrays_many([run_id])[run_id]
+
+    def run_label_arrays_many(
+        self, run_ids: Sequence[int]
+    ) -> dict[int, RunLabelArrays]:
+        """Stream many runs' label columns with one ordered SQL scan per chunk.
+
+        The multi-run form of :meth:`run_label_arrays` and the prefetch
+        behind cross-run execution: instead of re-opening a cursor per run,
+        each chunk of runs is fetched with a **single** ``run_id IN``
+        query ordered by ``(run_id, vertex_id)`` and sliced in memory at
+        the run boundaries (see :func:`load_label_arrays`).  Unknown run
+        ids raise :class:`~repro.exceptions.StorageError`, like the
+        single-run path.
+        """
+        arrays = load_label_arrays(self._connection, run_ids)
+        for run_id, run_arrays in arrays.items():
+            if not len(run_arrays):
+                self._run_row(run_id)  # raise when the run does not exist
+        return arrays
 
     def session(self):
         """The store's :class:`~repro.api.ProvenanceSession` (built lazily).
@@ -538,6 +621,7 @@ class ProvenanceStore:
         while len(self._stored_run_cache) > STORED_RUN_CACHE_LIMIT:
             evicted_run, _ = self._stored_run_cache.popitem(last=False)
             self._engine_cache.pop(evicted_run, None)
+            self._evictions += 1
         return index
 
     def query_engine(self, run_id: int) -> QueryEngine:
@@ -749,6 +833,23 @@ class ProvenanceStore:
             raise StorageError(f"no run with id {run_id}")
         self._stored_run_cache.pop(run_id, None)
         self._engine_cache.pop(run_id, None)
+
+    def cache_stats(self) -> dict:
+        """Occupancy and eviction counters of the store's query caches.
+
+        ``evictions`` counts stored-run label caches pushed out of the LRU
+        (bounded at ``limit`` = :data:`STORED_RUN_CACHE_LIMIT`); each
+        eviction means the next query against that run pays its SQL fetch
+        and kernel compilation again.  Surfaced through
+        :meth:`ProvenanceSession.cache_stats`.
+        """
+        return {
+            "stored_runs_cached": len(self._stored_run_cache),
+            "engines_cached": len(self._engine_cache),
+            "spec_kernels_cached": len(self._spec_kernel_cache),
+            "evictions": self._evictions,
+            "limit": STORED_RUN_CACHE_LIMIT,
+        }
 
     def statistics(self) -> dict:
         """Return row counts per table (for diagnostics and tests)."""

@@ -297,15 +297,25 @@ class TestOnlineSession:
         d1 = root.execute("d")
         online.connect(a1, d1)
         assert session.run(PointQuery(a1, d1)) is True
-        first_engine = session._target.engine()
+        kernel = session._target.engine()
 
-        # appending an execution invalidates the compiled engine: handles
-        # re-intern over the grown vertex set and answers stay fresh
+        # the incremental kernel persists across appends; an execution in a
+        # newly nonempty scope (positions shift) triggers a rebuild, not a
+        # new engine, and answers stay fresh
+        rebuilds_before = kernel.stats.rebuilds
         l1 = root.begin_execution("L1")
         e1 = l1.new_copy().execute("e")
         online.connect(d1, e1)
         assert session.run(PointQuery(a1, e1)) is True
-        assert session._target.engine() is not first_engine
+        assert session._target.engine() is kernel
+        assert kernel.stats.rebuilds == rebuilds_before + 1
+
+        # an append into an already-nonempty scope extends the arrays in
+        # place instead of recompiling
+        a2 = root.execute("a")
+        assert session.run(PointQuery(a2, e1)) == online.reaches(a2, e1)
+        assert kernel.stats.rebuilds == rebuilds_before + 1
+        assert kernel.stats.extensions >= 1
 
     def test_batch_and_sweeps_match_object_path(self, paper_spec):
         online = OnlineRun(paper_spec)
@@ -444,3 +454,44 @@ class TestBinaryWorkload:
     def test_missing_file_rejected(self, tmp_path):
         with pytest.raises(SerializationError):
             read_pair_workload(tmp_path / "nope.bin")
+
+    def test_zero_pair_file_round_trips(self, tmp_path):
+        # a header-only workload is legal: zero pairs, not an error
+        path = tmp_path / "empty.bin"
+        assert write_pair_workload(path, [], [], run_id=3) == 0
+        assert path.stat().st_size == 16
+        run_id, source_ids, target_ids = read_pair_workload(path, expect_run_id=3)
+        assert run_id == 3
+        assert len(source_ids) == 0 and len(target_ids) == 0
+
+    def test_truncated_header_rejected(self, tmp_path):
+        from repro.api.workload import WORKLOAD_MAGIC
+
+        path = tmp_path / "short.bin"
+        # the magic alone, without the run-id half of the header
+        path.write_bytes(WORKLOAD_MAGIC)
+        with pytest.raises(SerializationError):
+            read_pair_workload(path)
+        path.write_bytes(b"")
+        with pytest.raises(SerializationError):
+            read_pair_workload(path)
+
+    def test_mismatched_run_id_message_names_both_runs(self, tmp_path):
+        path = tmp_path / "pairs.bin"
+        write_pair_workload(path, [0], [1], run_id=12)
+        with pytest.raises(SerializationError, match=r"run 12.*run 7"):
+            read_pair_workload(path, expect_run_id=7)
+
+    @pytest.mark.skipif(
+        __import__("sys").byteorder != "big",
+        reason="byte-swap guard only runs on big-endian hosts",
+    )
+    def test_big_endian_host_writes_little_endian(self, tmp_path):
+        # the on-disk format is little-endian regardless of the host; on a
+        # big-endian machine the array fallback must byteswap both ways
+        path = tmp_path / "pairs.bin"
+        write_pair_workload(path, [1], [258], run_id=4)
+        data = path.read_bytes()
+        assert data[16:24] == (1).to_bytes(8, "little")
+        _, source_ids, target_ids = read_pair_workload(path)
+        assert list(source_ids) == [1] and list(target_ids) == [258]

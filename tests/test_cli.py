@@ -17,7 +17,8 @@ class TestParser:
         commands = set(subactions[0].choices)
         assert commands == {
             "generate-spec", "generate-run", "label", "query", "query-batch",
-            "pack-workload", "sweep", "verify", "info", "experiments",
+            "pack-workload", "sweep", "cross-batch", "verify", "info",
+            "experiments",
         }
 
     def test_missing_command_errors(self, capsys):
@@ -500,7 +501,7 @@ class TestInfoAndExperiments:
         assert "figure-12" in output and "table-1" in output
         written = list((tmp_path / "reports").glob("*.txt"))
         # tables 1-2, figures 12-20, spec-scheme ablation, engine throughput,
-        # handle-path throughput, cross-run throughput
-        assert len(written) == 15
+        # handle-path throughput, cross-run + parallel cross-run throughput
+        assert len(written) == 16
         # every report also carries a machine-readable BENCH_*.json twin
-        assert len(list((tmp_path / "reports").glob("BENCH_*.json"))) == 15
+        assert len(list((tmp_path / "reports").glob("BENCH_*.json"))) == 16

@@ -322,3 +322,140 @@ class TestOnlineOnSyntheticSpec:
             source, target = rng.choice(vertices), rng.choice(vertices)
             assert labeled.reaches(source, target) == batch.reaches(source, target)
             assert online.reaches(source, target) == batch.reaches(source, target)
+
+
+class TestIncrementalOnlineKernel:
+    """The append-maintained batch kernel (repro.engine.online.OnlineKernel)."""
+
+    def test_appends_into_nonempty_scopes_extend_in_place(self, paper_spec):
+        from repro.engine.online import OnlineKernel
+
+        online = OnlineRun(paper_spec)
+        root = online.root_scope
+        a1 = root.execute("a")
+        kernel = OnlineKernel(online)
+        assert kernel.stats.rebuilds == 1
+        # the root scope is nonempty now: further root executions extend
+        d1 = root.execute("d")
+        assert kernel.reaches(a1, d1) == online.reaches(a1, d1)
+        assert kernel.stats.rebuilds == 1
+        assert kernel.stats.extensions == 1
+        assert kernel.stats.appended_rows == 1
+
+    def test_newly_nonempty_scope_triggers_rebuild(self, paper_spec):
+        from repro.engine.online import OnlineKernel
+
+        online = OnlineRun(paper_spec)
+        root = online.root_scope
+        a1 = root.execute("a")
+        d1 = root.execute("d")
+        kernel = OnlineKernel(online)
+        rebuilds = kernel.stats.rebuilds
+        # a fresh loop copy is a new + node: its first execution can move
+        # every existing label, so the arrays must recompile
+        e1 = root.begin_execution("L1").new_copy().execute("e")
+        assert kernel.reaches(a1, e1) == online.reaches(a1, e1)
+        assert kernel.stats.rebuilds == rebuilds + 1
+
+    def test_empty_plan_growth_is_absorbed_free(self, paper_spec):
+        from repro.engine.online import OnlineKernel
+
+        online = OnlineRun(paper_spec)
+        root = online.root_scope
+        a1 = root.execute("a")
+        d1 = root.execute("d")
+        kernel = OnlineKernel(online)
+        rebuilds = kernel.stats.rebuilds
+        # a group with no copies (and a copy with no executions) moves no
+        # positions: the kernel absorbs it without rebuild or extension
+        root.begin_execution("L1").new_copy()
+        assert kernel.reaches(a1, d1) == online.reaches(a1, d1)
+        assert kernel.stats.rebuilds == rebuilds
+        assert kernel.stats.extensions == 0
+
+    def test_append_invalidates_only_the_hot_pair_lru(self, paper_spec):
+        from repro.engine.online import OnlineKernel
+
+        online = OnlineRun(paper_spec)
+        root = online.root_scope
+        a1 = root.execute("a")
+        d1 = root.execute("d")
+        kernel = OnlineKernel(online)
+        assert kernel.reaches(a1, d1) == kernel.reaches(a1, d1)
+        assert kernel.stats.cache_hits == 1
+        assert kernel.cache_stats()["hot_pairs_cached"] == 1
+        root.execute("a")
+        kernel.sync()
+        assert kernel.cache_stats()["hot_pairs_cached"] == 0  # LRU invalidated
+        assert kernel.stats.rebuilds == 1  # arrays kept
+
+    def test_handles_stay_valid_across_appends(self, paper_spec):
+        from repro.engine.online import OnlineKernel
+
+        online = OnlineRun(paper_spec)
+        root = online.root_scope
+        a1 = root.execute("a")
+        d1 = root.execute("d")
+        kernel = OnlineKernel(online)
+        source_ids, target_ids = kernel.intern_pairs([(a1, d1)])
+        before = [bool(x) for x in kernel.reaches_many_ids(source_ids, target_ids)]
+        root.execute("d")  # append: unlike per-rebuild engines, ids survive
+        after = [bool(x) for x in kernel.reaches_many_ids(source_ids, target_ids)]
+        assert before == after == [online.reaches(a1, d1)]
+
+    def test_batch_and_sweep_match_oracle_across_structure(self, paper_spec):
+        from repro.engine.online import OnlineKernel
+
+        online = OnlineRun(paper_spec)
+        root = online.root_scope
+        recorded = [root.execute("a"), root.execute("d")]
+        kernel = OnlineKernel(online)
+        l1 = root.begin_execution("L1")
+        for _ in range(2):
+            copy = l1.new_copy()
+            recorded.append(copy.execute("e"))
+            f2 = copy.begin_execution("F2")
+            recorded.append(f2.new_copy().execute("f"))
+            recorded.append(copy.execute("g"))
+            pairs = [(u, v) for u in recorded for v in recorded]
+            answers = kernel.reaches_batch(pairs)
+            assert [bool(x) for x in answers] == [
+                online.reaches(u, v) for u, v in pairs
+            ]
+            anchor = recorded[0]
+            down = kernel.dependency_sweep(anchor, downstream=True)
+            assert sorted(down) == sorted(
+                v for v in recorded if v != anchor and online.reaches(anchor, v)
+            )
+            up = kernel.dependency_sweep(recorded[-1], downstream=False)
+            assert sorted(up) == sorted(
+                v
+                for v in recorded
+                if v != recorded[-1] and online.reaches(v, recorded[-1])
+            )
+
+    def test_unknown_execution_raises(self, paper_spec):
+        from repro.engine.online import OnlineKernel
+
+        online = OnlineRun(paper_spec)
+        online.root_scope.execute("a")
+        kernel = OnlineKernel(online)
+        with pytest.raises(LabelingError):
+            kernel.reaches(RunVertex("a", 1), RunVertex("ghost", 1))
+        with pytest.raises(LabelingError):
+            kernel.intern(RunVertex("b", 7))
+        with pytest.raises(LabelingError):
+            kernel.reaches_many_ids([0], [99])
+
+    def test_capacity_growth_under_append_burst(self, paper_spec):
+        from repro.engine.online import OnlineKernel
+
+        online = OnlineRun(paper_spec)
+        root = online.root_scope
+        first = root.execute("a")
+        kernel = OnlineKernel(online)
+        appended = [root.execute("a") for _ in range(50)]
+        for vertex in appended[-5:]:
+            assert kernel.reaches(first, vertex) == online.reaches(first, vertex)
+        assert kernel.stats.rebuilds == 1
+        assert kernel.stats.appended_rows == 50
