@@ -45,6 +45,8 @@ _IDENTITY_KEYS = (
     "pairs",
     "appends",
     "workers",
+    "shards",
+    "pool",
 )
 
 

@@ -121,7 +121,7 @@ class _BatchPlan(QueryPlan):
             store = self.target.store
             if (
                 len(pairs) >= HANDLE_PATH_MIN_PAIRS
-                or run_id in store._engine_cache
+                or store.has_compiled_engine(run_id)
             ):
                 # Large (or already-compiled) workloads: intern the whole
                 # batch once against the cached engine and replay handles.
@@ -194,9 +194,11 @@ class _CrossRunPlanBase(QueryPlan):
                 f"{type(query).__name__} sweeps stored runs; this session "
                 f"fronts {target.describe()}"
             )
-        # compiled once with the plan: re-executions reuse the executor
-        # (and its resolved REPRO_PARALLEL mode); the worker pool itself is
-        # still per-execution — see the ROADMAP's persistent-pool item
+        # compiled once with the plan: re-executions reuse the executor,
+        # its resolved REPRO_PARALLEL mode, and the store-owned persistent
+        # worker pool (lazily started on the first parallel execution and
+        # closed with the store), so a monitoring loop re-executing one
+        # plan pays neither pool startup nor process-mode re-pickling
         self._executor = CrossRunExecutor(target.store, workers=query.workers)
 
 

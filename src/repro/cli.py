@@ -53,6 +53,7 @@ from repro.datasets.reallife import load_real_workflow, real_workflow_names
 from repro.datasets.synthetic import SyntheticSpecConfig, generate_specification
 from repro.exceptions import LabelingError, ReproError, StorageError
 from repro.skeleton.skl import SkeletonLabeler
+from repro.storage.sharded import MAX_SHARDS, open_store
 from repro.storage.store import ProvenanceStore
 from repro.workflow.execution import generate_run_with_size
 from repro.workflow.serialization import (
@@ -98,6 +99,15 @@ def build_parser() -> argparse.ArgumentParser:
     label_parser.add_argument("--run", type=Path, required=True)
     label_parser.add_argument("--scheme", default="tcm", help="spec labeling scheme")
     label_parser.add_argument("--database", type=Path, required=True)
+    label_parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="shard the provenance database across N SQLite files "
+        f"(1-{MAX_SHARDS}; --database then names a directory).  Omit to "
+        "use a single-file store, or to reuse the layout of an existing "
+        "database",
+    )
 
     query_parser = subparsers.add_parser(
         "query", help="answer a reachability query from stored labels"
@@ -270,11 +280,17 @@ def _command_label(args: argparse.Namespace) -> int:
     run = read_run(args.run, spec)
     labeler = SkeletonLabeler(spec, args.scheme)
     labeled = labeler.label_run(run)
-    with ProvenanceStore(args.database) as store:
+    with open_store(args.database, shards=args.shards) as store:
         run_id = store.add_labeled_run(labeled)
+        layout = (
+            f"shard {store.shard_path_of(run_id).name} of {store.shard_count}"
+            if hasattr(store, "shard_path_of")
+            else "single file"
+        )
     print(
         f"labeled run {run.name!r} ({run.vertex_count} vertices) with "
-        f"{args.scheme}+skl; stored as run_id={run_id} in {args.database}"
+        f"{args.scheme}+skl; stored as run_id={run_id} in {args.database} "
+        f"({layout})"
     )
     print(
         f"max label length: {labeled.max_label_length_bits()} bits; "
@@ -286,7 +302,7 @@ def _command_label(args: argparse.Namespace) -> int:
 def _command_query(args: argparse.Namespace) -> int:
     source = _parse_execution(args.source)
     target = _parse_execution(args.target)
-    with ProvenanceStore(args.database) as store:
+    with open_store(args.database) as store:
         answer = store.session().run(
             PointQuery(source, target, run_id=args.run_id)
         )
@@ -358,7 +374,7 @@ def _raise_unknown_execution(
 def _command_query_batch(args: argparse.Namespace) -> int:
     import time
 
-    with ProvenanceStore(args.database) as store:
+    with open_store(args.database) as store:
         session = store.session()
         if args.format == "bin":
             if args.pairs == "-":
@@ -430,7 +446,7 @@ def _command_pack_workload(args: argparse.Namespace) -> int:
     pairs, origins = _parse_pair_lines(text)
     if not pairs:
         raise ReproError("no query pairs given")
-    with ProvenanceStore(args.database) as store:
+    with open_store(args.database) as store:
         engine = store.query_engine(args.run_id)
         try:
             source_ids, target_ids = engine.intern_pairs(pairs)
@@ -452,7 +468,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
     import time
 
     anchor = _parse_execution(args.source)
-    with ProvenanceStore(args.database) as store:
+    with open_store(args.database) as store:
         started = time.perf_counter()
         result = store.session().run(
             CrossRunQuery(args.spec, anchor, args.direction, workers=args.workers)
@@ -487,7 +503,7 @@ def _command_cross_batch(args: argparse.Namespace) -> int:
     pairs, _ = _parse_pair_lines(text)
     if not pairs:
         raise ReproError("no query pairs given")
-    with ProvenanceStore(args.database) as store:
+    with open_store(args.database) as store:
         started = time.perf_counter()
         result = store.session().run(
             CrossRunBatchQuery(args.spec, pairs, workers=args.workers)

@@ -102,7 +102,11 @@ class OnlineKernel:
         Appends whose context scope already has encoded positions extend
         the arrays in place; anything that can move existing labels (a
         newly nonempty scope) rebuilds.  New plan nodes that stayed empty
-        change no positions and are absorbed for free.
+        change no positions and are absorbed for free.  The appended
+        suffix comes from the run's append log
+        (:meth:`~repro.skeleton.online.OnlineRun.appended_executions`), so
+        one sync costs O(appended) — not O(recorded) as the old walk over
+        the context dict did.
         """
         online = self._online
         context = online.context
@@ -113,7 +117,11 @@ class OnlineKernel:
         if count_now < self._count:  # pragma: no cover - defensive
             self._rebuild()
             return
-        appended = list(islice(context.items(), self._count, None))
+        appended_of = getattr(online, "appended_executions", None)
+        if appended_of is not None:
+            appended = appended_of(self._count)
+        else:  # pragma: no cover - duck-typed runs without an append log
+            appended = list(islice(context.items(), self._count, None))
         if any(node_id not in self._positions for _, node_id in appended):
             # a scope turned nonempty: positions of existing nodes shifted
             self._rebuild()

@@ -13,13 +13,29 @@ fetches the chunk with a single ordered ``run_id IN`` scan
 (:func:`~repro.storage.store.load_label_arrays`), and evaluates its runs
 through the shared kernel:
 
-* the default pool is a ``ThreadPoolExecutor`` — ``sqlite3``'s step loop
-  and numpy's ufuncs release the GIL, so fetch and kernel work overlap;
-* ``REPRO_PARALLEL=process`` switches to a ``ProcessPoolExecutor`` whose
-  tasks are top-level functions fed picklable payloads (the dense spec
-  matrix plus the chunk's run ids); runs whose spec kernel is not dense —
-  live traversal schemes, numpy-less installs — cannot ship and are
-  evaluated on the submitting side;
+* the default pool is the **store-owned persistent worker pool**
+  (:mod:`repro.engine.pool`): lazily started on the first parallel
+  execution, reused by every later one (and by the sharded store's ingest
+  service), closed with the store — a monitoring loop re-executing one
+  compiled plan no longer pays pool startup per execution.  Thread workers
+  by default — ``sqlite3``'s step loop and numpy's ufuncs release the GIL,
+  so fetch and kernel work overlap;
+* ``REPRO_PARALLEL=process`` switches to a process pool whose tasks are
+  top-level functions fed picklable payloads.  The dense spec matrix is
+  pickled **once per kernel per pool** (the blob is cached on the pool and
+  reshipped as bytes, a memcpy), not re-serialized per execution; runs
+  whose spec kernel is not dense — live traversal schemes, numpy-less
+  installs — cannot ship and are evaluated on the submitting side;
+* chunking is **shard-aware**: when the store routes runs across shard
+  files (:class:`~repro.storage.sharded.ShardedProvenanceStore` exposes
+  ``shard_path_of``), runs are grouped by their physical file first, so
+  each worker connection opens exactly the one shard file its chunk lives
+  in;
+* workers return **packed** results — affected sweep rows as
+  module-dictionary + two int64 columns, batch answers as a byte vector —
+  decoded once at the API boundary (:meth:`CrossRunExecutor._split_outcomes`),
+  which shrinks process-mode pickling and the GIL-bound per-row tuple
+  building in thread mode;
 * two operations run through it: the anchored dependency **sweep**
   (``CrossRunQuery``) and the generalized **pair batch** (the same pairs
   asked of every run, a runs x pairs matrix) behind ``CrossRunBatchQuery``
@@ -31,17 +47,21 @@ evaluation) and auto-selected when the run count is below
 ``workers=1`` is requested, or when the store is in-memory (a ``:memory:``
 database is reachable only through its one connection).  Parallel answers
 are bit-identical to sequential ones: every mode evaluates the same
-compiled-kernel formula over the same streamed arrays.
+compiled-kernel formula over the same streamed arrays, and every mode
+round-trips through the same packed encoding.
 """
 
 from __future__ import annotations
 
 import os
+import pickle
+from array import array
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Any, Callable, Optional, Sequence
+from typing import Any, Callable, Optional, Sequence, Union
 from urllib.parse import quote
 
 from repro.engine.kernels import dense_pair_answers, dense_sweep_answers
+from repro.engine.pool import PersistentWorkerPool
 from repro.exceptions import QueryPlanError
 
 try:  # numpy accelerates the kernels but is strictly optional
@@ -102,10 +122,74 @@ def _true_positions(answers) -> list[int]:
 
 
 def _readonly_connection(path):
-    """A private read-only connection to the store file (one per task)."""
+    """A private read-only connection to the store file (one per task).
+
+    Falls back to a plain connection when the read-only URI open fails —
+    e.g. a WAL-mode shard whose ``-shm`` file an old SQLite refuses to map
+    read-only; the workers only ever SELECT, so the fallback stays safe.
+    """
     import sqlite3
 
-    return sqlite3.connect(f"file:{quote(str(path))}?mode=ro", uri=True)
+    try:
+        return sqlite3.connect(f"file:{quote(str(path))}?mode=ro", uri=True)
+    except sqlite3.OperationalError:  # pragma: no cover - sqlite-build dependent
+        return sqlite3.connect(str(path))
+
+
+# ----------------------------------------------------------------------
+# packed worker results (decoded once at the API boundary)
+# ----------------------------------------------------------------------
+def _pack_affected(executions, positions) -> tuple:
+    """Pack affected sweep rows: module dictionary + two int64 columns.
+
+    ``len(affected)`` Python tuples become one small tuple of distinct
+    module names plus two byte blobs — far cheaper to pickle out of a
+    process worker and to build inside a GIL-holding thread worker than
+    the decoded ``(module, instance)`` list.
+    """
+    modules: list[str] = []
+    module_index: dict[str, int] = {}
+    index_column = array("q")
+    instance_column = array("q")
+    for position in positions:
+        module, instance = executions[position]
+        slot = module_index.setdefault(module, len(modules))
+        if slot == len(modules):
+            modules.append(module)
+        index_column.append(slot)
+        instance_column.append(int(instance))
+    return ("sweep", tuple(modules), index_column.tobytes(), instance_column.tobytes())
+
+
+def _decode_affected(packed: tuple) -> list[tuple[str, int]]:
+    """Rebuild the ``(module, instance)`` list from one packed sweep payload."""
+    _, modules, index_bytes, instance_bytes = packed
+    index_column = array("q")
+    index_column.frombytes(index_bytes)
+    instance_column = array("q")
+    instance_column.frombytes(instance_bytes)
+    return [
+        (modules[slot], instance)
+        for slot, instance in zip(index_column, instance_column)
+    ]
+
+
+def _pack_answers(answers) -> tuple:
+    """Pack one run's batch answers as a byte vector (one byte per pair)."""
+    if _np is not None and isinstance(answers, _np.ndarray):
+        blob = _np.asarray(answers, dtype=bool).tobytes()
+    else:
+        blob = bytes(bytearray(1 if answer else 0 for answer in answers))
+    return ("batch", blob)
+
+
+def _decode_outcome(packed) -> Union[list, None]:
+    """Decode one packed per-run outcome (``None`` = the run was skipped)."""
+    if packed is None:
+        return None
+    if packed[0] == "sweep":
+        return _decode_affected(packed)
+    return [bool(byte) for byte in packed[1]]
 
 
 # ----------------------------------------------------------------------
@@ -139,21 +223,34 @@ def _origin_rows(position_of, origins):
 def _process_chunk_task(payload):
     """One process task: private-connection fetch + dense evaluation.
 
-    The payload carries only picklable state: the store file path, the
-    chunk's run ids, each run's dense spec matrix + origin-position map,
-    and the operation descriptor (``("sweep", anchor, downstream)`` or
-    ``("batch", pairs)``).  Results come back fully extracted — affected
-    execution tuples for sweeps, boolean lists for batches — so the parent
-    only merges dictionaries.
+    The payload carries only picklable state: the store (or shard) file
+    path, the chunk's run ids, each run's dense spec payload as a
+    **pickled blob** (``pickle.dumps((matrix, position_of))`` — serialized
+    once per kernel per pool and reshipped as bytes), and the operation
+    descriptor (``("sweep", anchor, downstream)`` or ``("batch", pairs)``).
+    Results come back packed (see :func:`_pack_affected` /
+    :func:`_pack_answers`); the parent decodes them once at the API
+    boundary.
     """
-    db_path, run_ids, dense_of, op = payload
+    db_path, run_ids, blob_of, op = payload
     arrays_of = _fetch_chunk_arrays(db_path, run_ids)
+    # runs of one spec share one kernel, hence one blob object: unpickle
+    # each distinct blob once per task
+    dense_cache: dict[int, tuple] = {}
+
+    def dense_of(run_id):
+        blob = blob_of[run_id]
+        key = id(blob)
+        if key not in dense_cache:
+            dense_cache[key] = pickle.loads(blob)
+        return dense_cache[key]
+
     results = []
     if op[0] == "sweep":
         _, anchor, downstream = op
         for run_id in run_ids:
             arrays = arrays_of[run_id]
-            matrix, position_of = dense_of[run_id]
+            matrix, position_of = dense_of(run_id)
             try:
                 anchor_row = arrays.executions.index(anchor)
             except ValueError:
@@ -168,15 +265,19 @@ def _process_chunk_task(payload):
                 anchor_row,
                 downstream,
             )
-            executions = arrays.executions
             results.append(
-                (run_id, [executions[i] for i in _np.flatnonzero(answers).tolist()])
+                (
+                    run_id,
+                    _pack_affected(
+                        arrays.executions, _np.flatnonzero(answers).tolist()
+                    ),
+                )
             )
     else:
         _, pairs = op
         for run_id in run_ids:
             arrays = arrays_of[run_id]
-            matrix, position_of = dense_of[run_id]
+            matrix, position_of = dense_of(run_id)
             row_of = {
                 execution: row for row, execution in enumerate(arrays.executions)
             }
@@ -203,7 +304,7 @@ def _process_chunk_task(payload):
                 source_rows,
                 target_rows,
             )
-            results.append((run_id, [bool(answer) for answer in answers]))
+            results.append((run_id, _pack_answers(answers)))
     return results
 
 
@@ -215,7 +316,8 @@ class CrossRunExecutor:
     store:
         The provenance store (anything with ``list_runs`` /
         ``get_specification`` / ``spec_kernel`` / ``run_label_arrays`` and
-        a ``path``).
+        a ``path``; a sharded store additionally exposes ``shard_path_of``,
+        which makes the chunking shard-aware).
     workers:
         Worker count; ``None`` auto-sizes (see :func:`resolve_workers`) and
         falls back to the retained sequential path for small sweeps.
@@ -224,6 +326,14 @@ class CrossRunExecutor:
         ``REPRO_PARALLEL`` environment variable.  Process mode requires
         numpy and dense spec kernels; ineligible runs are evaluated on the
         submitting side.
+    pool:
+        Where parallel tasks run.  ``None`` (default) asks the store for
+        its persistent :class:`~repro.engine.pool.PersistentWorkerPool`
+        (``store.worker_pool(mode)``), so repeated executions share one
+        lazily started pool that closes with the store.  ``False`` forces
+        a fresh ephemeral pool per execution (the pre-PR 5 behavior, kept
+        for benchmarking the difference).  An explicit pool object is used
+        as given and never shut down by the executor.
     """
 
     def __init__(
@@ -232,6 +342,7 @@ class CrossRunExecutor:
         *,
         workers: Optional[int] = None,
         mode: Optional[str] = None,
+        pool: Union[PersistentWorkerPool, None, bool] = None,
     ) -> None:
         self.store = store
         self.workers = workers
@@ -242,6 +353,13 @@ class CrossRunExecutor:
                 f"REPRO_PARALLEL mode must be 'thread' or 'process', got {mode!r}"
             )
         self.mode = mode
+        if pool is True:  # pragma: no cover - guard against bool misuse
+            pool = None
+        self._pool = pool
+        # dense payload blobs when no persistent pool hosts the cache; the
+        # kernel object is kept alongside so its id can never be recycled
+        # while the blob is alive
+        self._blob_cache: dict[int, tuple[Any, bytes]] = {}
 
     # ------------------------------------------------------------------
     # shared plumbing
@@ -262,18 +380,89 @@ class CrossRunExecutor:
             return 1
         return workers
 
+    def _resolve_pool(self, kind: Optional[str] = None) -> Optional[PersistentWorkerPool]:
+        """The persistent pool parallel tasks run on (``None`` = ephemeral).
+
+        *kind* is the pool flavor the submitted tasks actually need —
+        numpy-less installs fall back to closure-carrying thread tasks even
+        under ``REPRO_PARALLEL=process``, and closures must never be
+        submitted to a process pool.
+        """
+        kind = kind or self.mode
+        if self._pool is False:
+            return None
+        if isinstance(self._pool, PersistentWorkerPool):
+            if kind == "thread" and self._pool.mode == "process":
+                # closure-carrying thread tasks cannot ride a process pool
+                # (e.g. REPRO_PARALLEL=process on a numpy-less install with
+                # an explicit process pool): fall back to an ephemeral pool
+                return None
+            return self._pool
+        pool_of = getattr(self.store, "worker_pool", None)
+        if pool_of is None:
+            return None
+        pool = pool_of(kind)
+        if self.workers is not None and int(self.workers) > pool.workers:
+            # an explicit request wider than the shared pool must not be
+            # silently throttled to the pool's width; an ephemeral pool
+            # sized to the request (the pre-persistent behavior) serves it
+            return None
+        return pool
+
     @staticmethod
-    def _chunks(run_ids: Sequence[int], workers: int = 1):
+    def _dense_blob(kernel, cache: Optional[dict]) -> bytes:
+        """The kernel's dense payload, pickled once per *cache* lifetime.
+
+        *cache* is the persistent pool's ``payload_cache`` when one serves
+        this executor (every plan over the same store then shares the blob
+        for the pool's lifetime) or the executor's own cache otherwise.
+        ``None`` disables caching entirely — the ``pool=False`` baseline
+        re-pickles per execution, faithfully reproducing the pre-pool
+        behavior the benchmarks compare against.
+        """
+        if cache is None:
+            return pickle.dumps((kernel.matrix, kernel.position_of))
+        key = id(kernel)
+        entry = cache.get(key)
+        if entry is None:
+            entry = (kernel, pickle.dumps((kernel.matrix, kernel.position_of)))
+            cache[key] = entry
+        return entry[1]
+
+    def _path_groups(self, run_ids: Sequence[int]) -> list[tuple[str, list[int]]]:
+        """Group runs by the physical database file their rows live in.
+
+        A single-file store yields one group (its ``path``); a sharded
+        store yields one group per shard actually touched, so every worker
+        connection opens exactly its chunk's shard file.
+        """
+        shard_path_of = getattr(self.store, "shard_path_of", None)
+        if shard_path_of is None:
+            return [(str(self.store.path), list(run_ids))]
+        groups: dict[str, list[int]] = {}
+        for run_id in run_ids:
+            groups.setdefault(str(shard_path_of(run_id)), []).append(run_id)
+        return list(groups.items())
+
+    @staticmethod
+    def _chunks(run_ids: Sequence[int], workers: int = 1, *, cap_tasks: bool = False):
         """Chunk runs so the whole pool stays busy.
 
         The chunk size is :data:`PREFETCH_CHUNK_RUNS` capped at
         ``ceil(runs / workers)`` — without the cap, a small sweep would
         submit fewer tasks than workers and leave part of the pool idle.
+
+        With *cap_tasks* the chunk size is additionally **floored** at
+        ``ceil(runs / workers)``, so at most *workers* chunks are emitted.
+        Ephemeral pools enforce the worker cap through ``max_workers``;
+        a shared persistent pool is wider than an explicit ``workers=``
+        request, so there the cap must come from the task count itself.
         """
         count = len(run_ids)
-        chunk_size = max(
-            1, min(PREFETCH_CHUNK_RUNS, -(-count // max(1, workers)))
-        )
+        per_worker = -(-count // max(1, workers))
+        chunk_size = max(1, min(PREFETCH_CHUNK_RUNS, per_worker))
+        if cap_tasks:
+            chunk_size = max(chunk_size, per_worker)
         for start in range(0, count, chunk_size):
             yield list(run_ids[start : start + chunk_size])
 
@@ -284,17 +473,28 @@ class CrossRunExecutor:
         evaluate: Callable,
         op: tuple,
     ) -> dict[int, Any]:
-        """Fan chunk tasks over the pool; returns per-run outcomes.
+        """Fan chunk tasks over the pool; returns per-run packed outcomes.
 
         *evaluate* is the shared-kernel per-run evaluation (used by thread
         workers and for runs process mode cannot ship); *op* is the
-        picklable operation descriptor for process tasks.
+        picklable operation descriptor for process tasks.  Tasks are
+        submitted to the store's persistent pool when one is available,
+        else to a fresh ephemeral pool that is torn down with the call.
         """
         store = self.store
         kernels = {run_id: store.spec_kernel(run_id) for run_id in run_ids}
-        db_path = store.path
         outcomes: dict[int, Any] = {}
         use_processes = self.mode == "process" and _np is not None
+        pool = self._resolve_pool("process" if use_processes else "thread")
+        # a shared pool is wider than an explicit workers= request; cap the
+        # task count so the requested concurrency limit still holds there
+        cap_tasks = pool is not None and pool.workers > workers
+        if pool is not None:
+            blob_cache: Optional[dict] = pool.payload_cache
+        elif self._pool is False:
+            blob_cache = None  # faithful pre-pool baseline: no blob reuse
+        else:
+            blob_cache = self._blob_cache
         if use_processes:
             shippable = []
             local = []
@@ -303,42 +503,65 @@ class CrossRunExecutor:
                     shippable.append(run_id)
                 else:
                     local.append(run_id)
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = [
-                    pool.submit(
-                        _process_chunk_task,
-                        (
-                            db_path,
-                            chunk,
-                            {
-                                run_id: (
-                                    kernels[run_id].matrix,
-                                    kernels[run_id].position_of,
-                                )
-                                for run_id in chunk
-                            },
-                            op,
-                        ),
-                    )
-                    for chunk in self._chunks(shippable, workers)
-                ]
+            futures = []
+
+            def submit_all(submit):
+                for db_path, path_runs in self._path_groups(shippable):
+                    for chunk in self._chunks(path_runs, workers, cap_tasks=cap_tasks):
+                        futures.append(
+                            submit(
+                                _process_chunk_task,
+                                (
+                                    db_path,
+                                    chunk,
+                                    {
+                                        run_id: self._dense_blob(
+                                            kernels[run_id], blob_cache
+                                        )
+                                        for run_id in chunk
+                                    },
+                                    op,
+                                ),
+                            )
+                        )
+
+            def drain():
                 # non-dense kernels hold live spec indexes that cannot ship
                 # across processes; evaluate them here while the pool works
-                for chunk in self._chunks(local):
-                    arrays_of = _fetch_chunk_arrays(db_path, chunk)
-                    for run_id in chunk:
-                        _, answer = evaluate(
-                            run_id, kernels[run_id], arrays_of[run_id]
-                        )
-                        outcomes[run_id] = answer
+                for db_path, path_runs in self._path_groups(local):
+                    for chunk in self._chunks(path_runs):
+                        arrays_of = _fetch_chunk_arrays(db_path, chunk)
+                        for run_id in chunk:
+                            _, answer = evaluate(
+                                run_id, kernels[run_id], arrays_of[run_id]
+                            )
+                            outcomes[run_id] = answer
                 for future in futures:
                     outcomes.update(dict(future.result()))
+
+            if pool is not None:
+                submit_all(pool.submit)
+                drain()
+            else:
+                with ProcessPoolExecutor(max_workers=workers) as ephemeral:
+                    submit_all(ephemeral.submit)
+                    drain()
             return outcomes
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                pool.submit(_thread_chunk_task, db_path, chunk, kernels, evaluate)
-                for chunk in self._chunks(run_ids, workers)
+
+        def submit_all(submit):
+            return [
+                submit(_thread_chunk_task, db_path, chunk, kernels, evaluate)
+                for db_path, path_runs in self._path_groups(run_ids)
+                for chunk in self._chunks(path_runs, workers, cap_tasks=cap_tasks)
             ]
+
+        if pool is not None:
+            futures = submit_all(pool.submit)
+            for future in futures:
+                outcomes.update(dict(future.result()))
+            return outcomes
+        with ThreadPoolExecutor(max_workers=workers) as ephemeral:
+            futures = submit_all(ephemeral.submit)
             for future in futures:
                 outcomes.update(dict(future.result()))
         return outcomes
@@ -371,8 +594,9 @@ class CrossRunExecutor:
                 anchor_row,
                 downstream=downstream,
             )
-            executions = arrays.executions
-            return run_id, [executions[i] for i in _true_positions(answers)]
+            return run_id, _pack_affected(
+                arrays.executions, _true_positions(answers)
+            )
 
         if workers <= 1:
             return self._run_sequential(run_ids, evaluate)
@@ -418,7 +642,7 @@ class CrossRunExecutor:
                 source_rows,
                 target_rows,
             )
-            return run_id, [bool(answer) for answer in answers]
+            return run_id, _pack_answers(answers)
 
         if workers <= 1:
             return self._run_sequential(run_ids, evaluate)
@@ -440,10 +664,11 @@ class CrossRunExecutor:
 
     @staticmethod
     def _split_outcomes(run_ids, outcomes) -> tuple[dict[int, Any], list[int]]:
+        """Decode the packed per-run payloads once, at the API boundary."""
         per_run: dict[int, Any] = {}
         skipped: list[int] = []
         for run_id in run_ids:
-            answer = outcomes[run_id]
+            answer = _decode_outcome(outcomes[run_id])
             if answer is None:
                 skipped.append(run_id)
             else:

@@ -142,6 +142,11 @@ class OnlineRun:
         self.graph = DiGraph()
         self.plan = ExecutionPlan()
         self.context: dict[RunVertex, int] = {}
+        # the append log: every recorded execution with its context node, in
+        # event order.  Incremental consumers (OnlineKernel) read suffixes
+        # of this list instead of walking the whole context dict, so one
+        # sync costs O(appended), not O(recorded so far).
+        self._append_log: list[tuple[RunVertex, int]] = []
         self._instance_counters: dict[str, int] = {}
         self._groups_per_scope: dict[tuple[int, str], int] = {}
         self._scope_of_node: dict[int, str] = {}
@@ -185,6 +190,7 @@ class OnlineRun:
             raise RunConformanceError(f"execution {vertex} was already recorded")
         self.graph.add_vertex(vertex)
         self.context[vertex] = scope.node_id
+        self._append_log.append((vertex, scope.node_id))
         self._dirty = True
         return vertex
 
@@ -333,6 +339,20 @@ class OnlineRun:
         return skeleton_predicate(
             self.label_of(source), self.label_of(target), self.spec_index
         )
+
+    def appended_executions(self, since: int = 0) -> list[tuple[RunVertex, int]]:
+        """The executions recorded after the first *since*, in event order.
+
+        Each entry is ``(vertex, context_node_id)``.  This is the append
+        log behind O(appended) incremental maintenance: a consumer that
+        already folded ``since`` executions (e.g.
+        :class:`~repro.engine.online.OnlineKernel`) fetches exactly the
+        suffix it is missing instead of re-walking the whole context
+        function per sync.
+        """
+        if since < 0:
+            raise ValueError(f"since must be non-negative, got {since}")
+        return self._append_log[since:]
 
     def version_token(self) -> tuple[int, int]:
         """A token that changes whenever recorded structure can move labels.

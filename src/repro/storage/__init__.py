@@ -1,7 +1,22 @@
-"""SQLite-backed persistence for labeled runs and data provenance."""
+"""SQLite-backed persistence for labeled runs and data provenance.
+
+Two store layouts share one query surface: the classic single-file
+:class:`ProvenanceStore` and the write-scalable
+:class:`ShardedProvenanceStore` (N WAL-mode shard files, specs routed by a
+stable hash, runs ingested per shard concurrently through a persistent
+worker pool).  :func:`open_store` picks the right one for a path.
+"""
 
 from repro.storage.database import connect, initialize_schema
 from repro.storage.schema import SCHEMA_STATEMENTS, SCHEMA_VERSION
+from repro.storage.sharded import (
+    DEFAULT_SHARDS,
+    MAX_SHARDS,
+    ShardedProvenanceStore,
+    open_store,
+    shard_of_run,
+    shard_of_spec,
+)
 from repro.storage.store import ProvenanceStore
 
 __all__ = [
@@ -10,4 +25,10 @@ __all__ = [
     "SCHEMA_STATEMENTS",
     "SCHEMA_VERSION",
     "ProvenanceStore",
+    "ShardedProvenanceStore",
+    "open_store",
+    "shard_of_spec",
+    "shard_of_run",
+    "DEFAULT_SHARDS",
+    "MAX_SHARDS",
 ]

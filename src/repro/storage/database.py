@@ -14,20 +14,42 @@ __all__ = ["connect", "initialize_schema"]
 PathLike = Union[str, Path]
 
 
-def connect(path: PathLike = ":memory:") -> sqlite3.Connection:
+def connect(
+    path: PathLike = ":memory:", *, journal_mode: str = "MEMORY"
+) -> sqlite3.Connection:
     """Open a SQLite connection with the pragmas the store relies on.
 
     ``path`` may be ``":memory:"`` for an ephemeral store.  Foreign keys are
     enforced and rows are returned as :class:`sqlite3.Row` so columns can be
     accessed by name.
+
+    ``journal_mode`` defaults to the single-file store's in-memory rollback
+    journal; the sharded store opens its shard files in ``"WAL"`` mode so an
+    ingest worker committing a batch never blocks the concurrent readers of
+    the parallel query executor (``synchronous=NORMAL`` is the recommended
+    — and still durable-on-app-crash — pairing for WAL commits).  A busy
+    timeout covers the brief write-lock handovers between the shard's main
+    connection and its ingest workers.
     """
+    if journal_mode.upper() not in ("MEMORY", "WAL", "DELETE", "TRUNCATE", "PERSIST", "OFF"):
+        raise StorageError(f"unsupported journal mode {journal_mode!r}")
     try:
-        connection = sqlite3.connect(str(path))
+        # when the sqlite3 module serializes all access itself
+        # (threadsafety 3, the norm on modern CPython builds), the store's
+        # connections may be shared across threads — a sharded store's
+        # readers then don't need a connection per thread; older builds
+        # keep the per-thread guard
+        connection = sqlite3.connect(
+            str(path), check_same_thread=sqlite3.threadsafety < 3
+        )
     except sqlite3.Error as exc:
         raise StorageError(f"could not open provenance database {path!r}: {exc}") from exc
     connection.row_factory = sqlite3.Row
     connection.execute("PRAGMA foreign_keys = ON")
-    connection.execute("PRAGMA journal_mode = MEMORY")
+    connection.execute(f"PRAGMA journal_mode = {journal_mode.upper()}")
+    if journal_mode.upper() == "WAL":
+        connection.execute("PRAGMA synchronous = NORMAL")
+    connection.execute("PRAGMA busy_timeout = 30000")
     return connection
 
 

@@ -42,6 +42,7 @@ from pathlib import Path
 from typing import Optional, Union
 
 from repro.engine.kernels import SpecKernel, compile_spec_kernel
+from repro.engine.pool import WorkerPoolOwner
 from repro.engine.query import QueryEngine
 from repro.exceptions import StorageError
 from repro.labeling.base import VertexHandleAPI
@@ -75,6 +76,8 @@ __all__ = [
     "SQLITE_MAX_VARIABLE_NUMBER",
     "row_value_chunk",
     "load_label_arrays",
+    "insert_specification",
+    "insert_labeled_run",
 ]
 
 PathLike = Union[str, Path]
@@ -237,6 +240,97 @@ def load_label_arrays(
     return arrays
 
 
+def insert_specification(
+    connection: sqlite3.Connection,
+    spec: WorkflowSpecification,
+    *,
+    spec_id: Optional[int] = None,
+) -> int:
+    """Insert *spec* over *connection* (idempotent by name); returns its id.
+
+    The connection-agnostic core of
+    :meth:`ProvenanceStore.add_specification`, shared with the sharded
+    store's ingest workers (which write over their own per-shard
+    connections).  An explicit *spec_id* lets the sharded layer allocate
+    globally unique, shard-encoded identifiers instead of the table's
+    autoincrement sequence.  Transaction management is the caller's.
+    """
+    existing = connection.execute(
+        "SELECT spec_id FROM specifications WHERE name = ?", (spec.name,)
+    ).fetchone()
+    if existing is not None:
+        return int(existing[0])
+    cursor = connection.execute(
+        "INSERT INTO specifications (spec_id, name, document, n_modules, n_edges) "
+        "VALUES (?, ?, ?, ?, ?)",
+        (
+            spec_id,
+            spec.name,
+            specification_to_json(spec),
+            spec.vertex_count,
+            spec.edge_count,
+        ),
+    )
+    return int(cursor.lastrowid)
+
+
+def insert_labeled_run(
+    connection: sqlite3.Connection,
+    labeled: SkeletonLabeledRun,
+    spec_id: int,
+    *,
+    run_id: Optional[int] = None,
+) -> int:
+    """Insert one labeled run's row and label set over *connection*.
+
+    The connection-agnostic core of :meth:`ProvenanceStore.add_labeled_run`;
+    the sharded ingest workers call it with explicit shard-encoded *run_id*
+    values so every shard file carries globally unique run identifiers.
+    Raises :class:`sqlite3.IntegrityError` on duplicates — wrapping it in a
+    :class:`~repro.exceptions.StorageError` (and the transaction) is the
+    caller's job.
+    """
+    run = labeled.run
+    scheme = labeled.spec_index.scheme_name
+    cursor = connection.execute(
+        "INSERT INTO runs (run_id, spec_id, name, document, n_vertices, n_edges, spec_scheme) "
+        "VALUES (?, ?, ?, ?, ?, ?, ?)",
+        (
+            run_id,
+            spec_id,
+            run.name,
+            run_to_json(run),
+            run.vertex_count,
+            run.edge_count,
+            scheme,
+        ),
+    )
+    run_id = int(cursor.lastrowid)
+    # The interned handle of each vertex is persisted alongside its label,
+    # so a store reopened later hands out exactly the ids the in-memory
+    # labeled run assigned.
+    id_of = labeled.interner.id_of
+    connection.executemany(
+        "INSERT INTO run_labels "
+        "(run_id, module, instance, q1, q2, q3, skeleton, vertex_id) "
+        "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+        [
+            (
+                run_id,
+                vertex.module,
+                vertex.instance,
+                label.q1,
+                label.q2,
+                label.q3,
+                vertex.module,
+                id_of(vertex),
+            )
+            for vertex, label in labeled.labels().items()
+        ],
+    )
+    return run_id
+
+
 def _deprecated_store_entry(old: str, query: str) -> None:
     warnings.warn(
         f"ProvenanceStore.{old} is deprecated: run a {query} through the "
@@ -246,12 +340,21 @@ def _deprecated_store_entry(old: str, query: str) -> None:
     )
 
 
-class ProvenanceStore:
-    """Persist and query workflow provenance in a SQLite database."""
+class ProvenanceStore(WorkerPoolOwner):
+    """Persist and query workflow provenance in a SQLite database.
 
-    def __init__(self, path: PathLike = ":memory:") -> None:
+    ``journal_mode`` is the SQLite journal the store's connections use;
+    the sharded store opens its shard files in ``"WAL"`` mode so ingest
+    writers and parallel readers coexist (see
+    :mod:`repro.storage.database`).
+    """
+
+    def __init__(
+        self, path: PathLike = ":memory:", *, journal_mode: str = "MEMORY"
+    ) -> None:
         self.path = path
-        self._connection = connect(path)
+        self.journal_mode = journal_mode
+        self._connection = connect(path, journal_mode=journal_mode)
         initialize_schema(self._connection)
         self._spec_cache: dict[int, WorkflowSpecification] = {}
         self._index_cache: dict[tuple[int, str], object] = {}
@@ -277,7 +380,8 @@ class ProvenanceStore:
     # lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Close the underlying connection."""
+        """Close the underlying connection and any worker pools."""
+        self.close_pools()
         self._connection.close()
 
     def __enter__(self) -> "ProvenanceStore":
@@ -291,23 +395,8 @@ class ProvenanceStore:
     # ------------------------------------------------------------------
     def add_specification(self, spec: WorkflowSpecification) -> int:
         """Store *spec* (idempotent by name) and return its identifier."""
-        existing = self._connection.execute(
-            "SELECT spec_id FROM specifications WHERE name = ?", (spec.name,)
-        ).fetchone()
-        if existing is not None:
-            return int(existing["spec_id"])
         with self._connection:
-            cursor = self._connection.execute(
-                "INSERT INTO specifications (name, document, n_modules, n_edges) "
-                "VALUES (?, ?, ?, ?)",
-                (
-                    spec.name,
-                    specification_to_json(spec),
-                    spec.vertex_count,
-                    spec.edge_count,
-                ),
-            )
-        return int(cursor.lastrowid)
+            return insert_specification(self._connection, spec)
 
     def get_specification(self, name: str) -> WorkflowSpecification:
         """Load the specification called *name*."""
@@ -346,49 +435,13 @@ class ProvenanceStore:
         """Store a labeled run (its graph, labels and spec scheme) and return its id."""
         run = labeled.run
         spec_id = self.add_specification(run.specification)
-        scheme = labeled.spec_index.scheme_name
         try:
             with self._connection:
-                cursor = self._connection.execute(
-                    "INSERT INTO runs (spec_id, name, document, n_vertices, n_edges, spec_scheme) "
-                    "VALUES (?, ?, ?, ?, ?, ?)",
-                    (
-                        spec_id,
-                        run.name,
-                        run_to_json(run),
-                        run.vertex_count,
-                        run.edge_count,
-                        scheme,
-                    ),
-                )
-                run_id = int(cursor.lastrowid)
-                # The interned handle of each vertex is persisted alongside
-                # its label, so a store reopened later hands out exactly the
-                # ids the in-memory labeled run assigned.
-                id_of = labeled.interner.id_of
-                self._connection.executemany(
-                    "INSERT INTO run_labels "
-                    "(run_id, module, instance, q1, q2, q3, skeleton, vertex_id) "
-                    "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
-                    [
-                        (
-                            run_id,
-                            vertex.module,
-                            vertex.instance,
-                            label.q1,
-                            label.q2,
-                            label.q3,
-                            vertex.module,
-                            id_of(vertex),
-                        )
-                        for vertex, label in labeled.labels().items()
-                    ],
-                )
+                return insert_labeled_run(self._connection, labeled, spec_id)
         except sqlite3.IntegrityError as exc:
             raise StorageError(
                 f"run {run.name!r} already stored for specification {run.specification.name!r}"
             ) from exc
-        return run_id
 
     def get_run(self, run_id: int) -> WorkflowRun:
         """Load the run graph with identifier *run_id*."""
@@ -646,6 +699,15 @@ class ProvenanceStore:
             self._engine_cache[run_id] = cached
         return cached[0]
 
+    def has_compiled_engine(self, run_id: int) -> bool:
+        """Whether *run_id* already has a warm compiled engine cached.
+
+        The session's batch planner reads this (instead of poking the
+        private cache) to decide whether a small workload should ride the
+        already-paid handle path.
+        """
+        return run_id in self._engine_cache
+
     def reaches_batch(
         self,
         run_id: int,
@@ -843,13 +905,17 @@ class ProvenanceStore:
         and kernel compilation again.  Surfaced through
         :meth:`ProvenanceSession.cache_stats`.
         """
-        return {
+        stats = {
             "stored_runs_cached": len(self._stored_run_cache),
             "engines_cached": len(self._engine_cache),
             "spec_kernels_cached": len(self._spec_kernel_cache),
             "evictions": self._evictions,
             "limit": STORED_RUN_CACHE_LIMIT,
         }
+        pools = self.pool_stats()
+        if pools:
+            stats["pools"] = pools
+        return stats
 
     def statistics(self) -> dict:
         """Return row counts per table (for diagnostics and tests)."""

@@ -501,7 +501,8 @@ class TestInfoAndExperiments:
         assert "figure-12" in output and "table-1" in output
         written = list((tmp_path / "reports").glob("*.txt"))
         # tables 1-2, figures 12-20, spec-scheme ablation, engine throughput,
-        # handle-path throughput, cross-run + parallel cross-run throughput
-        assert len(written) == 16
+        # handle-path throughput, cross-run + parallel cross-run throughput,
+        # sharded-ingest throughput
+        assert len(written) == 17
         # every report also carries a machine-readable BENCH_*.json twin
-        assert len(list((tmp_path / "reports").glob("BENCH_*.json"))) == 16
+        assert len(list((tmp_path / "reports").glob("BENCH_*.json"))) == 17

@@ -15,6 +15,7 @@ EXAMPLES = [
     "paper_running_example.py",
     "data_provenance_queries.py",
     "provenance_store.py",
+    "sharded_store.py",
     "online_labeling.py",
     "batch_queries.py",
 ]

@@ -459,3 +459,69 @@ class TestIncrementalOnlineKernel:
             assert kernel.reaches(first, vertex) == online.reaches(first, vertex)
         assert kernel.stats.rebuilds == 1
         assert kernel.stats.appended_rows == 50
+
+
+class TestAppendLog:
+    """The O(appended) append log behind OnlineKernel.sync."""
+
+    def test_log_records_every_execution_in_event_order(self, paper_spec):
+        online = OnlineRun(paper_spec)
+        root = online.root_scope
+        a1 = root.execute("a")
+        d1 = root.execute("d")
+        log = online.appended_executions()
+        assert [vertex for vertex, _ in log] == [a1, d1]
+        assert [node for _, node in log] == [
+            online.context[a1], online.context[d1],
+        ]
+        # suffix reads return exactly the missing tail
+        assert online.appended_executions(1) == [log[1]]
+        assert online.appended_executions(2) == []
+
+    def test_log_tracks_scope_node_ids(self, paper_spec):
+        online = OnlineRun(paper_spec)
+        root = online.root_scope
+        root.execute("a")
+        fork_copy = root.begin_execution("F1").new_copy()
+        loop_copy = fork_copy.begin_execution("L2").new_copy()
+        b1 = loop_copy.execute("b")
+        (vertex, node_id) = online.appended_executions(1)[0]
+        assert vertex == b1 and node_id == loop_copy.node_id
+
+    def test_negative_since_rejected(self, paper_spec):
+        online = OnlineRun(paper_spec)
+        with pytest.raises(ValueError):
+            online.appended_executions(-1)
+
+    def test_log_stays_in_lockstep_with_context(self, paper_spec):
+        online = OnlineRun(paper_spec)
+        replay_figure3(online)
+        log = online.appended_executions()
+        assert len(log) == len(online.context)
+        assert [vertex for vertex, _ in log] == list(online.context)
+        assert {vertex: node for vertex, node in log} == online.context
+
+    def test_kernel_sync_consumes_only_the_suffix(self, paper_spec, monkeypatch):
+        from repro.engine.online import OnlineKernel
+
+        online = OnlineRun(paper_spec)
+        root = online.root_scope
+        first = root.execute("a")
+        kernel = OnlineKernel(online)
+        kernel.sync()
+        requested: list[int] = []
+        original = online.appended_executions
+
+        def probed(since=0):
+            requested.append(since)
+            return original(since)
+
+        monkeypatch.setattr(online, "appended_executions", probed)
+        appended = [root.execute("a") for _ in range(5)]
+        assert kernel.reaches(first, appended[-1])
+        # one sync, asked for exactly the suffix past the folded prefix
+        assert requested == [1]
+        root.execute("a")
+        kernel.sync()
+        assert requested == [1, 6]
+        assert kernel.stats.appended_rows == 6

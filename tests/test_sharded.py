@@ -1,0 +1,551 @@
+"""Tests for the sharded provenance store and its parallel ingest service.
+
+Covers routing and global-id allocation, the full ``ProvenanceStore``
+surface parity through the session, the per-shard batched write path
+(including input-order ids, duplicate detection and reopen), concurrent
+writer/reader stress, shard-aware parallel execution, the CLI ``--shards``
+flag, and the persistent worker pool's lifecycle.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.api import (
+    BatchQuery,
+    CrossRunBatchQuery,
+    CrossRunQuery,
+    DataDependencyQuery,
+    DownstreamQuery,
+    PointQuery,
+    ProvenanceSession,
+    UpstreamQuery,
+)
+from repro.engine.parallel import CrossRunExecutor
+from repro.exceptions import StorageError
+from repro.provenance.data import DataFlow
+from repro.skeleton.skl import SkeletonLabeler
+from repro.storage.sharded import (
+    DEFAULT_SHARDS,
+    MAX_SHARDS,
+    ShardedProvenanceStore,
+    open_store,
+    shard_of_run,
+    shard_of_spec,
+)
+from repro.storage.store import ProvenanceStore
+from repro.workflow.execution import generate_run_with_size
+from repro.workflow.run import RunVertex
+
+
+@pytest.fixture()
+def sharded_store(tmp_path):
+    store = ShardedProvenanceStore(tmp_path / "sharded", 4)
+    yield store
+    store.close()
+
+
+@pytest.fixture()
+def labeled_batch(paper_spec, paper_labeler, paper_run):
+    """The paper run plus three generated runs, all labeled with tcm+skl."""
+    labeled = [paper_labeler.label_run(paper_run)]
+    for seed in (1, 2, 3):
+        generated = generate_run_with_size(
+            paper_spec, 20, seed=seed, name=f"shard-{seed}"
+        )
+        labeled.append(paper_labeler.label_run(generated.run))
+    return labeled
+
+
+class TestRouting:
+    def test_spec_routing_is_stable(self):
+        assert shard_of_spec("paper-example", 4) == shard_of_spec("paper-example", 4)
+        assert 0 <= shard_of_spec("anything", 7) < 7
+
+    def test_run_id_encoding_round_trips(self):
+        # global id (local-1)*N + shard + 1 means the shard is recoverable
+        # from the id alone, for every shard count
+        for shards in (1, 2, 4, 64):
+            for local in range(1, 6):
+                for shard in range(shards):
+                    global_id = (local - 1) * shards + shard + 1
+                    assert shard_of_run(global_id, shards) == shard
+
+    def test_one_shard_store_uses_single_file_numbering(self, tmp_path, labeled_batch):
+        with ShardedProvenanceStore(tmp_path / "one", 1) as store:
+            ids = store.add_labeled_runs(labeled_batch)
+        assert ids == [1, 2, 3, 4]
+
+    def test_all_runs_of_one_spec_share_a_shard(self, sharded_store, labeled_batch):
+        ids = sharded_store.add_labeled_runs(labeled_batch)
+        shard_paths = {sharded_store.shard_path_of(run_id) for run_id in ids}
+        assert len(shard_paths) == 1
+
+    def test_specs_spread_across_shards(self, tmp_path):
+        # enough distinct names hit more than one of 4 shards
+        shards = {shard_of_spec(f"spec-{i}", 4) for i in range(16)}
+        assert len(shards) > 1
+
+
+class TestConstruction:
+    def test_memory_store_rejected(self):
+        with pytest.raises(StorageError):
+            ShardedProvenanceStore(":memory:")
+
+    def test_shard_count_validated(self, tmp_path):
+        with pytest.raises(StorageError):
+            ShardedProvenanceStore(tmp_path / "bad", 0)
+        with pytest.raises(StorageError):
+            ShardedProvenanceStore(tmp_path / "bad", MAX_SHARDS + 1)
+
+    def test_default_shard_count(self, tmp_path):
+        with ShardedProvenanceStore(tmp_path / "default") as store:
+            assert store.shard_count == DEFAULT_SHARDS
+
+    def test_reopen_recovers_shard_count(self, tmp_path, labeled_batch):
+        with ShardedProvenanceStore(tmp_path / "reopen", 3) as store:
+            ids = store.add_labeled_runs(labeled_batch)
+        with ShardedProvenanceStore(tmp_path / "reopen") as store:
+            assert store.shard_count == 3
+            assert [row["run_id"] for row in store.list_runs()] == sorted(ids)
+        with pytest.raises(StorageError):
+            ShardedProvenanceStore(tmp_path / "reopen", 5)
+
+    def test_open_store_picks_the_layout(self, tmp_path, labeled_batch):
+        sharded_path = tmp_path / "auto"
+        with open_store(sharded_path, shards=2) as store:
+            assert isinstance(store, ShardedProvenanceStore)
+            store.add_labeled_runs(labeled_batch)
+        with open_store(sharded_path) as store:
+            assert isinstance(store, ShardedProvenanceStore)
+            assert store.shard_count == 2
+        with open_store(tmp_path / "plain.db") as store:
+            assert isinstance(store, ProvenanceStore)
+
+
+class TestIngest:
+    def test_ids_in_input_order(self, sharded_store, labeled_batch):
+        ids = sharded_store.add_labeled_runs(labeled_batch)
+        assert len(ids) == len(labeled_batch)
+        names = {row["run_id"]: row["name"] for row in sharded_store.list_runs()}
+        assert [names[run_id] for run_id in ids] == [
+            item.run.name for item in labeled_batch
+        ]
+
+    def test_empty_batch(self, sharded_store):
+        assert sharded_store.add_labeled_runs([]) == []
+
+    def test_duplicate_run_raises(self, sharded_store, labeled_batch):
+        sharded_store.add_labeled_runs(labeled_batch)
+        with pytest.raises(StorageError):
+            sharded_store.add_labeled_run(labeled_batch[0])
+
+    def test_failed_shard_batch_rolls_back(self, sharded_store, labeled_batch):
+        sharded_store.add_labeled_run(labeled_batch[0])
+        before = sharded_store.statistics()
+        # the whole sub-batch shares one transaction: the fresh runs in it
+        # must roll back alongside the duplicate
+        with pytest.raises(StorageError):
+            sharded_store.add_labeled_runs(labeled_batch)
+        assert sharded_store.statistics() == before
+
+    def test_multi_spec_batch_spreads_and_answers(self, tmp_path):
+        from repro.datasets.synthetic import SyntheticSpecConfig, generate_specification
+
+        specs = [
+            generate_specification(
+                SyntheticSpecConfig(
+                    n_modules=20,
+                    n_edges=30,
+                    hierarchy_size=3,
+                    hierarchy_depth=2,
+                    name=f"multi-{i}",
+                    seed=20 + i,
+                )
+            )
+            for i in range(6)
+        ]
+        labeled = [
+            SkeletonLabeler(spec, "tcm").label_run(
+                generate_run_with_size(spec, 25, seed=i, name="r").run
+            )
+            for i, spec in enumerate(specs)
+        ]
+        with ShardedProvenanceStore(tmp_path / "multi", 4) as store:
+            ids = store.add_labeled_runs(labeled)
+            touched = {store.shard_path_of(run_id) for run_id in ids}
+            assert len(touched) > 1, "expected the specs to spread over shards"
+            # the ingest pool was exercised (multi-shard batches fan out)
+            assert store.pool_stats()["thread"]["tasks_submitted"] >= 2
+            for run_id, item in zip(ids, labeled):
+                assert store.all_labels_of(run_id) == item.labels()
+
+    def test_add_specification_idempotent(self, sharded_store, paper_spec):
+        first = sharded_store.add_specification(paper_spec)
+        assert sharded_store.add_specification(paper_spec) == first
+        assert sharded_store.get_specification(paper_spec.name).name == paper_spec.name
+
+
+class TestSurfaceParity:
+    """Every query type answers exactly like a single-file store."""
+
+    @pytest.fixture()
+    def both_stores(self, tmp_path, labeled_batch):
+        single = ProvenanceStore(tmp_path / "single.db")
+        sharded = ShardedProvenanceStore(tmp_path / "parity", 4)
+        single_ids = [single.add_labeled_run(item) for item in labeled_batch]
+        sharded_ids = sharded.add_labeled_runs(labeled_batch)
+        yield single, single_ids, sharded, sharded_ids
+        single.close()
+        sharded.close()
+
+    def test_labels_and_point_batch_sweeps(self, both_stores, paper_run):
+        single, single_ids, sharded, sharded_ids = both_stores
+        vertices = paper_run.vertices()[:6]
+        pairs = [(u, v) for u in vertices for v in vertices]
+        single_session = ProvenanceSession(single)
+        sharded_session = ProvenanceSession(sharded)
+        run_s, run_h = single_ids[0], sharded_ids[0]
+        assert single.all_labels_of(run_s) == sharded.all_labels_of(run_h)
+        assert single.label_of(run_s, "a", 1) == sharded.label_of(run_h, "a", 1)
+        assert single_session.run(
+            BatchQuery(pairs=pairs, run_id=run_s)
+        ) == sharded_session.run(BatchQuery(pairs=pairs, run_id=run_h))
+        for u, v in pairs[:8]:
+            assert single_session.run(
+                PointQuery(u, v, run_id=run_s)
+            ) == sharded_session.run(PointQuery(u, v, run_id=run_h))
+        assert single_session.run(
+            DownstreamQuery(("a", 1), run_id=run_s)
+        ) == sharded_session.run(DownstreamQuery(("a", 1), run_id=run_h))
+        assert single_session.run(
+            UpstreamQuery(("h", 1), run_id=run_s)
+        ) == sharded_session.run(UpstreamQuery(("h", 1), run_id=run_h))
+
+    def test_cross_run_queries_match(self, both_stores, paper_spec):
+        single, _, sharded, _ = both_stores
+        for workers in (1, 2):
+            single_sweep = ProvenanceSession(single).run(
+                CrossRunQuery(paper_spec.name, ("a", 1), workers=workers)
+            )
+            sharded_sweep = ProvenanceSession(sharded).run(
+                CrossRunQuery(paper_spec.name, ("a", 1), workers=workers)
+            )
+            assert list(single_sweep.per_run.values()) == list(
+                sharded_sweep.per_run.values()
+            )
+            pairs = [(("a", 1), ("h", 1)), (("h", 1), ("a", 1))]
+            single_batch = ProvenanceSession(single).run(
+                CrossRunBatchQuery(paper_spec.name, pairs, workers=workers)
+            )
+            sharded_batch = ProvenanceSession(sharded).run(
+                CrossRunBatchQuery(paper_spec.name, pairs, workers=workers)
+            )
+            assert list(single_batch.per_run.values()) == list(
+                sharded_batch.per_run.values()
+            )
+
+    def test_deprecated_shims_delegate(self, both_stores):
+        _, _, sharded, sharded_ids = both_stores
+        run_id = sharded_ids[0]
+        with pytest.deprecated_call():
+            assert sharded.reaches(run_id, ("a", 1), ("h", 1)) is True
+        with pytest.deprecated_call():
+            assert sharded.reaches_batch(run_id, [(("a", 1), ("h", 1))]) == [True]
+        with pytest.deprecated_call():
+            downstream = sharded.downstream_of(run_id, ("a", 1))
+        with pytest.deprecated_call():
+            upstream = sharded.upstream_of(run_id, ("h", 1))
+        assert downstream and upstream
+
+    def test_dataflow_queries(self, both_stores, paper_run):
+        _, _, sharded, sharded_ids = both_stores
+        run_id = sharded_ids[0]
+        flow = DataFlow(paper_run)
+        flow.attach(RunVertex("a", 1), RunVertex("b", 1), ["item-a"])
+        # item-a is read by b1, which reaches c1 — the producer of item-b
+        flow.attach(RunVertex("c", 1), RunVertex("b", 2), ["item-b"])
+        assert sharded.add_dataflow(run_id, flow) == 2
+        assert sharded.list_data_items(run_id) == ["item-a", "item-b"]
+        session = ProvenanceSession(sharded)
+        assert session.run(
+            DataDependencyQuery("item-b", on_item="item-a", run_id=run_id)
+        )
+        assert session.run(
+            DataDependencyQuery("item-b", on_module=("a", 1), run_id=run_id)
+        )
+
+    def test_get_run_and_delete(self, both_stores):
+        _, _, sharded, sharded_ids = both_stores
+        run_id = sharded_ids[1]
+        assert sharded.get_run(run_id).vertex_count > 0
+        sharded.delete_run(run_id)
+        with pytest.raises(StorageError):
+            sharded.get_run(run_id)
+        remaining = {row["run_id"] for row in sharded.list_runs()}
+        assert run_id not in remaining and len(remaining) == len(sharded_ids) - 1
+
+    def test_unknown_run_and_spec_errors(self, sharded_store):
+        with pytest.raises(StorageError):
+            sharded_store.get_run(999)
+        with pytest.raises(StorageError):
+            sharded_store.get_specification("ghost")
+        with pytest.raises(StorageError):
+            sharded_store.run_label_arrays(999)
+
+
+class TestCacheStatsAndSession:
+    def test_cache_stats_aggregates(self, sharded_store, labeled_batch):
+        ids = sharded_store.add_labeled_runs(labeled_batch)
+        session = sharded_store.session()
+        assert session is sharded_store.session()
+        session.run(BatchQuery(pairs=[(("a", 1), ("h", 1))] * 600, run_id=ids[0]))
+        stats = session.cache_stats()
+        assert stats["target_kind"] == "store"
+        assert stats["shards"] == 4
+        assert stats["engines_cached"] >= 1
+        assert stats["limit"] > 0
+
+    def test_point_query_promotion_on_sharded_store(
+        self, sharded_store, labeled_batch
+    ):
+        ids = sharded_store.add_labeled_runs(labeled_batch)
+        session = ProvenanceSession(sharded_store, promote_after=2)
+        query = PointQuery(("a", 1), ("h", 1), run_id=ids[0])
+        for _ in range(4):
+            assert session.run(query) is True
+        stats = session.cache_stats()
+        assert stats["promoted_runs"] == [ids[0]]
+
+    def test_run_label_arrays_many_across_shards(self, tmp_path):
+        from repro.datasets.synthetic import SyntheticSpecConfig, generate_specification
+
+        specs = [
+            generate_specification(
+                SyntheticSpecConfig(
+                    n_modules=15,
+                    n_edges=20,
+                    hierarchy_size=2,
+                    hierarchy_depth=2,
+                    name=f"arrays-{i}",
+                    seed=40 + i,
+                )
+            )
+            for i in range(4)
+        ]
+        labeled = [
+            SkeletonLabeler(spec, "tcm").label_run(
+                generate_run_with_size(spec, 18, seed=i, name="r").run
+            )
+            for i, spec in enumerate(specs)
+        ]
+        with ShardedProvenanceStore(tmp_path / "arrays", 3) as store:
+            ids = store.add_labeled_runs(labeled)
+            arrays = store.run_label_arrays_many(ids)
+            assert sorted(arrays) == sorted(ids)
+            for run_id in ids:
+                single = store.run_label_arrays(run_id)
+                assert arrays[run_id].executions == single.executions
+                assert list(arrays[run_id].q1) == list(single.q1)
+
+
+class TestConcurrentWritersAndReaders:
+    def test_ingest_while_sweeping(self, tmp_path, paper_spec, paper_labeler):
+        """Writers batching runs in while readers sweep must never trip.
+
+        WAL shards keep readers unblocked during commits; the final state
+        must contain every run exactly once and answer like a cold store.
+        """
+        store = ShardedProvenanceStore(tmp_path / "stress", 4)
+        seed_run = generate_run_with_size(paper_spec, 20, seed=99, name="seed")
+        store.add_labeled_run(paper_labeler.label_run(seed_run.run))
+        batches = [
+            [
+                paper_labeler.label_run(
+                    generate_run_with_size(
+                        paper_spec, 20, seed=batch * 10 + offset,
+                        name=f"stress-{batch}-{offset}",
+                    ).run
+                )
+                for offset in range(3)
+            ]
+            for batch in range(4)
+        ]
+        errors: list[BaseException] = []
+        ingested: list[int] = []
+
+        def writer():
+            try:
+                for batch in batches:
+                    ingested.extend(store.add_labeled_runs(batch))
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def reader():
+            # each reader holds its own store handle (the connection-per-
+            # worker pattern of a query server); WAL lets it read while
+            # the writer's shard batches commit
+            try:
+                with ShardedProvenanceStore(tmp_path / "stress") as reader_store:
+                    executor = CrossRunExecutor(reader_store, workers=2)
+                    for _ in range(12):
+                        per_run, _ = executor.sweep(paper_spec.name, ("a", 1))
+                        assert per_run, "the seed run must always be visible"
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer)] + [
+            threading.Thread(target=reader) for _ in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        total_runs = 1 + sum(len(batch) for batch in batches)
+        assert len(set(ingested)) == total_runs - 1
+        assert store.statistics()["runs"] == total_runs
+        # a cold reopen agrees with what the hot store ingested
+        store.close()
+        with ShardedProvenanceStore(tmp_path / "stress") as reopened:
+            assert reopened.statistics()["runs"] == total_runs
+            per_run, skipped = CrossRunExecutor(reopened, workers=1).sweep(
+                paper_spec.name, ("a", 1)
+            )
+            assert len(per_run) + len(skipped) == total_runs
+
+
+class TestShardedCLI:
+    def _base_files(self, tmp_path):
+        from repro.cli import main
+
+        spec_path = tmp_path / "spec.json"
+        run_path = tmp_path / "run.json"
+        assert main([
+            "generate-spec", "--modules", "30", "--edges", "60", "--regions", "5",
+            "--depth", "3", "--seed", "4", "--output", str(spec_path),
+        ]) == 0
+        assert main([
+            "generate-run", "--spec", str(spec_path), "--size", "60",
+            "--seed", "1", "--output", str(run_path),
+        ]) == 0
+        return spec_path, run_path
+
+    def test_label_with_shards_then_query_and_sweep(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+
+        spec_path, run_path = self._base_files(tmp_path)
+        database = tmp_path / "prov"
+        assert main([
+            "label", "--spec", str(spec_path), "--run", str(run_path),
+            "--database", str(database), "--shards", "3",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "of 3" in output and "run_id=" in output
+        run_id = output.split("run_id=")[1].split()[0]
+        assert sorted(p.name for p in database.glob("shard-*.db")) == [
+            "shard-00.db", "shard-01.db", "shard-02.db",
+        ]
+        vertices = json.loads(run_path.read_text())["vertices"]
+        source = f"{vertices[0][0]}:{vertices[0][1]}"
+        # a second label call auto-detects the sharded layout (no --shards)
+        run2_path = tmp_path / "run2.json"
+        assert main([
+            "generate-run", "--spec", str(spec_path), "--size", "60",
+            "--seed", "2", "--name", "run2", "--output", str(run2_path),
+        ]) == 0
+        assert main([
+            "label", "--spec", str(spec_path), "--run", str(run2_path),
+            "--database", str(database),
+        ]) == 0
+        capsys.readouterr()
+        exit_code = main([
+            "query", "--database", str(database), "--run-id", run_id,
+            "--source", source, "--target", source,
+        ])
+        assert exit_code in (0, 1)  # a valid answer either way
+        capsys.readouterr()
+        assert main([
+            "sweep", "--database", str(database), "--spec", "synthetic",
+            "--source", source, "--summary-only", "--workers", "2",
+        ]) == 0
+        assert "swept 2 runs" in capsys.readouterr().out
+
+    def test_label_shard_count_mismatch_errors(self, tmp_path, capsys):
+        from repro.cli import main
+
+        spec_path, run_path = self._base_files(tmp_path)
+        database = tmp_path / "prov"
+        assert main([
+            "label", "--spec", str(spec_path), "--run", str(run_path),
+            "--database", str(database), "--shards", "2",
+        ]) == 0
+        capsys.readouterr()
+        run2_path = tmp_path / "run2.json"
+        assert main([
+            "generate-run", "--spec", str(spec_path), "--size", "40",
+            "--seed", "3", "--name", "other", "--output", str(run2_path),
+        ]) == 0
+        assert main([
+            "label", "--spec", str(spec_path), "--run", str(run2_path),
+            "--database", str(database), "--shards", "5",
+        ]) == 2
+        assert "2 shards" in capsys.readouterr().err
+
+
+class TestReviewRegressions:
+    """Fixes from review: id reuse, file-path errors, duplicate messages."""
+
+    def test_deleted_max_id_is_never_reused(self, sharded_store, labeled_batch):
+        ids = sharded_store.add_labeled_runs(labeled_batch[:3])
+        newest = max(ids)
+        sharded_store.delete_run(newest)
+        replacement = sharded_store.add_labeled_run(labeled_batch[3])
+        assert replacement > newest, "a deleted id must never be handed out again"
+
+    def test_sharding_over_a_file_path_raises_storage_error(
+        self, tmp_path, labeled_batch
+    ):
+        single_path = tmp_path / "prov.db"
+        with ProvenanceStore(single_path) as store:
+            store.add_labeled_run(labeled_batch[0])
+        with pytest.raises(StorageError, match="file, not a shard directory"):
+            ShardedProvenanceStore(single_path, 4)
+
+    def test_duplicate_error_names_the_offending_run(self, tmp_path, labeled_batch):
+        with ShardedProvenanceStore(tmp_path / "dup", 2) as store:
+            store.add_labeled_run(labeled_batch[2])
+            with pytest.raises(StorageError, match="'shard-2'"):
+                store.add_labeled_runs(labeled_batch)
+
+    def test_explicit_worker_cap_bounds_pool_tasks(
+        self, tmp_path, paper_spec, paper_labeler
+    ):
+        store = ShardedProvenanceStore(tmp_path / "cap", 1)
+        runs = [
+            paper_labeler.label_run(
+                generate_run_with_size(paper_spec, 18, seed=s, name=f"cap-{s}").run
+            )
+            for s in range(12)
+        ]
+        store.add_labeled_runs(runs)
+        executor = CrossRunExecutor(store, workers=2, mode="thread")
+        sequential = CrossRunExecutor(store, workers=1).sweep(paper_spec.name, ("a", 1))
+        pool = store.worker_pool("thread")
+        before = pool.tasks_submitted
+        assert executor.sweep(paper_spec.name, ("a", 1)) == sequential
+        # 12 runs at workers=2 over the 8-wide shared pool: at most 2 tasks
+        assert pool.tasks_submitted - before <= 2
+        store.close()
+
+    def test_open_store_refuses_unrelated_directories(self, tmp_path):
+        plain_dir = tmp_path / "not-a-store"
+        plain_dir.mkdir()
+        (plain_dir / "notes.txt").write_text("hello")
+        with pytest.raises(StorageError, match="without shard files"):
+            open_store(plain_dir)
+        assert sorted(p.name for p in plain_dir.iterdir()) == ["notes.txt"]
