@@ -47,6 +47,8 @@ _IDENTITY_KEYS = (
     "workers",
     "shards",
     "pool",
+    "clients",
+    "op_mix",
 )
 
 

@@ -17,13 +17,21 @@ which would silently return answers about the wrong executions — is
 rejected up front.  Replaying a matching file is pure I/O plus one
 ``reaches_many_ids`` call: no parsing, no dictionary lookups.
 
+The on-wire byte order is **always** little-endian, whatever the host:
+both codec paths spell the byte order out explicitly (``"<i8"`` for numpy,
+``"<...q"`` struct formats for the stdlib fallback), and decoded arrays
+are normalized to the host's native order so kernels never operate on
+byte-swapped views.  A workload packed on one architecture replays
+unchanged on any other — this encoding is also the wire format of the
+provenance network service's batch op (:mod:`repro.server.protocol`).
+
 ``repro-provenance pack-workload`` converts a text file once;
 ``repro-provenance query-batch --format bin`` replays it.
 """
 
 from __future__ import annotations
 
-import sys
+import struct
 from array import array
 from pathlib import Path
 from typing import Optional, Union
@@ -38,6 +46,7 @@ except ImportError:  # pragma: no cover - exercised only on numpy-less installs
 __all__ = [
     "write_pair_workload",
     "read_pair_workload",
+    "encode_pair_workload",
     "decode_pair_workload",
     "WORKLOAD_MAGIC",
 ]
@@ -54,11 +63,12 @@ _HEADER_BYTES = 16
 _ROW_BYTES = 16
 
 
-def write_pair_workload(path: PathLike, source_ids, target_ids, *, run_id: int) -> int:
-    """Write parallel handle arrays as a binary pair workload; returns the pair count.
+def encode_pair_workload(source_ids, target_ids, *, run_id: int) -> bytes:
+    """Encode parallel handle arrays as workload bytes (header included).
 
-    *run_id* identifies the stored run whose persisted interner resolved
-    the handles; it is embedded in the header and checked on replay.
+    The in-memory form of :func:`write_pair_workload` — the network
+    protocol ships these bytes as the body of a batch request, so a packed
+    workload file replays over a connection without any re-encoding.
     """
     count = len(source_ids)
     if len(target_ids) != count:
@@ -71,24 +81,35 @@ def write_pair_workload(path: PathLike, source_ids, target_ids, *, run_id: int) 
         flat = _np.empty(2 * count, dtype="<i8")
         flat[0::2] = source_ids
         flat[1::2] = target_ids
-        payload = flat.tobytes()
-    else:
-        flat = array("q")
-        for source_id, target_id in zip(source_ids, target_ids):
-            flat.append(source_id)
-            flat.append(target_id)
-        if sys.byteorder == "big":  # pragma: no cover - no big-endian CI host
-            flat.byteswap()
-        payload = flat.tobytes()
-    Path(path).write_bytes(header + payload)
-    return count
+        return header + flat.tobytes()
+    # explicit little-endian struct format: host-independent by
+    # construction, no byteorder branches to keep correct
+    flat = []
+    for source_id, target_id in zip(source_ids, target_ids):
+        flat.append(int(source_id))
+        flat.append(int(target_id))
+    return header + struct.pack(f"<{2 * count}q", *flat)
+
+
+def write_pair_workload(path: PathLike, source_ids, target_ids, *, run_id: int) -> int:
+    """Write parallel handle arrays as a binary pair workload; returns the pair count.
+
+    *run_id* identifies the stored run whose persisted interner resolved
+    the handles; it is embedded in the header and checked on replay.
+    """
+    payload = encode_pair_workload(source_ids, target_ids, run_id=run_id)
+    Path(path).write_bytes(payload)
+    return (len(payload) - _HEADER_BYTES) // _ROW_BYTES
 
 
 def decode_pair_workload(data: bytes, *, expect_run_id: Optional[int] = None):
     """Decode workload bytes into ``(run_id, source_ids, target_ids)``.
 
     With *expect_run_id* set, a workload packed for a different run is
-    rejected — its handles would resolve to the wrong executions.
+    rejected — its handles would resolve to the wrong executions.  The
+    returned id columns are native-endian whatever the host (the
+    little-endian on-disk columns are byte-swapped where needed), so the
+    handle arrays feed the kernels directly on any architecture.
     """
     if len(data) < _HEADER_BYTES or data[: len(WORKLOAD_MAGIC)] != WORKLOAD_MAGIC:
         raise SerializationError(
@@ -110,12 +131,14 @@ def decode_pair_workload(data: bytes, *, expect_run_id: Optional[int] = None):
         )
     if _np is not None:
         flat = _np.frombuffer(body, dtype="<i8")
+        if not flat.dtype.isnative:
+            # big-endian host: normalize to a native int64 copy so every
+            # downstream kernel sees plain machine integers
+            flat = flat.astype(flat.dtype.newbyteorder("="))
         return run_id, flat[0::2], flat[1::2]
-    flat = array("q")
-    flat.frombytes(body)
-    if sys.byteorder == "big":  # pragma: no cover - no big-endian CI host
-        flat.byteswap()
-    return run_id, flat[0::2], flat[1::2]
+    count = len(body) // 8
+    values = struct.unpack(f"<{count}q", body)
+    return run_id, array("q", values[0::2]), array("q", values[1::2])
 
 
 def read_pair_workload(path: PathLike, *, expect_run_id: Optional[int] = None):

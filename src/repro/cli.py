@@ -17,11 +17,15 @@ The CLI exposes the typical life cycle of the system:
   payloads across the parallel executor);
 * ``cross-batch`` — the same pair workload asked of **every** stored run
   of a specification (a runs x pairs matrix, parallel like ``sweep``);
+* ``serve`` — put a provenance database behind a TCP socket (the binary
+  wire protocol of :mod:`repro.server`);
 * ``experiments`` — regenerate the paper's tables and figures;
 * ``info`` — show a specification's characteristics (the Table 1 columns).
 
 Every query command routes through the one declarative surface,
-:class:`repro.api.ProvenanceSession`.
+:class:`repro.api.ProvenanceSession` — and every query command accepts a
+``repro://host:port/`` URL for ``--database``, in which case it runs
+against a remote ``serve`` daemon instead of a local file.
 
 Example::
 
@@ -52,9 +56,15 @@ from repro.bench.reporting import write_report
 from repro.datasets.reallife import load_real_workflow, real_workflow_names
 from repro.datasets.synthetic import SyntheticSpecConfig, generate_specification
 from repro.exceptions import LabelingError, ReproError, StorageError
+from repro.server.client import RemoteStore, is_remote_target
+from repro.server.daemon import (
+    INGEST_FLUSH_AFTER_DEFAULT,
+    MAX_INFLIGHT_DEFAULT,
+    ProvenanceServer,
+)
+from repro.server.protocol import DEFAULT_PORT
 from repro.skeleton.skl import SkeletonLabeler
 from repro.storage.sharded import MAX_SHARDS, open_store
-from repro.storage.store import ProvenanceStore
 from repro.workflow.execution import generate_run_with_size
 from repro.workflow.serialization import (
     read_run,
@@ -98,7 +108,11 @@ def build_parser() -> argparse.ArgumentParser:
     label_parser.add_argument("--spec", type=Path, required=True)
     label_parser.add_argument("--run", type=Path, required=True)
     label_parser.add_argument("--scheme", default="tcm", help="spec labeling scheme")
-    label_parser.add_argument("--database", type=Path, required=True)
+    label_parser.add_argument(
+        "--database",
+        required=True,
+        help="database path, or repro://host:port/ of a running server",
+    )
     label_parser.add_argument(
         "--shards",
         type=int,
@@ -112,7 +126,11 @@ def build_parser() -> argparse.ArgumentParser:
     query_parser = subparsers.add_parser(
         "query", help="answer a reachability query from stored labels"
     )
-    query_parser.add_argument("--database", type=Path, required=True)
+    query_parser.add_argument(
+        "--database",
+        required=True,
+        help="database path, or repro://host:port/ of a running server",
+    )
     query_parser.add_argument("--run-id", type=int, required=True)
     query_parser.add_argument("--source", required=True, help="module:instance, e.g. m0003:1")
     query_parser.add_argument("--target", required=True, help="module:instance, e.g. m0090:2")
@@ -121,7 +139,11 @@ def build_parser() -> argparse.ArgumentParser:
         "query-batch",
         help="answer many reachability queries in one batch (labels fetched once)",
     )
-    batch_parser.add_argument("--database", type=Path, required=True)
+    batch_parser.add_argument(
+        "--database",
+        required=True,
+        help="database path, or repro://host:port/ of a running server",
+    )
     batch_parser.add_argument("--run-id", type=int, required=True)
     batch_parser.add_argument(
         "--pairs",
@@ -145,7 +167,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="resolve a text pair file against a run's persisted interner "
         "and write the zero-parse binary workload",
     )
-    pack_parser.add_argument("--database", type=Path, required=True)
+    pack_parser.add_argument(
+        "--database",
+        required=True,
+        help="database path (pack-workload needs the on-disk interner)",
+    )
     pack_parser.add_argument("--run-id", type=int, required=True)
     pack_parser.add_argument(
         "--pairs",
@@ -160,7 +186,11 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep",
         help="one dependency sweep across ALL stored runs of a specification",
     )
-    sweep_parser.add_argument("--database", type=Path, required=True)
+    sweep_parser.add_argument(
+        "--database",
+        required=True,
+        help="database path, or repro://host:port/ of a running server",
+    )
     sweep_parser.add_argument("--spec", required=True, help="specification name")
     sweep_parser.add_argument(
         "--source", required=True, help="anchor execution, module:instance"
@@ -186,7 +216,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="answer the same pair workload against EVERY stored run of a "
         "specification (a runs x pairs matrix)",
     )
-    cross_batch_parser.add_argument("--database", type=Path, required=True)
+    cross_batch_parser.add_argument(
+        "--database",
+        required=True,
+        help="database path, or repro://host:port/ of a running server",
+    )
     cross_batch_parser.add_argument(
         "--spec", required=True, help="specification name"
     )
@@ -205,6 +239,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--summary-only",
         action="store_true",
         help="print only per-run reachable counts, not one line per pair",
+    )
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="serve a provenance database over TCP (the repro:// protocol)",
+    )
+    serve_parser.add_argument("--database", type=Path, required=True)
+    serve_parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="shard a NEW database across N SQLite files (existing "
+        "databases keep their layout)",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=DEFAULT_PORT,
+        help=f"TCP port (default {DEFAULT_PORT}; 0 picks a free port)",
+    )
+    serve_parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=MAX_INFLIGHT_DEFAULT,
+        help="queued requests per connection before the server stops "
+        "reading that socket (backpressure bound)",
+    )
+    serve_parser.add_argument(
+        "--ingest-flush-after",
+        type=int,
+        default=INGEST_FLUSH_AFTER_DEFAULT,
+        help="buffered ingest entries per connection before an automatic "
+        "flush through the batch commit path",
     )
 
     verify_parser = subparsers.add_parser(
@@ -245,6 +313,23 @@ def _parse_execution(text: str) -> tuple[str, int]:
         raise ReproError(f"instance must be an integer in {text!r}") from None
 
 
+def _open_database(target: str, *, shards: Optional[int] = None):
+    """Open a ``--database`` argument: a path on disk, or a server URL.
+
+    Both shapes come back as context managers with the store surface the
+    query commands use (``session()``, ``list_runs``, ``add_labeled_run``),
+    so the commands themselves never branch on where the store lives.
+    """
+    if is_remote_target(target):
+        if shards is not None:
+            raise ReproError(
+                "--shards configures the on-disk layout; the server that "
+                f"owns {target} already chose one"
+            )
+        return RemoteStore(target)
+    return open_store(Path(target), shards=shards)
+
+
 def _command_generate_spec(args: argparse.Namespace) -> int:
     spec = generate_specification(
         SyntheticSpecConfig(
@@ -280,13 +365,14 @@ def _command_label(args: argparse.Namespace) -> int:
     run = read_run(args.run, spec)
     labeler = SkeletonLabeler(spec, args.scheme)
     labeled = labeler.label_run(run)
-    with open_store(args.database, shards=args.shards) as store:
+    with _open_database(args.database, shards=args.shards) as store:
         run_id = store.add_labeled_run(labeled)
-        layout = (
-            f"shard {store.shard_path_of(run_id).name} of {store.shard_count}"
-            if hasattr(store, "shard_path_of")
-            else "single file"
-        )
+        if hasattr(store, "shard_path_of"):
+            layout = f"shard {store.shard_path_of(run_id).name} of {store.shard_count}"
+        elif is_remote_target(args.database):
+            layout = "sharded, via server" if store.sharded else "single file, via server"
+        else:
+            layout = "single file"
     print(
         f"labeled run {run.name!r} ({run.vertex_count} vertices) with "
         f"{args.scheme}+skl; stored as run_id={run_id} in {args.database} "
@@ -302,7 +388,7 @@ def _command_label(args: argparse.Namespace) -> int:
 def _command_query(args: argparse.Namespace) -> int:
     source = _parse_execution(args.source)
     target = _parse_execution(args.target)
-    with open_store(args.database) as store:
+    with _open_database(args.database) as store:
         answer = store.session().run(
             PointQuery(source, target, run_id=args.run_id)
         )
@@ -347,7 +433,7 @@ def _read_pairs_source(pairs_argument: str) -> tuple[str, str]:
 
 
 def _raise_unknown_execution(
-    store: ProvenanceStore,
+    store,
     run_id: int,
     pairs,
     origins,
@@ -355,8 +441,13 @@ def _raise_unknown_execution(
     original: Exception,
 ) -> None:
     """Re-raise an unknown-execution failure with file/line/token context."""
+    engine_of = getattr(store, "query_engine", None)
+    if engine_of is None:
+        # a remote store has no local interner to pinpoint the bad token;
+        # the server's message already names the offending execution
+        raise ReproError(str(original)) from None
     try:
-        id_map = store.query_engine(run_id).interner.id_map
+        id_map = engine_of(run_id).interner.id_map
     except ReproError:
         raise ReproError(str(original)) from None
     for (source, target), (line_number, source_token, target_token) in zip(
@@ -374,7 +465,7 @@ def _raise_unknown_execution(
 def _command_query_batch(args: argparse.Namespace) -> int:
     import time
 
-    with open_store(args.database) as store:
+    with _open_database(args.database) as store:
         session = store.session()
         if args.format == "bin":
             if args.pairs == "-":
@@ -405,10 +496,17 @@ def _command_query_batch(args: argparse.Namespace) -> int:
                 # the whole point of the binary format is the zero-parse
                 # replay; only resolve handles back to names when printing
                 pairs = source_ids
-            else:
+            elif hasattr(store, "query_engine"):
                 vertex_at = store.query_engine(args.run_id).interner.vertex_at
                 pairs = [
                     (vertex_at(int(source_id)), vertex_at(int(target_id)))
+                    for source_id, target_id in zip(source_ids, target_ids)
+                ]
+            else:
+                # a remote store keeps the interner server-side; print the
+                # persisted handles the workload was packed with
+                pairs = [
+                    (("handle", int(source_id)), ("handle", int(target_id)))
                     for source_id, target_id in zip(source_ids, target_ids)
                 ]
         else:
@@ -442,11 +540,17 @@ def _command_query_batch(args: argparse.Namespace) -> int:
 
 
 def _command_pack_workload(args: argparse.Namespace) -> int:
+    if is_remote_target(args.database):
+        raise ReproError(
+            "pack-workload resolves pairs against the run's on-disk "
+            "interner; pack next to the database, then replay the file "
+            "remotely with query-batch --format bin"
+        )
     text, source_label = _read_pairs_source(args.pairs)
     pairs, origins = _parse_pair_lines(text)
     if not pairs:
         raise ReproError("no query pairs given")
-    with open_store(args.database) as store:
+    with open_store(Path(args.database)) as store:
         engine = store.query_engine(args.run_id)
         try:
             source_ids, target_ids = engine.intern_pairs(pairs)
@@ -468,7 +572,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
     import time
 
     anchor = _parse_execution(args.source)
-    with open_store(args.database) as store:
+    with _open_database(args.database) as store:
         started = time.perf_counter()
         result = store.session().run(
             CrossRunQuery(args.spec, anchor, args.direction, workers=args.workers)
@@ -503,7 +607,7 @@ def _command_cross_batch(args: argparse.Namespace) -> int:
     pairs, _ = _parse_pair_lines(text)
     if not pairs:
         raise ReproError("no query pairs given")
-    with open_store(args.database) as store:
+    with _open_database(args.database) as store:
         started = time.perf_counter()
         result = store.session().run(
             CrossRunBatchQuery(args.spec, pairs, workers=args.workers)
@@ -535,6 +639,35 @@ def _command_cross_batch(args: argparse.Namespace) -> int:
         f"{args.spec!r} in {elapsed * 1e3:.2f} ms ({rate:,.0f} answers/s); "
         f"{len(result.skipped_runs)} runs skipped"
     )
+    return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    server = ProvenanceServer(
+        path=args.database,
+        shards=args.shards,
+        host=args.host,
+        port=args.port,
+        max_inflight=args.max_inflight,
+        ingest_flush_after=args.ingest_flush_after,
+    )
+
+    async def _serve() -> None:
+        host, port = await server.start()
+        print(
+            f"serving {args.database} at repro://{host}:{port}/ "
+            "(Ctrl-C to stop)",
+            flush=True,
+        )
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        # serve_forever's finally already drained and closed the store
+        pass
     return 0
 
 
@@ -594,6 +727,7 @@ _COMMANDS = {
     "pack-workload": _command_pack_workload,
     "sweep": _command_sweep,
     "cross-batch": _command_cross_batch,
+    "serve": _command_serve,
     "verify": _command_verify,
     "info": _command_info,
     "experiments": _command_experiments,

@@ -36,6 +36,8 @@ hot paths); ``mode="process"`` builds a process pool for the executor's
 from __future__ import annotations
 
 import threading
+import warnings
+import weakref
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Callable, Optional
 
@@ -47,6 +49,25 @@ __all__ = ["PersistentWorkerPool", "WorkerPoolOwner", "DEFAULT_POOL_WORKERS"]
 DEFAULT_POOL_WORKERS = 8
 
 
+def _reap_leaked_executor(executor: Executor, owner: str, mode: str) -> None:
+    """Finalizer for pools dropped without :meth:`PersistentWorkerPool.close`.
+
+    Runs when the pool is garbage-collected (or at interpreter exit via the
+    ``weakref.finalize`` atexit hook), so a store that goes out of scope
+    without ``close()`` cannot strand non-daemon worker threads or child
+    processes.  The warning names the owner so the leak is attributable.
+    """
+    warnings.warn(
+        f"PersistentWorkerPool(mode={mode!r}) owned by {owner} was never "
+        "closed; shutting its workers down at cleanup. Call close() on the "
+        "owning store (or use it as a context manager).",
+        ResourceWarning,
+        stacklevel=2,
+        source=executor,
+    )
+    executor.shutdown(wait=True)
+
+
 class PersistentWorkerPool:
     """A lazily started, explicitly closeable worker pool.
 
@@ -56,16 +77,27 @@ class PersistentWorkerPool:
         ``"thread"`` (default) or ``"process"``.
     workers:
         Maximum worker count; ``None`` uses :data:`DEFAULT_POOL_WORKERS`.
+    owner:
+        Human-readable description of whoever is responsible for closing
+        the pool; named in the ``ResourceWarning`` if the pool leaks.
     """
 
-    def __init__(self, *, mode: str = "thread", workers: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        *,
+        mode: str = "thread",
+        workers: Optional[int] = None,
+        owner: str = "an unnamed owner",
+    ) -> None:
         if mode not in ("thread", "process"):
             raise ValueError(f"pool mode must be 'thread' or 'process', got {mode!r}")
         if workers is not None and int(workers) < 1:
             raise ValueError(f"workers must be a positive integer, got {workers}")
         self.mode = mode
         self.workers = int(workers) if workers is not None else DEFAULT_POOL_WORKERS
+        self.owner = str(owner)
         self._executor: Optional[Executor] = None
+        self._finalizer: Optional[weakref.finalize] = None
         self._lock = threading.Lock()
         self._closed = False
         #: expensive picklable payloads cached for the pool's lifetime,
@@ -108,6 +140,13 @@ class PersistentWorkerPool:
                         thread_name_prefix="repro-pool",
                     )
                 self.starts += 1
+                # leak safety net: if the pool is dropped without close(),
+                # this fires on GC or at interpreter exit and shuts the
+                # workers down instead of stranding them; close() detaches
+                # it so the clean path stays silent
+                self._finalizer = weakref.finalize(
+                    self, _reap_leaked_executor, self._executor, self.owner, self.mode
+                )
             return self._executor
 
     def submit(self, fn: Callable, /, *args: Any, **kwargs: Any):
@@ -123,7 +162,10 @@ class PersistentWorkerPool:
         with self._lock:
             self._closed = True
             executor, self._executor = self._executor, None
+            finalizer, self._finalizer = self._finalizer, None
             self.payload_cache.clear()
+        if finalizer is not None:
+            finalizer.detach()
         if executor is not None:
             executor.shutdown(wait=True)
 
@@ -182,13 +224,19 @@ class WorkerPoolOwner:
             pool = self._pools.get(mode)
             if pool is None or pool.closed:
                 pool = self._pools[mode] = PersistentWorkerPool(
-                    mode=mode, workers=self.pool_workers()
+                    mode=mode,
+                    workers=self.pool_workers(),
+                    owner=self.pool_owner_description(),
                 )
             return pool
 
     def pool_workers(self) -> Optional[int]:
         """Pool size for newly created pools (``None`` = the default cap)."""
         return None
+
+    def pool_owner_description(self) -> str:
+        """Who to blame in the leak warning; stores override with their path."""
+        return type(self).__name__
 
     def close_pools(self) -> None:
         """Close every pool this owner created (idempotent)."""

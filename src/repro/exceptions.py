@@ -24,6 +24,7 @@ __all__ = [
     "SerializationError",
     "StorageError",
     "DatasetError",
+    "ProtocolError",
 ]
 
 
@@ -94,3 +95,12 @@ class StorageError(ReproError):
 
 class DatasetError(ReproError):
     """A synthetic or catalog dataset could not be generated as requested."""
+
+
+class ProtocolError(ReproError):
+    """A network peer violated the provenance wire protocol.
+
+    Raised by the server on malformed or truncated frames (the connection
+    is closed after reporting it) and by the client when the server's
+    response cannot be decoded.
+    """

@@ -1,0 +1,462 @@
+"""The blocking provenance client: a store/session duck type over TCP.
+
+:class:`RemoteStore` connects to a :class:`~repro.server.daemon.ProvenanceServer`
+and exposes the slice of the store surface the CLI and examples rely on
+(``session()``, ``list_runs``, ``statistics``, ``add_labeled_run(s)``,
+``close``); :class:`RemoteSession` mirrors the
+:class:`~repro.api.ProvenanceSession` duck type — ``run`` / ``run_many`` /
+``compile`` / ``cache_stats`` / ``target_kind`` — so code written against
+an in-process session runs unchanged against ``repro://host:port/``
+targets.  Answers are **bit-identical** to an in-process session over the
+same store: the session state (adaptive promotion, compiled kernels)
+lives server-side, pinned to this connection.
+
+Batch queries take the fast lane: a handle-native
+:class:`~repro.api.BatchQuery` is encoded with
+:func:`repro.api.workload.encode_pair_workload` — the same bytes a packed
+workload file holds — so the server replays it with zero parsing.
+
+The client is deliberately blocking (one request, one response, a lock
+around the pair): the concurrency story is many clients, not many
+threads sharing one socket.  Ingest can be buffered server-side
+(:meth:`RemoteStore.ingest` with ``flush=False``); the server commits
+through ``add_labeled_runs`` when the buffer fills, on an explicit
+:meth:`RemoteStore.flush`, or at disconnect.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+from typing import Any, Iterable, Optional, Sequence
+from urllib.parse import urlsplit
+
+import repro.exceptions as _exceptions
+from repro.api.queries import (
+    BatchQuery,
+    CrossRunBatchQuery,
+    CrossRunBatchResult,
+    CrossRunPointQuery,
+    CrossRunPointResult,
+    CrossRunQuery,
+    CrossRunSweepResult,
+    DataDependencyQuery,
+    DownstreamQuery,
+    PointQuery,
+    UpstreamQuery,
+)
+from repro.api.workload import encode_pair_workload
+from repro.exceptions import ProtocolError, QueryPlanError, ReproError
+from repro.server import protocol as wire
+from repro.server.protocol import Reader, Writer, frame
+from repro.workflow.run import RunVertex
+
+__all__ = ["RemoteStore", "RemoteSession", "parse_url", "is_remote_target"]
+
+
+def is_remote_target(target: Any) -> bool:
+    """Whether a ``--database`` argument names a server, not a file."""
+    return isinstance(target, str) and target.startswith("repro://")
+
+
+def parse_url(url: str) -> tuple[str, int]:
+    """Split ``repro://host[:port]/`` into ``(host, port)``."""
+    parts = urlsplit(url)
+    if parts.scheme != "repro" or not parts.hostname:
+        raise ProtocolError(
+            f"not a provenance server URL: {url!r} (expected repro://host:port/)"
+        )
+    return parts.hostname, parts.port or wire.DEFAULT_PORT
+
+
+def _as_execution(value: Any) -> tuple:
+    """The session's endpoint coercion, applied before encoding."""
+    if isinstance(value, RunVertex):
+        return (value.module, value.instance)
+    return (str(value[0]), int(value[1]))
+
+
+class RemoteStore:
+    """One TCP connection to a provenance daemon, store-shaped.
+
+    Accepts a ``repro://host:port/`` URL or an explicit host/port pair.
+    The HELLO handshake pins the protocol version at connect time.
+    """
+
+    def __init__(
+        self,
+        url: Optional[str] = None,
+        *,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        timeout: Optional[float] = 30.0,
+    ) -> None:
+        if url is not None:
+            host, port = parse_url(url)
+        elif host is None:
+            raise ProtocolError("RemoteStore needs a repro:// URL or a host")
+        port = wire.DEFAULT_PORT if port is None else int(port)
+        self.host, self.port = host, port
+        self._lock = threading.Lock()
+        self._closed = False
+        self._pending_ingest = 0
+        try:
+            self._socket = socket.create_connection((host, port), timeout=timeout)
+        except OSError as exc:
+            raise ProtocolError(
+                f"could not connect to provenance server at {host}:{port}: {exc}"
+            ) from exc
+        self._socket.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        hello = self._request(
+            wire.OP_HELLO, Writer().put_u32(wire.PROTOCOL_VERSION).getvalue()
+        )
+        self.server_protocol = hello.u32()
+        #: the server-side store path (so ``store.path`` reads sensibly)
+        self.path = f"repro://{host}:{port}{hello.str()}"
+        self.sharded = hello.bool()
+        self._session: Optional[RemoteSession] = None
+
+    # ------------------------------------------------------------------
+    # the wire round trip
+    # ------------------------------------------------------------------
+    def _request(self, opcode: int, body: bytes = b"") -> Reader:
+        """One request/response exchange; returns a Reader over the answer."""
+        payload = bytes([opcode]) + body
+        with self._lock:
+            if self._closed:
+                raise ProtocolError("client connection is closed")
+            try:
+                self._socket.sendall(frame(payload))
+                response = self._read_frame()
+            except OSError as exc:
+                self._teardown()
+                raise ProtocolError(
+                    f"connection to {self.host}:{self.port} failed: {exc}"
+                ) from exc
+        reader = Reader(response)
+        status = reader.u8()
+        if status == wire.STATUS_OK:
+            return reader
+        error_class = reader.str()
+        message = reader.str()
+        if status == wire.STATUS_FATAL:
+            # the server is about to close the connection; mirror that
+            with self._lock:
+                self._teardown()
+        raise _rebuild_error(error_class, message)
+
+    def _read_frame(self) -> bytes:
+        prefix = self._read_exactly(4)
+        return self._read_exactly(wire.split_frame_length(prefix))
+
+    def _read_exactly(self, count: int) -> bytes:
+        chunks = bytearray()
+        while len(chunks) < count:
+            chunk = self._socket.recv(count - len(chunks))
+            if not chunk:
+                self._teardown()
+                raise ProtocolError(
+                    "server closed the connection mid-response "
+                    f"({len(chunks)} of {count} bytes)"
+                )
+            chunks += chunk
+        return bytes(chunks)
+
+    def _teardown(self) -> None:
+        self._closed = True
+        try:
+            self._socket.close()
+        except OSError:  # pragma: no cover - close never matters twice
+            pass
+
+    def close(self) -> None:
+        """Close the connection (flushing any server-side ingest buffer)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._teardown()
+
+    def __enter__(self) -> "RemoteStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else "connected"
+        return f"RemoteStore({self.path!r}, {state})"
+
+    # ------------------------------------------------------------------
+    # the store surface
+    # ------------------------------------------------------------------
+    def session(self) -> "RemoteSession":
+        """The connection's query session (state lives server-side)."""
+        if self._session is None:
+            self._session = RemoteSession(self)
+        return self._session
+
+    def list_runs(self, specification: Optional[str] = None) -> list[dict]:
+        """Summaries of stored runs, optionally filtered by specification."""
+        writer = Writer().put_bool(specification is not None)
+        if specification is not None:
+            writer.put_str(specification)
+        return json.loads(self._request(wire.OP_LIST_RUNS, writer.getvalue()).str())
+
+    def list_specifications(self) -> list[dict]:
+        """Summaries of every stored specification."""
+        return json.loads(self._request(wire.OP_LIST_SPECS).str())
+
+    def statistics(self) -> dict:
+        """Row counts per table on the server's store."""
+        return json.loads(self._request(wire.OP_STATISTICS).str())
+
+    def cache_stats(self) -> dict:
+        """The server-side session/store cache statistics."""
+        return json.loads(self._request(wire.OP_CACHE_STATS).str())
+
+    # ------------------------------------------------------------------
+    # ingest
+    # ------------------------------------------------------------------
+    def ingest(self, labeled_runs: Iterable[Any], *, flush: bool = True) -> list[int]:
+        """Ship labeled runs to the server's per-connection ingest buffer.
+
+        With ``flush=True`` (the default) the buffer — these runs plus
+        anything previously buffered — commits now and the assigned run
+        ids come back in buffer order.  With ``flush=False`` the server
+        holds them until the buffer reaches its threshold, an explicit
+        :meth:`flush`, or disconnect; the returned list is then empty
+        unless this request tripped the automatic flush.
+        """
+        from repro.workflow.serialization import run_to_json, specification_to_json
+
+        entries = list(labeled_runs)
+        writer = Writer().put_bool(flush).put_u32(len(entries))
+        for labeled in entries:
+            writer.put_str(labeled.spec_index.scheme_name)
+            writer.put_str(specification_to_json(labeled.run.specification))
+            writer.put_str(run_to_json(labeled.run))
+        reader = self._request(wire.OP_INGEST, writer.getvalue())
+        flushed = reader.bool()
+        run_ids = [reader.i64() for _ in range(reader.u32())]
+        if flushed:
+            self._pending_ingest = 0
+        else:
+            self._pending_ingest += len(entries)
+        return run_ids
+
+    def flush(self) -> list[int]:
+        """Commit the server-side ingest buffer; returns the new run ids."""
+        reader = self._request(wire.OP_FLUSH)
+        self._pending_ingest = 0
+        return [reader.i64() for _ in range(reader.u32())]
+
+    def add_labeled_runs(self, labeled_runs: Iterable[Any]) -> list[int]:
+        """Store many labeled runs (synchronous: commits before returning).
+
+        Any previously buffered ingest flushes first so the returned ids
+        correspond to *labeled_runs* alone, in input order.
+        """
+        if self._pending_ingest:
+            self.flush()
+        return self.ingest(labeled_runs, flush=True)
+
+    def add_labeled_run(self, labeled: Any) -> int:
+        """Store one labeled run and return its id."""
+        return self.add_labeled_runs([labeled])[0]
+
+    @property
+    def pending_ingest(self) -> int:
+        """Client-side count of runs buffered but not yet flushed."""
+        return self._pending_ingest
+
+
+class _RemotePlan:
+    """The compile-once handle of the remote session (re-sends on execute)."""
+
+    def __init__(self, session: "RemoteSession", query: Any) -> None:
+        self.session = session
+        self.query = query
+
+    def execute(self):
+        return self.session.run(self.query)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_RemotePlan(query={self.query!r})"
+
+
+class RemoteSession:
+    """The :class:`~repro.api.ProvenanceSession` duck type over the wire.
+
+    Each declarative query maps to one protocol op; the server answers it
+    through a real per-connection session, so promotion and kernel state
+    accumulate exactly as they would in-process.  ``compile`` returns a
+    plan that re-sends the query — the expensive compiled state the plan
+    represents lives (and persists) server-side.
+    """
+
+    target_kind = "store"
+
+    def __init__(self, store: RemoteStore) -> None:
+        self._store = store
+
+    def run(self, query: Any):
+        """Execute one declarative query on the server."""
+        runner = self._RUNNERS.get(type(query))
+        if runner is None:
+            raise QueryPlanError(
+                f"not a declarative query object: {type(query).__name__!r}"
+            )
+        return runner(self, query)
+
+    def run_many(self, queries: Iterable[Any]) -> list:
+        """Execute several queries in order (one round trip each)."""
+        return [self.run(query) for query in queries]
+
+    def compile(self, query: Any) -> _RemotePlan:
+        """A reusable plan; the compiled state it reuses lives server-side."""
+        if type(query) not in self._RUNNERS:
+            raise QueryPlanError(
+                f"not a declarative query object: {type(query).__name__!r}"
+            )
+        return _RemotePlan(self, query)
+
+    def cache_stats(self) -> dict:
+        """The server-side session statistics for this connection."""
+        return self._store.cache_stats()
+
+    # ------------------------------------------------------------------
+    # per-query encoders
+    # ------------------------------------------------------------------
+    def _require_run_id(self, query: Any) -> int:
+        if query.run_id is None:
+            raise QueryPlanError(
+                f"{type(query).__name__} against a store-backed session "
+                "needs a run_id"
+            )
+        return int(query.run_id)
+
+    def _run_point(self, query: PointQuery) -> bool:
+        writer = Writer().put_i64(self._require_run_id(query))
+        for module, instance in (
+            _as_execution(query.source),
+            _as_execution(query.target),
+        ):
+            writer.put_str(module).put_i64(instance)
+        return self._store._request(wire.OP_POINT, writer.getvalue()).bool()
+
+    def _run_batch(self, query: BatchQuery) -> list[bool]:
+        run_id = self._require_run_id(query)
+        if query.handle_native:
+            # the zero-parse lane: the body is a pair-workload blob
+            body = encode_pair_workload(
+                query.source_ids, query.target_ids, run_id=run_id
+            )
+            return self._store._request(wire.OP_BATCH, body).bools()
+        writer = Writer().put_i64(run_id).put_u32(len(query.pairs))
+        for source, target in query.pairs:
+            for module, instance in (_as_execution(source), _as_execution(target)):
+                writer.put_str(module).put_i64(instance)
+        return self._store._request(wire.OP_BATCH_PAIRS, writer.getvalue()).bools()
+
+    def _run_sweep(self, query: Any, *, downstream: bool) -> list[tuple]:
+        module, instance = _as_execution(query.execution)
+        writer = (
+            Writer()
+            .put_i64(self._require_run_id(query))
+            .put_bool(downstream)
+            .put_str(module)
+            .put_i64(instance)
+        )
+        return self._store._request(wire.OP_SWEEP, writer.getvalue()).executions()
+
+    def _run_cross_sweep(self, query: CrossRunQuery) -> CrossRunSweepResult:
+        anchor = _as_execution(query.execution)
+        writer = Writer().put_str(query.specification)
+        writer.put_str(anchor[0]).put_i64(anchor[1])
+        writer.put_bool(query.direction == "downstream")
+        wire.put_workers(writer, query.workers)
+        reader = self._store._request(wire.OP_CROSS_SWEEP, writer.getvalue())
+        return CrossRunSweepResult(
+            specification=query.specification,
+            execution=anchor,
+            direction=query.direction,
+            per_run=wire.read_run_map_executions(reader),
+            skipped_runs=wire.read_skipped(reader),
+        )
+
+    def _cross_batch_round_trip(
+        self, specification: str, pairs: Sequence[tuple], workers: Optional[int]
+    ) -> tuple[dict, list[int]]:
+        writer = Writer().put_str(specification).put_u32(len(pairs))
+        for source, target in pairs:
+            for module, instance in (source, target):
+                writer.put_str(module).put_i64(instance)
+        wire.put_workers(writer, workers)
+        reader = self._store._request(wire.OP_CROSS_BATCH, writer.getvalue())
+        return wire.read_run_map_bools(reader), wire.read_skipped(reader)
+
+    def _run_cross_batch(self, query: CrossRunBatchQuery) -> CrossRunBatchResult:
+        pairs = [
+            (_as_execution(source), _as_execution(target))
+            for source, target in query.pairs
+        ]
+        per_run, skipped = self._cross_batch_round_trip(
+            query.specification, pairs, query.workers
+        )
+        return CrossRunBatchResult(
+            specification=query.specification,
+            pairs=pairs,
+            per_run=per_run,
+            skipped_runs=skipped,
+        )
+
+    def _run_cross_point(self, query: CrossRunPointQuery) -> CrossRunPointResult:
+        # mirrors the in-process plan: a single-pair cross-run batch
+        source = _as_execution(query.source)
+        target = _as_execution(query.target)
+        per_run, skipped = self._cross_batch_round_trip(
+            query.specification, [(source, target)], query.workers
+        )
+        return CrossRunPointResult(
+            specification=query.specification,
+            source=source,
+            target=target,
+            per_run={run_id: bool(answers[0]) for run_id, answers in per_run.items()},
+            skipped_runs=skipped,
+        )
+
+    def _run_data_dep(self, query: DataDependencyQuery) -> bool:
+        writer = Writer().put_i64(self._require_run_id(query)).put_str(query.item)
+        if query.on_module is not None:
+            module, instance = _as_execution(query.on_module)
+            writer.put_bool(True).put_str(module).put_i64(instance)
+        else:
+            writer.put_bool(False).put_str(query.on_item)
+        return self._store._request(wire.OP_DATA_DEP, writer.getvalue()).bool()
+
+    _RUNNERS = {
+        PointQuery: _run_point,
+        BatchQuery: _run_batch,
+        DownstreamQuery: lambda self, query: self._run_sweep(query, downstream=True),
+        UpstreamQuery: lambda self, query: self._run_sweep(query, downstream=False),
+        CrossRunQuery: _run_cross_sweep,
+        CrossRunBatchQuery: _run_cross_batch,
+        CrossRunPointQuery: _run_cross_point,
+        DataDependencyQuery: _run_data_dep,
+    }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RemoteSession(over {self._store.path!r})"
+
+
+def _rebuild_error(error_class: str, message: str) -> ReproError:
+    """Rehydrate a server-reported error as the matching local exception."""
+    candidate = getattr(_exceptions, error_class, None)
+    if isinstance(candidate, type) and issubclass(candidate, ReproError):
+        try:
+            return candidate(message)
+        except TypeError:  # pragma: no cover - exotic constructor signatures
+            pass
+    return ReproError(f"{error_class}: {message}")
+

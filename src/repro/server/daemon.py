@@ -1,0 +1,607 @@
+"""The asyncio provenance daemon: ``open_store`` behind a TCP socket.
+
+:class:`ProvenanceServer` fronts one provenance store — single-file or
+sharded, exactly what :func:`repro.storage.sharded.open_store` returns —
+with the length-prefixed binary protocol of
+:mod:`repro.server.protocol`.  The design follows three rules:
+
+* **One store thread.**  The store's caches (label LRUs, compiled
+  engines, adaptive promotion counters) are plain dicts with no locking,
+  so every store operation — queries, ingest flushes, even opening the
+  store when the server was given a path — runs on a single dedicated
+  executor thread.  Concurrency across connections comes from asyncio
+  interleaving at the request boundary, not from racing the caches;
+  the parallel machinery *inside* an operation (per-shard ingest
+  commits, cross-run worker pools) still fans out through the store's
+  own persistent pools.
+* **Per-connection session state.**  Each connection owns a
+  :class:`~repro.api.ProvenanceSession` that lives as long as the
+  connection, so adaptive point-query promotion and the store's compiled
+  ``SpecKernel``/engine caches stay warm across requests — a monitoring
+  client re-asking the same run pays compilation once, like an
+  in-process session would.  Ingest requests buffer per connection and
+  flush through ``add_labeled_runs`` (the sharded store's concurrent
+  per-shard commit path) when the client asks or the buffer reaches
+  ``ingest_flush_after``; whatever is still buffered at disconnect is
+  flushed then.
+* **Bounded inflight, clean drain.**  Each connection feeds a bounded
+  queue read by one responder task; when the queue is full the reader
+  coroutine stops pulling bytes, so overload turns into TCP backpressure
+  instead of unbounded buffering.  Responses always leave in request
+  order.  A malformed or truncated frame gets a ``STATUS_FATAL`` error
+  frame and the connection closes; store-level errors
+  (:class:`~repro.exceptions.ReproError`) are reported recoverably and
+  the connection lives on.  :meth:`ProvenanceServer.stop` stops
+  accepting, lets inflight requests finish (up to a grace period),
+  flushes ingest buffers, and closes the store — draining its worker
+  pools — before returning.
+
+:class:`ServerThread` wraps the daemon in a background thread with its
+own event loop for tests, examples and benches; the CLI's ``serve``
+command runs :meth:`ProvenanceServer.serve_forever` in the foreground.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Optional
+
+from repro.api.queries import (
+    BatchQuery,
+    CrossRunBatchQuery,
+    CrossRunQuery,
+    DataDependencyQuery,
+    DownstreamQuery,
+    PointQuery,
+    UpstreamQuery,
+)
+from repro.api.session import PROMOTE_AFTER_DEFAULT, ProvenanceSession
+from repro.api.workload import decode_pair_workload
+from repro.exceptions import ProtocolError, ReproError
+from repro.server import protocol as wire
+from repro.server.protocol import Reader, Writer, frame
+
+__all__ = [
+    "ProvenanceServer",
+    "ServerThread",
+    "INGEST_FLUSH_AFTER_DEFAULT",
+    "MAX_INFLIGHT_DEFAULT",
+]
+
+#: buffered ingest entries per connection before an automatic flush
+INGEST_FLUSH_AFTER_DEFAULT = 32
+
+#: queued (accepted but unanswered) requests per connection before the
+#: reader stops pulling bytes off the socket
+MAX_INFLIGHT_DEFAULT = 64
+
+#: how long stop() waits for a connection's inflight requests to finish
+DRAIN_GRACE_SECONDS = 10.0
+
+
+class _Connection:
+    """Everything one TCP connection owns on the server side."""
+
+    def __init__(self, session: ProvenanceSession) -> None:
+        self.session = session
+        #: buffered (scheme, spec_json, run_json) ingest entries
+        self.ingest_buffer: list[tuple[str, str, str]] = []
+        #: labelers reused across this connection's ingest flushes
+        self.labelers: dict[tuple[str, str], Any] = {}
+        #: set once a fatal frame went out; later queue items are discarded
+        self.dead = False
+
+
+class ProvenanceServer:
+    """Serve one provenance store over the binary wire protocol.
+
+    Parameters
+    ----------
+    store:
+        An already-open store (single-file or sharded).  The caller keeps
+        ownership: :meth:`stop` will NOT close it.
+    path / shards:
+        Alternatively, where to ``open_store``.  The store is then opened
+        lazily **on the store thread** and closed by :meth:`stop`.
+    host / port:
+        Bind address; port 0 picks a free port (see :attr:`address`).
+    max_inflight / ingest_flush_after / promote_after:
+        Backpressure bound, ingest buffer threshold, and the adaptive
+        promotion threshold handed to each connection's session.
+    """
+
+    def __init__(
+        self,
+        store: Any = None,
+        *,
+        path: Any = None,
+        shards: Optional[int] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_inflight: int = MAX_INFLIGHT_DEFAULT,
+        ingest_flush_after: int = INGEST_FLUSH_AFTER_DEFAULT,
+        promote_after: int = PROMOTE_AFTER_DEFAULT,
+    ) -> None:
+        if (store is None) == (path is None):
+            raise ValueError("ProvenanceServer takes exactly one of store or path")
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be positive, got {max_inflight}")
+        if ingest_flush_after < 1:
+            raise ValueError(
+                f"ingest_flush_after must be positive, got {ingest_flush_after}"
+            )
+        self._store = store
+        self._owns_store = store is None
+        self._path = path
+        self._shards = shards
+        self.host = host
+        self.port = port
+        self.max_inflight = int(max_inflight)
+        self.ingest_flush_after = int(ingest_flush_after)
+        self.promote_after = int(promote_after)
+        self._server: Optional[asyncio.base_events.Server] = None
+        # every store operation runs here; see the module docstring
+        self._store_pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-server-store"
+        )
+        self._connections: set[tuple[asyncio.Queue, asyncio.StreamWriter]] = set()
+        self._stopped = False
+        self._handlers = {
+            wire.OP_HELLO: self._op_hello,
+            wire.OP_POINT: self._op_point,
+            wire.OP_BATCH: self._op_batch,
+            wire.OP_BATCH_PAIRS: self._op_batch_pairs,
+            wire.OP_SWEEP: self._op_sweep,
+            wire.OP_CROSS_SWEEP: self._op_cross_sweep,
+            wire.OP_CROSS_BATCH: self._op_cross_batch,
+            wire.OP_DATA_DEP: self._op_data_dep,
+            wire.OP_INGEST: self._op_ingest,
+            wire.OP_FLUSH: self._op_flush,
+            wire.OP_CACHE_STATS: self._op_cache_stats,
+            wire.OP_STATISTICS: self._op_statistics,
+            wire.OP_LIST_RUNS: self._op_list_runs,
+            wire.OP_LIST_SPECS: self._op_list_specs,
+        }
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _open_store(self) -> Any:
+        """Resolve the store on the store thread (first use only)."""
+        if self._store is None:
+            from repro.storage.sharded import open_store
+
+            self._store = open_store(self._path, shards=self._shards)
+        return self._store
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and start accepting; returns the bound ``(host, port)``."""
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(self._store_pool, self._open_store)
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.host, port=self.port
+        )
+        self.host, self.port = self._server.sockets[0].getsockname()[:2]
+        return self.host, self.port
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.host, self.port
+
+    @property
+    def url(self) -> str:
+        return f"repro://{self.host}:{self.port}/"
+
+    async def serve_forever(self) -> None:
+        """Serve until cancelled (the CLI's foreground mode)."""
+        if self._server is None:
+            await self.start()
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await self.stop()
+
+    async def stop(self) -> None:
+        """Stop accepting, drain inflight requests, release the store.
+
+        Connections get :data:`DRAIN_GRACE_SECONDS` to finish queued
+        requests (responses still go out), then their transports close.
+        A server-owned store (opened from a path) is closed — which
+        drains its persistent worker pools; a caller-provided store is
+        left open for its owner.
+        """
+        if self._stopped:
+            return
+        self._stopped = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for queue, writer in list(self._connections):
+            try:
+                await asyncio.wait_for(queue.join(), timeout=DRAIN_GRACE_SECONDS)
+            except asyncio.TimeoutError:
+                pass
+            writer.close()
+        loop = asyncio.get_running_loop()
+        if self._owns_store and self._store is not None:
+            await loop.run_in_executor(self._store_pool, self._store.close)
+        self._store_pool.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    # connection plumbing
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        state = _Connection(
+            ProvenanceSession(self._store, promote_after=self.promote_after)
+        )
+        queue: asyncio.Queue = asyncio.Queue(maxsize=self.max_inflight)
+        record = (queue, writer)
+        self._connections.add(record)
+        responder = asyncio.create_task(self._respond_loop(queue, writer, state))
+        fatal: Optional[ProtocolError] = None
+        try:
+            while True:
+                try:
+                    prefix = await reader.readexactly(4)
+                except asyncio.IncompleteReadError as exc:
+                    if exc.partial:
+                        raise ProtocolError(
+                            f"truncated frame length: got {len(exc.partial)} "
+                            "of 4 prefix bytes"
+                        ) from None
+                    break  # clean EOF between frames
+                length = wire.split_frame_length(prefix)
+                try:
+                    payload = await reader.readexactly(length)
+                except asyncio.IncompleteReadError as exc:
+                    raise ProtocolError(
+                        f"truncated frame: announced {length} payload bytes, "
+                        f"got {len(exc.partial)}"
+                    ) from None
+                # bounded inflight: when the responder is max_inflight
+                # requests behind, this put blocks and the client sees
+                # TCP backpressure instead of the server buffering forever
+                await queue.put(payload)
+        except ProtocolError as exc:
+            fatal = exc
+        except (ConnectionError, OSError):
+            pass
+        await queue.put(("fatal", fatal) if fatal is not None else ("eof", None))
+        try:
+            await responder
+        finally:
+            self._connections.discard(record)
+            writer.close()
+
+    async def _respond_loop(
+        self, queue: asyncio.Queue, writer: asyncio.StreamWriter, state: _Connection
+    ) -> None:
+        """Answer queued requests in order; one task per connection."""
+        loop = asyncio.get_running_loop()
+        while True:
+            item = await queue.get()
+            try:
+                if isinstance(item, tuple):
+                    kind, exc = item
+                    if kind == "fatal" and not state.dead:
+                        await self._send(writer, _error_frame(wire.STATUS_FATAL, exc))
+                    try:
+                        # disconnect: whatever ingest the client buffered
+                        # but never flushed is committed now, not dropped
+                        await loop.run_in_executor(
+                            self._store_pool, self._flush_ingest, state
+                        )
+                    except (RuntimeError, ReproError):
+                        # the disconnect raced server shutdown: the store
+                        # thread (or the store itself) is already gone
+                        pass
+                    return
+                if state.dead:
+                    continue  # fatal already reported; drain and discard
+                response, fatal = await loop.run_in_executor(
+                    self._store_pool, self._serve_one, state, item
+                )
+                await self._send(writer, response)
+                if fatal:
+                    state.dead = True
+                    writer.close()
+            except (ConnectionError, OSError):
+                state.dead = True
+            finally:
+                queue.task_done()
+
+    @staticmethod
+    async def _send(writer: asyncio.StreamWriter, response: bytes) -> None:
+        writer.write(response)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # dispatch (store thread)
+    # ------------------------------------------------------------------
+    def _serve_one(self, state: _Connection, payload: bytes) -> tuple[bytes, bool]:
+        """Decode, execute and encode one request; returns (frame, fatal)."""
+        try:
+            reader = Reader(payload)
+            opcode = reader.u8()
+            handler = self._handlers.get(opcode)
+            if handler is None:
+                raise ProtocolError(f"unknown opcode {opcode}")
+            body = handler(state, reader)
+            return frame(bytes([wire.STATUS_OK]) + body), False
+        except ProtocolError as exc:
+            return _error_frame(wire.STATUS_FATAL, exc), True
+        except ReproError as exc:
+            return _error_frame(wire.STATUS_ERROR, exc), False
+        except Exception as exc:  # noqa: BLE001 - report, don't kill the daemon
+            return _error_frame(wire.STATUS_ERROR, exc), False
+
+    # ------------------------------------------------------------------
+    # op handlers (store thread; Reader is positioned past the opcode)
+    # ------------------------------------------------------------------
+    def _op_hello(self, state: _Connection, reader: Reader) -> bytes:
+        client_version = reader.u32()
+        reader.expect_end()
+        if client_version != wire.PROTOCOL_VERSION:
+            raise ProtocolError(
+                f"protocol version mismatch: client speaks {client_version}, "
+                f"server speaks {wire.PROTOCOL_VERSION}"
+            )
+        writer = Writer()
+        writer.put_u32(wire.PROTOCOL_VERSION)
+        writer.put_str(str(self._store.path))
+        writer.put_bool(hasattr(self._store, "shard_count"))
+        return writer.getvalue()
+
+    def _op_point(self, state: _Connection, reader: Reader) -> bytes:
+        run_id = reader.i64()
+        source = (reader.str(), reader.i64())
+        target = (reader.str(), reader.i64())
+        reader.expect_end()
+        answer = state.session.run(PointQuery(source, target, run_id=run_id))
+        return Writer().put_bool(answer).getvalue()
+
+    def _op_batch(self, state: _Connection, reader: Reader) -> bytes:
+        # the body IS a binary pair workload: magic + run-id header + two
+        # LE int64 handle columns, straight off disk or a client array
+        try:
+            run_id, source_ids, target_ids = decode_pair_workload(reader.rest())
+        except ReproError as exc:
+            raise ProtocolError(f"bad batch body: {exc}") from None
+        answers = state.session.run(
+            BatchQuery(source_ids=source_ids, target_ids=target_ids, run_id=run_id)
+        )
+        return Writer().put_bools(answers).getvalue()
+
+    def _op_batch_pairs(self, state: _Connection, reader: Reader) -> bytes:
+        run_id = reader.i64()
+        count = reader.u32()
+        pairs = [
+            ((reader.str(), reader.i64()), (reader.str(), reader.i64()))
+            for _ in range(count)
+        ]
+        reader.expect_end()
+        answers = state.session.run(BatchQuery(pairs=pairs, run_id=run_id))
+        return Writer().put_bools(answers).getvalue()
+
+    def _op_sweep(self, state: _Connection, reader: Reader) -> bytes:
+        run_id = reader.i64()
+        downstream = reader.bool()
+        execution = (reader.str(), reader.i64())
+        reader.expect_end()
+        query = (
+            DownstreamQuery(execution, run_id=run_id)
+            if downstream
+            else UpstreamQuery(execution, run_id=run_id)
+        )
+        return Writer().put_executions(state.session.run(query)).getvalue()
+
+    def _op_cross_sweep(self, state: _Connection, reader: Reader) -> bytes:
+        specification = reader.str()
+        execution = (reader.str(), reader.i64())
+        direction = "downstream" if reader.bool() else "upstream"
+        workers = wire.read_workers(reader)
+        reader.expect_end()
+        result = state.session.run(
+            CrossRunQuery(specification, execution, direction, workers=workers)
+        )
+        writer = Writer()
+        wire.put_run_map_executions(writer, result.per_run)
+        wire.put_skipped(writer, result.skipped_runs)
+        return writer.getvalue()
+
+    def _op_cross_batch(self, state: _Connection, reader: Reader) -> bytes:
+        specification = reader.str()
+        count = reader.u32()
+        pairs = [
+            ((reader.str(), reader.i64()), (reader.str(), reader.i64()))
+            for _ in range(count)
+        ]
+        workers = wire.read_workers(reader)
+        reader.expect_end()
+        result = state.session.run(
+            CrossRunBatchQuery(specification, pairs, workers=workers)
+        )
+        writer = Writer()
+        wire.put_run_map_bools(writer, result.per_run)
+        wire.put_skipped(writer, result.skipped_runs)
+        return writer.getvalue()
+
+    def _op_data_dep(self, state: _Connection, reader: Reader) -> bytes:
+        run_id = reader.i64()
+        item = reader.str()
+        on_module = reader.bool()
+        if on_module:
+            query = DataDependencyQuery(
+                item, on_module=(reader.str(), reader.i64()), run_id=run_id
+            )
+        else:
+            query = DataDependencyQuery(item, on_item=reader.str(), run_id=run_id)
+        reader.expect_end()
+        return Writer().put_bool(state.session.run(query)).getvalue()
+
+    def _op_ingest(self, state: _Connection, reader: Reader) -> bytes:
+        flush_requested = reader.bool()
+        count = reader.u32()
+        for _ in range(count):
+            state.ingest_buffer.append((reader.str(), reader.str(), reader.str()))
+        reader.expect_end()
+        run_ids: list[int] = []
+        flushed = flush_requested or (
+            len(state.ingest_buffer) >= self.ingest_flush_after
+        )
+        if flushed:
+            run_ids = self._flush_ingest(state)
+        writer = Writer().put_bool(flushed).put_u32(len(run_ids))
+        for run_id in run_ids:
+            writer.put_i64(run_id)
+        return writer.getvalue()
+
+    def _op_flush(self, state: _Connection, reader: Reader) -> bytes:
+        reader.expect_end()
+        run_ids = self._flush_ingest(state)
+        writer = Writer().put_u32(len(run_ids))
+        for run_id in run_ids:
+            writer.put_i64(run_id)
+        return writer.getvalue()
+
+    def _flush_ingest(self, state: _Connection) -> list[int]:
+        """Label and commit the connection's buffered runs, in buffer order."""
+        if not state.ingest_buffer:
+            return []
+        from repro.skeleton.skl import SkeletonLabeler
+        from repro.workflow.serialization import (
+            run_from_json,
+            specification_from_json,
+        )
+
+        entries, state.ingest_buffer = state.ingest_buffer, []
+        labeled = []
+        for scheme, spec_json, run_json in entries:
+            key = (scheme, spec_json)
+            labeler = state.labelers.get(key)
+            if labeler is None:
+                spec = specification_from_json(spec_json)
+                labeler = state.labelers[key] = SkeletonLabeler(spec, scheme)
+            run = run_from_json(run_json, labeler.specification)
+            labeled.append(labeler.label_run(run))
+        add_many = getattr(self._store, "add_labeled_runs", None)
+        if add_many is not None:
+            # the sharded store's ingest service: per-shard sub-batches
+            # commit concurrently through its persistent worker pool
+            return list(add_many(labeled))
+        return [self._store.add_labeled_run(item) for item in labeled]
+
+    def _op_cache_stats(self, state: _Connection, reader: Reader) -> bytes:
+        reader.expect_end()
+        stats = dict(state.session.cache_stats())
+        stats["server"] = {
+            "connections": len(self._connections),
+            "max_inflight": self.max_inflight,
+            "ingest_flush_after": self.ingest_flush_after,
+            "ingest_buffered": len(state.ingest_buffer),
+        }
+        return Writer().put_str(json.dumps(stats, default=str)).getvalue()
+
+    def _op_statistics(self, state: _Connection, reader: Reader) -> bytes:
+        reader.expect_end()
+        return Writer().put_str(json.dumps(self._store.statistics())).getvalue()
+
+    def _op_list_runs(self, state: _Connection, reader: Reader) -> bytes:
+        specification = reader.str() if reader.bool() else None
+        reader.expect_end()
+        runs = self._store.list_runs(specification)
+        return Writer().put_str(json.dumps(runs)).getvalue()
+
+    def _op_list_specs(self, state: _Connection, reader: Reader) -> bytes:
+        reader.expect_end()
+        specs = self._store.list_specifications()
+        return Writer().put_str(json.dumps(specs)).getvalue()
+
+
+def _error_frame(status: int, exc: BaseException) -> bytes:
+    writer = Writer()
+    writer.put_u8(status)
+    writer.put_str(type(exc).__name__)
+    writer.put_str(str(exc))
+    return frame(writer.getvalue())
+
+
+class ServerThread:
+    """A daemon running on a background thread with its own event loop.
+
+    The convenience wrapper tests, examples and the throughput bench use::
+
+        with ServerThread(path=db_path) as server:
+            store = RemoteStore(server.url)
+            ...
+
+    ``stop()`` (or leaving the ``with`` block) performs the daemon's
+    clean shutdown — inflight requests drain before the sockets close.
+    """
+
+    def __init__(self, store: Any = None, **server_kwargs: Any) -> None:
+        self._server = ProvenanceServer(store, **server_kwargs)
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._shutdown: Optional[asyncio.Event] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    @property
+    def host(self) -> str:
+        return self._server.host
+
+    @property
+    def port(self) -> int:
+        return self._server.port
+
+    @property
+    def url(self) -> str:
+        return self._server.url
+
+    def start(self) -> "ServerThread":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-server", daemon=True
+        )
+        self._thread.start()
+        self._started.wait()
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._shutdown = asyncio.Event()
+        try:
+            await self._server.start()
+        except BaseException as exc:  # noqa: BLE001 - surfaced to start()
+            self._startup_error = exc
+            self._started.set()
+            return
+        self._started.set()
+        await self._shutdown.wait()
+        await self._server.stop()
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        if self._loop is not None and self._shutdown is not None:
+            self._loop.call_soon_threadsafe(self._shutdown.set)
+        self._thread.join()
+        self._thread = None
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

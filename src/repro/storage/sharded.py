@@ -46,7 +46,6 @@ from __future__ import annotations
 
 import sqlite3
 import threading
-import warnings
 import zlib
 from collections.abc import Iterable, Sequence
 from pathlib import Path
@@ -62,6 +61,7 @@ from repro.storage.store import (
     STORED_RUN_CACHE_LIMIT,
     insert_labeled_run,
     insert_specification,
+    warn_deprecated_query,
 )
 from repro.workflow.specification import WorkflowSpecification
 
@@ -161,6 +161,7 @@ class ShardedProvenanceStore(WorkerPoolOwner):
             for shard_path in self._shard_paths
         ]
         self._session = None
+        self._closed = False
 
     # ------------------------------------------------------------------
     # routing
@@ -181,8 +182,20 @@ class ShardedProvenanceStore(WorkerPoolOwner):
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise StorageError("store is closed")
+
     def close(self) -> None:
-        """Close the worker pools and every shard connection."""
+        """Close the worker pools and every shard connection (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
         self.close_pools()
         for store in self._stores:
             store.close()
@@ -192,6 +205,9 @@ class ShardedProvenanceStore(WorkerPoolOwner):
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
+
+    def pool_owner_description(self) -> str:
+        return f"ShardedProvenanceStore({str(self.path)!r})"
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -242,6 +258,7 @@ class ShardedProvenanceStore(WorkerPoolOwner):
         per-shard lock keeps this process's writers of the shard serial.
         """
         with self._locks[shard]:
+            self._require_open()
             connection = connect(self._shard_paths[shard], journal_mode="WAL")
             # manual transaction control: the write lock must be taken
             # BEFORE the id-allocating sqlite_sequence reads, or two
@@ -298,6 +315,7 @@ class ShardedProvenanceStore(WorkerPoolOwner):
         shards' commits stand) and the first error is re-raised after every
         task finished.
         """
+        self._require_open()
         runs = list(labeled_runs)
         if not runs:
             return []
@@ -350,6 +368,7 @@ class ShardedProvenanceStore(WorkerPoolOwner):
 
     def add_specification(self, spec: WorkflowSpecification) -> int:
         """Store *spec* in its shard (idempotent by name); returns its id."""
+        self._require_open()
         shard = shard_of_spec(spec.name, self.shard_count)
         connection = self._stores[shard]._connection
         with self._locks[shard]:
@@ -446,6 +465,7 @@ class ShardedProvenanceStore(WorkerPoolOwner):
     # ------------------------------------------------------------------
     def session(self):
         """The sharded store's :class:`~repro.api.ProvenanceSession`."""
+        self._require_open()
         if self._session is None:
             from repro.api.session import ProvenanceSession
 
@@ -464,13 +484,8 @@ class ShardedProvenanceStore(WorkerPoolOwner):
         )
 
     def _deprecated(self, old: str, query: str) -> None:
-        warnings.warn(
-            f"ShardedProvenanceStore.{old} is deprecated: run a {query} "
-            "through the store's ProvenanceSession (store.session().run(...)) "
-            "instead",
-            DeprecationWarning,
-            stacklevel=3,
-        )
+        # one hop deeper than the shared helper's default (shim -> here -> warn)
+        warn_deprecated_query("ShardedProvenanceStore", old, query, stacklevel=4)
 
     def reaches(self, run_id: int, source, target) -> bool:
         """Deprecated shim; use a PointQuery through ``session()``."""

@@ -78,6 +78,7 @@ __all__ = [
     "load_label_arrays",
     "insert_specification",
     "insert_labeled_run",
+    "warn_deprecated_query",
 ]
 
 PathLike = Union[str, Path]
@@ -331,13 +332,29 @@ def insert_labeled_run(
     return run_id
 
 
-def _deprecated_store_entry(old: str, query: str) -> None:
+def warn_deprecated_query(
+    owner: str, old: str, query: str, *, stacklevel: int = 3
+) -> None:
+    """Warn that a legacy store query method was used, blaming the caller.
+
+    Shared by both store layouts so the deprecation text and — crucially —
+    the ``stacklevel`` arithmetic live in one place: with the default of 3
+    the warning is attributed to the caller of the public shim (helper →
+    shim → caller), so ``-W error::DeprecationWarning`` reports the user's
+    own line, not ``store.py``.  Callers that add a delegation hop must
+    bump *stacklevel* accordingly.
+    """
     warnings.warn(
-        f"ProvenanceStore.{old} is deprecated: run a {query} through the "
+        f"{owner}.{old} is deprecated: run a {query} through the "
         "store's ProvenanceSession (store.session().run(...)) instead",
         DeprecationWarning,
-        stacklevel=3,
+        stacklevel=stacklevel,
     )
+
+
+def _deprecated_store_entry(old: str, query: str) -> None:
+    # one hop deeper than the shared helper's default (shim → here → warn)
+    warn_deprecated_query("ProvenanceStore", old, query, stacklevel=4)
 
 
 class ProvenanceStore(WorkerPoolOwner):
@@ -371,6 +388,7 @@ class ProvenanceStore(WorkerPoolOwner):
         # cross-run sweep needs all of a spec's runs to hit the same entry.
         self._spec_kernel_cache: dict[tuple[int, str], SpecKernel] = {}
         self._session = None
+        self._closed = False
         # Lifetime counters behind ProvenanceSession.cache_stats(): how many
         # stored-run label caches the LRU pushed out (each eviction means the
         # next query on that run rebuilds from SQL).
@@ -379,8 +397,20 @@ class ProvenanceStore(WorkerPoolOwner):
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise StorageError("store is closed")
+
     def close(self) -> None:
-        """Close the underlying connection and any worker pools."""
+        """Close the underlying connection and any worker pools (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
         self.close_pools()
         self._connection.close()
 
@@ -390,16 +420,21 @@ class ProvenanceStore(WorkerPoolOwner):
     def __exit__(self, *exc_info: object) -> None:
         self.close()
 
+    def pool_owner_description(self) -> str:
+        return f"ProvenanceStore({str(self.path)!r})"
+
     # ------------------------------------------------------------------
     # specifications
     # ------------------------------------------------------------------
     def add_specification(self, spec: WorkflowSpecification) -> int:
         """Store *spec* (idempotent by name) and return its identifier."""
+        self._require_open()
         with self._connection:
             return insert_specification(self._connection, spec)
 
     def get_specification(self, name: str) -> WorkflowSpecification:
         """Load the specification called *name*."""
+        self._require_open()
         row = self._connection.execute(
             "SELECT spec_id, document FROM specifications WHERE name = ?", (name,)
         ).fetchone()
@@ -409,6 +444,7 @@ class ProvenanceStore(WorkerPoolOwner):
 
     def list_specifications(self) -> list[dict]:
         """Return summaries of every stored specification."""
+        self._require_open()
         rows = self._connection.execute(
             "SELECT spec_id, name, n_modules, n_edges FROM specifications ORDER BY spec_id"
         ).fetchall()
@@ -433,6 +469,7 @@ class ProvenanceStore(WorkerPoolOwner):
     # ------------------------------------------------------------------
     def add_labeled_run(self, labeled: SkeletonLabeledRun) -> int:
         """Store a labeled run (its graph, labels and spec scheme) and return its id."""
+        self._require_open()
         run = labeled.run
         spec_id = self.add_specification(run.specification)
         try:
@@ -451,6 +488,7 @@ class ProvenanceStore(WorkerPoolOwner):
 
     def list_runs(self, specification: Optional[str] = None) -> list[dict]:
         """Return summaries of stored runs, optionally filtered by specification name."""
+        self._require_open()
         if specification is None:
             rows = self._connection.execute(
                 "SELECT run_id, name, n_vertices, n_edges, spec_scheme, spec_id "
@@ -466,6 +504,7 @@ class ProvenanceStore(WorkerPoolOwner):
         return [dict(row) for row in rows]
 
     def _run_row(self, run_id: int) -> sqlite3.Row:
+        self._require_open()
         row = self._connection.execute(
             "SELECT * FROM runs WHERE run_id = ?", (run_id,)
         ).fetchone()
@@ -523,6 +562,7 @@ class ProvenanceStore(WorkerPoolOwner):
         ids raise :class:`~repro.exceptions.StorageError`, like the
         single-run path.
         """
+        self._require_open()
         arrays = load_label_arrays(self._connection, run_ids)
         for run_id, run_arrays in arrays.items():
             if not len(run_arrays):
@@ -536,6 +576,7 @@ class ProvenanceStore(WorkerPoolOwner):
         ``session.run(query)`` entry point for point, batch, sweep,
         cross-run and data-dependency queries.
         """
+        self._require_open()
         if self._session is None:
             from repro.api.session import ProvenanceSession
 
@@ -544,6 +585,7 @@ class ProvenanceStore(WorkerPoolOwner):
 
     def label_of(self, run_id: int, module: str, instance: int) -> RunLabel:
         """Return the stored run label of one module execution."""
+        self._require_open()
         row = self._connection.execute(
             "SELECT q1, q2, q3, skeleton FROM run_labels "
             "WHERE run_id = ? AND module = ? AND instance = ?",
@@ -574,6 +616,7 @@ class ProvenanceStore(WorkerPoolOwner):
         per execution through :meth:`label_of`).  Missing executions raise
         :class:`~repro.exceptions.StorageError`.
         """
+        self._require_open()
         index = self._spec_index(run_id)
         spec_label_of = index.label_of
         distinct = _distinct_executions(executions)
@@ -610,6 +653,7 @@ class ProvenanceStore(WorkerPoolOwner):
 
     def all_labels_of(self, run_id: int) -> dict[tuple[str, int], RunLabel]:
         """Fetch every stored label of a run in one SQL round trip."""
+        self._require_open()
         index = self._spec_index(run_id)
         spec_label_of = index.label_of
         rows = self._connection.execute(
@@ -663,6 +707,7 @@ class ProvenanceStore(WorkerPoolOwner):
 
     def _stored_index(self, run_id: int) -> "_StoredRunIndex":
         """The cached skeleton-labeled view of a stored run (no SQL on hit)."""
+        self._require_open()
         index = self._stored_run_cache.get(run_id)
         if index is not None:
             self._stored_run_cache.move_to_end(run_id)
@@ -835,6 +880,7 @@ class ProvenanceStore(WorkerPoolOwner):
         return len(items)
 
     def _producer_of(self, run_id: int, item_id: str) -> tuple[str, int]:
+        self._require_open()
         row = self._connection.execute(
             "SELECT producer_module, producer_instance FROM data_items "
             "WHERE run_id = ? AND item_id = ?",
@@ -887,6 +933,7 @@ class ProvenanceStore(WorkerPoolOwner):
     # ------------------------------------------------------------------
     def delete_run(self, run_id: int) -> None:
         """Remove a run and all dependent rows (evicting its cached engine)."""
+        self._require_open()
         with self._connection:
             deleted = self._connection.execute(
                 "DELETE FROM runs WHERE run_id = ?", (run_id,)
@@ -919,6 +966,7 @@ class ProvenanceStore(WorkerPoolOwner):
 
     def statistics(self) -> dict:
         """Return row counts per table (for diagnostics and tests)."""
+        self._require_open()
         tables = ("specifications", "runs", "run_labels", "data_items", "data_consumers")
         counts = {}
         for table in tables:

@@ -482,16 +482,49 @@ class TestBinaryWorkload:
         with pytest.raises(SerializationError, match=r"run 12.*run 7"):
             read_pair_workload(path, expect_run_id=7)
 
-    @pytest.mark.skipif(
-        __import__("sys").byteorder != "big",
-        reason="byte-swap guard only runs on big-endian hosts",
-    )
-    def test_big_endian_host_writes_little_endian(self, tmp_path):
-        # the on-disk format is little-endian regardless of the host; on a
-        # big-endian machine the array fallback must byteswap both ways
+    def test_encode_matches_written_file(self, tmp_path):
+        from repro.api.workload import encode_pair_workload
+
         path = tmp_path / "pairs.bin"
-        write_pair_workload(path, [1], [258], run_id=4)
-        data = path.read_bytes()
-        assert data[16:24] == (1).to_bytes(8, "little")
-        _, source_ids, target_ids = read_pair_workload(path)
-        assert list(source_ids) == [1] and list(target_ids) == [258]
+        write_pair_workload(path, [0, 5, 17], [3, 2, 9], run_id=7)
+        blob = encode_pair_workload([0, 5, 17], [3, 2, 9], run_id=7)
+        assert blob == path.read_bytes()
+
+    def test_decode_hand_built_little_endian_bytes(self):
+        # the format is little-endian by construction, not by host: a blob
+        # assembled byte by byte must decode identically everywhere
+        from repro.api.workload import WORKLOAD_MAGIC, decode_pair_workload
+
+        blob = (
+            WORKLOAD_MAGIC
+            + (4).to_bytes(8, "little")
+            + (1).to_bytes(8, "little", signed=True)
+            + (258).to_bytes(8, "little", signed=True)
+            + (-6).to_bytes(8, "little", signed=True)
+            + (2**40).to_bytes(8, "little", signed=True)
+        )
+        run_id, source_ids, target_ids = decode_pair_workload(blob)
+        assert run_id == 4
+        assert list(source_ids) == [1, -6]
+        assert list(target_ids) == [258, 2**40]
+
+    def test_workload_codec_stdlib_fallback_is_little_endian(self, monkeypatch):
+        # force the no-numpy path; it must produce and consume the exact
+        # same little-endian bytes as the vectorized path on any host
+        import repro.api.workload as workload_module
+        from repro.api.workload import WORKLOAD_MAGIC
+
+        encoded_with_numpy = workload_module.encode_pair_workload(
+            [1, -6], [258, 2**40], run_id=4
+        )
+        monkeypatch.setattr(workload_module, "_np", None)
+        encoded = workload_module.encode_pair_workload(
+            [1, -6], [258, 2**40], run_id=4
+        )
+        assert encoded == encoded_with_numpy
+        assert encoded[:8] == WORKLOAD_MAGIC
+        assert encoded[16:24] == (1).to_bytes(8, "little", signed=True)
+        run_id, source_ids, target_ids = workload_module.decode_pair_workload(encoded)
+        assert run_id == 4
+        assert list(source_ids) == [1, -6]
+        assert list(target_ids) == [258, 2**40]

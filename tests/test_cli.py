@@ -17,7 +17,7 @@ class TestParser:
         commands = set(subactions[0].choices)
         assert commands == {
             "generate-spec", "generate-run", "label", "query", "query-batch",
-            "pack-workload", "sweep", "cross-batch", "verify", "info",
+            "pack-workload", "sweep", "cross-batch", "serve", "verify", "info",
             "experiments",
         }
 
@@ -502,7 +502,7 @@ class TestInfoAndExperiments:
         written = list((tmp_path / "reports").glob("*.txt"))
         # tables 1-2, figures 12-20, spec-scheme ablation, engine throughput,
         # handle-path throughput, cross-run + parallel cross-run throughput,
-        # sharded-ingest throughput
-        assert len(written) == 17
+        # sharded-ingest throughput, server throughput
+        assert len(written) == 18
         # every report also carries a machine-readable BENCH_*.json twin
-        assert len(list((tmp_path / "reports").glob("BENCH_*.json"))) == 17
+        assert len(list((tmp_path / "reports").glob("BENCH_*.json"))) == 18

@@ -18,6 +18,7 @@ EXAMPLES = [
     "sharded_store.py",
     "online_labeling.py",
     "batch_queries.py",
+    "server_quickstart.py",
 ]
 
 

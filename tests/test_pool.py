@@ -68,6 +68,62 @@ class TestPersistentWorkerPool:
         assert pool.payload_cache == {}
 
 
+class TestLeakedPoolFinalizer:
+    def test_leaked_started_pool_warns_and_names_its_owner(self):
+        import gc
+        import warnings
+
+        pool = PersistentWorkerPool(workers=1, owner="TestLeakedPool")
+        assert pool.submit(int).result() == 0
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            del pool
+            gc.collect()
+        leaks = [w for w in caught if issubclass(w.category, ResourceWarning)]
+        assert len(leaks) == 1
+        message = str(leaks[0].message)
+        assert "TestLeakedPool" in message and "never closed" in message
+
+    def test_closed_pool_never_warns(self):
+        import gc
+        import warnings
+
+        pool = PersistentWorkerPool(workers=1)
+        pool.submit(int).result()
+        pool.close()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            del pool
+            gc.collect()
+        assert not [w for w in caught if issubclass(w.category, ResourceWarning)]
+
+    def test_never_started_pool_never_warns(self):
+        import gc
+        import warnings
+
+        pool = PersistentWorkerPool(workers=1)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            del pool
+            gc.collect()
+        assert not [w for w in caught if issubclass(w.category, ResourceWarning)]
+
+    def test_store_leak_warning_names_the_store(self, tmp_path):
+        import gc
+        import warnings
+
+        store = ProvenanceStore(tmp_path / "leaky.db")
+        store.worker_pool("thread").submit(int).result()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            del store
+            gc.collect()
+        leaks = [w for w in caught if issubclass(w.category, ResourceWarning)]
+        assert len(leaks) == 1
+        assert "ProvenanceStore" in str(leaks[0].message)
+        assert "leaky.db" in str(leaks[0].message)
+
+
 class TestOwnerMixin:
     def test_store_owns_one_pool_per_mode(self, tmp_path):
         store = ProvenanceStore(tmp_path / "own.db")

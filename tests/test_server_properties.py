@@ -1,0 +1,193 @@
+"""Property-based equivalence of the network service with in-process sessions.
+
+The contract of the wire protocol is total transparency: a
+:class:`~repro.server.client.RemoteSession` over a served store must
+answer **every** query type bit-identically to a
+:class:`~repro.api.ProvenanceSession` opened on the same store — point,
+batch (pair-form and the zero-parse handle-native form), anchored
+sweeps, cross-run sweeps, cross-run batches and cross-run points.  Both
+sessions front the same store, so run ids match and full result-object
+equality applies.  A second property covers the ingest lane: runs
+shipped through the wire (serialised, re-labeled server-side, committed
+through the buffered path) must answer exactly like runs stored
+directly.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.api import (
+    BatchQuery,
+    CrossRunBatchQuery,
+    CrossRunPointQuery,
+    CrossRunQuery,
+    DownstreamQuery,
+    PointQuery,
+    ProvenanceSession,
+    UpstreamQuery,
+)
+from repro.datasets.synthetic import SyntheticSpecConfig, generate_specification
+from repro.exceptions import DatasetError
+from repro.server import RemoteStore, ServerThread
+from repro.skeleton.skl import SkeletonLabeler
+from repro.storage.sharded import ShardedProvenanceStore
+
+FEW = settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[
+        HealthCheck.too_slow,
+        HealthCheck.data_too_large,
+        HealthCheck.filter_too_much,
+    ],
+)
+
+
+@st.composite
+def served_workload(draw):
+    """A random spec set, labeled runs of each, and a shard count."""
+    from repro.workflow.execution import generate_run_with_size
+
+    spec_count = draw(st.integers(min_value=1, max_value=2))
+    shards = draw(st.integers(min_value=1, max_value=3))
+    scheme = draw(st.sampled_from(("tcm", "tree-cover", "bfs")))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    specs = []
+    for index in range(spec_count):
+        hierarchy_size = draw(st.integers(min_value=1, max_value=4))
+        if hierarchy_size == 1:
+            depth = 1
+        else:
+            depth = draw(st.integers(min_value=2, max_value=min(3, hierarchy_size)))
+        n_modules = draw(st.integers(min_value=10, max_value=16))
+        extra_edges = draw(st.integers(min_value=0, max_value=n_modules // 2))
+        config = SyntheticSpecConfig(
+            n_modules=n_modules,
+            n_edges=n_modules - 1 + extra_edges,
+            hierarchy_size=hierarchy_size,
+            hierarchy_depth=depth,
+            seed=seed + index,
+            name=f"server-hypo-{seed}-{index}",
+        )
+        try:
+            specs.append(generate_specification(config))
+        except DatasetError:
+            assume(False)
+    runs_per_spec = draw(st.integers(min_value=1, max_value=2))
+    labeled = []
+    for spec in specs:
+        labeler = SkeletonLabeler(spec, scheme)
+        for run_index in range(runs_per_spec):
+            if spec.hierarchy.size == 1:
+                target = spec.vertex_count
+            else:
+                target = draw(
+                    st.integers(
+                        min_value=spec.vertex_count,
+                        max_value=max(30, spec.vertex_count),
+                    )
+                )
+            generated = generate_run_with_size(
+                spec, target, seed=seed + run_index, name=f"run-{run_index}"
+            )
+            labeled.append(labeler.label_run(generated.run))
+    return specs, labeled, shards
+
+
+@given(workload=served_workload())
+@FEW
+def test_every_query_type_is_bit_identical_over_the_wire(
+    workload, tmp_path_factory
+):
+    specs, labeled, shards = workload
+    base = tmp_path_factory.mktemp("server-hypo")
+    with ShardedProvenanceStore(base / "served", shards) as store:
+        run_ids = store.add_labeled_runs(labeled)
+        local = ProvenanceSession(store)
+        with ServerThread(store) as server, RemoteStore(server.url) as client:
+            remote = client.session()
+
+            # per-run queries: points, both batch forms, anchored sweeps
+            for item, run_id in zip(labeled, run_ids):
+                executions = item.run.vertices()[:5]
+                pairs = [(u, v) for u in executions for v in executions]
+                u, v = executions[0], executions[-1]
+                point = PointQuery(u, v, run_id=run_id)
+                assert remote.run(point) == local.run(point)
+                batch = BatchQuery(pairs=pairs, run_id=run_id)
+                assert remote.run(batch) == local.run(batch)
+                source_ids, target_ids = store.query_engine(run_id).intern_pairs(
+                    [
+                        ((u.module, u.instance), (v.module, v.instance))
+                        for u, v in pairs
+                    ]
+                )
+                handles = BatchQuery(
+                    source_ids=source_ids, target_ids=target_ids, run_id=run_id
+                )
+                assert remote.run(handles) == local.run(handles)
+                for sweep in (
+                    DownstreamQuery(executions[0], run_id=run_id),
+                    UpstreamQuery(executions[0], run_id=run_id),
+                ):
+                    assert remote.run(sweep) == local.run(sweep)
+
+            # cross-run queries: same store on both sides, so run ids and
+            # therefore whole result objects must match exactly
+            for spec in specs:
+                spec_runs = [
+                    item
+                    for item in labeled
+                    if item.run.specification.name == spec.name
+                ]
+                anchor_vertex = spec_runs[0].run.vertices()[0]
+                anchor = (anchor_vertex.module, anchor_vertex.instance)
+                other_vertex = spec_runs[0].run.vertices()[-1]
+                other = (other_vertex.module, other_vertex.instance)
+                for query in (
+                    CrossRunQuery(spec.name, anchor),
+                    CrossRunQuery(spec.name, anchor, "upstream", workers=1),
+                    CrossRunBatchQuery(
+                        spec.name, [(anchor, anchor), (anchor, other)]
+                    ),
+                    CrossRunPointQuery(spec.name, anchor, other),
+                ):
+                    assert remote.run(query) == local.run(query)
+
+
+@given(workload=served_workload(), buffered=st.booleans())
+@FEW
+def test_wire_ingested_runs_answer_like_directly_stored_ones(
+    workload, buffered, tmp_path_factory
+):
+    _, labeled, shards = workload
+    base = tmp_path_factory.mktemp("server-ingest-hypo")
+    with ShardedProvenanceStore(
+        base / "direct", shards
+    ) as direct, ShardedProvenanceStore(base / "served", shards) as served:
+        direct_ids = direct.add_labeled_runs(labeled)
+        with ServerThread(served) as server, RemoteStore(server.url) as client:
+            if buffered:
+                # the buffered lane: hold everything server-side, then
+                # commit in one explicit flush
+                for item in labeled:
+                    client.ingest([item], flush=False)
+                served_ids = client.flush()
+            else:
+                served_ids = client.add_labeled_runs(labeled)
+            assert len(served_ids) == len(direct_ids)
+            remote = client.session()
+            direct_session = ProvenanceSession(direct)
+            for item, direct_id, served_id in zip(labeled, direct_ids, served_ids):
+                executions = item.run.vertices()[:5]
+                pairs = [(u, v) for u in executions for v in executions]
+                assert remote.run(
+                    BatchQuery(pairs=pairs, run_id=served_id)
+                ) == direct_session.run(BatchQuery(pairs=pairs, run_id=direct_id))
+                assert remote.run(
+                    DownstreamQuery(executions[0], run_id=served_id)
+                ) == direct_session.run(
+                    DownstreamQuery(executions[0], run_id=direct_id)
+                )

@@ -260,6 +260,40 @@ class TestSurfaceParity:
             upstream = sharded.upstream_of(run_id, ("h", 1))
         assert downstream and upstream
 
+    def test_deprecated_shim_warns_at_the_callers_line(self, both_stores):
+        import warnings
+
+        _, _, sharded, sharded_ids = both_stores
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            sharded.reaches(sharded_ids[0], ("a", 1), ("h", 1))
+        shims = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+        assert len(shims) == 1
+        # the warning must point at THIS file, not at the shim internals,
+        # so `-W error::DeprecationWarning` reports the user's own line
+        assert shims[0].filename == __file__
+
+    def test_close_is_idempotent(self, tmp_path):
+        store = ShardedProvenanceStore(tmp_path / "close-twice", 2)
+        assert not store.closed
+        store.close()
+        store.close()
+        assert store.closed
+
+    def test_operations_after_close_raise_cleanly(self, tmp_path, labeled_batch):
+        store = ShardedProvenanceStore(tmp_path / "closed-ops", 2)
+        store.add_labeled_runs(labeled_batch[:1])
+        store.close()
+        for operation in (
+            lambda: store.add_labeled_runs(labeled_batch[1:]),
+            lambda: store.add_labeled_run(labeled_batch[1]),
+            lambda: store.list_runs(),
+            lambda: store.statistics(),
+            lambda: store.session(),
+        ):
+            with pytest.raises(StorageError, match="store is closed"):
+                operation()
+
     def test_dataflow_queries(self, both_stores, paper_run):
         _, _, sharded, sharded_ids = both_stores
         run_id = sharded_ids[0]

@@ -139,6 +139,49 @@ class TestStoredDataProvenance:
             store.data_depends_on_data(stored_run, "nope", "nope2")
 
 
+class TestClosedStore:
+    def test_close_is_idempotent(self, tmp_path):
+        store = ProvenanceStore(tmp_path / "close.db")
+        assert not store.closed
+        store.close()
+        store.close()
+        assert store.closed
+
+    def test_context_manager_exit_then_close(self, tmp_path):
+        with ProvenanceStore(tmp_path / "ctx.db") as store:
+            pass
+        store.close()  # a second close after __exit__ is a no-op
+        assert store.closed
+
+    def test_operations_after_close_raise_cleanly(self, tmp_path, paper_labeled_run):
+        store = ProvenanceStore(tmp_path / "ops.db")
+        run_id = store.add_labeled_run(paper_labeled_run)
+        store.close()
+        for operation in (
+            lambda: store.add_labeled_run(paper_labeled_run),
+            lambda: store.list_runs(),
+            lambda: store.list_specifications(),
+            lambda: store.statistics(),
+            lambda: store.session(),
+            lambda: store.label_of(run_id, "a", 1),
+            lambda: store.delete_run(run_id),
+        ):
+            with pytest.raises(StorageError, match="store is closed"):
+                operation()
+
+    def test_deprecated_shim_warns_at_the_callers_line(self, store, stored_run):
+        import warnings
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            store.reaches(stored_run, ("a", 1), ("h", 1))
+        shims = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+        assert len(shims) == 1
+        # the warning must point at THIS file, not at the shim internals,
+        # so `-W error::DeprecationWarning` reports the user's own line
+        assert shims[0].filename == __file__
+
+
 class TestFileBackedStore:
     def test_persistence_across_connections(self, tmp_path, paper_labeled_run):
         path = tmp_path / "provenance.db"
