@@ -49,6 +49,7 @@ _IDENTITY_KEYS = (
     "pool",
     "clients",
     "op_mix",
+    "pushdown",
 )
 
 

@@ -50,6 +50,20 @@ __all__ = [
 #: never amortize
 HANDLE_PATH_MIN_PAIRS = 512
 
+#: in "auto" mode, stored runs below this many labeled vertices keep the
+#: streamed-kernel sweep: tiny runs answer in microseconds either way, and
+#: the kernel path's warm label/engine caches then keep serving the
+#: session's point and batch queries for free
+PUSHDOWN_MIN_ROWS = 256
+
+
+def _pushdown_mode(target: Any, query: Any) -> str:
+    """The effective SQL-pushdown mode: per-query override, else session default."""
+    mode = getattr(query, "pushdown", None)
+    if mode is None:
+        mode = getattr(target, "pushdown", "auto")
+    return mode
+
 
 def _as_execution(value: Any) -> tuple:
     """Accept both RunVertex and plain (module, instance) tuples."""
@@ -151,10 +165,14 @@ class _SweepPlan(QueryPlan):
     def execute(self) -> list:
         query = self.query
         if self.target.kind == "store":
-            return self.target.store._dependency_sweep(
-                self.target.require_run_id(query),
-                query.execution,
-                downstream=self.downstream,
+            run_id = self.target.require_run_id(query)
+            store = self.target.store
+            if self._use_pushdown(store, run_id):
+                return store._dependency_sweep_pushdown(
+                    run_id, query.execution, downstream=self.downstream
+                )
+            return store._dependency_sweep(
+                run_id, query.execution, downstream=self.downstream
             )
         engine = self.target.engine()
         index = engine.index
@@ -164,6 +182,32 @@ class _SweepPlan(QueryPlan):
                 "executions, so dependency sweeps cannot be planned over it"
             )
         return engine.dependency_sweep(query.execution, downstream=self.downstream)
+
+    def _use_pushdown(self, store: Any, run_id: int) -> bool:
+        """SQL vs streamed kernel for one stored-run sweep.
+
+        ``never`` keeps the kernel; ``always`` demands the pushdown (a plan
+        error on schemes without the capability); ``auto`` pushes down when
+        the run's scheme is capable, the run is big enough for the SQL
+        round trips to win (:data:`PUSHDOWN_MIN_ROWS`), and no compiled
+        engine is already warm (a paid-for kernel beats re-planning).
+        """
+        mode = _pushdown_mode(self.target, self.query)
+        if mode == "never":
+            return False
+        scheme, capable, n_vertices = store.pushdown_profile(run_id)
+        if mode == "always":
+            if not capable:
+                raise QueryPlanError(
+                    f"scheme {scheme!r} does not declare the SQL pushdown "
+                    "capability; use pushdown='auto' or 'never'"
+                )
+            return True
+        return (
+            capable
+            and n_vertices >= PUSHDOWN_MIN_ROWS
+            and not store.has_compiled_engine(run_id)
+        )
 
 
 class _DownstreamPlan(_SweepPlan):
@@ -208,9 +252,14 @@ class _CrossRunPlan(_CrossRunPlanBase):
     def execute(self) -> CrossRunSweepResult:
         query = self.query
         anchor = _as_execution(query.execution)
-        per_run, skipped = self._executor.sweep(
-            query.specification, anchor, query.direction
-        )
+        if self._use_pushdown():
+            per_run, skipped = self._executor.sweep_pushdown(
+                query.specification, anchor, query.direction
+            )
+        else:
+            per_run, skipped = self._executor.sweep(
+                query.specification, anchor, query.direction
+            )
         return CrossRunSweepResult(
             specification=query.specification,
             execution=anchor,
@@ -218,6 +267,36 @@ class _CrossRunPlan(_CrossRunPlanBase):
             per_run=per_run,
             skipped_runs=skipped,
         )
+
+    def _use_pushdown(self) -> bool:
+        """SQL vs streamed kernel for the whole cross-run sweep.
+
+        The sweep is pushed down only when **every** run of the
+        specification was labeled with a pushdown-capable scheme (mixed or
+        kernel-only schemes keep the streamed path; ``always`` raises on
+        them).  No size heuristic here: a cross-run sweep touches many
+        runs, so the SQL path's fixed costs always amortize.
+        """
+        from repro.storage.pushdown import scheme_supports_pushdown
+
+        mode = _pushdown_mode(self.target, self.query)
+        if mode == "never":
+            return False
+        runs = self.target.store.list_runs(self.query.specification)
+        schemes = {row["spec_scheme"] or "tcm" for row in runs}
+        capable = all(scheme_supports_pushdown(scheme) for scheme in schemes)
+        if mode == "always":
+            if not capable:
+                incapable = sorted(
+                    scheme for scheme in schemes
+                    if not scheme_supports_pushdown(scheme)
+                )
+                raise QueryPlanError(
+                    f"scheme(s) {incapable} do not declare the SQL pushdown "
+                    "capability; use pushdown='auto' or 'never'"
+                )
+            return True
+        return capable and bool(schemes)
 
 
 class _CrossRunBatchPlan(_CrossRunPlanBase):

@@ -32,7 +32,20 @@ __all__ = [
     "CrossRunSweepResult",
     "CrossRunBatchResult",
     "CrossRunPointResult",
+    "PUSHDOWN_MODES",
 ]
+
+#: per-query override for the store planner's SQL-vs-kernel sweep choice;
+#: ``None`` defers to the session-wide default (see ProvenanceSession)
+PUSHDOWN_MODES = ("auto", "always", "never")
+
+
+def _validate_pushdown(query_name: str, mode) -> None:
+    if mode is not None and mode not in PUSHDOWN_MODES:
+        raise QueryPlanError(
+            f"{query_name} pushdown must be one of {PUSHDOWN_MODES} or None, "
+            f"got {mode!r}"
+        )
 
 
 @dataclass(frozen=True)
@@ -91,10 +104,21 @@ class DownstreamQuery:
 
     The "which downstream results were affected by this bad input" sweep of
     the paper's introduction.  Answers a list of executions.
+
+    ``pushdown`` overrides the store planner's SQL-vs-kernel choice for
+    this query alone: ``"always"`` forces the indexed-SQL sweep (an error
+    on schemes without the capability), ``"never"`` forces the streamed
+    kernel, ``"auto"`` applies the capability-and-size heuristic, and
+    ``None`` (default) defers to the session's setting.  Ignored by
+    in-memory targets, which have no SQL to push into.
     """
 
     execution: Any
     run_id: Optional[int] = None
+    pushdown: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        _validate_pushdown("DownstreamQuery", self.pushdown)
 
 
 @dataclass(frozen=True)
@@ -102,11 +126,16 @@ class UpstreamQuery:
     """Every execution that *execution* depends on (excluding itself).
 
     The "which inputs and tools produced this result" sweep.  Answers a
-    list of executions.
+    list of executions.  ``pushdown`` behaves as on
+    :class:`DownstreamQuery`.
     """
 
     execution: Any
     run_id: Optional[int] = None
+    pushdown: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        _validate_pushdown("UpstreamQuery", self.pushdown)
 
 
 @dataclass(frozen=True)
@@ -122,13 +151,16 @@ class CrossRunQuery:
     ``workers`` controls the parallel executor: ``None`` auto-sizes a
     thread pool from the CPU count (falling back to the sequential path
     for small run counts), ``1`` forces the sequential path, and any
-    larger value pins the pool size.
+    larger value pins the pool size.  ``pushdown`` behaves as on
+    :class:`DownstreamQuery` (the sweep is pushed down only when every
+    run's scheme declares the capability).
     """
 
     specification: str
     execution: Any
     direction: str = "downstream"
     workers: Optional[int] = None
+    pushdown: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.direction not in ("downstream", "upstream"):
@@ -136,6 +168,7 @@ class CrossRunQuery:
                 f"CrossRunQuery direction must be 'downstream' or 'upstream', "
                 f"got {self.direction!r}"
             )
+        _validate_pushdown("CrossRunQuery", self.pushdown)
 
 
 @dataclass(frozen=True)

@@ -29,7 +29,7 @@ from __future__ import annotations
 from typing import Any, Iterable, Optional
 
 from repro.api.plans import QueryPlan, compile_plan
-from repro.api.queries import BatchQuery, PointQuery
+from repro.api.queries import PUSHDOWN_MODES, BatchQuery, PointQuery
 from repro.engine.query import QueryEngine
 from repro.exceptions import LabelingError, QueryPlanError, StorageError
 
@@ -108,13 +108,25 @@ class _StoreTarget:
 
     kind = "store"
 
-    def __init__(self, store: Any, promote_after: int = PROMOTE_AFTER_DEFAULT) -> None:
+    def __init__(
+        self,
+        store: Any,
+        promote_after: int = PROMOTE_AFTER_DEFAULT,
+        pushdown: str = "auto",
+    ) -> None:
         self.store = store
         if promote_after < 1:
             raise QueryPlanError(
                 f"promote_after must be a positive integer, got {promote_after}"
             )
+        if pushdown not in PUSHDOWN_MODES:
+            raise QueryPlanError(
+                f"pushdown must be one of {PUSHDOWN_MODES}, got {pushdown!r}"
+            )
         self.promote_after = int(promote_after)
+        #: the session-wide default the sweep planner reads when a query
+        #: carries no per-query ``pushdown`` override
+        self.pushdown = pushdown
         self._point_hits: dict[int, int] = {}
         self._promoted: set[int] = set()
 
@@ -148,6 +160,7 @@ class _StoreTarget:
         return {
             "target_kind": self.kind,
             "promote_after": self.promote_after,
+            "pushdown_mode": self.pushdown,
             "point_hits": dict(self._point_hits),
             "promoted_runs": sorted(self._promoted),
             "promotions": len(self._promoted),
@@ -170,12 +183,18 @@ class ProvenanceSession:
     """
 
     def __init__(
-        self, target: Any, *, promote_after: int = PROMOTE_AFTER_DEFAULT
+        self,
+        target: Any,
+        *,
+        promote_after: int = PROMOTE_AFTER_DEFAULT,
+        pushdown: str = "auto",
     ) -> None:
         if target is None:
             raise QueryPlanError("ProvenanceSession needs a query target")
         if hasattr(target, "query_engine") and hasattr(target, "list_runs"):
-            self._target = _StoreTarget(target, promote_after=promote_after)
+            self._target = _StoreTarget(
+                target, promote_after=promote_after, pushdown=pushdown
+            )
         elif hasattr(target, "query_view") and hasattr(target, "version_token"):
             self._target = _OnlineTarget(target)
         elif hasattr(target, "label_of") and hasattr(target, "reaches_labels"):

@@ -210,6 +210,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="parallel workers for the per-run payloads (default: auto-sized "
         "from the CPU count; 1 forces the sequential path)",
     )
+    sweep_parser.add_argument(
+        "--pushdown",
+        choices=("auto", "always", "never"),
+        default="auto",
+        help="answer the sweep as indexed SQL range scans inside the store "
+        "('always' errors on schemes without the capability; default: auto)",
+    )
 
     cross_batch_parser = subparsers.add_parser(
         "cross-batch",
@@ -575,7 +582,13 @@ def _command_sweep(args: argparse.Namespace) -> int:
     with _open_database(args.database) as store:
         started = time.perf_counter()
         result = store.session().run(
-            CrossRunQuery(args.spec, anchor, args.direction, workers=args.workers)
+            CrossRunQuery(
+                args.spec,
+                anchor,
+                args.direction,
+                workers=args.workers,
+                pushdown=args.pushdown,
+            )
         )
         elapsed = time.perf_counter() - started
         names = {row["run_id"]: row["name"] for row in store.list_runs(args.spec)}

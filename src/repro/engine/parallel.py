@@ -308,6 +308,29 @@ def _process_chunk_task(payload):
     return results
 
 
+def _pushdown_chunk_task(db_path, run_ids, anchor, modules, downstream):
+    """One pushdown task: indexed range scans over a task-private connection.
+
+    Fully picklable (a path, ids, the anchor and a module-name list — no
+    kernels, no numpy), so the same task serves thread pools, process pools
+    and numpy-less installs alike.  Only the matching rows ever leave
+    SQLite; they come back packed like every other worker result.
+    """
+    from repro.storage.pushdown import pushdown_sweep
+
+    connection = _readonly_connection(db_path)
+    try:
+        per_run = pushdown_sweep(
+            connection, run_ids, anchor, modules, downstream=downstream
+        )
+    finally:
+        connection.close()
+    return [
+        (run_id, None if result is None else _pack_affected(result, range(len(result))))
+        for run_id, result in per_run.items()
+    ]
+
+
 class CrossRunExecutor:
     """Execute one cross-run operation over all runs of a specification.
 
@@ -580,6 +603,11 @@ class CrossRunExecutor:
         downstream = direction == "downstream"
         run_ids = self._run_ids(specification)
         workers = self._parallel_workers(len(run_ids))
+        if run_ids:
+            profile = getattr(self.store, "pushdown_profile", None)
+            note = getattr(self.store, "_note_sweep_path", None)
+            if profile is not None and note is not None:
+                note(profile(run_ids[0])[0], pushdown=False)
 
         def evaluate(run_id: int, kernel, arrays):
             try:
@@ -603,6 +631,89 @@ class CrossRunExecutor:
         outcomes = self._execute(
             run_ids, workers, evaluate, ("sweep", anchor, downstream)
         )
+        return self._split_outcomes(run_ids, outcomes)
+
+    def sweep_pushdown(
+        self, specification: str, anchor: tuple, direction: str = "downstream"
+    ) -> tuple[dict[int, list], list[int]]:
+        """The SQL form of :meth:`sweep`: per-shard indexed range scans.
+
+        Same contract and bit-identical answers, but each worker's private
+        read-only connection evaluates the sweep *inside* SQLite
+        (:mod:`repro.storage.pushdown`) instead of streaming label arrays
+        out — only matching rows cross the SQL boundary.  The spec-level
+        module reachability of the anchor is computed once from the shared
+        spec kernel and shipped to every task.  Below the parallel
+        threshold the scans run on the store's own connections (which also
+        serves in-memory stores).
+        """
+        from repro.storage.pushdown import reachable_modules
+
+        downstream = direction == "downstream"
+        run_ids = self._run_ids(specification)
+        if not run_ids:
+            return {}, []
+        store = self.store
+        profile = getattr(store, "pushdown_profile", None)
+        note = getattr(store, "_note_sweep_path", None)
+        if profile is not None and note is not None:
+            note(profile(run_ids[0])[0], pushdown=True)
+        modules = reachable_modules(
+            store.spec_kernel(run_ids[0]), anchor[0], downstream=downstream
+        )
+        if modules is None:
+            # the anchor's module is not in the specification, so no run
+            # can store a label for it: every run is skipped
+            return {}, list(run_ids)
+        workers = self._parallel_workers(len(run_ids))
+        if workers <= 1:
+            groups: dict[int, tuple[Any, list[int]]] = {}
+            for run_id in run_ids:
+                connection = store.read_connection_for(run_id)
+                groups.setdefault(id(connection), (connection, []))[1].append(run_id)
+            results: dict[int, Any] = {}
+            from repro.storage.pushdown import pushdown_sweep
+
+            for connection, group_runs in groups.values():
+                results.update(
+                    pushdown_sweep(
+                        connection, group_runs, anchor, modules, downstream=downstream
+                    )
+                )
+            per_run: dict[int, list] = {}
+            skipped: list[int] = []
+            for run_id in run_ids:
+                answer = results[run_id]
+                if answer is None:
+                    skipped.append(run_id)
+                else:
+                    per_run[run_id] = answer
+            return per_run, skipped
+        pool = self._resolve_pool(self.mode)
+        cap_tasks = pool is not None and pool.workers > workers
+        tasks = [
+            (db_path, chunk)
+            for db_path, path_runs in self._path_groups(run_ids)
+            for chunk in self._chunks(path_runs, workers, cap_tasks=cap_tasks)
+        ]
+
+        def submit_all(submit):
+            return [
+                submit(_pushdown_chunk_task, db_path, chunk, anchor, modules, downstream)
+                for db_path, chunk in tasks
+            ]
+
+        outcomes: dict[int, Any] = {}
+        if pool is not None:
+            for future in submit_all(pool.submit):
+                outcomes.update(dict(future.result()))
+        else:
+            executor_cls = (
+                ProcessPoolExecutor if self.mode == "process" else ThreadPoolExecutor
+            )
+            with executor_cls(max_workers=workers) as ephemeral:
+                for future in submit_all(ephemeral.submit):
+                    outcomes.update(dict(future.result()))
         return self._split_outcomes(run_ids, outcomes)
 
     # ------------------------------------------------------------------

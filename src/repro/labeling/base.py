@@ -60,6 +60,10 @@ class QueryCapabilities:
     batch: bool
     #: the labeled vertex universe can be enumerated (dependency sweeps)
     sweep_domain: bool
+    #: the scheme's ``π`` is a range predicate over the persisted label
+    #: columns, so stored-run sweeps can be answered by indexed SQL range
+    #: scans instead of streaming labels through a kernel
+    pushdown: bool
 
 
 def capabilities_of(target: Any) -> QueryCapabilities:
@@ -76,6 +80,7 @@ def capabilities_of(target: Any) -> QueryCapabilities:
         kernel_hint=getattr(target, "kernel_hint", None),
         batch=getattr(target, "reaches_many", None) is not None,
         sweep_domain=has_handles,
+        pushdown=bool(getattr(target, "pushdown", False)),
     )
 
 
@@ -223,6 +228,15 @@ class ReachabilityIndex(VertexHandleAPI, abc.ABC):
     #: reset this to ``None`` rather than inherit a kernel that no longer
     #: matches.
     kernel_hint: Optional[str] = None
+
+    #: whether the scheme's predicate ``π`` is a pure range comparison over
+    #: the persisted label columns — the property the storage layer's SQL
+    #: pushdown needs to answer sweeps as indexed range scans.  True only
+    #: for the interval-shaped schemes (interval, tree-cover, chain);
+    #: set-intersection (2-hop), matrix (tcm) and traversal schemes stay
+    #: kernel-only.  Like ``kernel_hint``, subclasses that change predicate
+    #: semantics must reset this to ``False``.
+    pushdown: bool = False
 
     #: whether answers derived from labels stay valid for the index's
     #: lifetime.  True for every label-materializing scheme (labels are

@@ -53,6 +53,7 @@ class ChainIndex(ReachabilityIndex):
 
     scheme_name = "chain"
     kernel_hint = "chain"
+    pushdown = True
 
     def __init__(self, graph: DiGraph) -> None:
         super().__init__(graph)

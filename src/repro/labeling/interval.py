@@ -79,6 +79,7 @@ class IntervalTreeIndex(ReachabilityIndex):
 
     scheme_name = "interval"
     kernel_hint = "interval"
+    pushdown = True
 
     def __init__(self, graph: DiGraph) -> None:
         super().__init__(graph)

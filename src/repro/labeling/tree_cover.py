@@ -62,6 +62,7 @@ class TreeCoverIndex(ReachabilityIndex):
 
     scheme_name = "tree-cover"
     kernel_hint = "tree-cover"
+    pushdown = True
 
     def __init__(self, graph: DiGraph) -> None:
         super().__init__(graph)

@@ -368,6 +368,7 @@ class RemoteSession:
             .put_str(module)
             .put_i64(instance)
         )
+        wire.put_pushdown(writer, query.pushdown)
         return self._store._request(wire.OP_SWEEP, writer.getvalue()).executions()
 
     def _run_cross_sweep(self, query: CrossRunQuery) -> CrossRunSweepResult:
@@ -376,6 +377,7 @@ class RemoteSession:
         writer.put_str(anchor[0]).put_i64(anchor[1])
         writer.put_bool(query.direction == "downstream")
         wire.put_workers(writer, query.workers)
+        wire.put_pushdown(writer, query.pushdown)
         reader = self._store._request(wire.OP_CROSS_SWEEP, writer.getvalue())
         return CrossRunSweepResult(
             specification=query.specification,

@@ -394,11 +394,12 @@ class ProvenanceServer:
         run_id = reader.i64()
         downstream = reader.bool()
         execution = (reader.str(), reader.i64())
+        pushdown = wire.read_pushdown(reader)
         reader.expect_end()
         query = (
-            DownstreamQuery(execution, run_id=run_id)
+            DownstreamQuery(execution, run_id=run_id, pushdown=pushdown)
             if downstream
-            else UpstreamQuery(execution, run_id=run_id)
+            else UpstreamQuery(execution, run_id=run_id, pushdown=pushdown)
         )
         return Writer().put_executions(state.session.run(query)).getvalue()
 
@@ -407,9 +408,16 @@ class ProvenanceServer:
         execution = (reader.str(), reader.i64())
         direction = "downstream" if reader.bool() else "upstream"
         workers = wire.read_workers(reader)
+        pushdown = wire.read_pushdown(reader)
         reader.expect_end()
         result = state.session.run(
-            CrossRunQuery(specification, execution, direction, workers=workers)
+            CrossRunQuery(
+                specification,
+                execution,
+                direction,
+                workers=workers,
+                pushdown=pushdown,
+            )
         )
         writer = Writer()
         wire.put_run_map_executions(writer, result.per_run)

@@ -60,8 +60,10 @@ __all__ = [
     "split_frame_length",
 ]
 
-#: bumped on any incompatible change; exchanged in the HELLO handshake
-PROTOCOL_VERSION = 1
+#: bumped on any incompatible change; exchanged in the HELLO handshake.
+#: Version 2 appends a pushdown-mode byte to the SWEEP and CROSS_SWEEP
+#: request bodies (see :func:`put_pushdown`).
+PROTOCOL_VERSION = 2
 
 #: default TCP port of ``repro-provenance serve`` and ``repro://`` URLs
 DEFAULT_PORT = 9763
@@ -288,3 +290,25 @@ def put_workers(writer: Writer, workers: Optional[int]) -> None:
 def read_workers(reader: Reader) -> Optional[int]:
     value = reader.i64()
     return None if value < 0 else value
+
+
+#: the sweep pushdown override as one byte (protocol version 2): 0 encodes
+#: ``None`` (defer to the server session's default)
+_PUSHDOWN_WIRE = {None: 0, "auto": 1, "always": 2, "never": 3}
+_PUSHDOWN_OF_WIRE = {code: mode for mode, code in _PUSHDOWN_WIRE.items()}
+
+
+def put_pushdown(writer: Writer, mode: Optional[str]) -> None:
+    """The sweep's SQL-pushdown override (``None``/auto/always/never)."""
+    try:
+        writer.put_u8(_PUSHDOWN_WIRE[mode])
+    except KeyError:
+        raise ProtocolError(f"unknown pushdown mode {mode!r}") from None
+
+
+def read_pushdown(reader: Reader) -> Optional[str]:
+    code = reader.u8()
+    try:
+        return _PUSHDOWN_OF_WIRE[code]
+    except KeyError:
+        raise ProtocolError(f"unknown pushdown mode byte {code}") from None

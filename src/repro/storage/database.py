@@ -7,11 +7,77 @@ from pathlib import Path
 from typing import Union
 
 from repro.exceptions import StorageError
-from repro.storage.schema import SCHEMA_MIGRATIONS, SCHEMA_STATEMENTS, SCHEMA_VERSION
+from repro.storage.schema import (
+    SCHEMA_INDEX_STATEMENTS,
+    SCHEMA_MIGRATIONS,
+    SCHEMA_STATEMENTS,
+    SCHEMA_VERSION,
+)
 
-__all__ = ["connect", "initialize_schema"]
+__all__ = [
+    "connect",
+    "initialize_schema",
+    "LABEL_FETCH_CHUNK",
+    "SQLITE_MAX_VARIABLE_NUMBER",
+    "row_value_chunk",
+    "iter_value_chunks",
+]
 
 PathLike = Union[str, Path]
+
+#: how many (module, instance) executions one batched label SELECT resolves;
+#: kept well under SQLite's default host-parameter limit (2 params each)
+LABEL_FETCH_CHUNK = 400
+
+#: SQLite's historical default for SQLITE_MAX_VARIABLE_NUMBER — the lowest
+#: host-parameter limit a deployed SQLite is likely to enforce (3.32 raised
+#: the default to 32766, but binaries built with the old limit are common)
+SQLITE_MAX_VARIABLE_NUMBER = 999
+
+
+def row_value_chunk(columns_per_row: int = 2, reserved: int = 1) -> int:
+    """Largest row-value ``IN`` chunk whose parameters fit the SQLite limit.
+
+    A chunk of ``k`` rows binds ``k * columns_per_row`` parameters plus
+    *reserved* fixed ones (the ``run_id``).  The returned size is
+    :data:`LABEL_FETCH_CHUNK` capped so that total never exceeds
+    :data:`SQLITE_MAX_VARIABLE_NUMBER` — today's 2-column chunks of 400
+    bind 801 parameters and pass untouched, but adding a column to the row
+    value can no longer silently overflow the limit.
+    """
+    if columns_per_row < 1:
+        raise ValueError("columns_per_row must be at least 1")
+    if reserved < 0:
+        raise ValueError("reserved must be non-negative")
+    hard_cap = (SQLITE_MAX_VARIABLE_NUMBER - reserved) // columns_per_row
+    if hard_cap < 1:
+        raise ValueError(
+            f"{columns_per_row} columns per row cannot fit SQLite's "
+            f"{SQLITE_MAX_VARIABLE_NUMBER}-parameter limit"
+        )
+    return max(1, min(LABEL_FETCH_CHUNK, hard_cap))
+
+
+def iter_value_chunks(values, *, columns_per_row: int = 1, reserved: int = 0):
+    """Split *values* into ``IN``-list chunks under the host-parameter limit.
+
+    The one chunking loop behind every batched ``IN`` in the store — the
+    label fetches of ``_StoredRunIndex``, the streaming array loader, and
+    the SQL pushdown's run/module lists all size their chunks here.  Yields
+    ``(chunk, placeholders)`` pairs where *placeholders* is the ready-made
+    fragment for the ``IN (...)`` clause: ``"?, ?, ?"`` for single-column
+    values, ``"(?, ?), (?, ?)"`` row values otherwise (for use with
+    ``IN (VALUES ...)``).
+    """
+    values = list(values)
+    chunk_size = row_value_chunk(columns_per_row=columns_per_row, reserved=reserved)
+    if columns_per_row == 1:
+        template = "?"
+    else:
+        template = "(" + ", ".join("?" * columns_per_row) + ")"
+    for start in range(0, len(values), chunk_size):
+        chunk = values[start : start + chunk_size]
+        yield chunk, ", ".join([template] * len(chunk))
 
 
 def connect(
@@ -73,6 +139,10 @@ def initialize_schema(connection: sqlite3.Connection) -> None:
                     connection.execute(
                         f"ALTER TABLE {table} ADD COLUMN {column} {declaration}"
                     )
+            # index statements covering migrated columns must come after the
+            # ALTER TABLEs so a version-1 database migrates cleanly
+            for statement in SCHEMA_INDEX_STATEMENTS:
+                connection.execute(statement)
             connection.execute(
                 "INSERT OR REPLACE INTO meta (key, value) VALUES ('schema_version', ?)",
                 (str(SCHEMA_VERSION),),

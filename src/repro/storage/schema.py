@@ -9,9 +9,14 @@ query time without touching the graph).
 
 from __future__ import annotations
 
-__all__ = ["SCHEMA_STATEMENTS", "SCHEMA_MIGRATIONS", "SCHEMA_VERSION"]
+__all__ = [
+    "SCHEMA_STATEMENTS",
+    "SCHEMA_INDEX_STATEMENTS",
+    "SCHEMA_MIGRATIONS",
+    "SCHEMA_VERSION",
+]
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 SCHEMA_STATEMENTS: tuple[str, ...] = (
     """
@@ -82,6 +87,26 @@ SCHEMA_STATEMENTS: tuple[str, ...] = (
     """,
     """
     CREATE INDEX IF NOT EXISTS idx_data_consumers_item ON data_consumers(run_id, item_id)
+    """,
+)
+
+#: Schema v3: covering indexes for the SQL pushdown path.  A dependency
+#: sweep on a range-labeled scheme (interval, tree-cover, chain) is the
+#: conjunction ``q1 > A1 AND q2 > A2 AND q3 < A3`` (flipped upstream) plus
+#: a module-restricted residual on the skeleton mask — both answerable
+#: from these indexes alone, without touching the table.  They live in a
+#: separate statement list because they cover ``vertex_id``, a column that
+#: on a version-1 database only exists after :data:`SCHEMA_MIGRATIONS`
+#: runs — so :func:`~repro.storage.database.initialize_schema` creates
+#: them *after* the column migrations.
+SCHEMA_INDEX_STATEMENTS: tuple[str, ...] = (
+    """
+    CREATE INDEX IF NOT EXISTS idx_run_labels_pushdown_range
+        ON run_labels(run_id, q1, q2, q3, module, instance, vertex_id)
+    """,
+    """
+    CREATE INDEX IF NOT EXISTS idx_run_labels_pushdown_module
+        ON run_labels(run_id, module, q1, q2, q3, instance, vertex_id)
     """,
 )
 

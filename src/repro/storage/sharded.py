@@ -483,6 +483,24 @@ class ShardedProvenanceStore(WorkerPoolOwner):
             run_id, execution, downstream=downstream
         )
 
+    def _dependency_sweep_pushdown(self, run_id: int, execution, *, downstream: bool):
+        return self._store_of_run(run_id)._dependency_sweep_pushdown(
+            run_id, execution, downstream=downstream
+        )
+
+    def pushdown_profile(self, run_id: int):
+        """``(spec_scheme, pushdown-capable, n_vertices)`` from the run's shard."""
+        return self._store_of_run(run_id).pushdown_profile(run_id)
+
+    def read_connection_for(self, run_id: int):
+        """The owning shard's connection — pushdown scans run shard-locally."""
+        return self._store_of_run(run_id).read_connection_for(run_id)
+
+    def _note_sweep_path(self, scheme: str, *, pushdown: bool) -> None:
+        # cross-run sweeps are executed by the sharded layer itself, so its
+        # counters live on shard 0's store (aggregated by cache_stats)
+        self._stores[0]._note_sweep_path(scheme, pushdown=pushdown)
+
     def _deprecated(self, old: str, query: str) -> None:
         # one hop deeper than the shared helper's default (shim -> here -> warn)
         warn_deprecated_query("ShardedProvenanceStore", old, query, stacklevel=4)
@@ -548,14 +566,20 @@ class ShardedProvenanceStore(WorkerPoolOwner):
             "spec_kernels_cached": 0,
             "evictions": 0,
         }
+        pushdown: dict[str, dict[str, int]] = {"sql": {}, "kernel": {}}
         for store in self._stores:
             shard_stats = store.cache_stats()
             for key in totals:
                 totals[key] += int(shard_stats.get(key, 0))
+            for path, counts in shard_stats.get("pushdown", {}).items():
+                merged = pushdown.setdefault(path, {})
+                for scheme, count in counts.items():
+                    merged[scheme] = merged.get(scheme, 0) + int(count)
         stats = {
             "shards": self.shard_count,
             **totals,
             "limit": STORED_RUN_CACHE_LIMIT * self.shard_count,
+            "pushdown": pushdown,
         }
         pools = self.pool_stats()
         if pools:

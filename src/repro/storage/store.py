@@ -54,7 +54,15 @@ from repro.skeleton.skl import (
     skeleton_predicate,
     skeleton_predicate_many,
 )
-from repro.storage.database import connect, initialize_schema
+from repro.storage.database import (
+    LABEL_FETCH_CHUNK,
+    SQLITE_MAX_VARIABLE_NUMBER,
+    connect,
+    initialize_schema,
+    iter_value_chunks,
+    row_value_chunk,
+)
+from repro.storage.pushdown import pushdown_sweep, reachable_modules, scheme_supports_pushdown
 from repro.workflow.run import RunVertex, WorkflowRun
 from repro.workflow.serialization import (
     run_from_json,
@@ -75,6 +83,7 @@ __all__ = [
     "LABEL_FETCH_CHUNK",
     "SQLITE_MAX_VARIABLE_NUMBER",
     "row_value_chunk",
+    "iter_value_chunks",
     "load_label_arrays",
     "insert_specification",
     "insert_labeled_run",
@@ -83,43 +92,11 @@ __all__ = [
 
 PathLike = Union[str, Path]
 
-#: how many (module, instance) executions one batched label SELECT resolves;
-#: kept well under SQLite's default host-parameter limit (2 params each)
-LABEL_FETCH_CHUNK = 400
-
-#: SQLite's historical default for SQLITE_MAX_VARIABLE_NUMBER — the lowest
-#: host-parameter limit a deployed SQLite is likely to enforce (3.32 raised
-#: the default to 32766, but binaries built with the old limit are common)
-SQLITE_MAX_VARIABLE_NUMBER = 999
-
 #: how many stored runs keep their label cache + compiled engine resident at
 #: once; beyond this the least-recently-queried run is evicted (its labels
 #: and kernel are rebuilt from SQL on the next query), bounding store memory
 #: on workloads that sweep across many runs
 STORED_RUN_CACHE_LIMIT = 16
-
-
-def row_value_chunk(columns_per_row: int = 2, reserved: int = 1) -> int:
-    """Largest row-value ``IN`` chunk whose parameters fit the SQLite limit.
-
-    A chunk of ``k`` rows binds ``k * columns_per_row`` parameters plus
-    *reserved* fixed ones (the ``run_id``).  The returned size is
-    :data:`LABEL_FETCH_CHUNK` capped so that total never exceeds
-    :data:`SQLITE_MAX_VARIABLE_NUMBER` — today's 2-column chunks of 400
-    bind 801 parameters and pass untouched, but adding a column to the row
-    value can no longer silently overflow the limit.
-    """
-    if columns_per_row < 1:
-        raise ValueError("columns_per_row must be at least 1")
-    if reserved < 0:
-        raise ValueError("reserved must be non-negative")
-    hard_cap = (SQLITE_MAX_VARIABLE_NUMBER - reserved) // columns_per_row
-    if hard_cap < 1:
-        raise ValueError(
-            f"{columns_per_row} columns per row cannot fit SQLite's "
-            f"{SQLITE_MAX_VARIABLE_NUMBER}-parameter limit"
-        )
-    return max(1, min(LABEL_FETCH_CHUNK, hard_cap))
 
 
 @dataclass(frozen=True)
@@ -170,10 +147,7 @@ def load_label_arrays(
             seen.add(run_id)
             distinct.append(run_id)
     arrays: dict[int, RunLabelArrays] = {}
-    chunk_size = row_value_chunk(columns_per_row=1, reserved=0)
-    for start in range(0, len(distinct), chunk_size):
-        chunk = distinct[start : start + chunk_size]
-        placeholders = ", ".join("?" * len(chunk))
+    for chunk, placeholders in iter_value_chunks(distinct, columns_per_row=1):
         cursor = connection.execute(
             # the skeleton column is not fetched: the store persists the
             # origin module name there (see add_labeled_run), so the
@@ -393,6 +367,10 @@ class ProvenanceStore(WorkerPoolOwner):
         # stored-run label caches the LRU pushed out (each eviction means the
         # next query on that run rebuilds from SQL).
         self._evictions = 0
+        # Per-scheme counts of dependency sweeps answered by the SQL
+        # pushdown vs the streamed kernel, so planner decisions and scheme
+        # skew stay observable through cache_stats().
+        self._sweep_paths: dict[str, dict[str, int]] = {"sql": {}, "kernel": {}}
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -637,10 +615,9 @@ class ProvenanceStore(WorkerPoolOwner):
         Chunks are sized by :func:`row_value_chunk`, so each round trip binds
         at most :data:`SQLITE_MAX_VARIABLE_NUMBER` host parameters.
         """
-        chunk_size = row_value_chunk(columns_per_row=2, reserved=1)
-        for start in range(0, len(executions), chunk_size):
-            chunk = executions[start : start + chunk_size]
-            placeholders = ", ".join(["(?, ?)"] * len(chunk))
+        for chunk, placeholders in iter_value_chunks(
+            executions, columns_per_row=2, reserved=1
+        ):
             parameters: list = [run_id]
             for module, instance in chunk:
                 parameters.append(module)
@@ -843,7 +820,60 @@ class ProvenanceStore(WorkerPoolOwner):
                 f"run {run_id} has no label for execution {anchor[0]}{anchor[1]}"
             )
         engine = self.query_engine(run_id)
+        self._note_sweep_path(index.scheme, pushdown=False)
         return engine.dependency_sweep(anchor, downstream=downstream)
+
+    def _dependency_sweep_pushdown(
+        self,
+        run_id: int,
+        execution: Union[RunVertex, tuple[str, int]],
+        *,
+        downstream: bool,
+    ) -> list[RunVertex]:
+        """The SQL form of :meth:`_dependency_sweep`: indexed range scans.
+
+        Same contract, same answers in the same (persisted-interner) order —
+        but evaluated inside SQLite over the v3 covering indexes instead of
+        streaming the run's label arrays through a kernel.  Only the
+        spec-level module reachability of the anchor is computed in Python
+        (from the shared :meth:`spec_kernel`); everything per-vertex stays
+        in the database and only matching rows cross the SQL boundary.
+        """
+        anchor = _coerce_vertex(execution)
+        row = self._run_row(run_id)
+        scheme = row["spec_scheme"] or "tcm"
+        kernel = self.spec_kernel(run_id)
+        modules = reachable_modules(kernel, anchor[0], downstream=downstream)
+        result = None
+        if modules is not None:
+            result = pushdown_sweep(
+                self._connection, [run_id], anchor, modules, downstream=downstream
+            )[run_id]
+        if result is None:
+            raise StorageError(
+                f"run {run_id} has no label for execution {anchor[0]}{anchor[1]}"
+            )
+        self._note_sweep_path(scheme, pushdown=True)
+        return [RunVertex(module, instance) for module, instance in result]
+
+    def pushdown_profile(self, run_id: int) -> tuple[str, bool, int]:
+        """``(spec_scheme, pushdown-capable, n_vertices)`` of one stored run.
+
+        The three facts the session planner weighs when choosing between
+        the SQL pushdown and the streamed kernel for a sweep.
+        """
+        row = self._run_row(run_id)
+        scheme = row["spec_scheme"] or "tcm"
+        return scheme, scheme_supports_pushdown(scheme), int(row["n_vertices"])
+
+    def read_connection_for(self, run_id: int) -> sqlite3.Connection:
+        """The connection that can read *run_id*'s rows (the store's own)."""
+        self._require_open()
+        return self._connection
+
+    def _note_sweep_path(self, scheme: str, *, pushdown: bool) -> None:
+        counts = self._sweep_paths["sql" if pushdown else "kernel"]
+        counts[scheme] = counts.get(scheme, 0) + 1
 
     # ------------------------------------------------------------------
     # data provenance
@@ -958,6 +988,10 @@ class ProvenanceStore(WorkerPoolOwner):
             "spec_kernels_cached": len(self._spec_kernel_cache),
             "evictions": self._evictions,
             "limit": STORED_RUN_CACHE_LIMIT,
+            "pushdown": {
+                "sql": dict(self._sweep_paths["sql"]),
+                "kernel": dict(self._sweep_paths["kernel"]),
+            },
         }
         pools = self.pool_stats()
         if pools:

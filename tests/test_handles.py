@@ -6,6 +6,7 @@ import sqlite3
 
 import pytest
 
+import repro.storage.database as database_module
 import repro.storage.store as store_module
 from repro.engine import QueryEngine
 from repro.engine.kernels import HAS_NUMPY, _GenericKernel, build_kernel
@@ -334,7 +335,9 @@ class TestRowValueChunkGuard:
         assert chunk * 2 + 1 <= SQLITE_MAX_VARIABLE_NUMBER
 
     def test_oversized_configured_chunk_is_capped(self, monkeypatch):
-        monkeypatch.setattr(store_module, "LABEL_FETCH_CHUNK", 10_000)
+        # the chunk logic lives in storage.database (shared with the SQL
+        # pushdown's IN lists); store re-exports it unchanged
+        monkeypatch.setattr(database_module, "LABEL_FETCH_CHUNK", 10_000)
         chunk = store_module.row_value_chunk(columns_per_row=2, reserved=1)
         assert chunk == (SQLITE_MAX_VARIABLE_NUMBER - 1) // 2  # 499
         assert chunk * 2 + 1 <= SQLITE_MAX_VARIABLE_NUMBER
@@ -362,7 +365,7 @@ class TestRowValueChunkGuard:
         labeled = SkeletonLabeler(synthetic_spec, "tcm").label_run(
             synthetic_run.run, plan=synthetic_run.plan, context=synthetic_run.context
         )
-        monkeypatch.setattr(store_module, "LABEL_FETCH_CHUNK", 600)
+        monkeypatch.setattr(database_module, "LABEL_FETCH_CHUNK", 600)
         with ProvenanceStore(":memory:") as store:
             run_id = store.add_labeled_run(labeled)
             executions = [

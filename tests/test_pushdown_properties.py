@@ -1,0 +1,157 @@
+"""Property-based equivalence: SQL pushdown ≡ streamed kernel ≡ oracle.
+
+For every pushdown-capable scheme (interval, tree-cover, chain) and both
+store layouts, a sweep answered as an indexed range scan inside SQLite
+must agree with the streamed-kernel answer — and both must agree with the
+in-memory labeled run, the ground truth that never touched a database.
+Specs are drawn as forests because the interval scheme only labels
+forests; runs grow past the spec so loop/fork instances exercise the
+fall-through module branch, not just the coordinate fast path.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.api import CrossRunQuery, DownstreamQuery, ProvenanceSession, UpstreamQuery
+from repro.datasets.synthetic import SyntheticSpecConfig, generate_specification
+from repro.exceptions import DatasetError
+from repro.skeleton.skl import SkeletonLabeler
+from repro.storage.sharded import ShardedProvenanceStore
+from repro.storage.store import ProvenanceStore
+
+FEW = settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[
+        HealthCheck.too_slow,
+        HealthCheck.data_too_large,
+        HealthCheck.filter_too_much,
+    ],
+)
+
+
+@st.composite
+def pushdown_workload(draw):
+    """A forest spec, a capable scheme, and a few labeled runs of it."""
+    from repro.workflow.execution import generate_run_with_size
+
+    scheme = draw(st.sampled_from(("interval", "tree-cover", "chain")))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    hierarchy_size = draw(st.integers(min_value=1, max_value=4))
+    if hierarchy_size == 1:
+        depth = 1
+    else:
+        depth = draw(st.integers(min_value=2, max_value=min(3, hierarchy_size)))
+    n_modules = draw(st.integers(min_value=8, max_value=18))
+    config = SyntheticSpecConfig(
+        n_modules=n_modules,
+        n_edges=n_modules - 1,  # a forest: the interval scheme's domain
+        hierarchy_size=hierarchy_size,
+        hierarchy_depth=depth,
+        seed=seed,
+        name=f"pushdown-hypo-{seed}",
+    )
+    try:
+        spec = generate_specification(config)
+    except DatasetError:
+        assume(False)
+    labeler = SkeletonLabeler(spec, scheme)
+    run_count = draw(st.integers(min_value=1, max_value=3))
+    labeled = []
+    for run_index in range(run_count):
+        if spec.hierarchy.size == 1:
+            target = spec.vertex_count
+        else:
+            target = draw(
+                st.integers(
+                    min_value=spec.vertex_count,
+                    max_value=max(50, spec.vertex_count),
+                )
+            )
+        generated = generate_run_with_size(
+            spec, target, seed=seed + run_index, name=f"run-{run_index}"
+        )
+        labeled.append(labeler.label_run(generated.run))
+    return spec, scheme, labeled
+
+
+def _oracle(labeled, vertex, *, downstream):
+    neighbors = (
+        labeled.downstream_of(vertex) if downstream else labeled.upstream_of(vertex)
+    )
+    return {(other.module, other.instance) for other in neighbors}
+
+
+@given(workload=pushdown_workload())
+@FEW
+def test_pushdown_equals_kernel_equals_oracle_single_file(workload, tmp_path_factory):
+    spec, scheme, labeled = workload
+    base = tmp_path_factory.mktemp("pushdown-hypo")
+    with ProvenanceStore(base / "single.db") as store:
+        run_ids = [store.add_labeled_run(item) for item in labeled]
+        session = ProvenanceSession(store)
+        for run_id, item in zip(run_ids, labeled):
+            for vertex in item.run.vertices():
+                for query_type, downstream in (
+                    (DownstreamQuery, True),
+                    (UpstreamQuery, False),
+                ):
+                    sql = session.run(
+                        query_type(vertex, run_id=run_id, pushdown="always")
+                    )
+                    kernel = session.run(
+                        query_type(vertex, run_id=run_id, pushdown="never")
+                    )
+                    # bit-identity: same executions in the same order
+                    assert sql == kernel
+                    assert {
+                        (other.module, other.instance) for other in sql
+                    } == _oracle(item, vertex, downstream=downstream)
+        paths = store.cache_stats()["pushdown"]
+        assert paths["sql"].get(scheme, 0) >= 1
+        assert paths["kernel"].get(scheme, 0) >= 1
+
+
+@given(workload=pushdown_workload(), shards=st.integers(min_value=1, max_value=4))
+@FEW
+def test_pushdown_equals_kernel_on_sharded_cross_run_sweeps(
+    workload, shards, tmp_path_factory
+):
+    spec, scheme, labeled = workload
+    base = tmp_path_factory.mktemp("pushdown-hypo-sharded")
+    with ShardedProvenanceStore(base / "sharded", shards) as store:
+        run_ids = store.add_labeled_runs(labeled)
+        session = ProvenanceSession(store)
+        anchors = {
+            (vertex.module, vertex.instance)
+            for item in labeled
+            for vertex in item.run.vertices()[:4]
+        }
+        for anchor in sorted(anchors):
+            for direction in ("downstream", "upstream"):
+                sql = session.run(
+                    CrossRunQuery(spec.name, anchor, direction, pushdown="always")
+                )
+                kernel = session.run(
+                    CrossRunQuery(spec.name, anchor, direction, pushdown="never")
+                )
+                assert sql.per_run == kernel.per_run
+                assert sorted(sql.skipped_runs) == sorted(kernel.skipped_runs)
+                # the oracle: each run's in-memory labeled answer
+                downstream = direction == "downstream"
+                for run_id, item in zip(run_ids, labeled):
+                    vertices = {
+                        (vertex.module, vertex.instance)
+                        for vertex in item.run.vertices()
+                    }
+                    if anchor not in vertices:
+                        assert run_id in sql.skipped_runs
+                        continue
+                    expected = _oracle(
+                        item, anchor, downstream=downstream
+                    )
+                    assert {
+                        tuple(execution) for execution in sql.per_run[run_id]
+                    } == expected

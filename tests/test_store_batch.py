@@ -6,7 +6,7 @@ import random
 
 import pytest
 
-import repro.storage.store as store_module
+import repro.storage.database as database_module
 from repro.exceptions import StorageError
 from repro.skeleton.skl import SkeletonLabeler
 from repro.storage.store import LABEL_FETCH_CHUNK, ProvenanceStore
@@ -140,7 +140,8 @@ class TestSQLRoundTrips:
         self, store, stored_synthetic, rng, monkeypatch
     ):
         run_id, labeled = stored_synthetic
-        monkeypatch.setattr(store_module, "LABEL_FETCH_CHUNK", 7)
+        # the chunking helper lives in repro.storage.database now
+        monkeypatch.setattr(database_module, "LABEL_FETCH_CHUNK", 7)
         vertices = labeled.run.vertices()
         pairs = [(rng.choice(vertices), rng.choice(vertices)) for _ in range(60)]
         distinct = {v for pair in pairs for v in pair}
