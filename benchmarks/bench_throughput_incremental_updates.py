@@ -1,0 +1,66 @@
+"""Edge updates: incremental label repair vs relabel-from-scratch.
+
+Benchmarked operation: one leaf-edge delete/insert cycle plus a fixed
+point-query workload against a live mutable index, repaired in place by the
+:mod:`repro.dynamic` delta strategies.  Printed series: per-scheme wall
+time of the incremental leg vs relabeling the whole graph from scratch
+after every mutation (the only option before dynamic updates existed).
+The acceptance bar is a >= 3x update+query speedup at default scale on
+subtree-local updates for every mutable tree-shaped scheme (interval,
+tree-cover, chain): the repair touches one tree / chain segment / dirty
+region while the rebuild pays the full graph each time.  Answer equality
+between the two legs is verified inside the experiment before any number
+is reported.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.bench.experiments import throughput_incremental_updates
+from repro.graphs.digraph import DiGraph
+from repro.labeling.registry import build_index
+
+
+def test_throughput_incremental_updates(benchmark, bench_scale, report_sink):
+    rng = random.Random(17)
+    forest = DiGraph()
+    tree_size = 100
+    for vertex in range(10 * tree_size):
+        forest.add_vertex(vertex)
+        root = vertex - vertex % tree_size
+        if vertex > root:
+            forest.add_edge(rng.randrange(root, vertex), vertex)
+    index = build_index("tree-cover", forest)
+    leaf = max(v for v in range(10 * tree_size) if forest.out_degree(v) == 0)
+    parent = forest.predecessors(leaf)[0]
+    pairs = [(root, leaf) for root in range(0, 10 * tree_size, tree_size)]
+
+    def update_cycle():
+        index.delete_edge(parent, leaf)
+        index.insert_edge(parent, leaf)
+        return [index.reaches(source, target) for source, target in pairs]
+
+    benchmark(update_cycle)
+
+    result = report_sink(throughput_incremental_updates(bench_scale))
+    by_scheme = {row["scheme"]: row for row in result.rows}
+
+    # Answer equality of the incremental and rebuild legs is verified inside
+    # the experiment before any number is reported; here we gate the
+    # performance claim.
+    for row in by_scheme.values():
+        assert row["speedup"] is not None, row
+
+    if by_scheme["interval"]["vertices"] >= 3_000:
+        # The headline claim at default scale and above: a subtree-local
+        # update plus the query workload beats relabel-from-scratch >= 3x
+        # on every mutable tree-shaped scheme (measured ~70-120x).
+        assert by_scheme["interval"]["speedup"] >= 3.0
+        assert by_scheme["tree-cover"]["speedup"] >= 3.0
+        assert by_scheme["chain"]["speedup"] >= 3.0
+    else:
+        # Smoke graphs are small enough that a full rebuild is itself cheap;
+        # just require a real win (measured ~2.3-20x).
+        for row in by_scheme.values():
+            assert row["speedup"] >= 1.2, row

@@ -50,6 +50,8 @@ _IDENTITY_KEYS = (
     "clients",
     "op_mix",
     "pushdown",
+    "vertices",
+    "updates",
 )
 
 

@@ -83,6 +83,34 @@ class QueryPlan:
                 f"{type(query).__name__}.run_id only applies to store-backed "
                 f"sessions; this session fronts {target.describe()}"
             )
+        #: the target's update token at compile time; ``execute`` re-checks
+        #: it so a plan compiled before an edge update never answers from
+        #: plan-local state derived from the pre-update labels
+        self.compiled_version = self.version_token()
+
+    def version_token(self):
+        """The target's current update token (``None`` = never invalidates)."""
+        return self.target.version_token()
+
+    @property
+    def stale(self) -> bool:
+        """Whether the target mutated after this plan was compiled."""
+        return self.version_token() != self.compiled_version
+
+    def _refresh_if_stale(self) -> None:
+        current = self.version_token()
+        if current != self.compiled_version:
+            self.compiled_version = current
+            self._invalidate()
+
+    def _invalidate(self) -> None:
+        """Drop plan-local state derived from the target's labels.
+
+        The engine layer independently re-checks the same token (so even a
+        subclass that forgets to override this cannot serve a pre-update
+        answer through the engine); plans that memoize anything of their
+        own must clear it here.
+        """
 
     def execute(self):  # pragma: no cover - subclasses implement
         raise NotImplementedError
@@ -99,6 +127,7 @@ class _PointPlan(QueryPlan):
 
     def execute(self) -> bool:
         query = self.query
+        self._refresh_if_stale()
         if self.target.kind == "store":
             # per-pair SQL while the run is cold; the target transparently
             # promotes hot runs to their compiled engine (see
@@ -117,6 +146,7 @@ class _BatchPlan(QueryPlan):
 
     def execute(self) -> list:
         query = self.query
+        self._refresh_if_stale()
         if query.handle_native:
             engine = (
                 self.target.store.query_engine(self.target.require_run_id(query))
@@ -164,6 +194,7 @@ class _SweepPlan(QueryPlan):
 
     def execute(self) -> list:
         query = self.query
+        self._refresh_if_stale()
         if self.target.kind == "store":
             run_id = self.target.require_run_id(query)
             store = self.target.store

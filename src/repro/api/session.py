@@ -55,6 +55,10 @@ class _IndexTarget:
             self._engine = QueryEngine(self.index)
         return self._engine
 
+    def version_token(self):
+        """The index's edge-update token (``None`` for immutable targets)."""
+        return getattr(self.index, "update_version", None)
+
     def describe(self) -> str:
         return f"a live {type(self.index).__name__}"
 
@@ -89,6 +93,10 @@ class _OnlineTarget:
     @property
     def index(self) -> Any:
         return self.engine().index
+
+    def version_token(self):
+        """The online run's append token (plans re-check it per execute)."""
+        return self.online.version_token()
 
     def describe(self) -> str:
         return f"the online run {self.online.name!r}"
@@ -155,6 +163,10 @@ class _StoreTarget:
             # executions are a storage-level error carrying the run context,
             # before and after promotion alike
             raise StorageError(f"run {run_id}: {exc}") from None
+
+    def version_token(self):
+        """Stores have no single token: each cached run view versions itself."""
+        return None
 
     def cache_stats(self) -> dict:
         return {

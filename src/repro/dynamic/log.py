@@ -1,0 +1,90 @@
+"""The per-index record of applied edge updates.
+
+Every mutable :class:`~repro.labeling.base.ReachabilityIndex` owns one
+:class:`UpdateLog` (created lazily by its ``update_log`` accessor).  Each
+applied ``insert_edge`` / ``delete_edge`` appends an :class:`UpdateRecord`
+naming the strategy that served it — the scheme's delta repair, the live
+path of the traversal schemes, or the dirty-region rebuild fallback — and
+how many labels it touched.  Tests and the incremental-updates bench read
+the log to assert an update stayed on the cheap path instead of silently
+degenerating to relabel-from-scratch.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+__all__ = ["UpdateRecord", "UpdateLog"]
+
+#: strategy names an UpdateRecord may carry
+STRATEGIES = (
+    "live",  # traversal schemes: the graph mutation is the repair
+    "subtree-renumber",  # interval: fresh postorder block for one tree
+    "region-recompute",  # tree-cover / chain: recompute labels over the dirty region
+    "chain-split",  # chain: a deleted chain link split one chain in two
+    "row-patch",  # tcm: or / recompute closure rows over the dirty region
+    "hop-patch",  # 2-hop: patch hop sets along the edge's frontier
+    "rebuild",  # fallback: the delta could not handle it; labels rebuilt
+)
+
+
+@dataclass(frozen=True)
+class UpdateRecord:
+    """One applied edge update and how the index absorbed it."""
+
+    #: ``"insert"`` or ``"delete"``
+    op: str
+    #: edge tail (the update's ``u``)
+    tail: Any
+    #: edge head (the update's ``v``)
+    head: Any
+    #: which repair path served the update (one of :data:`STRATEGIES`)
+    strategy: str
+    #: number of vertex labels the repair rewrote (0 on the live path)
+    touched: int
+
+
+class UpdateLog:
+    """Append-only history of the updates applied to one index."""
+
+    __slots__ = ("_records",)
+
+    def __init__(self) -> None:
+        self._records: list[UpdateRecord] = []
+
+    def append(self, record: UpdateRecord) -> None:
+        self._records.append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[UpdateRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, position: int) -> UpdateRecord:
+        return self._records[position]
+
+    @property
+    def last(self) -> UpdateRecord | None:
+        """The most recent record, or ``None`` before any update."""
+        return self._records[-1] if self._records else None
+
+    @property
+    def strategy_counts(self) -> dict[str, int]:
+        """How many updates each strategy served (missing = zero)."""
+        return dict(Counter(record.strategy for record in self._records))
+
+    @property
+    def rebuilds(self) -> int:
+        """How many updates fell back to a rebuild."""
+        return sum(1 for record in self._records if record.strategy == "rebuild")
+
+    @property
+    def touched_total(self) -> int:
+        """Total labels rewritten across all updates (repair work done)."""
+        return sum(record.touched for record in self._records)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"UpdateLog({self.strategy_counts!r})"

@@ -1,0 +1,671 @@
+"""Per-scheme delta strategies for edge updates on labeled indexes.
+
+:func:`apply_insert` / :func:`apply_delete` are the single entry points
+behind ``ReachabilityIndex.insert_edge`` / ``delete_edge``.  They run the
+shared validation (endpoints must already be labeled, inserts must not
+create a cycle), mutate the graph, dispatch to the scheme's registered
+strategy, and record the outcome in the index's
+:class:`~repro.dynamic.log.UpdateLog`.
+
+A repaired index does **not** promise the same labels a fresh build would
+produce — only the same *answers*.  That contract is what makes the
+strategies local:
+
+* ``interval`` — a detached or re-attached subtree is renumbered with a
+  fresh postorder block strictly above every number ever assigned, so
+  the rest of the forest keeps its labels untouched.  Vacated number
+  ranges are never reused, which keeps old containment tests sound.
+* ``tree-cover`` — the spanning forest is kept as mutable state; updates
+  recompute the compressed interval sets only over the dirty region (the
+  ancestor closure of the touched edge), and deleting a spanning-forest
+  edge renumbers just that forest subtree before the region sweep.
+* ``chain`` — inserts recompute earliest-reach maps over the ancestor
+  closure of the tail; deleting a chain link splits the chain, moving
+  the suffix to a fresh chain id, then repairs the same region.
+* ``2-hop`` — incremental ancestor/descendant bitmasks locate the
+  update's frontier; inserts add the edge tail as a hop center on every
+  new path, deletes filter hop entries that no longer lie on a path and
+  re-cover any pair that lost its only center.
+* ``tcm`` — inserts OR the head's closure row into every ancestor row of
+  the tail; deletes recompute closure rows over the ancestor region.
+* traversal (``bfs``/``dfs``) — free: the graph mutation *is* the
+  repair, answers are computed live.
+
+Mutable schemes without a registered strategy fall back to a full
+rebuild (``type(index).__init__``), logged as ``"rebuild"``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.exceptions import EdgeNotFoundError, GraphError, LabelingError
+from repro.dynamic.log import UpdateRecord
+
+__all__ = ["apply_insert", "apply_delete", "register_strategy"]
+
+#: scheme name -> (insert strategy, delete strategy); each strategy mutates
+#: the graph itself (after scheme-specific validation), repairs the labels,
+#: and returns ``(strategy_name, labels_touched)``
+_INSERT: dict[str, Callable] = {}
+_DELETE: dict[str, Callable] = {}
+
+
+def register_strategy(scheme_name: str, insert, delete) -> None:
+    """Register the delta strategies serving one scheme's edge updates.
+
+    Mutable schemes without registered strategies fall back to a full
+    rebuild on every update, which is correct but defeats the point.
+    """
+    _INSERT[scheme_name] = insert
+    _DELETE[scheme_name] = delete
+
+
+# ----------------------------------------------------------------------
+# entry points
+# ----------------------------------------------------------------------
+def apply_insert(index, tail, head) -> None:
+    """Insert ``tail -> head`` into *index*'s graph and repair its labels."""
+    graph = index.graph
+    if tail == head:
+        raise GraphError(f"self loops are not supported: {tail!r}")
+    for endpoint in (tail, head):
+        if not graph.has_vertex(endpoint):
+            raise LabelingError(
+                "the update surface repairs labels for existing vertices; "
+                f"vertex {endpoint!r} was never labeled (appends go through "
+                "OnlineRun)"
+            )
+    if graph.has_edge(tail, head):
+        return  # idempotent: nothing changed, no version bump, no log entry
+    if index.reaches(head, tail):
+        raise GraphError(
+            f"inserting edge {tail!r} -> {head!r} would create a cycle"
+        )
+    strategy = _INSERT.get(index.scheme_name, _fallback_insert)
+    name, touched = strategy(index, tail, head)
+    index._handle_label_table = None
+    index.update_log.append(
+        UpdateRecord(op="insert", tail=tail, head=head, strategy=name, touched=touched)
+    )
+
+
+def apply_delete(index, tail, head) -> None:
+    """Remove ``tail -> head`` from *index*'s graph and repair its labels."""
+    graph = index.graph
+    if not graph.has_edge(tail, head):
+        raise EdgeNotFoundError(tail, head)
+    strategy = _DELETE.get(index.scheme_name, _fallback_delete)
+    name, touched = strategy(index, tail, head)
+    index._handle_label_table = None
+    index.update_log.append(
+        UpdateRecord(op="delete", tail=tail, head=head, strategy=name, touched=touched)
+    )
+
+
+# ----------------------------------------------------------------------
+# shared region machinery
+# ----------------------------------------------------------------------
+def _ancestor_closure(graph, seeds) -> set:
+    """Every vertex that reaches a seed, seeds included (reverse BFS)."""
+    seen = set(seeds)
+    queue = deque(seen)
+    while queue:
+        current = queue.popleft()
+        for predecessor in graph.predecessors(current):
+            if predecessor not in seen:
+                seen.add(predecessor)
+                queue.append(predecessor)
+    return seen
+
+
+def _region_reverse_topo(graph, region) -> list:
+    """Order *region* so every in-region graph successor comes first.
+
+    Region-local Kahn's algorithm: cost is O(|region| + edges touching
+    the region), independent of the graph size — the property that keeps
+    dirty-region repairs cheaper than a global topological sort.
+    """
+    pending = {
+        vertex: sum(1 for s in graph.successors(vertex) if s in region)
+        for vertex in region
+    }
+    ready = deque(v for v, degree in pending.items() if degree == 0)
+    ordered = []
+    while ready:
+        vertex = ready.popleft()
+        ordered.append(vertex)
+        for predecessor in graph.predecessors(vertex):
+            if predecessor in region:
+                pending[predecessor] -= 1
+                if pending[predecessor] == 0:
+                    ready.append(predecessor)
+    return ordered
+
+
+def _region_forward_topo(graph, region) -> list:
+    """Order *region* so every in-region graph predecessor comes first."""
+    pending = {
+        vertex: sum(1 for p in graph.predecessors(vertex) if p in region)
+        for vertex in region
+    }
+    ready = deque(v for v, degree in pending.items() if degree == 0)
+    ordered = []
+    while ready:
+        vertex = ready.popleft()
+        ordered.append(vertex)
+        for successor in graph.successors(vertex):
+            if successor in region:
+                pending[successor] -= 1
+                if pending[successor] == 0:
+                    ready.append(successor)
+    return ordered
+
+
+def _mask_vertices(mask: int, order) -> list:
+    """Decode a bitmask into the vertices it names (``order[bit]``)."""
+    vertices = []
+    while mask:
+        low_bit = mask & -mask
+        vertices.append(order[low_bit.bit_length() - 1])
+        mask ^= low_bit
+    return vertices
+
+
+# ----------------------------------------------------------------------
+# fallback: full rebuild in place
+# ----------------------------------------------------------------------
+_DYN_STATE_ATTRS = ("_dyn_next_post", "_dyn_forest", "_dyn_chains", "_dyn_masks")
+
+
+def _full_rebuild(index):
+    """Rebuild the index in place against its (already mutated) graph."""
+    for attr in _DYN_STATE_ATTRS:
+        try:
+            delattr(index, attr)
+        except AttributeError:
+            pass
+    type(index).__init__(index, index.graph)
+    return "rebuild", index.graph.vertex_count
+
+
+def _fallback_insert(index, tail, head):
+    index.graph.add_edge(tail, head)
+    return _full_rebuild(index)
+
+
+def _fallback_delete(index, tail, head):
+    index.graph.remove_edge(tail, head)
+    return _full_rebuild(index)
+
+
+# ----------------------------------------------------------------------
+# traversal schemes: the mutation is the repair
+# ----------------------------------------------------------------------
+def _live_insert(index, tail, head):
+    index.graph.add_edge(tail, head)
+    return "live", 0
+
+
+def _live_delete(index, tail, head):
+    index.graph.remove_edge(tail, head)
+    return "live", 0
+
+
+# ----------------------------------------------------------------------
+# interval: fresh postorder block for the touched tree
+# ----------------------------------------------------------------------
+def _renumber_tree(index, root) -> int:
+    """Assign a fresh contiguous postorder block to the tree under *root*.
+
+    The counter is monotone across the index's lifetime, so the new block
+    is disjoint from every number ever assigned: untouched trees keep
+    their labels and cross-tree containment tests stay ``False``.
+    """
+    from repro.labeling.interval import IntervalLabel
+
+    graph = index.graph
+    counter = getattr(index, "_dyn_next_post", None)
+    if counter is None:
+        counter = max((label.post for label in index._labels.values()), default=0)
+    labels = index._labels
+    low_of: dict = {}
+    touched = 0
+    stack = [(root, False)]
+    while stack:
+        vertex, expanded = stack.pop()
+        if not expanded:
+            stack.append((vertex, True))
+            for child in reversed(graph.successors(vertex)):
+                stack.append((child, False))
+            continue
+        children = graph.successors(vertex)
+        counter += 1
+        post = counter
+        low = min([low_of[c] for c in children], default=post)
+        low = min(low, post)
+        low_of[vertex] = low
+        labels[vertex] = IntervalLabel(post=post, low=low)
+        touched += 1
+    index._dyn_next_post = counter
+    index._bits = max(index._bits, counter.bit_length())
+    return touched
+
+
+def _interval_insert(index, tail, head):
+    graph = index.graph
+    if graph.in_degree(head) != 0:
+        raise GraphError(
+            f"interval labeling requires a forest; vertex {head!r} already "
+            "has a parent"
+        )
+    graph.add_edge(tail, head)
+    root = tail
+    while True:
+        parents = graph.predecessors(root)
+        if not parents:
+            break
+        root = parents[0]
+    return "subtree-renumber", _renumber_tree(index, root)
+
+
+def _interval_delete(index, tail, head):
+    index.graph.remove_edge(tail, head)
+    # the detached subtree becomes its own tree; renumbering it out of the
+    # ancestors' intervals is the whole repair (their ranges keep covering
+    # the vacated numbers, which no vertex holds anymore)
+    return "subtree-renumber", _renumber_tree(index, head)
+
+
+# ----------------------------------------------------------------------
+# tree-cover: dirty-region recompute over a maintained spanning forest
+# ----------------------------------------------------------------------
+def _tree_cover_state(index) -> dict:
+    """The index's spanning-forest state, reconstructed on first update.
+
+    The constructor's forest is a pure deterministic function of the
+    graph (first predecessor in topological order), so re-deriving it
+    *before* the first mutation reproduces exactly the forest the current
+    labels encode — no rebuild needed to start updating.
+    """
+    state = getattr(index, "_dyn_forest", None)
+    if state is None:
+        from repro.graphs.digraph import DiGraph
+        from repro.graphs.traversal import topological_sort
+        from repro.labeling.interval import compute_tree_intervals
+
+        graph = index.graph
+        order = topological_sort(graph)
+        position = {vertex: i for i, vertex in enumerate(order)}
+        forest = DiGraph(vertices=order)
+        parent: dict = {}
+        for vertex in order:
+            predecessors = graph.predecessors(vertex)
+            if predecessors:
+                parent[vertex] = min(predecessors, key=position.__getitem__)
+                forest.add_edge(parent[vertex], vertex)
+            else:
+                parent[vertex] = None
+        tree_labels = compute_tree_intervals(forest)
+        state = {
+            "forest": forest,
+            "parent": parent,
+            "tree_labels": tree_labels,
+            "next_post": max((l.post for l in tree_labels.values()), default=0),
+        }
+        index._dyn_forest = state
+    return state
+
+
+def _tree_cover_recompute(index, state, region) -> int:
+    """Recompute compressed interval sets over an ancestor-closed region."""
+    from repro.labeling.tree_cover import TreeCoverLabel, compress_intervals
+
+    graph = index.graph
+    labels = index._labels
+    tree_labels = state["tree_labels"]
+    fresh: dict = {}
+    for vertex in _region_reverse_topo(graph, region):
+        own = tree_labels[vertex]
+        gathered = [(own.low, own.post)]
+        for successor in graph.successors(vertex):
+            if successor in fresh:
+                gathered.extend(fresh[successor])
+            else:
+                gathered.extend(labels[successor].intervals)
+        fresh[vertex] = compress_intervals(gathered)
+    for vertex, intervals in fresh.items():
+        labels[vertex] = TreeCoverLabel(
+            post=tree_labels[vertex].post, intervals=intervals
+        )
+    return len(fresh)
+
+
+def _tree_cover_insert(index, tail, head):
+    state = _tree_cover_state(index)
+    graph = index.graph
+    graph.add_edge(tail, head)
+    # the forest needs no change: correctness only requires forest edges to
+    # be graph edges, so the new edge simply feeds the interval-set sweep
+    region = _ancestor_closure(graph, (tail,))
+    return "region-recompute", _tree_cover_recompute(index, state, region)
+
+
+def _renumber_forest_subtree(state, root) -> list:
+    """Fresh-number the forest subtree under *root*; returns its vertices."""
+    from repro.labeling.interval import IntervalLabel
+
+    forest = state["forest"]
+    tree_labels = state["tree_labels"]
+    counter = state["next_post"]
+    low_of: dict = {}
+    renumbered: list = []
+    stack = [(root, False)]
+    while stack:
+        vertex, expanded = stack.pop()
+        if not expanded:
+            stack.append((vertex, True))
+            for child in reversed(forest.successors(vertex)):
+                stack.append((child, False))
+            continue
+        children = forest.successors(vertex)
+        counter += 1
+        post = counter
+        low = min([low_of[c] for c in children], default=post)
+        low = min(low, post)
+        low_of[vertex] = low
+        tree_labels[vertex] = IntervalLabel(post=post, low=low)
+        renumbered.append(vertex)
+    state["next_post"] = counter
+    return renumbered
+
+
+def _tree_cover_delete(index, tail, head):
+    state = _tree_cover_state(index)
+    graph = index.graph
+    graph.remove_edge(tail, head)
+    if state["parent"].get(head) == tail:
+        # the deleted edge carried the spanning forest: detach the subtree,
+        # renumber it out of its old ancestors' tree intervals, and repair
+        # every interval set that referenced the renumbered block
+        state["forest"].remove_edge(tail, head)
+        state["parent"][head] = None
+        renumbered = _renumber_forest_subtree(state, head)
+        index._number_bits = max(
+            index._number_bits, state["next_post"].bit_length()
+        )
+        region = _ancestor_closure(graph, set(renumbered) | {tail})
+    else:
+        region = _ancestor_closure(graph, (tail,))
+    return "region-recompute", _tree_cover_recompute(index, state, region)
+
+
+# ----------------------------------------------------------------------
+# chain: region recompute, splitting a chain when its link is deleted
+# ----------------------------------------------------------------------
+def _chain_state(index) -> dict:
+    """Chain membership lists (by position), rebuilt lazily from labels."""
+    chains = getattr(index, "_dyn_chains", None)
+    if chains is None:
+        chains = {}
+        for vertex, label in index._labels.items():
+            chains.setdefault(label.chain, []).append(vertex)
+        labels = index._labels
+        for members in chains.values():
+            members.sort(key=lambda v: labels[v].position)
+        index._dyn_chains = chains
+    return chains
+
+
+def _chain_recompute(index, region) -> int:
+    """Recompute earliest-reach maps over an ancestor-closed region."""
+    from repro.labeling.chain import ChainLabel
+
+    graph = index.graph
+    labels = index._labels
+    fresh: dict = {}
+    for vertex in _region_reverse_topo(graph, region):
+        own_label = labels[vertex]
+        own: dict = {own_label.chain: own_label.position}
+        for successor in graph.successors(vertex):
+            if successor in fresh:
+                entries = fresh[successor].items()
+            else:
+                entries = labels[successor].reach
+            for chain, pos in entries:
+                if chain not in own or pos < own[chain]:
+                    own[chain] = pos
+        fresh[vertex] = own
+    for vertex, own in fresh.items():
+        old = labels[vertex]
+        labels[vertex] = ChainLabel(
+            chain=old.chain, position=old.position, reach=tuple(sorted(own.items()))
+        )
+    return len(fresh)
+
+
+def _chain_insert(index, tail, head):
+    graph = index.graph
+    graph.add_edge(tail, head)
+    region = _ancestor_closure(graph, (tail,))
+    return "region-recompute", _chain_recompute(index, region)
+
+
+def _chain_delete(index, tail, head):
+    from repro.labeling.chain import ChainLabel
+
+    graph = index.graph
+    labels = index._labels
+    tail_label, head_label = labels[tail], labels[head]
+    chain_link = (
+        tail_label.chain == head_label.chain
+        and head_label.position == tail_label.position + 1
+    )
+    graph.remove_edge(tail, head)
+    if not chain_link:
+        region = _ancestor_closure(graph, (tail,))
+        return "region-recompute", _chain_recompute(index, region)
+
+    # the deleted edge was a chain's internal link: the suffix is no longer
+    # a path continuation, so it becomes a fresh chain with renumbered
+    # positions, and every vertex that could reach the suffix re-derives
+    # its reach map against the new coordinates
+    chains = _chain_state(index)
+    old_chain = tail_label.chain
+    members = chains[old_chain]
+    suffix = members[head_label.position :]
+    chains[old_chain] = members[: head_label.position]
+    new_chain = index._chain_count
+    index._chain_count = new_chain + 1
+    chains[new_chain] = suffix
+    for pos, vertex in enumerate(suffix):
+        old = labels[vertex]
+        labels[vertex] = ChainLabel(chain=new_chain, position=pos, reach=old.reach)
+    region = _ancestor_closure(graph, set(suffix) | {tail})
+    return "chain-split", _chain_recompute(index, region)
+
+
+# ----------------------------------------------------------------------
+# tcm: closure-row patching over the ancestor region
+# ----------------------------------------------------------------------
+def _tcm_replace_rows(index, rows) -> int:
+    from repro.graphs.transitive_closure import TransitiveClosure
+    from repro.labeling.tcm import TCMLabel
+
+    old = index._closure
+    closure = TransitiveClosure(index=old.index, order=old.order, rows=tuple(rows))
+    index._closure = closure
+    labels = index._labels
+    changed = 0
+    for vertex, i in old.index.items():
+        if closure.rows[i] != old.rows[i]:
+            labels[vertex] = TCMLabel(index=i, row=closure.rows[i])
+            changed += 1
+    return changed
+
+
+def _tcm_insert(index, tail, head):
+    graph = index.graph
+    graph.add_edge(tail, head)
+    closure = index._closure
+    positions = closure.index
+    tail_bit = positions[tail]
+    head_row = closure.rows[positions[head]]
+    rows = list(closure.rows)
+    for i, row in enumerate(rows):
+        if (row >> tail_bit) & 1:
+            rows[i] = row | head_row
+    return "row-patch", _tcm_replace_rows(index, rows)
+
+
+def _tcm_delete(index, tail, head):
+    graph = index.graph
+    closure = index._closure
+    positions = closure.index
+    tail_bit = positions[tail]
+    region = {
+        vertex for vertex, i in positions.items() if (closure.rows[i] >> tail_bit) & 1
+    }
+    graph.remove_edge(tail, head)
+    rows = list(closure.rows)
+    for vertex in _region_reverse_topo(graph, region):
+        row = 1 << positions[vertex]
+        for successor in graph.successors(vertex):
+            row |= rows[positions[successor]]
+        rows[positions[vertex]] = row
+    return "row-patch", _tcm_replace_rows(index, rows)
+
+
+# ----------------------------------------------------------------------
+# 2-hop: hop-set patching along the edge's frontier
+# ----------------------------------------------------------------------
+def _twohop_state(index) -> dict:
+    """Reflexive ancestor/descendant bitmasks, built on first update."""
+    state = getattr(index, "_dyn_masks", None)
+    if state is None:
+        from repro.graphs.traversal import topological_sort
+
+        graph = index.graph
+        order = topological_sort(graph)
+        position = {vertex: i for i, vertex in enumerate(order)}
+        desc: dict = {}
+        for vertex in reversed(order):
+            mask = 1 << position[vertex]
+            for successor in graph.successors(vertex):
+                mask |= desc[successor]
+            desc[vertex] = mask
+        anc: dict = {}
+        for vertex in order:
+            mask = 1 << position[vertex]
+            for predecessor in graph.predecessors(vertex):
+                mask |= anc[predecessor]
+            anc[vertex] = mask
+        state = {"order": order, "position": position, "desc": desc, "anc": anc}
+        index._dyn_masks = state
+    return state
+
+
+def _twohop_insert(index, tail, head):
+    from repro.labeling.twohop import TwoHopLabel
+
+    state = _twohop_state(index)
+    graph = index.graph
+    graph.add_edge(tail, head)
+    desc, anc, order = state["desc"], state["anc"], state["order"]
+    sources = _mask_vertices(anc[tail], order)  # reach the tail (incl. itself)
+    targets = _mask_vertices(desc[head], order)  # reached from the head
+    for a in sources:
+        desc[a] |= desc[head]
+    anc_tail = anc[tail]
+    for b in targets:
+        anc[b] |= anc_tail
+    # every new path runs through the new edge, so the tail covers every
+    # newly reachable pair as a hop center
+    labels = index._labels
+    for a in sources:
+        label = labels[a]
+        if tail not in label.out_hops:
+            labels[a] = TwoHopLabel(
+                out_hops=label.out_hops | {tail}, in_hops=label.in_hops
+            )
+    for b in targets:
+        label = labels[b]
+        if tail not in label.in_hops:
+            labels[b] = TwoHopLabel(
+                out_hops=label.out_hops, in_hops=label.in_hops | {tail}
+            )
+    return "hop-patch", len(sources) + len(targets)
+
+
+def _twohop_delete(index, tail, head):
+    from repro.labeling.twohop import TwoHopLabel
+
+    state = _twohop_state(index)
+    graph = index.graph
+    desc, anc = state["desc"], state["anc"]
+    order, position = state["order"], state["position"]
+    dirty_sources = set(_mask_vertices(anc[tail], order))
+    dirty_targets = set(_mask_vertices(desc[head], order))
+    graph.remove_edge(tail, head)
+    for vertex in _region_reverse_topo(graph, dirty_sources):
+        mask = 1 << position[vertex]
+        for successor in graph.successors(vertex):
+            mask |= desc[successor]
+        desc[vertex] = mask
+    for vertex in _region_forward_topo(graph, dirty_targets):
+        mask = 1 << position[vertex]
+        for predecessor in graph.predecessors(vertex):
+            mask |= anc[predecessor]
+        anc[vertex] = mask
+    labels = index._labels
+    # drop hop entries that no longer lie on any path
+    for a in dirty_sources:
+        label = labels[a]
+        kept = frozenset(
+            c for c in label.out_hops if (desc[a] >> position[c]) & 1
+        )
+        if kept != label.out_hops:
+            labels[a] = TwoHopLabel(out_hops=kept, in_hops=label.in_hops)
+    for b in dirty_targets:
+        label = labels[b]
+        kept = frozenset(c for c in label.in_hops if (anc[b] >> position[c]) & 1)
+        if kept != label.in_hops:
+            labels[b] = TwoHopLabel(out_hops=label.out_hops, in_hops=kept)
+    # re-cover: a pair whose only center was filtered gets its source as a
+    # fresh center over exactly the still-reachable uncovered targets
+    in_mask_of: dict = {}
+    for vertex, label in labels.items():
+        bit = 1 << position[vertex]
+        for center in label.in_hops:
+            in_mask_of[center] = in_mask_of.get(center, 0) | bit
+    for a in sorted(dirty_sources, key=position.__getitem__):
+        label = labels[a]
+        covered = 0
+        for center in label.out_hops:
+            covered |= in_mask_of.get(center, 0)
+        uncovered = desc[a] & ~covered
+        if uncovered:
+            labels[a] = TwoHopLabel(
+                out_hops=label.out_hops | {a}, in_hops=labels[a].in_hops
+            )
+            for b in _mask_vertices(uncovered, order):
+                b_label = labels[b]
+                labels[b] = TwoHopLabel(
+                    out_hops=b_label.out_hops, in_hops=b_label.in_hops | {a}
+                )
+            in_mask_of[a] = in_mask_of.get(a, 0) | uncovered
+    return "hop-patch", len(dirty_sources) + len(dirty_targets)
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+register_strategy("traversal", _live_insert, _live_delete)
+register_strategy("bfs", _live_insert, _live_delete)
+register_strategy("dfs", _live_insert, _live_delete)
+register_strategy("interval", _interval_insert, _interval_delete)
+register_strategy("tree-cover", _tree_cover_insert, _tree_cover_delete)
+register_strategy("chain", _chain_insert, _chain_delete)
+register_strategy("tcm", _tcm_insert, _tcm_delete)
+register_strategy("2-hop", _twohop_insert, _twohop_delete)

@@ -341,6 +341,12 @@ class SpecKernel:
 
     def __init__(self, spec_index: Any) -> None:
         self.spec_index = spec_index
+        # Update-version snapshot of the spec index at compile time: a
+        # mutable spec that absorbs an edge update invalidates the dense
+        # matrix and the cached labels, and `stale` flips True so every
+        # sharing consumer (engines, the store's per-spec cache) knows to
+        # swap in a `recompiled()` instance.
+        self.spec_version = getattr(spec_index, "update_version", None)
         if _np is not None:
             self.matrix, self.position_of = _spec_reachability_matrix(spec_index)
         else:
@@ -351,6 +357,15 @@ class SpecKernel:
     def dense(self) -> bool:
         """Whether fall-throughs are answered from the dense spec matrix."""
         return self.matrix is not None
+
+    @property
+    def stale(self) -> bool:
+        """Whether the specification mutated after this kernel compiled."""
+        return getattr(self.spec_index, "update_version", None) != self.spec_version
+
+    def recompiled(self) -> "SpecKernel":
+        """A fresh kernel over the same (now mutated) specification index."""
+        return SpecKernel(self.spec_index)
 
     def origin_positions(self, modules: Sequence):
         """Map origin module names to dense-matrix positions (dense only)."""

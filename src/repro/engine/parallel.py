@@ -607,7 +607,7 @@ class CrossRunExecutor:
             profile = getattr(self.store, "pushdown_profile", None)
             note = getattr(self.store, "_note_sweep_path", None)
             if profile is not None and note is not None:
-                note(profile(run_ids[0])[0], pushdown=False)
+                note(profile(run_ids[0])[0], pushdown=False, run_id=run_ids[0])
 
         def evaluate(run_id: int, kernel, arrays):
             try:
@@ -657,7 +657,7 @@ class CrossRunExecutor:
         profile = getattr(store, "pushdown_profile", None)
         note = getattr(store, "_note_sweep_path", None)
         if profile is not None and note is not None:
-            note(profile(run_ids[0])[0], pushdown=True)
+            note(profile(run_ids[0])[0], pushdown=True, run_id=run_ids[0])
         modules = reachable_modules(
             store.spec_kernel(run_ids[0]), anchor[0], downstream=downstream
         )

@@ -150,14 +150,40 @@ class QueryEngine:
         # Whether the index exposes the vertex-handle surface; checked on
         # the class so the (possibly lazy) interner is not built here.
         self._has_handles = getattr(type(index), "interner", None) is not None
+        # Snapshot of the index's update_version token (mutable indexes bump
+        # it on every applied edge update).  Checked on each query entry
+        # point; a moved token drops the compiled kernel and the memoized
+        # pairs so a mutated index never serves a pre-update answer.
+        self._index_version = getattr(index, "update_version", None)
         # The interner's id dict, bound on first point query so the hot
         # path pays two plain dict lookups, not a property chain.
+        # (Handles survive edge surgery — only the vertex set invalidates
+        # an interner — so this binding outlives edge updates.)
         self._id_map: Optional[dict] = None
         self._pair_cache: _HotPairCache = _HotPairCache(self._translate_pair)
         self.stats = EngineStats()
 
+    def _check_version(self) -> None:
+        """Invalidate derived state when the index absorbed an edge update.
+
+        One attribute read per query on the fast path.  When the token
+        moved, the compiled kernel (which snapshots labels at build) and
+        every memoized hot pair are dropped; the next batch recompiles
+        against the repaired labels.  A shared spec kernel is recompiled
+        in place only when its own specification mutated.
+        """
+        current = getattr(self._index, "update_version", None)
+        if current != self._index_version:
+            self._index_version = current
+            self._compiled_kernel = None
+            self._pair_cache.clear()
+            spec_kernel = self._spec_kernel
+            if spec_kernel is not None and getattr(spec_kernel, "stale", False):
+                self._spec_kernel = spec_kernel.recompiled()
+
     @property
     def _kernel(self):
+        self._check_version()
         if self._compiled_kernel is None:
             self._compiled_kernel = build_kernel(
                 self._index, spec_kernel=self._spec_kernel
@@ -253,6 +279,7 @@ class QueryEngine:
         """
         stats = self.stats
         stats.queries += 1
+        self._check_version()
         if self._cache_size == 0:
             return self._index.reaches(source, target)
         if self._has_handles:
@@ -281,6 +308,7 @@ class QueryEngine:
         """Handle-native point query: cache hits skip vertex resolution entirely."""
         stats = self.stats
         stats.queries += 1
+        self._check_version()
         reaches_ids = getattr(self._index, "reaches_ids", None)
         if reaches_ids is None:
             raise LabelingError(

@@ -40,7 +40,7 @@ class DiGraph:
         already present are added automatically.
     """
 
-    __slots__ = ("_succ", "_pred", "_edge_count", "_vertex_version")
+    __slots__ = ("_succ", "_pred", "_edge_count", "_vertex_version", "_update_version")
 
     def __init__(
         self,
@@ -52,6 +52,7 @@ class DiGraph:
         self._pred: dict[Vertex, dict[Vertex, None]] = {}
         self._edge_count = 0
         self._vertex_version = 0
+        self._update_version = 0
         if vertices is not None:
             for vertex in vertices:
                 self.add_vertex(vertex)
@@ -83,6 +84,20 @@ class DiGraph:
         snapshot compare this counter to detect stale handles.
         """
         return self._vertex_version
+
+    @property
+    def update_version(self) -> int:
+        """Monotone counter bumped on every *edge* insertion or removal.
+
+        The sibling of :attr:`vertex_version` for edge surgery: adding or
+        removing an edge changes reachability without touching vertex
+        identity, so handles stay valid while any compiled kernel, memoized
+        answer or label snapshot taken before the bump is stale.  Consumers
+        (the query engine, mutable indexes, cached plans) snapshot this
+        counter and recompile when it moves.  No-op mutations (re-adding an
+        existing edge) do not bump it.
+        """
+        return self._update_version
 
     def __len__(self) -> int:
         return len(self._succ)
@@ -206,6 +221,7 @@ class DiGraph:
             self._succ[tail][head] = None
             self._pred[head][tail] = None
             self._edge_count += 1
+            self._update_version += 1
 
     def add_edges(self, edges: Iterable[Edge]) -> None:
         """Insert every edge from *edges*."""
@@ -219,6 +235,7 @@ class DiGraph:
         del self._succ[tail][head]
         del self._pred[head][tail]
         self._edge_count -= 1
+        self._update_version += 1
 
     def remove_vertex(self, vertex: Vertex) -> None:
         """Remove *vertex* and every incident edge."""

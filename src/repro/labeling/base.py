@@ -64,6 +64,11 @@ class QueryCapabilities:
     #: columns, so stored-run sweeps can be answered by indexed SQL range
     #: scans instead of streaming labels through a kernel
     pushdown: bool
+    #: the index accepts ``insert_edge`` / ``delete_edge`` and repairs its
+    #: labels in place (per-scheme delta strategy or dirty-region rebuild,
+    #: see :mod:`repro.dynamic`); consumers must then track
+    #: ``update_version`` to invalidate anything derived from labels
+    mutable: bool
 
 
 def capabilities_of(target: Any) -> QueryCapabilities:
@@ -81,6 +86,7 @@ def capabilities_of(target: Any) -> QueryCapabilities:
         batch=getattr(target, "reaches_many", None) is not None,
         sweep_domain=has_handles,
         pushdown=bool(getattr(target, "pushdown", False)),
+        mutable=bool(getattr(target, "mutable", False)),
     )
 
 
@@ -245,6 +251,14 @@ class ReachabilityIndex(VertexHandleAPI, abc.ABC):
     #: query engine's hot-pair cache) must not memoize their answers.
     stable_labels: bool = True
 
+    #: whether the index supports in-place edge updates through
+    #: :meth:`insert_edge` / :meth:`delete_edge`.  ``True`` for every
+    #: registered scheme (each has a delta strategy or a dirty-region
+    #: fallback in :mod:`repro.dynamic`); duck-typed targets that predate
+    #: the update surface — labeled runs, stored-run views — default to
+    #: ``False`` and reject updates.
+    mutable: bool = False
+
     def __init__(self, graph: DiGraph) -> None:
         self._graph = graph
 
@@ -285,6 +299,69 @@ class ReachabilityIndex(VertexHandleAPI, abc.ABC):
     def reaches(self, source: Vertex, target: Vertex) -> bool:
         """Convenience wrapper: decide reachability between two vertices."""
         return self.reaches_labels(self.label_of(source), self.label_of(target))
+
+    # ------------------------------------------------------------------
+    # dynamic updates (mutable schemes only; see repro.dynamic)
+    # ------------------------------------------------------------------
+    @property
+    def update_version(self) -> int:
+        """Monotone token bumped by every applied edge update.
+
+        The sibling of ``vertex_version`` on the edge axis: it follows the
+        underlying graph's :attr:`~repro.graphs.digraph.DiGraph.update_version`
+        counter, so anything compiled from this index's labels (engine
+        kernels, hot-pair caches, session plans, stored-run views) can
+        snapshot the token and recompile when it moves.
+        """
+        return getattr(self._graph, "update_version", 0)
+
+    @property
+    def update_log(self):
+        """The :class:`repro.dynamic.UpdateLog` of applied updates.
+
+        Every mutable index gets one lazily on its first update; reading it
+        before any update returns an empty log.  Immutable duck-typed
+        targets never have one.
+        """
+        from repro.dynamic.log import UpdateLog
+
+        log = getattr(self, "_dynamic_update_log", None)
+        if log is None:
+            log = UpdateLog()
+            self._dynamic_update_log = log
+        return log
+
+    def _require_mutable(self) -> None:
+        if not type(self).mutable:
+            raise LabelingError(
+                f"scheme {self.scheme_name!r} does not support in-place "
+                "edge updates; rebuild the index for the mutated graph"
+            )
+
+    def insert_edge(self, tail: Vertex, head: Vertex) -> None:
+        """Insert ``tail -> head`` into the graph and repair the labels.
+
+        Dispatches to the scheme's delta strategy (:mod:`repro.dynamic`);
+        updates the delta cannot handle cheaply fall back to a dirty-region
+        partial rebuild recorded in :attr:`update_log`.  Inserting an edge
+        that would create a cycle raises
+        :class:`~repro.exceptions.GraphError` and leaves the index intact.
+        """
+        self._require_mutable()
+        from repro.dynamic.strategies import apply_insert
+
+        apply_insert(self, tail, head)
+
+    def delete_edge(self, tail: Vertex, head: Vertex) -> None:
+        """Remove ``tail -> head`` from the graph and repair the labels.
+
+        Missing edges raise :class:`~repro.exceptions.EdgeNotFoundError`
+        and leave the index intact.
+        """
+        self._require_mutable()
+        from repro.dynamic.strategies import apply_delete
+
+        apply_delete(self, tail, head)
 
     def reaches_many(self, label_pairs: Sequence[tuple[Any, Any]]) -> list[bool]:
         """Batch form of :meth:`reaches_labels`: one answer per label pair.

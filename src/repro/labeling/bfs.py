@@ -26,6 +26,8 @@ class TraversalIndex(ReachabilityIndex):
     method = "bfs"
     #: answers track the live graph, so they must never be memoized
     stable_labels = False
+    #: edge updates are free: the graph mutation is the repair
+    mutable = True
 
     def __init__(self, graph: DiGraph) -> None:
         super().__init__(graph)

@@ -54,6 +54,7 @@ class ChainIndex(ReachabilityIndex):
     scheme_name = "chain"
     kernel_hint = "chain"
     pushdown = True
+    mutable = True
 
     def __init__(self, graph: DiGraph) -> None:
         super().__init__(graph)

@@ -80,6 +80,7 @@ class IntervalTreeIndex(ReachabilityIndex):
     scheme_name = "interval"
     kernel_hint = "interval"
     pushdown = True
+    mutable = True
 
     def __init__(self, graph: DiGraph) -> None:
         super().__init__(graph)

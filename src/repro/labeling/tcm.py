@@ -31,6 +31,7 @@ class TCMIndex(ReachabilityIndex):
 
     scheme_name = "tcm"
     kernel_hint = "tcm"
+    mutable = True
 
     def __init__(self, graph: DiGraph) -> None:
         super().__init__(graph)

@@ -63,6 +63,7 @@ class TreeCoverIndex(ReachabilityIndex):
     scheme_name = "tree-cover"
     kernel_hint = "tree-cover"
     pushdown = True
+    mutable = True
 
     def __init__(self, graph: DiGraph) -> None:
         super().__init__(graph)

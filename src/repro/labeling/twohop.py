@@ -38,6 +38,7 @@ class TwoHopIndex(ReachabilityIndex):
 
     scheme_name = "2-hop"
     kernel_hint = "2-hop"
+    mutable = True
 
     def __init__(self, graph: DiGraph) -> None:
         super().__init__(graph)

@@ -174,6 +174,21 @@ class SkeletonLabeledRun(VertexHandleAPI):
         """
         return getattr(self.spec_index, "stable_labels", True)
 
+    @property
+    def update_version(self):
+        """Invalidation token inherited from the specification index.
+
+        The run labels are frozen, so the only thing that can move under a
+        labeled run is its specification: a mutated spec index bumps this
+        token and every derived layer (compiled skeleton kernels, hot-pair
+        caches, plans) recompiles its fall-through state.  Note the frozen
+        ``skeleton`` components embedded in the run labels are copies taken
+        at labeling time — after a spec mutation the run must be relabeled
+        for its answers to track the new specification; the token makes the
+        staleness *visible* to caches, it does not repair run labels.
+        """
+        return getattr(self.spec_index, "update_version", None)
+
     def label_of(self, vertex: RunVertex) -> RunLabel:
         """Return ``φr(v)``."""
         try:

@@ -417,6 +417,18 @@ class ShardedProvenanceStore(WorkerPoolOwner):
         with self._locks[shard]:
             self._stores[shard].delete_run(run_id)
 
+    def update_run_labels(self, run_id: int, labeled) -> int:
+        """Persist a repaired label set into the run's owning shard.
+
+        Routed form of :meth:`ProvenanceStore.update_run_labels`: the
+        targeted ``UPDATE`` statements run under the shard's write lock, so
+        a monitoring loop repairing one run never blocks ingest into the
+        other shards.
+        """
+        shard = self._shard_of_run(run_id)
+        with self._locks[shard]:
+            return self._stores[shard].update_run_labels(run_id, labeled)
+
     # ------------------------------------------------------------------
     # labels and engines
     # ------------------------------------------------------------------
@@ -496,10 +508,17 @@ class ShardedProvenanceStore(WorkerPoolOwner):
         """The owning shard's connection — pushdown scans run shard-locally."""
         return self._store_of_run(run_id).read_connection_for(run_id)
 
-    def _note_sweep_path(self, scheme: str, *, pushdown: bool) -> None:
-        # cross-run sweeps are executed by the sharded layer itself, so its
-        # counters live on shard 0's store (aggregated by cache_stats)
-        self._stores[0]._note_sweep_path(scheme, pushdown=pushdown)
+    def _note_sweep_path(
+        self, scheme: str, *, pushdown: bool, run_id: Optional[int] = None
+    ) -> None:
+        # Sweeps executed by the sharded layer itself (the parallel
+        # cross-run executor) are attributed to the shard that actually
+        # served the run, so per-shard skew stays visible in cache_stats.
+        # Only sweeps with no run context fall back to shard 0.
+        shard_store = (
+            self._store_of_run(run_id) if run_id is not None else self._stores[0]
+        )
+        shard_store._note_sweep_path(scheme, pushdown=pushdown)
 
     def _deprecated(self, old: str, query: str) -> None:
         # one hop deeper than the shared helper's default (shim -> here -> warn)

@@ -458,6 +458,74 @@ class ProvenanceStore(WorkerPoolOwner):
                 f"run {run.name!r} already stored for specification {run.specification.name!r}"
             ) from exc
 
+    def update_run_labels(self, run_id: int, labeled: SkeletonLabeledRun) -> int:
+        """Persist a repaired label set over an already stored run.
+
+        The write path of dynamic updates (:mod:`repro.dynamic`): after an
+        in-memory run graph was mutated and relabeled, the store replays
+        only the **changed** rows as targeted ``UPDATE`` statements —
+        subtree-local repairs touch a handful of rows, not the whole run.
+        The run's graph document and edge count are refreshed alongside, so
+        a cold reopen rebuilds exactly the repaired state.  The execution
+        set must be identical to the stored one (dynamic updates are
+        edge-only surgery); anything else raises
+        :class:`~repro.exceptions.StorageError`.  Returns the number of
+        label rows rewritten.
+        """
+        self._require_open()
+        run = labeled.run
+        row = self._run_row(run_id)
+        scheme = labeled.spec_index.scheme_name
+        stored_scheme = row["spec_scheme"] or "tcm"
+        if scheme != stored_scheme:
+            raise StorageError(
+                f"run {run_id} was labeled under scheme {stored_scheme!r}; "
+                f"cannot update it with {scheme!r} labels"
+            )
+        stored = {
+            (r["module"], int(r["instance"])): (
+                int(r["q1"]),
+                int(r["q2"]),
+                int(r["q3"]),
+            )
+            for r in self._connection.execute(
+                "SELECT module, instance, q1, q2, q3 FROM run_labels "
+                "WHERE run_id = ?",
+                (run_id,),
+            )
+        }
+        labels = labeled.labels()
+        new_keys = {(vertex.module, vertex.instance) for vertex in labels}
+        if new_keys != set(stored):
+            raise StorageError(
+                f"run {run_id}: updated label set names a different execution "
+                "set than the stored run (dynamic updates are edge-only; "
+                "re-insert the run to change its executions)"
+            )
+        changed = [
+            (label.q1, label.q2, label.q3, run_id, vertex.module, vertex.instance)
+            for vertex, label in labels.items()
+            if (label.q1, label.q2, label.q3)
+            != stored[(vertex.module, vertex.instance)]
+        ]
+        with self._connection:
+            if changed:
+                self._connection.executemany(
+                    "UPDATE run_labels SET q1 = ?, q2 = ?, q3 = ? "
+                    "WHERE run_id = ? AND module = ? AND instance = ?",
+                    changed,
+                )
+            self._connection.execute(
+                "UPDATE runs SET document = ?, n_vertices = ?, n_edges = ? "
+                "WHERE run_id = ?",
+                (run_to_json(run), run.vertex_count, run.edge_count, run_id),
+            )
+        # the cached label view and its compiled engine describe the
+        # pre-update run; drop both so the next query reloads from SQL
+        self._stored_run_cache.pop(run_id, None)
+        self._engine_cache.pop(run_id, None)
+        return len(changed)
+
     def get_run(self, run_id: int) -> WorkflowRun:
         """Load the run graph with identifier *run_id*."""
         row = self._run_row(run_id)
@@ -871,7 +939,12 @@ class ProvenanceStore(WorkerPoolOwner):
         self._require_open()
         return self._connection
 
-    def _note_sweep_path(self, scheme: str, *, pushdown: bool) -> None:
+    def _note_sweep_path(
+        self, scheme: str, *, pushdown: bool, run_id: Optional[int] = None
+    ) -> None:
+        # *run_id* identifies the run the sweep was answered for; a single
+        # store keeps one counter table regardless, but the sharded store
+        # overrides this to attribute the count to the owning shard.
         counts = self._sweep_paths["sql" if pushdown else "kernel"]
         counts[scheme] = counts.get(scheme, 0) + 1
 

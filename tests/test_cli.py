@@ -502,7 +502,8 @@ class TestInfoAndExperiments:
         written = list((tmp_path / "reports").glob("*.txt"))
         # tables 1-2, figures 12-20, spec-scheme ablation, engine throughput,
         # handle-path throughput, cross-run + parallel cross-run throughput,
-        # sharded-ingest throughput, server throughput, sql-pushdown throughput
-        assert len(written) == 19
+        # sharded-ingest throughput, server throughput, sql-pushdown
+        # throughput, incremental-update throughput
+        assert len(written) == 20
         # every report also carries a machine-readable BENCH_*.json twin
-        assert len(list((tmp_path / "reports").glob("BENCH_*.json"))) == 19
+        assert len(list((tmp_path / "reports").glob("BENCH_*.json"))) == 20

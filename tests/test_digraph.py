@@ -122,6 +122,30 @@ class TestMutation:
         graph.add_edges([("a", "b"), ("b", "c")])
         assert graph.edge_count == 2
 
+    def test_edge_surgery_versions(self, diamond: DiGraph):
+        # edge removal must bump only update_version: vertex handles
+        # survive edge surgery, so vertex_version stays put
+        vertex_version = diamond.vertex_version
+        update_version = diamond.update_version
+        diamond.remove_edge("s", "a")
+        assert diamond.vertex_version == vertex_version
+        assert diamond.update_version == update_version + 1
+        diamond.add_edge("s", "a")
+        assert diamond.vertex_version == vertex_version
+        assert diamond.update_version == update_version + 2
+
+    def test_noop_edge_add_does_not_bump_update_version(self, diamond: DiGraph):
+        update_version = diamond.update_version
+        diamond.add_edge("s", "a")  # already present
+        assert diamond.update_version == update_version
+
+    def test_remove_vertex_bumps_both_versions(self, diamond: DiGraph):
+        vertex_version = diamond.vertex_version
+        update_version = diamond.update_version
+        diamond.remove_vertex("a")  # carries two incident edges away
+        assert diamond.vertex_version == vertex_version + 1
+        assert diamond.update_version == update_version + 2
+
 
 class TestDerivedGraphs:
     def test_copy_is_independent(self, diamond: DiGraph):

@@ -1,0 +1,164 @@
+"""Property-based tests for dynamic updates (hypothesis).
+
+The contract under test is **answers-equivalence**: after *any* sequence of
+edge insertions and deletions applied through a mutable index's delta
+strategies, every point, batch and sweep answer must be bit-identical to a
+fresh relabel of the mutated graph — and no cached layer (the engine's
+hot-pair LRU, its compiled batch kernel, a compiled session plan) may
+serve a pre-update answer.  Repaired labels are allowed to differ from a
+fresh build's labels; the answers are not.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api import PointQuery, ProvenanceSession
+from repro.engine.query import QueryEngine
+from repro.exceptions import EdgeNotFoundError, GraphError
+from repro.graphs.digraph import DiGraph
+from repro.labeling.registry import build_index
+
+DAG_SCHEMES = ("tcm", "bfs", "dfs", "tree-cover", "chain", "2-hop")
+
+SLOW = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def dag_update_scenarios(draw):
+    """A random DAG plus a random insert/delete sequence over its vertices.
+
+    Updates are proposed as bare ``(op, tail, head)`` triples; invalid ones
+    (cycles, self-loops, missing edges) are *applied anyway* and expected
+    to be rejected without corrupting the index — rejection is part of the
+    surface under test.
+    """
+    size = draw(st.integers(min_value=2, max_value=10))
+    vertices = [f"v{i}" for i in range(size)]
+    graph = DiGraph(vertices=vertices)
+    for j in range(1, size):
+        for i in range(j):
+            if draw(st.booleans()) and draw(st.booleans()):
+                graph.add_edge(vertices[i], vertices[j])
+    updates = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["insert", "delete"]),
+                st.integers(min_value=0, max_value=size - 1),
+                st.integers(min_value=0, max_value=size - 1),
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    return graph, vertices, updates
+
+
+@st.composite
+def forest_update_scenarios(draw):
+    """A random forest plus forest-preserving detach/attach updates."""
+    size = draw(st.integers(min_value=2, max_value=10))
+    vertices = [f"v{i}" for i in range(size)]
+    graph = DiGraph(vertices=vertices)
+    parent: dict[str, str | None] = {vertices[0]: None}
+    for j in range(1, size):
+        if draw(st.booleans()):
+            index = draw(st.integers(min_value=0, max_value=j - 1))
+            parent[vertices[j]] = vertices[index]
+            graph.add_edge(vertices[index], vertices[j])
+        else:
+            parent[vertices[j]] = None
+    steps = draw(st.integers(min_value=1, max_value=6))
+    return graph, vertices, parent, steps
+
+
+def apply_update(index, op, tail, head) -> bool:
+    """Apply one proposed update; returns whether it was accepted."""
+    try:
+        if op == "insert":
+            index.insert_edge(tail, head)
+        else:
+            index.delete_edge(tail, head)
+        return True
+    except (GraphError, EdgeNotFoundError):
+        return False
+
+
+def assert_answers_match(scheme, index, engine, graph, vertices):
+    fresh = build_index(scheme, graph)
+    pairs = [(u, v) for u in vertices for v in vertices]
+    expected = [fresh.reaches(u, v) for u, v in pairs]
+    # point answers through the (possibly stale-cached) engine
+    assert [engine.reaches(u, v) for u, v in pairs] == expected
+    # batch answers through the engine's compiled kernel
+    assert list(engine.reaches_batch(pairs)) == expected
+    # sweep answers through the handle surface
+    for anchor in vertices:
+        assert sorted(engine.dependency_sweep(anchor)) == sorted(
+            v for (u, v), answer in zip(pairs, expected) if u == anchor and answer and v != anchor
+        )
+
+
+@SLOW
+@given(scenario=dag_update_scenarios(), scheme=st.sampled_from(DAG_SCHEMES))
+def test_dag_updates_answer_like_fresh_relabel(scenario, scheme):
+    graph, vertices, updates = scenario
+    index = build_index(scheme, graph)
+    engine = QueryEngine(index)
+    # warm every cache layer with pre-update answers
+    engine.reaches_batch([(u, v) for u in vertices for v in vertices])
+    for op, i, j in updates:
+        if apply_update(index, op, vertices[i], vertices[j]):
+            assert_answers_match(scheme, index, engine, graph, vertices)
+    assert_answers_match(scheme, index, engine, graph, vertices)
+
+
+@SLOW
+@given(scenario=forest_update_scenarios())
+def test_interval_forest_updates_answer_like_fresh_relabel(scenario):
+    graph, vertices, parent, steps = scenario
+    index = build_index("interval", graph)
+    engine = QueryEngine(index)
+    engine.reaches_batch([(u, v) for u in vertices for v in vertices])
+    detached = [v for v, p in parent.items() if p is None]
+    attached = [v for v, p in parent.items() if p is not None]
+    for step in range(steps):
+        if attached and (step % 2 == 0 or not detached):
+            vertex = attached.pop(step % len(attached))
+            index.delete_edge(parent[vertex], vertex)
+            parent[vertex] = None
+            detached.append(vertex)
+        else:
+            # reattach a rootless vertex under any vertex outside its subtree
+            vertex = detached.pop(step % len(detached))
+            for candidate in vertices:
+                if candidate != vertex and not index.reaches(vertex, candidate):
+                    index.insert_edge(candidate, vertex)
+                    parent[vertex] = candidate
+                    attached.append(vertex)
+                    break
+            else:
+                detached.append(vertex)
+        assert_answers_match("interval", index, engine, graph, vertices)
+
+
+@SLOW
+@given(scenario=dag_update_scenarios(), scheme=st.sampled_from(DAG_SCHEMES))
+def test_compiled_session_plans_never_serve_stale_answers(scenario, scheme):
+    graph, vertices, updates = scenario
+    index = build_index(scheme, graph)
+    session = ProvenanceSession.for_index(index)
+    pairs = [(u, v) for u in vertices for v in vertices]
+    plans = {pair: session.compile(PointQuery(*pair)) for pair in pairs}
+    for pair, plan in plans.items():
+        plan.execute()  # seat the compiled plans on pre-update state
+    for op, i, j in updates:
+        apply_update(index, op, vertices[i], vertices[j])
+    fresh = build_index(scheme, graph)
+    for (u, v), plan in plans.items():
+        assert plan.execute() == fresh.reaches(u, v)

@@ -19,6 +19,7 @@ EXAMPLES = [
     "online_labeling.py",
     "batch_queries.py",
     "server_quickstart.py",
+    "dynamic_monitoring.py",
 ]
 
 

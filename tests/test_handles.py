@@ -376,6 +376,7 @@ class TestRowValueChunkGuard:
             assert len(labels) == len(executions)
 
 
+@pytest.mark.filterwarnings("ignore:ProvenanceStore:DeprecationWarning")
 class TestStoredEngine:
     @pytest.fixture()
     def store(self) -> ProvenanceStore:

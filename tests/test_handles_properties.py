@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import random
 
+import pytest
 from hypothesis import HealthCheck, assume, given, settings
 from hypothesis import strategies as st
 
@@ -216,6 +217,7 @@ def test_skeleton_handle_answers_match_oracle_across_spec_schemes(
         ] == oracle, scheme
 
 
+@pytest.mark.filterwarnings("ignore:ProvenanceStore:DeprecationWarning")
 @given(specification_and_run(), st.integers(min_value=0, max_value=10_000))
 @FEW
 def test_store_cached_engine_matches_oracle_and_object_api(spec_and_run, query_seed):

@@ -83,6 +83,7 @@ class TestRunPersistence:
             store.delete_run(stored_run)
 
 
+@pytest.mark.filterwarnings("ignore:ProvenanceStore:DeprecationWarning")
 class TestStoredLabels:
     def test_label_round_trip(self, store, paper_labeled_run, stored_run):
         label = store.label_of(stored_run, "b", 2)
@@ -182,6 +183,7 @@ class TestClosedStore:
         assert shims[0].filename == __file__
 
 
+@pytest.mark.filterwarnings("ignore:ProvenanceStore:DeprecationWarning")
 class TestFileBackedStore:
     def test_persistence_across_connections(self, tmp_path, paper_labeled_run):
         path = tmp_path / "provenance.db"
