@@ -52,6 +52,7 @@ _IDENTITY_KEYS = (
     "pushdown",
     "vertices",
     "updates",
+    "faults",
 )
 
 

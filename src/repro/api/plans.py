@@ -17,6 +17,7 @@ the same plans as the built-in indexes.
 
 from __future__ import annotations
 
+import sqlite3
 from typing import Any
 
 from repro.api.queries import (
@@ -199,9 +200,17 @@ class _SweepPlan(QueryPlan):
             run_id = self.target.require_run_id(query)
             store = self.target.store
             if self._use_pushdown(store, run_id):
-                return store._dependency_sweep_pushdown(
-                    run_id, query.execution, downstream=self.downstream
-                )
+                try:
+                    return store._dependency_sweep_pushdown(
+                        run_id, query.execution, downstream=self.downstream
+                    )
+                except sqlite3.OperationalError:
+                    # graceful degradation: a failing SQL path (locked or
+                    # corrupted index, injected fault) falls back to the
+                    # streamed kernel, which answers bit-identically —
+                    # applies even under pushdown="always", where degraded
+                    # means slower, never wrong
+                    store.note_degraded("pushdown_fallback")
             return store._dependency_sweep(
                 run_id, query.execution, downstream=self.downstream
             )
@@ -284,9 +293,17 @@ class _CrossRunPlan(_CrossRunPlanBase):
         query = self.query
         anchor = _as_execution(query.execution)
         if self._use_pushdown():
-            per_run, skipped = self._executor.sweep_pushdown(
-                query.specification, anchor, query.direction
-            )
+            try:
+                per_run, skipped = self._executor.sweep_pushdown(
+                    query.specification, anchor, query.direction
+                )
+            except sqlite3.OperationalError:
+                # same degradation as _SweepPlan: the streamed kernel sweep
+                # answers bit-identically when the SQL path fails
+                self.target.store.note_degraded("pushdown_fallback")
+                per_run, skipped = self._executor.sweep(
+                    query.specification, anchor, query.direction
+                )
         else:
             per_run, skipped = self._executor.sweep(
                 query.specification, anchor, query.direction

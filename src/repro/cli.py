@@ -19,6 +19,8 @@ The CLI exposes the typical life cycle of the system:
   of a specification (a runs x pairs matrix, parallel like ``sweep``);
 * ``serve`` — put a provenance database behind a TCP socket (the binary
   wire protocol of :mod:`repro.server`);
+* ``health`` — probe a running server for shard reachability, pool
+  liveness and inflight depth (exit 0 on ``ok``, 1 on ``degraded``);
 * ``experiments`` — regenerate the paper's tables and figures;
 * ``info`` — show a specification's characteristics (the Table 1 columns).
 
@@ -280,6 +282,17 @@ def build_parser() -> argparse.ArgumentParser:
         default=INGEST_FLUSH_AFTER_DEFAULT,
         help="buffered ingest entries per connection before an automatic "
         "flush through the batch commit path",
+    )
+
+    health_parser = subparsers.add_parser(
+        "health",
+        help="probe a running provenance server (shard reachability, "
+        "pool liveness, inflight depth)",
+    )
+    health_parser.add_argument(
+        "--database",
+        required=True,
+        help="repro://host:port/ URL of the server to probe",
     )
 
     verify_parser = subparsers.add_parser(
@@ -684,6 +697,22 @@ def _command_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_health(args: argparse.Namespace) -> int:
+    import json
+
+    if not is_remote_target(args.database):
+        raise ReproError(
+            f"health expects a repro://host:port/ URL, got {args.database!r}"
+        )
+    client = RemoteStore(args.database, retries=0)
+    try:
+        report = client.health()
+    finally:
+        client.close()
+    print(json.dumps(report, indent=2, sort_keys=True))
+    return 0 if report.get("status") == "ok" else 1
+
+
 def _command_verify(args: argparse.Namespace) -> int:
     from repro.skeleton.construct import construct_plan
 
@@ -741,6 +770,7 @@ _COMMANDS = {
     "sweep": _command_sweep,
     "cross-batch": _command_cross_batch,
     "serve": _command_serve,
+    "health": _command_health,
     "verify": _command_verify,
     "info": _command_info,
     "experiments": _command_experiments,

@@ -55,14 +55,22 @@ from __future__ import annotations
 
 import os
 import pickle
+import sqlite3
 from array import array
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    TimeoutError as FuturesTimeout,
+)
 from typing import Any, Callable, Optional, Sequence, Union
 from urllib.parse import quote
 
+from repro import faults
 from repro.engine.kernels import dense_pair_answers, dense_sweep_answers
 from repro.engine.pool import PersistentWorkerPool
-from repro.exceptions import QueryPlanError
+from repro.exceptions import QueryPlanError, WorkerCrashError
+from repro.faults import fault_point
 
 try:  # numpy accelerates the kernels but is strictly optional
     import numpy as _np
@@ -90,6 +98,42 @@ PREFETCH_CHUNK_RUNS = 4
 #: cap on auto-sized pools; cross-run payloads are short, so more workers
 #: than this just adds scheduler churn
 MAX_AUTO_WORKERS = 8
+
+#: chunk failures the executor transparently recovers from: a retry on the
+#: pool, then an inline sequential evaluation (both recorded through the
+#: store's ``note_degraded``).  Covers a crashed worker process
+#: (BrokenExecutor / WorkerCrashError), a dropped or refused connection
+#: (OSError — InjectedConnectionError included), a transient SQL failure
+#: on the task-private connection, and a hung worker when
+#: ``REPRO_WORKER_TIMEOUT`` bounds the wait.  Anything else — a kernel
+#: bug, a typed ReproError — propagates untouched.
+_RETRYABLE = (
+    WorkerCrashError,
+    BrokenExecutor,
+    OSError,
+    sqlite3.OperationalError,
+    FuturesTimeout,
+)
+
+
+def _worker_timeout() -> Optional[float]:
+    """Seconds to wait on one chunk future (``REPRO_WORKER_TIMEOUT``).
+
+    Unset (the default) waits forever — the pre-fault-tolerance behavior.
+    A bounded wait turns a hung worker into a :data:`_RETRYABLE` timeout,
+    so the chunk is retried and, failing that, evaluated inline; the stuck
+    future is abandoned to finish (or not) on its own.
+    """
+    raw = os.environ.get("REPRO_WORKER_TIMEOUT", "").strip()
+    if not raw:
+        return None
+    try:
+        timeout = float(raw)
+    except ValueError:
+        raise QueryPlanError(
+            f"REPRO_WORKER_TIMEOUT must be a number of seconds, got {raw!r}"
+        ) from None
+    return timeout if timeout > 0 else None
 
 
 def resolve_workers(workers: Optional[int], run_count: int) -> int:
@@ -210,6 +254,7 @@ def _fetch_chunk_arrays(db_path, run_ids):
 
 def _thread_chunk_task(db_path, run_ids, kernels, evaluate):
     """One thread task: private-connection fetch, then per-run evaluation."""
+    fault_point("pool.task")
     arrays_of = _fetch_chunk_arrays(db_path, run_ids)
     return [evaluate(run_id, kernels[run_id], arrays_of[run_id]) for run_id in run_ids]
 
@@ -233,6 +278,7 @@ def _process_chunk_task(payload):
     boundary.
     """
     db_path, run_ids, blob_of, op = payload
+    fault_point("pool.task")
     arrays_of = _fetch_chunk_arrays(db_path, run_ids)
     # runs of one spec share one kernel, hence one blob object: unpickle
     # each distinct blob once per task
@@ -318,6 +364,7 @@ def _pushdown_chunk_task(db_path, run_ids, anchor, modules, downstream):
     """
     from repro.storage.pushdown import pushdown_sweep
 
+    fault_point("pool.task")
     connection = _readonly_connection(db_path)
     try:
         per_run = pushdown_sweep(
@@ -452,6 +499,54 @@ class CrossRunExecutor:
             cache[key] = entry
         return entry[1]
 
+    def _note_degraded(self, kind: str) -> None:
+        """Record one graceful degradation on the store (when it counts them)."""
+        note = getattr(self.store, "note_degraded", None)
+        if note is not None:
+            note(kind)
+
+    def _submit_chunks(self, submit, chunk_tasks):
+        """Submit every ``(fn, args)`` chunk task, tolerating submit failures.
+
+        A failed submission (a broken pool the persistent pool could not
+        revive, an injected ``pool.submit`` fault) counts as the chunk's
+        first attempt: the exception is carried to :meth:`_settle`, which
+        retries once and then evaluates inline.  Non-retryable submission
+        errors propagate immediately.
+        """
+        submitted = []
+        for fn, args in chunk_tasks:
+            try:
+                submitted.append((fn, args, submit(fn, *args)))
+            except _RETRYABLE as exc:
+                submitted.append((fn, args, exc))
+        return submitted
+
+    def _settle(self, submit, fn, args, outcome):
+        """One chunk's results, retrying once and then evaluating inline.
+
+        *outcome* is the submitted future, or the exception submission
+        raised.  On a :data:`_RETRYABLE` failure the chunk is resubmitted
+        once (``worker_retry``); if that also fails it is evaluated in the
+        calling thread (``worker_sequential``) with fault injection
+        suppressed, so an injected fault can never turn into a wrong or
+        missing answer — only a slower path.  Non-retryable errors, and
+        retryable ones the sequential evaluation reproduces, propagate.
+        """
+        timeout = _worker_timeout()
+        if not isinstance(outcome, BaseException):
+            try:
+                return outcome.result(timeout)
+            except _RETRYABLE:
+                pass
+        self._note_degraded("worker_retry")
+        try:
+            return submit(fn, *args).result(timeout)
+        except _RETRYABLE:
+            self._note_degraded("worker_sequential")
+            with faults.suppressed():
+                return fn(*args)
+
     def _path_groups(self, run_ids: Sequence[int]) -> list[tuple[str, list[int]]]:
         """Group runs by the physical database file their rows live in.
 
@@ -526,29 +621,26 @@ class CrossRunExecutor:
                     shippable.append(run_id)
                 else:
                     local.append(run_id)
-            futures = []
+            chunk_tasks = [
+                (
+                    _process_chunk_task,
+                    (
+                        (
+                            db_path,
+                            chunk,
+                            {
+                                run_id: self._dense_blob(kernels[run_id], blob_cache)
+                                for run_id in chunk
+                            },
+                            op,
+                        ),
+                    ),
+                )
+                for db_path, path_runs in self._path_groups(shippable)
+                for chunk in self._chunks(path_runs, workers, cap_tasks=cap_tasks)
+            ]
 
-            def submit_all(submit):
-                for db_path, path_runs in self._path_groups(shippable):
-                    for chunk in self._chunks(path_runs, workers, cap_tasks=cap_tasks):
-                        futures.append(
-                            submit(
-                                _process_chunk_task,
-                                (
-                                    db_path,
-                                    chunk,
-                                    {
-                                        run_id: self._dense_blob(
-                                            kernels[run_id], blob_cache
-                                        )
-                                        for run_id in chunk
-                                    },
-                                    op,
-                                ),
-                            )
-                        )
-
-            def drain():
+            def drain(submit, submitted):
                 # non-dense kernels hold live spec indexes that cannot ship
                 # across processes; evaluate them here while the pool works
                 for db_path, path_runs in self._path_groups(local):
@@ -559,34 +651,31 @@ class CrossRunExecutor:
                                 run_id, kernels[run_id], arrays_of[run_id]
                             )
                             outcomes[run_id] = answer
-                for future in futures:
-                    outcomes.update(dict(future.result()))
+                for record in submitted:
+                    outcomes.update(dict(self._settle(submit, *record)))
 
             if pool is not None:
-                submit_all(pool.submit)
-                drain()
+                drain(pool.submit, self._submit_chunks(pool.submit, chunk_tasks))
             else:
                 with ProcessPoolExecutor(max_workers=workers) as ephemeral:
-                    submit_all(ephemeral.submit)
-                    drain()
+                    drain(
+                        ephemeral.submit,
+                        self._submit_chunks(ephemeral.submit, chunk_tasks),
+                    )
             return outcomes
 
-        def submit_all(submit):
-            return [
-                submit(_thread_chunk_task, db_path, chunk, kernels, evaluate)
-                for db_path, path_runs in self._path_groups(run_ids)
-                for chunk in self._chunks(path_runs, workers, cap_tasks=cap_tasks)
-            ]
-
+        chunk_tasks = [
+            (_thread_chunk_task, (db_path, chunk, kernels, evaluate))
+            for db_path, path_runs in self._path_groups(run_ids)
+            for chunk in self._chunks(path_runs, workers, cap_tasks=cap_tasks)
+        ]
         if pool is not None:
-            futures = submit_all(pool.submit)
-            for future in futures:
-                outcomes.update(dict(future.result()))
+            for record in self._submit_chunks(pool.submit, chunk_tasks):
+                outcomes.update(dict(self._settle(pool.submit, *record)))
             return outcomes
         with ThreadPoolExecutor(max_workers=workers) as ephemeral:
-            futures = submit_all(ephemeral.submit)
-            for future in futures:
-                outcomes.update(dict(future.result()))
+            for record in self._submit_chunks(ephemeral.submit, chunk_tasks):
+                outcomes.update(dict(self._settle(ephemeral.submit, *record)))
         return outcomes
 
     # ------------------------------------------------------------------
@@ -691,29 +780,23 @@ class CrossRunExecutor:
             return per_run, skipped
         pool = self._resolve_pool(self.mode)
         cap_tasks = pool is not None and pool.workers > workers
-        tasks = [
-            (db_path, chunk)
+        chunk_tasks = [
+            (_pushdown_chunk_task, (db_path, chunk, anchor, modules, downstream))
             for db_path, path_runs in self._path_groups(run_ids)
             for chunk in self._chunks(path_runs, workers, cap_tasks=cap_tasks)
         ]
 
-        def submit_all(submit):
-            return [
-                submit(_pushdown_chunk_task, db_path, chunk, anchor, modules, downstream)
-                for db_path, chunk in tasks
-            ]
-
         outcomes: dict[int, Any] = {}
         if pool is not None:
-            for future in submit_all(pool.submit):
-                outcomes.update(dict(future.result()))
+            for record in self._submit_chunks(pool.submit, chunk_tasks):
+                outcomes.update(dict(self._settle(pool.submit, *record)))
         else:
             executor_cls = (
                 ProcessPoolExecutor if self.mode == "process" else ThreadPoolExecutor
             )
             with executor_cls(max_workers=workers) as ephemeral:
-                for future in submit_all(ephemeral.submit):
-                    outcomes.update(dict(future.result()))
+                for record in self._submit_chunks(ephemeral.submit, chunk_tasks):
+                    outcomes.update(dict(self._settle(ephemeral.submit, *record)))
         return self._split_outcomes(run_ids, outcomes)
 
     # ------------------------------------------------------------------

@@ -38,8 +38,15 @@ from __future__ import annotations
 import threading
 import warnings
 import weakref
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 from typing import Any, Callable, Optional
+
+from repro.faults import fault_point
 
 __all__ = ["PersistentWorkerPool", "WorkerPoolOwner", "DEFAULT_POOL_WORKERS"]
 
@@ -110,6 +117,10 @@ class PersistentWorkerPool:
         self.starts = 0
         #: tasks submitted over the pool's lifetime
         self.tasks_submitted = 0
+        #: how many broken executors were discarded and lazily replaced
+        #: (a worker process dying poisons the whole ProcessPoolExecutor;
+        #: submit() detects that, swaps in a fresh one and retries once)
+        self.restarts = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -149,11 +160,43 @@ class PersistentWorkerPool:
                 )
             return self._executor
 
+    def _discard_broken(self) -> None:
+        """Drop a poisoned executor so the next submit builds a fresh one.
+
+        A worker process dying (OOM kill, segfault, ``os._exit``) breaks
+        the whole ``ProcessPoolExecutor``: every later submit raises
+        ``BrokenProcessPool`` forever.  Swapping the executor out — rather
+        than marking the pool unusable — keeps the pool's contract
+        ("submit works until close()") across worker deaths.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            executor, self._executor = self._executor, None
+            finalizer, self._finalizer = self._finalizer, None
+            self.restarts += 1
+        if finalizer is not None:
+            finalizer.detach()
+        if executor is not None:
+            # the executor is broken: its workers are already gone, so a
+            # non-waiting shutdown just releases the bookkeeping
+            executor.shutdown(wait=False)
+
     def submit(self, fn: Callable, /, *args: Any, **kwargs: Any):
-        """Schedule ``fn(*args, **kwargs)``; starts the pool on first use."""
+        """Schedule ``fn(*args, **kwargs)``; starts the pool on first use.
+
+        A broken executor (a worker process died) is detected here,
+        discarded, and lazily replaced — the resubmission below is the
+        only retry; a second failure propagates.
+        """
         if self._closed:
             raise RuntimeError("cannot submit to a closed PersistentWorkerPool")
-        future = self._ensure_executor().submit(fn, *args, **kwargs)
+        fault_point("pool.submit")
+        try:
+            future = self._ensure_executor().submit(fn, *args, **kwargs)
+        except BrokenExecutor:
+            self._discard_broken()
+            future = self._ensure_executor().submit(fn, *args, **kwargs)
         self.tasks_submitted += 1
         return future
 
@@ -182,6 +225,7 @@ class PersistentWorkerPool:
             "workers": self.workers,
             "started": self.started,
             "starts": self.starts,
+            "restarts": self.restarts,
             "tasks_submitted": self.tasks_submitted,
             "payloads_cached": len(self.payload_cache),
             "closed": self._closed,

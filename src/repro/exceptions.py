@@ -25,6 +25,9 @@ __all__ = [
     "StorageError",
     "DatasetError",
     "ProtocolError",
+    "CircuitOpenError",
+    "WorkerCrashError",
+    "FaultSpecError",
 ]
 
 
@@ -104,3 +107,24 @@ class ProtocolError(ReproError):
     is closed after reporting it) and by the client when the server's
     response cannot be decoded.
     """
+
+
+class CircuitOpenError(ProtocolError):
+    """The client's circuit breaker is open: requests fail fast.
+
+    Raised by :class:`~repro.server.client.RemoteStore` after too many
+    consecutive transport failures, without touching the network, until
+    the breaker's reset timer half-opens it again.
+    """
+
+
+class WorkerCrashError(ReproError):
+    """A parallel worker died (or was fault-injected dead) mid-task.
+
+    The cross-run executor treats it like a broken pool: the chunk is
+    retried once, then evaluated sequentially on the submitting side.
+    """
+
+
+class FaultSpecError(ReproError):
+    """A ``REPRO_FAULTS`` fault-injection spec could not be parsed."""

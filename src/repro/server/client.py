@@ -27,12 +27,17 @@ through ``add_labeled_runs`` when the buffer fills, on an explicit
 from __future__ import annotations
 
 import json
+import random
 import socket
 import threading
-from typing import Any, Iterable, Optional, Sequence
+import time
+import uuid
+from typing import Any, Callable, Iterable, Optional, Sequence
 from urllib.parse import urlsplit
 
 import repro.exceptions as _exceptions
+from repro.exceptions import CircuitOpenError
+from repro.faults import fault_point
 from repro.api.queries import (
     BatchQuery,
     CrossRunBatchQuery,
@@ -77,11 +82,41 @@ def _as_execution(value: Any) -> tuple:
     return (str(value[0]), int(value[1]))
 
 
+class _TransportError(ProtocolError):
+    """The connection died mid-exchange (EOF before a complete response).
+
+    Internal retry classification: unlike a server-reported error, the
+    request may or may not have executed, so only exchanges that are
+    idempotent on replay (every query; ingest via its sequence tokens) go
+    through the retry loop that catches this.
+    """
+
+
+class _ConnectError(ProtocolError):
+    """TCP connect (or the HELLO exchange's transport) failed; retryable."""
+
+
 class RemoteStore:
     """One TCP connection to a provenance daemon, store-shaped.
 
     Accepts a ``repro://host:port/`` URL or an explicit host/port pair.
-    The HELLO handshake pins the protocol version at connect time.
+    The HELLO handshake pins the protocol version at connect time and
+    registers the client's id for ingest deduplication.
+
+    Fault tolerance (protocol v3): a transport failure — refused connect,
+    dropped connection, truncated response, socket timeout — triggers up
+    to *retries* transparent re-attempts with bounded exponential backoff
+    and jitter; each attempt reconnects and re-runs the HELLO handshake
+    if needed.  Every retried operation is idempotent on replay: queries
+    are read-only, and buffered ingest entries carry client-side sequence
+    tokens the server deduplicates, so a flush whose acknowledgment was
+    lost mid-disconnect can never double-insert.  After
+    *breaker_threshold* consecutive exhausted exchanges the circuit
+    breaker opens and requests fast-fail with
+    :class:`~repro.exceptions.CircuitOpenError` for *breaker_reset*
+    seconds; the first request after that probes the server (half-open)
+    and either closes the breaker or re-opens it.  :attr:`fault_stats`
+    counts retries, reconnects, transport errors and breaker trips.
     """
 
     def __init__(
@@ -91,6 +126,12 @@ class RemoteStore:
         host: Optional[str] = None,
         port: Optional[int] = None,
         timeout: Optional[float] = 30.0,
+        retries: int = 3,
+        backoff_base: float = 0.05,
+        backoff_max: float = 2.0,
+        retry_seed: Optional[int] = None,
+        breaker_threshold: int = 5,
+        breaker_reset: float = 5.0,
     ) -> None:
         if url is not None:
             host, port = parse_url(url)
@@ -98,23 +139,57 @@ class RemoteStore:
             raise ProtocolError("RemoteStore needs a repro:// URL or a host")
         port = wire.DEFAULT_PORT if port is None else int(port)
         self.host, self.port = host, port
+        self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.backoff_base = float(backoff_base)
+        self.backoff_max = float(backoff_max)
+        self.breaker_threshold = max(1, int(breaker_threshold))
+        self.breaker_reset = float(breaker_reset)
+        self._rng = random.Random(retry_seed)
         self._lock = threading.Lock()
         self._closed = False
-        self._pending_ingest = 0
-        try:
-            self._socket = socket.create_connection((host, port), timeout=timeout)
-        except OSError as exc:
-            raise ProtocolError(
-                f"could not connect to provenance server at {host}:{port}: {exc}"
-            ) from exc
-        self._socket.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        hello = self._request(
-            wire.OP_HELLO, Writer().put_u32(wire.PROTOCOL_VERSION).getvalue()
-        )
-        self.server_protocol = hello.u32()
-        #: the server-side store path (so ``store.path`` reads sensibly)
-        self.path = f"repro://{host}:{port}{hello.str()}"
-        self.sharded = hello.bool()
+        self._socket: Optional[socket.socket] = None
+        #: this client's identity across reconnects; keys the server's
+        #: ingest dedupe map (v3 HELLO)
+        self.client_id = uuid.uuid4().hex
+        self._seq = 0
+        #: (seq, scheme, spec_json, run_json) entries not yet acknowledged
+        #: as flushed; replayed after a reconnect (the server dedupes)
+        self._unflushed: list[tuple[int, str, str, str]] = []
+        #: seqs already delivered over the *current* connection (cleared
+        #: on every reconnect so the rebuild closure knows what to resend)
+        self._sent_on_connection: set[int] = set()
+        self._consecutive_failures = 0
+        self._breaker_open_until = 0.0
+        self._connects = 0
+        #: lifetime fault-handling counters (observable, like cache_stats)
+        self.fault_stats = {
+            "retries": 0,
+            "reconnects": 0,
+            "transport_errors": 0,
+            "breaker_opens": 0,
+            "circuit_rejections": 0,
+        }
+        with self._lock:
+            last: Optional[BaseException] = None
+            for attempt in range(self.retries + 1):
+                if attempt:
+                    self.fault_stats["retries"] += 1
+                    time.sleep(self._backoff(attempt))
+                try:
+                    self._connect_locked()
+                    break
+                except (_ConnectError, _TransportError, OSError) as exc:
+                    self.fault_stats["transport_errors"] += 1
+                    self._drop_socket()
+                    last = exc
+            else:
+                if isinstance(last, ProtocolError):
+                    raise last
+                raise ProtocolError(
+                    f"could not connect to provenance server at "
+                    f"{host}:{port}: {last}"
+                ) from last
         self._session: Optional[RemoteSession] = None
 
     # ------------------------------------------------------------------
@@ -122,18 +197,47 @@ class RemoteStore:
     # ------------------------------------------------------------------
     def _request(self, opcode: int, body: bytes = b"") -> Reader:
         """One request/response exchange; returns a Reader over the answer."""
-        payload = bytes([opcode]) + body
+        return self._exchange(opcode, lambda: body)
+
+    def _exchange(self, opcode: int, rebuild: Callable[[], bytes]) -> Reader:
+        """The retrying request loop shared by every operation.
+
+        *rebuild* produces the request body per attempt — ingest uses it
+        to include exactly the entries not yet delivered over the current
+        connection, so a replay after reconnect resends what the dead
+        connection may have lost and nothing else.
+        """
         with self._lock:
             if self._closed:
                 raise ProtocolError("client connection is closed")
-            try:
-                self._socket.sendall(frame(payload))
-                response = self._read_frame()
-            except OSError as exc:
-                self._teardown()
+            self._check_breaker_locked()
+            last: Optional[BaseException] = None
+            response: Optional[bytes] = None
+            for attempt in range(self.retries + 1):
+                if attempt:
+                    self.fault_stats["retries"] += 1
+                    time.sleep(self._backoff(attempt))
+                try:
+                    if self._socket is None:
+                        self._connect_locked()
+                    payload = bytes([opcode]) + rebuild()
+                    fault_point("client.send")
+                    self._socket.sendall(frame(payload))
+                    response = self._read_frame()
+                    break
+                except (_ConnectError, _TransportError, OSError) as exc:
+                    self.fault_stats["transport_errors"] += 1
+                    self._drop_socket()
+                    last = exc
+            if response is None:
+                self._note_failure_locked()
+                if isinstance(last, ProtocolError):
+                    raise last
                 raise ProtocolError(
-                    f"connection to {self.host}:{self.port} failed: {exc}"
-                ) from exc
+                    f"connection to {self.host}:{self.port} failed: {last}"
+                ) from last
+            # any complete response frame proves the server reachable
+            self._consecutive_failures = 0
         reader = Reader(response)
         status = reader.u8()
         if status == wire.STATUS_OK:
@@ -141,12 +245,86 @@ class RemoteStore:
         error_class = reader.str()
         message = reader.str()
         if status == wire.STATUS_FATAL:
-            # the server is about to close the connection; mirror that
+            # the server is about to close the connection; drop the socket
+            # (the next request reconnects — the client object stays usable)
             with self._lock:
-                self._teardown()
+                self._drop_socket()
         raise _rebuild_error(error_class, message)
 
+    def _connect_locked(self) -> None:
+        """Connect and complete the v3 HELLO handshake (under the lock)."""
+        try:
+            self._socket = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+        except OSError as exc:
+            self._socket = None
+            raise _ConnectError(
+                f"could not connect to provenance server at "
+                f"{self.host}:{self.port}: {exc}"
+            ) from exc
+        self._socket.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sent_on_connection = set()
+        if self._connects:
+            self.fault_stats["reconnects"] += 1
+        self._connects += 1
+        hello = (
+            Writer()
+            .put_u32(wire.PROTOCOL_VERSION)
+            .put_str(self.client_id)
+            .getvalue()
+        )
+        try:
+            self._socket.sendall(frame(bytes([wire.OP_HELLO]) + hello))
+            response = self._read_frame()
+        except OSError as exc:
+            self._drop_socket()
+            raise _ConnectError(
+                f"could not connect to provenance server at "
+                f"{self.host}:{self.port}: {exc}"
+            ) from exc
+        reader = Reader(response)
+        status = reader.u8()
+        if status != wire.STATUS_OK:
+            error_class = reader.str()
+            message = reader.str()
+            self._drop_socket()
+            # a handshake rejection (e.g. version mismatch) is permanent,
+            # not transient: _rebuild_error yields a plain ProtocolError,
+            # which the retry loop deliberately does not catch
+            raise _rebuild_error(error_class, message)
+        self.server_protocol = reader.u32()
+        #: the server-side store path (so ``store.path`` reads sensibly)
+        self.path = f"repro://{self.host}:{self.port}{reader.str()}"
+        self.sharded = reader.bool()
+
+    def _backoff(self, attempt: int) -> float:
+        """Bounded exponential backoff with jitter before attempt *attempt*."""
+        base = min(self.backoff_max, self.backoff_base * (2 ** (attempt - 1)))
+        return base * (0.5 + self._rng.random() / 2)
+
+    def _check_breaker_locked(self) -> None:
+        if self._breaker_open_until <= 0:
+            return
+        now = time.monotonic()
+        if now < self._breaker_open_until:
+            self.fault_stats["circuit_rejections"] += 1
+            raise CircuitOpenError(
+                f"circuit breaker open for {self.host}:{self.port} after "
+                f"{self._consecutive_failures} consecutive failures; "
+                f"retrying in {self._breaker_open_until - now:.2f}s"
+            )
+        # half-open: this request probes the server; failure re-opens
+        self._breaker_open_until = 0.0
+
+    def _note_failure_locked(self) -> None:
+        self._consecutive_failures += 1
+        if self._consecutive_failures >= self.breaker_threshold:
+            self._breaker_open_until = time.monotonic() + self.breaker_reset
+            self.fault_stats["breaker_opens"] += 1
+
     def _read_frame(self) -> bytes:
+        fault_point("client.recv")
         prefix = self._read_exactly(4)
         return self._read_exactly(wire.split_frame_length(prefix))
 
@@ -155,27 +333,30 @@ class RemoteStore:
         while len(chunks) < count:
             chunk = self._socket.recv(count - len(chunks))
             if not chunk:
-                self._teardown()
-                raise ProtocolError(
+                raise _TransportError(
                     "server closed the connection mid-response "
                     f"({len(chunks)} of {count} bytes)"
                 )
             chunks += chunk
         return bytes(chunks)
 
-    def _teardown(self) -> None:
-        self._closed = True
-        try:
-            self._socket.close()
-        except OSError:  # pragma: no cover - close never matters twice
-            pass
+    def _drop_socket(self) -> None:
+        """Close the socket without closing the client (reconnects later)."""
+        sock, self._socket = self._socket, None
+        self._sent_on_connection = set()
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - close never matters twice
+                pass
 
     def close(self) -> None:
         """Close the connection (flushing any server-side ingest buffer)."""
         with self._lock:
             if self._closed:
                 return
-            self._teardown()
+            self._closed = True
+            self._drop_socket()
 
     def __enter__(self) -> "RemoteStore":
         return self
@@ -215,6 +396,10 @@ class RemoteStore:
         """The server-side session/store cache statistics."""
         return json.loads(self._request(wire.OP_CACHE_STATS).str())
 
+    def health(self) -> dict:
+        """The server's HEALTH report: shards, pools, inflight depth (v3)."""
+        return json.loads(self._request(wire.OP_HEALTH).str())
+
     # ------------------------------------------------------------------
     # ingest
     # ------------------------------------------------------------------
@@ -227,29 +412,69 @@ class RemoteStore:
         holds them until the buffer reaches its threshold, an explicit
         :meth:`flush`, or disconnect; the returned list is then empty
         unless this request tripped the automatic flush.
+
+        Every entry carries a client-side sequence token; a reconnect mid
+        exchange replays the unacknowledged entries and the server
+        deduplicates on ``(client_id, seq)``, so no disconnect ordering
+        can drop or double-insert a run.
         """
         from repro.workflow.serialization import run_to_json, specification_to_json
 
-        entries = list(labeled_runs)
-        writer = Writer().put_bool(flush).put_u32(len(entries))
-        for labeled in entries:
-            writer.put_str(labeled.spec_index.scheme_name)
-            writer.put_str(specification_to_json(labeled.run.specification))
-            writer.put_str(run_to_json(labeled.run))
-        reader = self._request(wire.OP_INGEST, writer.getvalue())
+        encoded = []
+        for labeled in labeled_runs:
+            encoded.append(
+                (
+                    labeled.spec_index.scheme_name,
+                    specification_to_json(labeled.run.specification),
+                    run_to_json(labeled.run),
+                )
+            )
+        with self._lock:
+            for scheme, spec_json, run_json in encoded:
+                self._unflushed.append((self._seq, scheme, spec_json, run_json))
+                self._seq += 1
+        return self._ingest_exchange(flush)
+
+    def _ingest_exchange(self, flush: bool) -> list[int]:
+        """One INGEST round trip covering every unacknowledged entry."""
+
+        def rebuild() -> bytes:
+            # runs under the exchange lock, once per attempt: after a
+            # reconnect _sent_on_connection is empty, so everything
+            # unflushed — including what the dead connection buffered —
+            # ships again and the server's dedupe sorts out what committed
+            fresh = [
+                entry
+                for entry in self._unflushed
+                if entry[0] not in self._sent_on_connection
+            ]
+            writer = Writer().put_bool(flush).put_u32(len(fresh))
+            for seq, scheme, spec_json, run_json in fresh:
+                writer.put_i64(seq)
+                writer.put_str(scheme).put_str(spec_json).put_str(run_json)
+            return writer.getvalue()
+
+        reader = self._exchange(wire.OP_INGEST, rebuild)
         flushed = reader.bool()
         run_ids = [reader.i64() for _ in range(reader.u32())]
-        if flushed:
-            self._pending_ingest = 0
-        else:
-            self._pending_ingest += len(entries)
+        with self._lock:
+            if flushed:
+                self._unflushed.clear()
+                self._sent_on_connection = set()
+            else:
+                self._sent_on_connection.update(
+                    entry[0] for entry in self._unflushed
+                )
         return run_ids
 
     def flush(self) -> list[int]:
-        """Commit the server-side ingest buffer; returns the new run ids."""
-        reader = self._request(wire.OP_FLUSH)
-        self._pending_ingest = 0
-        return [reader.i64() for _ in range(reader.u32())]
+        """Commit the server-side ingest buffer; returns the new run ids.
+
+        Routed through INGEST with zero new entries, so entries a dead
+        connection buffered but never committed ride along (the server
+        dedupes any that its disconnect-flush already committed).
+        """
+        return self._ingest_exchange(True)
 
     def add_labeled_runs(self, labeled_runs: Iterable[Any]) -> list[int]:
         """Store many labeled runs (synchronous: commits before returning).
@@ -257,7 +482,7 @@ class RemoteStore:
         Any previously buffered ingest flushes first so the returned ids
         correspond to *labeled_runs* alone, in input order.
         """
-        if self._pending_ingest:
+        if self._unflushed:
             self.flush()
         return self.ingest(labeled_runs, flush=True)
 
@@ -268,7 +493,7 @@ class RemoteStore:
     @property
     def pending_ingest(self) -> int:
         """Client-side count of runs buffered but not yet flushed."""
-        return self._pending_ingest
+        return len(self._unflushed)
 
 
 class _RemotePlan:

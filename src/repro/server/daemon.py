@@ -46,8 +46,11 @@ from __future__ import annotations
 import asyncio
 import json
 import threading
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Optional
+
+from repro.faults import fault_point
 
 from repro.api.queries import (
     BatchQuery,
@@ -81,18 +84,32 @@ MAX_INFLIGHT_DEFAULT = 64
 #: how long stop() waits for a connection's inflight requests to finish
 DRAIN_GRACE_SECONDS = 10.0
 
+#: committed ingest sequence tokens remembered per client — deep enough
+#: that a reconnecting client can replay far more than one buffered batch
+#: without the dedupe window having rolled over
+INGEST_DEDUPE_SEQS = 4096
+
+#: clients tracked in the dedupe map before the least recently seen one
+#: is forgotten (a forgotten client's replays would re-commit; 64 covers
+#: every realistic connection churn for a single daemon)
+INGEST_DEDUPE_CLIENTS = 64
+
 
 class _Connection:
     """Everything one TCP connection owns on the server side."""
 
     def __init__(self, session: ProvenanceSession) -> None:
         self.session = session
-        #: buffered (scheme, spec_json, run_json) ingest entries
-        self.ingest_buffer: list[tuple[str, str, str]] = []
+        #: buffered (seq, scheme, spec_json, run_json) ingest entries
+        self.ingest_buffer: list[tuple[int, str, str, str]] = []
         #: labelers reused across this connection's ingest flushes
         self.labelers: dict[tuple[str, str], Any] = {}
         #: set once a fatal frame went out; later queue items are discarded
         self.dead = False
+        #: the client's self-assigned id from the v3 HELLO ("" until then);
+        #: keys the server-global ingest dedupe map, so entries replayed
+        #: over a new connection after a mid-flush disconnect commit once
+        self.client_id = ""
 
 
 class ProvenanceServer:
@@ -147,8 +164,16 @@ class ProvenanceServer:
         self._store_pool = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-server-store"
         )
-        self._connections: set[tuple[asyncio.Queue, asyncio.StreamWriter]] = set()
+        self._connections: set[
+            tuple[asyncio.Queue, asyncio.StreamWriter, _Connection]
+        ] = set()
         self._stopped = False
+        # committed (client_id, seq) ingest tokens -> run_id; mutated only
+        # on the store thread, so the disconnect-flush of a dying
+        # connection and the replay arriving over its successor serialize
+        # instead of racing (whichever runs first commits, the other
+        # returns the recorded ids)
+        self._ingest_seen: dict[str, OrderedDict[int, int]] = {}
         self._handlers = {
             wire.OP_HELLO: self._op_hello,
             wire.OP_POINT: self._op_point,
@@ -164,6 +189,7 @@ class ProvenanceServer:
             wire.OP_STATISTICS: self._op_statistics,
             wire.OP_LIST_RUNS: self._op_list_runs,
             wire.OP_LIST_SPECS: self._op_list_specs,
+            wire.OP_HEALTH: self._op_health,
         }
 
     # ------------------------------------------------------------------
@@ -221,13 +247,31 @@ class ProvenanceServer:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
-        for queue, writer in list(self._connections):
+        for queue, writer, _ in list(self._connections):
             try:
                 await asyncio.wait_for(queue.join(), timeout=DRAIN_GRACE_SECONDS)
             except asyncio.TimeoutError:
                 pass
             writer.close()
         loop = asyncio.get_running_loop()
+        # deterministic flush-or-reject for ingest still buffered at
+        # shutdown: a disconnect racing stop() can leave the reader's eof
+        # sentinel unprocessed when the queue drains (join() returns at
+        # zero unfinished items *before* the sentinel is enqueued), and a
+        # connection that never disconnected gets no sentinel at all —
+        # either way the responder's own disconnect-flush would run after
+        # the store thread is gone and silently drop the buffer.  Flushing
+        # here, while the store thread is still alive, is double-flush
+        # safe: _flush_ingest pops the buffer first and every flush
+        # serializes on the single store thread.
+        for _, _, state in list(self._connections):
+            if state.ingest_buffer:
+                try:
+                    await loop.run_in_executor(
+                        self._store_pool, self._flush_ingest, state
+                    )
+                except ReproError:
+                    pass  # rejected deterministically (store-level error)
         if self._owns_store and self._store is not None:
             await loop.run_in_executor(self._store_pool, self._store.close)
         self._store_pool.shutdown(wait=True)
@@ -242,12 +286,16 @@ class ProvenanceServer:
             ProvenanceSession(self._store, promote_after=self.promote_after)
         )
         queue: asyncio.Queue = asyncio.Queue(maxsize=self.max_inflight)
-        record = (queue, writer)
+        record = (queue, writer, state)
         self._connections.add(record)
         responder = asyncio.create_task(self._respond_loop(queue, writer, state))
         fatal: Optional[ProtocolError] = None
         try:
             while True:
+                # an injected connection fault here takes the (ConnectionError,
+                # OSError) path below: the connection dies, buffered ingest
+                # still flushes via the eof sentinel
+                fault_point("server.read")
                 try:
                     prefix = await reader.readexactly(4)
                 except asyncio.IncompleteReadError as exc:
@@ -313,12 +361,17 @@ class ProvenanceServer:
                     state.dead = True
                     writer.close()
             except (ConnectionError, OSError):
+                # the response cannot reach the client (peer gone, or an
+                # injected server.write fault): close the transport so the
+                # client sees EOF now instead of waiting out its timeout
                 state.dead = True
+                writer.close()
             finally:
                 queue.task_done()
 
     @staticmethod
     async def _send(writer: asyncio.StreamWriter, response: bytes) -> None:
+        fault_point("server.write")
         writer.write(response)
         await writer.drain()
 
@@ -347,12 +400,16 @@ class ProvenanceServer:
     # ------------------------------------------------------------------
     def _op_hello(self, state: _Connection, reader: Reader) -> bytes:
         client_version = reader.u32()
-        reader.expect_end()
+        # version is checked before the v3 client-id field is read, so a
+        # v2 client's 4-byte body gets the mismatch message, not a
+        # truncated-payload error
         if client_version != wire.PROTOCOL_VERSION:
             raise ProtocolError(
                 f"protocol version mismatch: client speaks {client_version}, "
                 f"server speaks {wire.PROTOCOL_VERSION}"
             )
+        state.client_id = reader.str()
+        reader.expect_end()
         writer = Writer()
         writer.put_u32(wire.PROTOCOL_VERSION)
         writer.put_str(str(self._store.path))
@@ -458,7 +515,10 @@ class ProvenanceServer:
         flush_requested = reader.bool()
         count = reader.u32()
         for _ in range(count):
-            state.ingest_buffer.append((reader.str(), reader.str(), reader.str()))
+            seq = reader.i64()
+            state.ingest_buffer.append(
+                (seq, reader.str(), reader.str(), reader.str())
+            )
         reader.expect_end()
         run_ids: list[int] = []
         flushed = flush_requested or (
@@ -479,8 +539,28 @@ class ProvenanceServer:
             writer.put_i64(run_id)
         return writer.getvalue()
 
+    def _seen_of(self, client_id: str) -> "OrderedDict[int, int]":
+        """The client's committed-seq map (store thread only; LRU-bounded)."""
+        seen = self._ingest_seen.get(client_id)
+        if seen is None:
+            if len(self._ingest_seen) >= INGEST_DEDUPE_CLIENTS:
+                self._ingest_seen.pop(next(iter(self._ingest_seen)))
+            seen = self._ingest_seen[client_id] = OrderedDict()
+        else:
+            # bump the client to most-recently-seen
+            self._ingest_seen[client_id] = self._ingest_seen.pop(client_id)
+        return seen
+
     def _flush_ingest(self, state: _Connection) -> list[int]:
-        """Label and commit the connection's buffered runs, in buffer order."""
+        """Label and commit the connection's buffered runs, in buffer order.
+
+        Entries whose ``(client_id, seq)`` token already committed — a
+        reconnecting client replaying a batch whose acknowledgment it
+        never received — are answered with their recorded run ids instead
+        of being labeled and inserted again: exactly-once ingest across
+        disconnects.  Runs only on the store thread, so the dedupe map
+        never races.
+        """
         if not state.ingest_buffer:
             return []
         from repro.skeleton.skl import SkeletonLabeler
@@ -490,8 +570,16 @@ class ProvenanceServer:
         )
 
         entries, state.ingest_buffer = state.ingest_buffer, []
+        seen = self._seen_of(state.client_id) if state.client_id else None
+        run_ids: list[int] = []
+        fresh: list[tuple[int, int]] = []  # (position in run_ids, seq)
         labeled = []
-        for scheme, spec_json, run_json in entries:
+        for seq, scheme, spec_json, run_json in entries:
+            if seen is not None and seq >= 0 and seq in seen:
+                run_ids.append(seen[seq])
+                continue
+            fresh.append((len(run_ids), seq))
+            run_ids.append(-1)  # patched after the commit below
             key = (scheme, spec_json)
             labeler = state.labelers.get(key)
             if labeler is None:
@@ -500,11 +588,21 @@ class ProvenanceServer:
             run = run_from_json(run_json, labeler.specification)
             labeled.append(labeler.label_run(run))
         add_many = getattr(self._store, "add_labeled_runs", None)
-        if add_many is not None:
+        if not labeled:
+            committed: list[int] = []  # every entry was a replayed duplicate
+        elif add_many is not None:
             # the sharded store's ingest service: per-shard sub-batches
             # commit concurrently through its persistent worker pool
-            return list(add_many(labeled))
-        return [self._store.add_labeled_run(item) for item in labeled]
+            committed = list(add_many(labeled))
+        else:
+            committed = [self._store.add_labeled_run(item) for item in labeled]
+        for (position, seq), run_id in zip(fresh, committed):
+            run_ids[position] = run_id
+            if seen is not None and seq >= 0:
+                seen[seq] = run_id
+                while len(seen) > INGEST_DEDUPE_SEQS:
+                    seen.popitem(last=False)
+        return run_ids
 
     def _op_cache_stats(self, state: _Connection, reader: Reader) -> bytes:
         reader.expect_end()
@@ -531,6 +629,36 @@ class ProvenanceServer:
         reader.expect_end()
         specs = self._store.list_specifications()
         return Writer().put_str(json.dumps(specs)).getvalue()
+
+    def _op_health(self, state: _Connection, reader: Reader) -> bytes:
+        """Liveness report (protocol v3): shards, pools, inflight depth.
+
+        Runs on the store thread like every other op — a wedged store
+        thread therefore makes HEALTH hang too, which is exactly the
+        signal a prober wants (the accept loop alone proving nothing).
+        """
+        reader.expect_end()
+        store = self._store
+        shard_stores = list(getattr(store, "_stores", None) or [store])
+        reachable = 0
+        for shard in shard_stores:
+            try:
+                shard._connection.execute("SELECT 1").fetchone()
+                reachable += 1
+            except Exception:  # noqa: BLE001 - any failure means unreachable
+                pass
+        health = {
+            "status": "ok" if reachable == len(shard_stores) else "degraded",
+            "protocol": wire.PROTOCOL_VERSION,
+            "shards_total": len(shard_stores),
+            "shards_reachable": reachable,
+            "pools": store.pool_stats(),
+            "connections": len(self._connections),
+            "inflight": sum(queue.qsize() for queue, _, _ in self._connections),
+            "ingest_buffered": len(state.ingest_buffer),
+            "degraded": store.cache_stats().get("degraded", {}),
+        }
+        return Writer().put_str(json.dumps(health, default=str)).getvalue()
 
 
 def _error_frame(status: int, exc: BaseException) -> bytes:

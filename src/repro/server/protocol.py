@@ -53,6 +53,7 @@ __all__ = [
     "OP_STATISTICS",
     "OP_LIST_RUNS",
     "OP_LIST_SPECS",
+    "OP_HEALTH",
     "OP_NAMES",
     "Writer",
     "Reader",
@@ -63,7 +64,12 @@ __all__ = [
 #: bumped on any incompatible change; exchanged in the HELLO handshake.
 #: Version 2 appends a pushdown-mode byte to the SWEEP and CROSS_SWEEP
 #: request bodies (see :func:`put_pushdown`).
-PROTOCOL_VERSION = 2
+#: Version 3 adds fault tolerance: the HELLO request carries a client id
+#: string after the version, every INGEST entry is prefixed with an i64
+#: sequence token (the server deduplicates ``(client_id, seq)`` so a
+#: reconnecting client can safely replay unacknowledged entries), and the
+#: HEALTH op reports shard reachability, pool liveness and inflight depth.
+PROTOCOL_VERSION = 3
 
 #: default TCP port of ``repro-provenance serve`` and ``repro://`` URLs
 DEFAULT_PORT = 9763
@@ -90,7 +96,8 @@ STATUS_FATAL = 2
     OP_STATISTICS,
     OP_LIST_RUNS,
     OP_LIST_SPECS,
-) = range(1, 15)
+    OP_HEALTH,
+) = range(1, 16)
 
 #: opcode -> display name (error messages and the bench's op mix report)
 OP_NAMES = {
@@ -108,6 +115,7 @@ OP_NAMES = {
     OP_STATISTICS: "statistics",
     OP_LIST_RUNS: "list-runs",
     OP_LIST_SPECS: "list-specs",
+    OP_HEALTH: "health",
 }
 
 _LEN = struct.Struct("<I")

@@ -7,6 +7,7 @@ from pathlib import Path
 from typing import Union
 
 from repro.exceptions import StorageError
+from repro.faults import fault_point
 from repro.storage.schema import (
     SCHEMA_INDEX_STATEMENTS,
     SCHEMA_MIGRATIONS,
@@ -100,6 +101,10 @@ def connect(
     if journal_mode.upper() not in ("MEMORY", "WAL", "DELETE", "TRUNCATE", "PERSIST", "OFF"):
         raise StorageError(f"unsupported journal mode {journal_mode!r}")
     try:
+        # deterministic fault injection (sql-kind faults land in the
+        # sqlite3.Error handler below, so callers see the usual typed
+        # StorageError); see repro.faults
+        fault_point("store.connect")
         # when the sqlite3 module serializes all access itself
         # (threadsafety 3, the norm on modern CPython builds), the store's
         # connections may be shared across threads — a sharded store's

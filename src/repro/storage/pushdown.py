@@ -40,6 +40,7 @@ import sqlite3
 from typing import Optional
 
 from repro.exceptions import LabelingError, StorageError, VertexNotFoundError
+from repro.faults import fault_point
 from repro.labeling.registry import get_scheme
 from repro.storage.database import (
     SQLITE_MAX_VARIABLE_NUMBER,
@@ -156,6 +157,9 @@ def pushdown_sweep(
     :func:`~repro.storage.database.iter_value_chunks` helper, so arbitrarily
     many runs and modules stay under SQLite's host-parameter limit.
     """
+    # sql-kind faults injected here surface as sqlite3.OperationalError,
+    # which the planner degrades to the streamed kernel (see _SweepPlan)
+    fault_point("pushdown.sql")
     module, instance = anchor
     run_ids = [int(run_id) for run_id in run_ids]
     modules = list(modules)

@@ -162,6 +162,10 @@ class ShardedProvenanceStore(WorkerPoolOwner):
         ]
         self._session = None
         self._closed = False
+        # degradation events noted against the sharded layer itself (the
+        # cross-run executor holds this store); shard-local events are
+        # aggregated in from the shard stores by cache_stats
+        self._degraded: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # routing
@@ -520,6 +524,10 @@ class ShardedProvenanceStore(WorkerPoolOwner):
         )
         shard_store._note_sweep_path(scheme, pushdown=pushdown)
 
+    def note_degraded(self, kind: str) -> None:
+        """Count one graceful-degradation event (see the single store's doc)."""
+        self._degraded[kind] = self._degraded.get(kind, 0) + 1
+
     def _deprecated(self, old: str, query: str) -> None:
         # one hop deeper than the shared helper's default (shim -> here -> warn)
         warn_deprecated_query("ShardedProvenanceStore", old, query, stacklevel=4)
@@ -586,6 +594,7 @@ class ShardedProvenanceStore(WorkerPoolOwner):
             "evictions": 0,
         }
         pushdown: dict[str, dict[str, int]] = {"sql": {}, "kernel": {}}
+        degraded = dict(self._degraded)
         for store in self._stores:
             shard_stats = store.cache_stats()
             for key in totals:
@@ -594,11 +603,14 @@ class ShardedProvenanceStore(WorkerPoolOwner):
                 merged = pushdown.setdefault(path, {})
                 for scheme, count in counts.items():
                     merged[scheme] = merged.get(scheme, 0) + int(count)
+            for kind, count in shard_stats.get("degraded", {}).items():
+                degraded[kind] = degraded.get(kind, 0) + int(count)
         stats = {
             "shards": self.shard_count,
             **totals,
             "limit": STORED_RUN_CACHE_LIMIT * self.shard_count,
             "pushdown": pushdown,
+            "degraded": degraded,
         }
         pools = self.pool_stats()
         if pools:

@@ -45,6 +45,7 @@ from repro.engine.kernels import SpecKernel, compile_spec_kernel
 from repro.engine.pool import WorkerPoolOwner
 from repro.engine.query import QueryEngine
 from repro.exceptions import StorageError
+from repro.faults import fault_point
 from repro.labeling.base import VertexHandleAPI
 from repro.labeling.registry import get_scheme
 from repro.provenance.data import DataFlow
@@ -139,6 +140,7 @@ def load_label_arrays(
     zero-copy views into one chunk-wide array.  Run ids without rows yield
     empty arrays — existence policy is the caller's.
     """
+    fault_point("store.load_label_arrays")
     distinct: list[int] = []
     seen: set[int] = set()
     for run_id in run_ids:
@@ -371,6 +373,9 @@ class ProvenanceStore(WorkerPoolOwner):
         # pushdown vs the streamed kernel, so planner decisions and scheme
         # skew stay observable through cache_stats().
         self._sweep_paths: dict[str, dict[str, int]] = {"sql": {}, "kernel": {}}
+        # Graceful-degradation events (pushdown falling back to the kernel,
+        # worker chunks retried or re-run sequentially); see note_degraded.
+        self._degraded: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -948,6 +953,19 @@ class ProvenanceStore(WorkerPoolOwner):
         counts = self._sweep_paths["sql" if pushdown else "kernel"]
         counts[scheme] = counts.get(scheme, 0) + 1
 
+    def note_degraded(self, kind: str) -> None:
+        """Count one graceful-degradation event under *kind*.
+
+        The planner and the parallel executor call this when a fast path
+        failed and a slower-but-correct one served the answer instead —
+        ``pushdown_fallback`` (SQL pushdown fell back to the streamed
+        kernel), ``worker_retry`` (a crashed/hung chunk was resubmitted),
+        ``worker_sequential`` (the retry failed too; the chunk ran
+        sequentially on the submitting side).  Surfaced as
+        ``cache_stats()["degraded"]``.
+        """
+        self._degraded[kind] = self._degraded.get(kind, 0) + 1
+
     # ------------------------------------------------------------------
     # data provenance
     # ------------------------------------------------------------------
@@ -1065,6 +1083,7 @@ class ProvenanceStore(WorkerPoolOwner):
                 "sql": dict(self._sweep_paths["sql"]),
                 "kernel": dict(self._sweep_paths["kernel"]),
             },
+            "degraded": dict(self._degraded),
         }
         pools = self.pool_stats()
         if pools:

@@ -17,8 +17,8 @@ class TestParser:
         commands = set(subactions[0].choices)
         assert commands == {
             "generate-spec", "generate-run", "label", "query", "query-batch",
-            "pack-workload", "sweep", "cross-batch", "serve", "verify", "info",
-            "experiments",
+            "pack-workload", "sweep", "cross-batch", "serve", "health",
+            "verify", "info", "experiments",
         }
 
     def test_missing_command_errors(self, capsys):

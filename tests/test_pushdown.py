@@ -374,8 +374,10 @@ class TestExplainQueryPlan:
 
 
 class TestWireProtocol:
-    def test_protocol_version_is_two(self):
-        assert wire.PROTOCOL_VERSION == 2
+    def test_protocol_version_covers_pushdown_and_faults(self):
+        # v2 added the pushdown byte; v3 the fault-tolerance handshake
+        # (HELLO client id, ingest sequence tokens, the HEALTH op)
+        assert wire.PROTOCOL_VERSION == 3
 
     @pytest.mark.parametrize("mode", [None, "auto", "always", "never"])
     def test_pushdown_mode_round_trips(self, mode):

@@ -69,8 +69,14 @@ def _raw_exchange(server, payloads, *, read_responses=1):
     """Speak raw bytes to the server; returns the response frames read."""
     responses = []
     with socket.create_connection((server.host, server.port), timeout=10) as sock:
-        # handshake so the failure under test is the interesting frame
-        sock.sendall(frame(bytes([wire.OP_HELLO]) + struct.pack("<I", PROTOCOL_VERSION)))
+        # handshake (v3: version + client id) so the failure under test is
+        # the interesting frame
+        sock.sendall(
+            frame(
+                bytes([wire.OP_HELLO])
+                + Writer().put_u32(PROTOCOL_VERSION).put_str("raw-test").getvalue()
+            )
+        )
         _read_frame(sock)
         for payload in payloads:
             sock.sendall(payload)
