@@ -1,0 +1,108 @@
+"""Hot-spec sweeps before vs after ``rebalance`` + read replicas.
+
+Benchmarked operation: one :meth:`ShardedProvenanceStore.rebalance` call
+(copy the spec's rows under the shard write locks, flip the routing
+catalog in one transaction, delete the source rows, checkpoint both
+shards).  Printed series: cross-run sweep latency of a hot specification
+that owns ~80% of the stored runs, measured against the shard it shares
+with a churning cold spec (pre) and again after the maintenance path
+moves it to a dedicated shard and attaches two read replicas (post).
+
+Acceptance bars: on hosts with >= 2 real cores the post-rebalance sweeps
+must reach >= 2x the pre-rebalance throughput at default scale and
+>= 1.2x at smoke scale (replica fan-out spreads the workers over
+journal-less snapshot files).  Answers are verified bit-identical to a
+never-rebalanced single-file store before the migration, after a
+crash-injected migration attempt (the ``routing.migrate`` fault point)
+and after the real rebalance, inside the experiment, before any number
+is reported.  Single-core hosts cannot parallelise the fan-out and keep
+only the checkpointed-shard and clustering wins, which at RAM scale are
+thin; they gate only against pathological slowdown.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.bench.experiments import throughput_shard_rebalance
+from repro.skeleton.skl import SkeletonLabeler
+from repro.storage.sharded import ShardedProvenanceStore, shard_of_spec
+from repro.storage.store import ProvenanceStore
+from repro.workflow.execution import generate_run_with_size
+
+
+def test_throughput_shard_rebalance(benchmark, bench_scale, report_sink, tmp_path):
+    from repro.bench.experiments import comparison_specification
+
+    shards = 4
+    spec = comparison_specification()
+    labeler = SkeletonLabeler(spec, "tcm")
+    labeled = [
+        labeler.label_run(
+            generate_run_with_size(
+                spec, bench_scale.run_sizes[0], seed=seed, name=f"bench-{seed}"
+            ).run
+        )
+        for seed in range(4)
+    ]
+    store = ShardedProvenanceStore(tmp_path / "bench-rebalance", shards)
+    store.add_labeled_runs(labeled)
+    home = shard_of_spec(spec.name, shards)
+    counters = {"moves": 0}
+
+    def move_spec():
+        # ping-pong the spec between its home shard and the next one: every
+        # call exercises the full copy -> flip -> delete -> checkpoint path
+        counters["moves"] += 1
+        target = (home + 1) % shards if counters["moves"] % 2 else home
+        return store.rebalance(spec.name, target)
+
+    summary = benchmark(move_spec)
+    assert summary["moved_runs"] == len(labeled)
+
+    # wherever the ping-pong left the spec, answers must match a plain
+    # single-file store built from the same runs
+    single = ProvenanceStore(tmp_path / "bench-single.db")
+    for item in labeled:
+        single.add_labeled_run(item)
+    single_runs = single.list_runs(spec.name)
+    moved_runs = store.list_runs(spec.name)
+    assert len(single_runs) == len(moved_runs) == len(labeled)
+    for single_row, moved_row in zip(single_runs, moved_runs):
+        assert single_row["name"] == moved_row["name"]
+        assert single.all_labels_of(single_row["run_id"]) == store.all_labels_of(
+            moved_row["run_id"]
+        )
+    single.close()
+    store.close()
+
+    result = report_sink(throughput_shard_rebalance(bench_scale))
+    rows = {(row["workload"], row["mode"]): row for row in result.rows}
+
+    # Every measured row carries a real ratio; correctness (sharded sweep ==
+    # never-rebalanced single-file sweep, including across the crash-injected
+    # migration attempt) is enforced inside the experiment before any number
+    # is reported.
+    for row in result.rows:
+        assert row["speedup"] is not None and row["speedup"] > 0, row
+
+    sweep = rows[("sweep-hot-spec", "thread")]
+    assert sweep["rebalanced"] is True
+    assert sweep["replicas"] == 2
+    assert sweep["moved_runs"] == sweep["hot_runs"]
+
+    default_scale = sweep["vertices_per_run"] >= 1_000
+    cores = os.cpu_count() or 1
+    if default_scale and cores >= 2:
+        # The headline claim: with real cores, a dedicated checkpointed
+        # shard plus two replica files the executor fans its workers over
+        # must at least double the hot spec's sweep throughput.
+        assert sweep["speedup"] >= 2.0, sweep
+    elif cores >= 2:
+        assert sweep["speedup"] >= 1.2, sweep
+    else:
+        # Single-core hosts cannot parallelise the replica fan-out, and
+        # rotating reads over three snapshot files dilutes the one core's
+        # page cache, so honest ratios here straddle break-even; gate only
+        # against pathological slowdown.
+        assert sweep["speedup"] >= 0.6, sweep

@@ -53,6 +53,9 @@ _IDENTITY_KEYS = (
     "vertices",
     "updates",
     "faults",
+    "hot_runs",
+    "replicas",
+    "rebalanced",
 )
 
 

@@ -283,7 +283,21 @@ class _CrossRunPlanBase(QueryPlan):
         # worker pool (lazily started on the first parallel execution and
         # closed with the store), so a monitoring loop re-executing one
         # plan pays neither pool startup nor process-mode re-pickling
-        self._executor = CrossRunExecutor(target.store, workers=query.workers)
+        workers = query.workers
+        if workers is None:
+            # replica awareness: a spec whose shard carries attached read
+            # replicas can serve one worker connection per file, so the
+            # fan width floors the auto worker count — the auto sizing
+            # would otherwise stay sequential on small hosts and leave
+            # the replica set idle
+            fan_of = getattr(target.store, "read_fan_of", None)
+            if fan_of is not None:
+                fan = fan_of(query.specification)
+                if fan > 1:
+                    from repro.engine.parallel import MAX_AUTO_WORKERS
+
+                    workers = min(fan, MAX_AUTO_WORKERS)
+        self._executor = CrossRunExecutor(target.store, workers=workers)
 
 
 class _CrossRunPlan(_CrossRunPlanBase):

@@ -562,6 +562,31 @@ class CrossRunExecutor:
             groups.setdefault(str(shard_path_of(run_id)), []).append(run_id)
         return list(groups.items())
 
+    def _fan_chunks(self, run_ids, workers: int, *, cap_tasks: bool = False):
+        """``(db_path, chunk)`` pairs with hot-spec replica fan-out.
+
+        When the store attaches read replicas to a shard
+        (:meth:`~repro.storage.sharded.ShardedProvenanceStore.replicate`),
+        its rotation — ``[primary] + fresh replicas`` — is round-robined
+        across that shard's chunks, so concurrent worker connections stop
+        queueing on one file (and one WAL).  A store without the hook, or
+        with a stale/absent replica set, degenerates to the primary path
+        for every chunk.  Replicas are consistent snapshots refreshed by
+        the store's write-version handshake, so every path in a rotation
+        answers bit-identically.
+        """
+        rotation_of = getattr(self.store, "replica_rotation", None)
+        for db_path, path_runs in self._path_groups(run_ids):
+            paths = [db_path]
+            if rotation_of is not None:
+                rotation = rotation_of(db_path)
+                if rotation:
+                    paths = list(rotation)
+            for index, chunk in enumerate(
+                self._chunks(path_runs, workers, cap_tasks=cap_tasks)
+            ):
+                yield paths[index % len(paths)], chunk
+
     @staticmethod
     def _chunks(run_ids: Sequence[int], workers: int = 1, *, cap_tasks: bool = False):
         """Chunk runs so the whole pool stays busy.
@@ -636,8 +661,9 @@ class CrossRunExecutor:
                         ),
                     ),
                 )
-                for db_path, path_runs in self._path_groups(shippable)
-                for chunk in self._chunks(path_runs, workers, cap_tasks=cap_tasks)
+                for db_path, chunk in self._fan_chunks(
+                    shippable, workers, cap_tasks=cap_tasks
+                )
             ]
 
             def drain(submit, submitted):
@@ -666,8 +692,9 @@ class CrossRunExecutor:
 
         chunk_tasks = [
             (_thread_chunk_task, (db_path, chunk, kernels, evaluate))
-            for db_path, path_runs in self._path_groups(run_ids)
-            for chunk in self._chunks(path_runs, workers, cap_tasks=cap_tasks)
+            for db_path, chunk in self._fan_chunks(
+                run_ids, workers, cap_tasks=cap_tasks
+            )
         ]
         if pool is not None:
             for record in self._submit_chunks(pool.submit, chunk_tasks):
@@ -782,8 +809,9 @@ class CrossRunExecutor:
         cap_tasks = pool is not None and pool.workers > workers
         chunk_tasks = [
             (_pushdown_chunk_task, (db_path, chunk, anchor, modules, downstream))
-            for db_path, path_runs in self._path_groups(run_ids)
-            for chunk in self._chunks(path_runs, workers, cap_tasks=cap_tasks)
+            for db_path, chunk in self._fan_chunks(
+                run_ids, workers, cap_tasks=cap_tasks
+            )
         ]
 
         outcomes: dict[int, Any] = {}

@@ -17,6 +17,8 @@ point                      where it fires
 ``pool.submit``            :meth:`repro.engine.pool.PersistentWorkerPool.submit`
 ``pool.task``              inside every cross-run chunk task (worker side)
 ``pushdown.sql``           :func:`repro.storage.pushdown.pushdown_sweep`
+``routing.migrate``        :func:`repro.storage.routing.migrate_spec`, between
+                           the copy commit and the routing flip
 ``server.read``            the daemon's frame-reader coroutine
 ``server.write``           the daemon's frame-writer
 ``client.send``            :class:`~repro.server.client.RemoteStore` request send
@@ -97,6 +99,7 @@ FAULT_POINTS = frozenset(
         "pool.submit",
         "pool.task",
         "pushdown.sql",
+        "routing.migrate",
         "server.read",
         "server.write",
         "client.send",

@@ -54,6 +54,9 @@ __all__ = [
     "OP_LIST_RUNS",
     "OP_LIST_SPECS",
     "OP_HEALTH",
+    "OP_REBALANCE",
+    "OP_REPLICATE",
+    "OP_ROUTING",
     "OP_NAMES",
     "Writer",
     "Reader",
@@ -69,7 +72,11 @@ __all__ = [
 #: sequence token (the server deduplicates ``(client_id, seq)`` so a
 #: reconnecting client can safely replay unacknowledged entries), and the
 #: HEALTH op reports shard reachability, pool liveness and inflight depth.
-PROTOCOL_VERSION = 3
+#: Version 4 adds the shard routing subsystem: the REBALANCE, REPLICATE
+#: and ROUTING maintenance opcodes (sharded stores only), and the HEALTH
+#: report gains the per-shard skew table (spec/run counts, file bytes,
+#: sweep hits, replicas) from ``cache_stats()["shards"]``.
+PROTOCOL_VERSION = 4
 
 #: default TCP port of ``repro-provenance serve`` and ``repro://`` URLs
 DEFAULT_PORT = 9763
@@ -97,7 +104,10 @@ STATUS_FATAL = 2
     OP_LIST_RUNS,
     OP_LIST_SPECS,
     OP_HEALTH,
-) = range(1, 16)
+    OP_REBALANCE,
+    OP_REPLICATE,
+    OP_ROUTING,
+) = range(1, 19)
 
 #: opcode -> display name (error messages and the bench's op mix report)
 OP_NAMES = {
@@ -116,6 +126,9 @@ OP_NAMES = {
     OP_LIST_RUNS: "list-runs",
     OP_LIST_SPECS: "list-specs",
     OP_HEALTH: "health",
+    OP_REBALANCE: "rebalance",
+    OP_REPLICATE: "replicate",
+    OP_ROUTING: "routing",
 }
 
 _LEN = struct.Struct("<I")

@@ -1,0 +1,166 @@
+"""Hot-spec read replicas: cheap file copies the executor fans reads over.
+
+A sweep of the hottest specification opens every worker connection
+against one shard file.  WAL keeps those readers unblocked, but they all
+share one b-tree, one WAL and one wal-index — and while ingest churns
+the same shard, every reader also pays to resolve pages through the
+growing WAL.  A **read replica** is simply a checkpointed copy of the
+owning shard file (taken through SQLite's backup API, so it is a
+consistent snapshot even mid-write): the
+:class:`~repro.engine.parallel.CrossRunExecutor` round-robins its
+per-worker read-only connections over ``[primary] + replicas``, so
+hot-spec sweeps stop queueing on one file.
+
+Freshness is a version handshake, mirroring the ``update_version``
+tokens the engine layer uses for label invalidation: every write into a
+shard bumps that shard's version (:meth:`ReplicaManager.note_write`);
+a replica set remembers the version it was copied at.  A stale set is
+**invalidated** (readers silently fall back to the primary — bit-identical,
+just unfanned) and **refreshed** on the next rotation request by
+re-copying the shard file.  Replicas from an earlier process are
+discarded on open: their freshness cannot be proven.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.exceptions import StorageError
+
+__all__ = ["ReplicaManager", "REPLICA_DIR_NAME", "MAX_REPLICAS"]
+
+#: subdirectory of the sharded store holding replica files; kept out of
+#: the store directory itself so ``glob("shard-*.db")`` shard-count
+#: recovery never miscounts replicas as shards
+REPLICA_DIR_NAME = "replicas"
+
+#: upper bound on replicas per shard — each is a full file copy; past a
+#: handful the copies cost more than the fan-out buys
+MAX_REPLICAS = 8
+
+
+class _ReplicaSet:
+    """One shard's attached replicas and the version they were copied at."""
+
+    __slots__ = ("paths", "version", "count")
+
+    def __init__(self, paths: list[str], version: int, count: int) -> None:
+        self.paths = paths
+        self.version = version
+        self.count = count
+
+
+class ReplicaManager:
+    """Per-shard replica sets for one sharded store directory."""
+
+    def __init__(self, directory: Path, shard_paths: Sequence[Path]) -> None:
+        self.directory = Path(directory) / REPLICA_DIR_NAME
+        self._shard_paths = [str(path) for path in shard_paths]
+        self._versions = [0] * len(self._shard_paths)
+        self._sets: dict[int, _ReplicaSet] = {}
+        self._lock = threading.Lock()
+        if self.directory.exists():
+            # replicas of a previous process: freshness unprovable, drop them
+            for stale in self.directory.glob("shard-*.db"):
+                stale.unlink()
+
+    # ------------------------------------------------------------------
+    # the write-side handshake
+    # ------------------------------------------------------------------
+    def note_write(self, shard: int) -> None:
+        """Invalidate shard *shard*'s replicas (a write made them stale)."""
+        with self._lock:
+            self._versions[shard] += 1
+
+    # ------------------------------------------------------------------
+    # attach / refresh / serve
+    # ------------------------------------------------------------------
+    def replicate(self, shard: int, count: int) -> list[str]:
+        """Attach *count* read replicas of shard *shard* (re-copying stale ones)."""
+        count = int(count)
+        if not 1 <= count <= MAX_REPLICAS:
+            raise StorageError(
+                f"replica count must be between 1 and {MAX_REPLICAS}, got {count}"
+            )
+        with self._lock:
+            return self._copy_locked(shard, count).paths
+
+    def drop(self, shard: int) -> None:
+        """Detach (and delete) shard *shard*'s replicas."""
+        with self._lock:
+            replica_set = self._sets.pop(shard, None)
+            if replica_set is not None:
+                for path in replica_set.paths:
+                    Path(path).unlink(missing_ok=True)
+
+    def rotation(self, shard: int) -> list[str]:
+        """The fresh replica paths of *shard*, refreshing a stale set.
+
+        Returns ``[]`` when no replicas are attached.  A stale set (a
+        write landed since the last copy) is refreshed here — the
+        read-side moment the ``update_version`` handshake resolves —
+        so rotations only ever serve bit-identical snapshots.
+        """
+        replica_set = self._sets.get(shard)
+        if replica_set is None:
+            return []
+        with self._lock:
+            replica_set = self._sets.get(shard)
+            if replica_set is None:  # pragma: no cover - raced drop
+                return []
+            if replica_set.version != self._versions[shard]:
+                try:
+                    replica_set = self._copy_locked(shard, replica_set.count)
+                except sqlite3.Error:
+                    # a failing refresh must never fail the read — detach
+                    # the set and let every reader use the primary
+                    self._sets.pop(shard, None)
+                    return []
+            return replica_set.paths
+
+    def paths_of(self, shard: int) -> list[str]:
+        """Attached replica paths of *shard* (no refresh side effect)."""
+        replica_set = self._sets.get(shard)
+        return list(replica_set.paths) if replica_set is not None else []
+
+    def counts(self) -> dict[int, int]:
+        """Attached replica count per shard (diagnostics)."""
+        return {shard: len(rs.paths) for shard, rs in self._sets.items()}
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _copy_locked(self, shard: int, count: int) -> _ReplicaSet:
+        """(Re)copy shard *shard* into *count* replica files, under the lock."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        version = self._versions[shard]
+        shard_name = Path(self._shard_paths[shard]).stem
+        paths: list[str] = []
+        source = sqlite3.connect(self._shard_paths[shard])
+        try:
+            for index in range(count):
+                replica = self.directory / f"{shard_name}-r{index + 1}.db"
+                replica.unlink(missing_ok=True)
+                destination = sqlite3.connect(str(replica))
+                try:
+                    # the backup API yields a consistent snapshot even while
+                    # writers append to the source WAL; the copy itself is a
+                    # plain (journal-less) file, so replica readers never
+                    # resolve pages through a WAL
+                    source.backup(destination)
+                finally:
+                    destination.close()
+                paths.append(str(replica))
+        finally:
+            source.close()
+        replica_set = _ReplicaSet(paths, version, count)
+        self._sets[shard] = replica_set
+        return replica_set
+
+    def close(self) -> None:
+        """Detach every replica set (files are reaped at next open)."""
+        with self._lock:
+            self._sets.clear()

@@ -16,7 +16,7 @@ __all__ = [
     "SCHEMA_VERSION",
 ]
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 SCHEMA_STATEMENTS: tuple[str, ...] = (
     """
@@ -77,6 +77,39 @@ SCHEMA_STATEMENTS: tuple[str, ...] = (
         consumer_module   TEXT NOT NULL,
         consumer_instance INTEGER NOT NULL,
         PRIMARY KEY (run_id, item_id, consumer_module, consumer_instance)
+    )
+    """,
+    # -- schema v4: the shard routing catalog -------------------------------
+    # Placement overrides consulted *before* the CRC-32 spec hash and the
+    # run-id modulo.  Only shard 0 of a sharded directory ever holds rows
+    # (it is the catalog shard); the tables are created on every layout so
+    # the v4 migration is a no-op reopen for single-file stores too.
+    """
+    CREATE TABLE IF NOT EXISTS shard_routing (
+        spec_name TEXT PRIMARY KEY,
+        shard     INTEGER NOT NULL
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS run_routing (
+        run_id INTEGER PRIMARY KEY,
+        shard  INTEGER NOT NULL
+    )
+    """,
+    # The migration journal: one row per in-flight rebalance, written
+    # before the copy starts and deleted after the source rows are gone.
+    # Crash recovery reads ``state`` to roll the migration back
+    # (``copying``: drop the partial target copy) or forward (``flipped``:
+    # finish deleting the source rows) — either way exactly one valid
+    # placement survives.
+    """
+    CREATE TABLE IF NOT EXISTS shard_migrations (
+        spec_name TEXT PRIMARY KEY,
+        spec_id   INTEGER NOT NULL,
+        source    INTEGER NOT NULL,
+        target    INTEGER NOT NULL,
+        state     TEXT NOT NULL,
+        run_ids   TEXT NOT NULL
     )
     """,
     """

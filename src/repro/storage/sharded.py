@@ -37,6 +37,15 @@ a single caller:
   bit-identically to a single-file store built from the same runs
   (hypothesis-checked in ``tests/test_sharded_properties.py``).
 
+* **Routing subsystem** — placement is an override-able catalog
+  (:mod:`repro.storage.routing`, schema v4): the persisted routing table
+  is consulted *before* the CRC-32 hash and the id arithmetic, so
+  :meth:`rebalance` can migrate a hot spec's runs onto a dedicated shard
+  online (copy → flip → delete, crash-recoverable) while unlisted specs
+  keep hashing exactly as before.  :meth:`replicate` attaches read-only
+  replica copies (:mod:`repro.storage.replicas`) the cross-run executor
+  round-robins its worker connections over.
+
 The store is strictly file-backed (``:memory:`` cannot be sharded); the
 shard count is fixed at creation and recovered from the directory layout
 on reopen.
@@ -55,6 +64,9 @@ from repro.engine.pool import WorkerPoolOwner
 from repro.exceptions import StorageError
 from repro.skeleton.skl import SkeletonLabeledRun
 from repro.storage.database import connect
+from repro.storage.replicas import ReplicaManager
+from repro.storage.routing import RoutingTable, migrate_spec, recover_migrations
+from repro.storage.schema import SCHEMA_VERSION
 from repro.storage.store import (
     ProvenanceStore,
     RunLabelArrays,
@@ -87,6 +99,21 @@ MAX_SHARDS = 64
 #: shard file naming inside the store directory; the shard count of an
 #: existing store is recovered by counting these files
 SHARD_FILE_FORMAT = "shard-{:02d}.db"
+
+
+def _stored_schema_version(shard_file: Path) -> str:
+    """The ``schema_version`` recorded in one shard file (for error messages)."""
+    try:
+        connection = sqlite3.connect(str(shard_file))
+        try:
+            row = connection.execute(
+                "SELECT value FROM meta WHERE key = 'schema_version'"
+            ).fetchone()
+        finally:
+            connection.close()
+    except sqlite3.Error:
+        return "unknown"
+    return str(row[0]) if row is not None else "unknown"
 
 
 def shard_of_spec(name: str, shards: int) -> int:
@@ -135,9 +162,12 @@ class ShardedProvenanceStore(WorkerPoolOwner):
         if existing:
             found = len(existing)
             if shards is not None and int(shards) != found:
+                stored_version = _stored_schema_version(existing[0])
                 raise StorageError(
-                    f"store at {directory} has {found} shards; "
-                    f"cannot reopen it with shards={shards}"
+                    f"store at {directory} has {found} shards "
+                    f"(schema v{stored_version}); cannot reopen it with "
+                    f"shards={shards} — pass shards={found} or drop --shards "
+                    "to recover the stored count"
                 )
             shards = found
         else:
@@ -152,6 +182,10 @@ class ShardedProvenanceStore(WorkerPoolOwner):
         self._shard_paths = [
             directory / SHARD_FILE_FORMAT.format(index) for index in range(shards)
         ]
+        self._shard_index_of_path = {
+            str(shard_path): index
+            for index, shard_path in enumerate(self._shard_paths)
+        }
         # one writer lock per shard: serializes this process's writers of a
         # shard (batched ingest tasks, synchronous adds, deletes) so id
         # allocation never races; cross-process safety is SQLite's lock
@@ -166,18 +200,35 @@ class ShardedProvenanceStore(WorkerPoolOwner):
         # cross-run executor holds this store); shard-local events are
         # aggregated in from the shard stores by cache_stats
         self._degraded: dict[str, int] = {}
+        # the routing subsystem: the persisted placement catalog (held in
+        # shard 0), hot-spec read replicas, and the migration serializer —
+        # recovery then resolves any migration a crash left half-done
+        self._routing = RoutingTable(self._shard_paths[0])
+        self._replicas = ReplicaManager(directory, self._shard_paths)
+        self._migration_lock = threading.Lock()
+        recover_migrations(self)
 
     # ------------------------------------------------------------------
-    # routing
+    # routing (catalog overrides first, then the hash / id arithmetic)
     # ------------------------------------------------------------------
+    def _routed_shard_of_spec(self, name: str) -> int:
+        """The shard owning spec *name*: routing override, else CRC-32 hash."""
+        routed = self._routing.shard_of_spec(name)
+        if routed is not None:
+            return routed
+        return shard_of_spec(name, self.shard_count)
+
     def _shard_of_run(self, run_id: int) -> int:
+        routed = self._routing.shard_of_run(run_id)
+        if routed is not None:
+            return routed
         return shard_of_run(run_id, self.shard_count)
 
     def _store_of_run(self, run_id: int) -> ProvenanceStore:
         return self._stores[self._shard_of_run(run_id)]
 
     def _store_of_spec(self, name: str) -> ProvenanceStore:
-        return self._stores[shard_of_spec(name, self.shard_count)]
+        return self._stores[self._routed_shard_of_spec(name)]
 
     def shard_path_of(self, run_id: int) -> Path:
         """The shard file holding *run_id* (what parallel workers open)."""
@@ -201,6 +252,8 @@ class ShardedProvenanceStore(WorkerPoolOwner):
             return
         self._closed = True
         self.close_pools()
+        self._routing.close()
+        self._replicas.close()
         for store in self._stores:
             store.close()
 
@@ -231,6 +284,14 @@ class ShardedProvenanceStore(WorkerPoolOwner):
         ``AUTOINCREMENT``, so SQLite maintains it even for explicit-id
         inserts), not from ``MAX()`` — deleting the newest run must never
         hand its id to the next one.
+
+        The congruence is re-derived from the high-water mark rather than
+        assumed: a rebalanced shard holds *migrated* rows whose ids encode
+        their original shard, so ``highest`` may sit in another shard's
+        congruence class.  Rounding up to this shard's own class keeps
+        every freshly allocated id both unique across shards (each shard
+        only ever mints ids in its class; migrated ids stay burned into
+        their source shard's sequence) and arithmetic-routable.
         """
         row = connection.execute(
             "SELECT seq FROM sqlite_sequence WHERE name = ?", (table,)
@@ -241,7 +302,8 @@ class ShardedProvenanceStore(WorkerPoolOwner):
             highest = row[0]
         if highest is None:
             return shard + 1
-        return int(highest) + self.shard_count
+        candidate = int(highest) + 1
+        return candidate + (shard - (candidate - 1)) % self.shard_count
 
     def _insert_specification(
         self, connection: sqlite3.Connection, shard: int, spec: WorkflowSpecification
@@ -293,6 +355,7 @@ class ShardedProvenanceStore(WorkerPoolOwner):
                             )
                         )
                     connection.execute("COMMIT")
+                    self._note_shard_write(shard)
                     return run_ids
                 except BaseException:
                     connection.execute("ROLLBACK")
@@ -325,9 +388,7 @@ class ShardedProvenanceStore(WorkerPoolOwner):
             return []
         groups: dict[int, list[int]] = {}
         for position, labeled in enumerate(runs):
-            shard = shard_of_spec(
-                labeled.run.specification.name, self.shard_count
-            )
+            shard = self._routed_shard_of_spec(labeled.run.specification.name)
             groups.setdefault(shard, []).append(position)
         if len(groups) == 1:
             # one shard: a pool round trip buys nothing, commit inline
@@ -373,7 +434,7 @@ class ShardedProvenanceStore(WorkerPoolOwner):
     def add_specification(self, spec: WorkflowSpecification) -> int:
         """Store *spec* in its shard (idempotent by name); returns its id."""
         self._require_open()
-        shard = shard_of_spec(spec.name, self.shard_count)
+        shard = self._routed_shard_of_spec(spec.name)
         connection = self._stores[shard]._connection
         with self._locks[shard]:
             # BEGIN IMMEDIATE before the id-allocating read, like the
@@ -383,10 +444,93 @@ class ShardedProvenanceStore(WorkerPoolOwner):
             try:
                 spec_id = self._insert_specification(connection, shard, spec)
                 connection.execute("COMMIT")
+                self._note_shard_write(shard)
                 return spec_id
             except BaseException:
                 connection.execute("ROLLBACK")
                 raise
+
+    # ------------------------------------------------------------------
+    # the routing subsystem: rebalance, replicas, catalog introspection
+    # ------------------------------------------------------------------
+    def _note_shard_write(self, shard: int) -> None:
+        """Bump the shard's update version: its replicas are now stale."""
+        self._replicas.note_write(shard)
+
+    def _shard_run_counts(self) -> list[int]:
+        """Stored run count per shard (what ``rebalance`` auto-picks by)."""
+        return [
+            int(
+                store._connection.execute("SELECT COUNT(*) FROM runs").fetchone()[0]
+            )
+            for store in self._stores
+        ]
+
+    def rebalance(self, specification: str, shard: Optional[int] = None) -> dict:
+        """Migrate *specification*'s runs onto *shard* (``None`` = least loaded).
+
+        The online maintenance path of :mod:`repro.storage.routing`: rows
+        are copied id-for-id under the source shard's write lock, the
+        routing catalog flips in one transaction, then the source rows are
+        deleted — readers serve bit-identical answers throughout, and a
+        crash anywhere recovers to exactly one valid placement.
+        """
+        return migrate_spec(self, specification, shard)
+
+    def split(self, specification: str) -> dict:
+        """Alias of :meth:`rebalance` with the target auto-picked."""
+        return self.rebalance(specification, None)
+
+    def replicate(self, specification: str, count: int) -> list[str]:
+        """Attach *count* read replicas of the shard owning *specification*.
+
+        Returns the replica file paths.  The cross-run executor round-robins
+        its per-worker read-only connections over ``[primary] + replicas``;
+        any write into the shard invalidates the set (readers fall back to
+        the primary) and the next rotation refreshes the copies.
+        """
+        self._require_open()
+        # raises StorageError if the spec is unknown, before any copying
+        self.get_specification(specification)
+        return self._replicas.replicate(
+            self._routed_shard_of_spec(specification), count
+        )
+
+    def replica_rotation(self, db_path) -> list[str]:
+        """``[primary] + fresh replicas`` for one shard file (executor hook)."""
+        path = str(db_path)
+        shard = self._shard_index_of_path.get(path)
+        if shard is None:
+            return [path]
+        return [path, *self._replicas.rotation(shard)]
+
+    def read_fan_of(self, specification: str) -> int:
+        """How many equivalent files can serve reads of *specification*.
+
+        ``1`` without replicas; the planner uses a wider fan to justify
+        parallel workers even where the auto-sizing would stay sequential.
+        """
+        shard = self._routed_shard_of_spec(specification)
+        return 1 + len(self._replicas.rotation(shard))
+
+    def routing_table(self) -> dict:
+        """A snapshot of the routing catalog (CLI ``routing`` / wire dump)."""
+        overrides = self._routing.entries()
+        return {
+            "shards": self.shard_count,
+            "specs": {
+                name: {
+                    "shard": shard,
+                    "hash_shard": shard_of_spec(name, self.shard_count),
+                }
+                for name, shard in sorted(overrides.items())
+            },
+            "routed_runs": self._routing.overridden_run_count,
+            "replicas": {
+                str(shard): count
+                for shard, count in sorted(self._replicas.counts().items())
+            },
+        }
 
     # ------------------------------------------------------------------
     # specifications and runs (read side: routed delegation)
@@ -420,6 +564,8 @@ class ShardedProvenanceStore(WorkerPoolOwner):
         shard = self._shard_of_run(run_id)
         with self._locks[shard]:
             self._stores[shard].delete_run(run_id)
+            self._note_shard_write(shard)
+        self._routing.forget_run(run_id)
 
     def update_run_labels(self, run_id: int, labeled) -> int:
         """Persist a repaired label set into the run's owning shard.
@@ -431,7 +577,9 @@ class ShardedProvenanceStore(WorkerPoolOwner):
         """
         shard = self._shard_of_run(run_id)
         with self._locks[shard]:
-            return self._stores[shard].update_run_labels(run_id, labeled)
+            count = self._stores[shard].update_run_labels(run_id, labeled)
+            self._note_shard_write(shard)
+            return count
 
     # ------------------------------------------------------------------
     # labels and engines
@@ -559,7 +707,9 @@ class ShardedProvenanceStore(WorkerPoolOwner):
         """Store the data items of *dataflow* in the run's shard."""
         shard = self._shard_of_run(run_id)
         with self._locks[shard]:
-            return self._stores[shard].add_dataflow(run_id, dataflow)
+            count = self._stores[shard].add_dataflow(run_id, dataflow)
+            self._note_shard_write(shard)
+            return count
 
     def data_depends_on_data(self, run_id: int, item_id: str, other_id: str) -> bool:
         """Does stored data item *item_id* depend on *other_id*?"""
@@ -580,11 +730,24 @@ class ShardedProvenanceStore(WorkerPoolOwner):
     # ------------------------------------------------------------------
     # diagnostics
     # ------------------------------------------------------------------
+    def _shard_file_bytes(self, shard: int) -> int:
+        """On-disk bytes of one shard (database + WAL + shared-memory index)."""
+        base = str(self._shard_paths[shard])
+        total = 0
+        for suffix in ("", "-wal", "-shm"):
+            candidate = Path(base + suffix)
+            if candidate.exists():
+                total += candidate.stat().st_size
+        return total
+
     def cache_stats(self) -> dict:
         """Cache occupancy and eviction counters aggregated across shards.
 
         The numeric counters of every shard store are summed (the session
-        surfaces them unchanged); ``shards`` and the per-mode ``pools``
+        surfaces them unchanged); ``shards`` carries the **skew table** —
+        per-shard spec count, run count, on-disk bytes, sweep hit counters,
+        attached replicas and routed (override-placed) specs — so an
+        operator can see which shard to split; the per-mode ``pools``
         report the sharded layer's own state.
         """
         totals = {
@@ -595,18 +758,46 @@ class ShardedProvenanceStore(WorkerPoolOwner):
         }
         pushdown: dict[str, dict[str, int]] = {"sql": {}, "kernel": {}}
         degraded = dict(self._degraded)
-        for store in self._stores:
+        overrides = self._routing.entries()
+        routed_of: dict[int, int] = {}
+        for shard in overrides.values():
+            routed_of[shard] = routed_of.get(shard, 0) + 1
+        replica_counts = self._replicas.counts()
+        per_shard: list[dict] = []
+        for index, store in enumerate(self._stores):
             shard_stats = store.cache_stats()
             for key in totals:
                 totals[key] += int(shard_stats.get(key, 0))
+            sweeps = {"sql": 0, "kernel": 0}
             for path, counts in shard_stats.get("pushdown", {}).items():
                 merged = pushdown.setdefault(path, {})
                 for scheme, count in counts.items():
                     merged[scheme] = merged.get(scheme, 0) + int(count)
+                if path in sweeps:
+                    sweeps[path] = sum(int(count) for count in counts.values())
             for kind, count in shard_stats.get("degraded", {}).items():
                 degraded[kind] = degraded.get(kind, 0) + int(count)
+            connection = store._connection
+            per_shard.append(
+                {
+                    "shard": index,
+                    "file": self._shard_paths[index].name,
+                    "specs": int(
+                        connection.execute(
+                            "SELECT COUNT(*) FROM specifications"
+                        ).fetchone()[0]
+                    ),
+                    "runs": int(
+                        connection.execute("SELECT COUNT(*) FROM runs").fetchone()[0]
+                    ),
+                    "file_bytes": self._shard_file_bytes(index),
+                    "sweeps": sweeps,
+                    "replicas": int(replica_counts.get(index, 0)),
+                    "routed_specs": int(routed_of.get(index, 0)),
+                }
+            )
         stats = {
-            "shards": self.shard_count,
+            "shards": {"count": self.shard_count, "per_shard": per_shard},
             **totals,
             "limit": STORED_RUN_CACHE_LIMIT * self.shard_count,
             "pushdown": pushdown,

@@ -508,7 +508,7 @@ class TestHealthOp:
         store, server, client = served_faulted
         report = client.health()
         assert report["status"] == "ok"
-        assert report["protocol"] == 3
+        assert report["protocol"] == 4
         assert report["shards_total"] == 2
         assert report["shards_reachable"] == 2
         assert report["connections"] >= 1

@@ -1,0 +1,469 @@
+"""Tests for the shard routing subsystem.
+
+Covers the persisted routing catalog (overrides survive a reopen, routed
+ingest lands on the override shard), the online ``rebalance`` maintenance
+path (bit-identical answers, id stability, auto target pick, error
+surface), crash recovery at the ``routing.migrate`` fault point plus
+simulated hard crashes in both journal states, hot-spec read replicas
+(attach, rotation, invalidation, refresh, error bounds), the per-shard
+skew table in ``cache_stats()``, and the CLI / wire-protocol fronts of
+all of the above.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.datasets.synthetic import SyntheticSpecConfig, generate_specification
+from repro.engine.parallel import CrossRunExecutor
+from repro.exceptions import ReproError, StorageError
+from repro.faults import FaultPlan, FaultRule
+from repro.server import RemoteStore, ServerThread
+from repro.skeleton.skl import SkeletonLabeler
+from repro.storage.replicas import MAX_REPLICAS, REPLICA_DIR_NAME
+from repro.storage.routing import _copy_spec_rows
+from repro.storage.sharded import (
+    ShardedProvenanceStore,
+    shard_of_spec,
+)
+from repro.storage.store import ProvenanceStore
+from repro.workflow.execution import generate_run_with_size
+
+SHARDS = 4
+HOT_RUNS = 6
+COLD_RUNS = 2
+
+
+def _name_on_shard(prefix: str, shard: int, shards: int = SHARDS) -> str:
+    """A deterministic spec name the CRC-32 hash places on *shard*."""
+    for index in range(10_000):
+        candidate = f"{prefix}-{index}"
+        if shard_of_spec(candidate, shards) == shard:
+            return candidate
+    raise AssertionError(f"no {prefix!r} candidate hashes onto shard {shard}")
+
+
+def _make_spec(name: str, seed: int):
+    return generate_specification(
+        SyntheticSpecConfig(
+            n_modules=12,
+            n_edges=14,
+            hierarchy_size=2,
+            hierarchy_depth=2,
+            name=name,
+            seed=seed,
+        )
+    )
+
+
+@pytest.fixture()
+def workload(tmp_path):
+    """A skewed two-spec workload: hot and cold specs hash to one shard."""
+    hot_name = "routing-hot"
+    hot_shard = shard_of_spec(hot_name, SHARDS)
+    cold_name = _name_on_shard("routing-cold", hot_shard)
+    specs = {hot_name: _make_spec(hot_name, 7), cold_name: _make_spec(cold_name, 8)}
+    labelers = {name: SkeletonLabeler(spec, "tcm") for name, spec in specs.items()}
+    labeled = [
+        labelers[hot_name].label_run(
+            generate_run_with_size(
+                specs[hot_name], 24, seed=index, name=f"hot-{index}"
+            ).run
+        )
+        for index in range(HOT_RUNS)
+    ] + [
+        labelers[cold_name].label_run(
+            generate_run_with_size(
+                specs[cold_name], 24, seed=100 + index, name=f"cold-{index}"
+            ).run
+        )
+        for index in range(COLD_RUNS)
+    ]
+    store = ShardedProvenanceStore(tmp_path / "routed", SHARDS)
+    store.add_labeled_runs(labeled)
+    reference = ProvenanceStore(tmp_path / "reference.db")
+    for item in labeled:
+        reference.add_labeled_run(item)
+    anchor_vertex = labeled[0].run.vertices()[0]
+    anchor = (anchor_vertex.module, anchor_vertex.instance)
+    yield {
+        "store": store,
+        "reference": reference,
+        "hot": hot_name,
+        "cold": cold_name,
+        "hot_shard": hot_shard,
+        "labelers": labelers,
+        "specs": specs,
+        "anchor": anchor,
+        "directory": tmp_path / "routed",
+    }
+    reference.close()
+    store.close()
+
+
+def _sweep(store, name, anchor, workers=2):
+    per_run, skipped = CrossRunExecutor(store, workers=workers).sweep(name, anchor)
+    return list(per_run.values()), len(skipped)
+
+
+def _assert_matches_reference(workload, stage: str) -> None:
+    for name in (workload["hot"], workload["cold"]):
+        got = _sweep(workload["store"], name, workload["anchor"])
+        want = _sweep(workload["reference"], name, workload["anchor"], workers=1)
+        assert got == want, f"{stage}: sweep of {name!r} diverged"
+
+
+class TestRoutingPersistence:
+    def test_rebalance_persists_across_reopen(self, workload):
+        store, hot = workload["store"], workload["hot"]
+        target = (workload["hot_shard"] + 1) % SHARDS
+        summary = store.rebalance(hot, target)
+        assert summary == {
+            "specification": hot,
+            "source": workload["hot_shard"],
+            "target": target,
+            "moved_runs": HOT_RUNS,
+        }
+        run_ids = [row["run_id"] for row in store.list_runs(hot)]
+        store.close()
+        reopened = ShardedProvenanceStore(workload["directory"])
+        try:
+            table = reopened.routing_table()
+            assert table["specs"][hot]["shard"] == target
+            assert table["specs"][hot]["hash_shard"] == workload["hot_shard"]
+            assert table["routed_runs"] == HOT_RUNS
+            # ids survived the migration and the reopen
+            assert [row["run_id"] for row in reopened.list_runs(hot)] == run_ids
+            got = _sweep(reopened, hot, workload["anchor"])
+            want = _sweep(workload["reference"], hot, workload["anchor"], workers=1)
+            assert got == want
+        finally:
+            reopened.close()
+        workload["store"] = ShardedProvenanceStore(workload["directory"])
+
+    def test_routed_ingest_lands_on_override_shard(self, workload):
+        store, hot = workload["store"], workload["hot"]
+        target = (workload["hot_shard"] + 2) % SHARDS
+        store.rebalance(hot, target)
+        extra = workload["labelers"][hot].label_run(
+            generate_run_with_size(
+                workload["specs"][hot], 24, seed=55, name="hot-extra"
+            ).run
+        )
+        new_id = store.add_labeled_run(extra)
+        assert store.shard_path_of(new_id) == store._shard_paths[target]
+        workload["reference"].add_labeled_run(extra)
+        _assert_matches_reference(workload, "after routed ingest")
+
+    def test_delete_run_forgets_its_override(self, workload):
+        store, hot = workload["store"], workload["hot"]
+        store.rebalance(hot, (workload["hot_shard"] + 1) % SHARDS)
+        assert store.routing_table()["routed_runs"] == HOT_RUNS
+        victim = store.list_runs(hot)[-1]["run_id"]
+        store.delete_run(victim)
+        assert store.routing_table()["routed_runs"] == HOT_RUNS - 1
+
+
+class TestRebalanceMechanics:
+    def test_answers_bit_identical_through_the_maintenance_path(self, workload):
+        store, hot = workload["store"], workload["hot"]
+        _assert_matches_reference(workload, "before rebalance")
+        ids_before = [row["run_id"] for row in store.list_runs(hot)]
+        store.rebalance(hot)
+        _assert_matches_reference(workload, "after rebalance")
+        store.replicate(hot, 2)
+        _assert_matches_reference(workload, "after replicate")
+        assert [row["run_id"] for row in store.list_runs(hot)] == ids_before
+
+    def test_source_rows_move_to_the_target_shard(self, workload):
+        store, hot = workload["store"], workload["hot"]
+        source = workload["hot_shard"]
+        target = (source + 1) % SHARDS
+        store.rebalance(hot, target)
+        per_shard = {
+            row["shard"]: row
+            for row in store.cache_stats()["shards"]["per_shard"]
+        }
+        assert per_shard[target]["runs"] == HOT_RUNS
+        assert per_shard[target]["routed_specs"] == 1
+        # only the colliding cold spec's rows stay behind
+        assert per_shard[source]["runs"] == COLD_RUNS
+        assert per_shard[source]["specs"] == 1
+
+    def test_split_picks_the_least_loaded_shard(self, workload):
+        store, hot = workload["store"], workload["hot"]
+        loads = store._shard_run_counts()
+        expected = min(
+            (shard for shard in range(SHARDS) if shard != workload["hot_shard"]),
+            key=lambda shard: (loads[shard], shard),
+        )
+        summary = store.split(hot)
+        assert summary["target"] == expected
+        assert summary["moved_runs"] == HOT_RUNS
+
+    def test_rebalance_onto_the_current_shard_is_a_noop(self, workload):
+        store, hot = workload["store"], workload["hot"]
+        summary = store.rebalance(hot, workload["hot_shard"])
+        assert summary["moved_runs"] == 0
+        assert hot not in store.routing_table()["specs"]
+
+    def test_rebalance_error_surface(self, workload, tmp_path):
+        store = workload["store"]
+        with pytest.raises(StorageError, match="no specification named"):
+            store.rebalance("ghost")
+        with pytest.raises(StorageError, match="out of range"):
+            store.rebalance(workload["hot"], SHARDS + 3)
+        with ShardedProvenanceStore(tmp_path / "solo", 1) as solo:
+            with pytest.raises(StorageError, match="at least 2 shards"):
+                solo.rebalance("anything")
+
+
+class TestCrashRecovery:
+    def test_injected_crash_recovers_in_process(self, workload):
+        store, hot = workload["store"], workload["hot"]
+        crash = FaultPlan([FaultRule("routing.migrate", "crash", once=True)])
+        with crash.active():
+            with pytest.raises(ReproError):
+                store.rebalance(hot)
+        # rolled back: no override, no journal, answers unchanged
+        assert hot not in store.routing_table()["specs"]
+        assert store._routing.journal_rows() == []
+        _assert_matches_reference(workload, "after crashed migration")
+        # the maintenance path still works after the repair
+        assert store.rebalance(hot)["moved_runs"] == HOT_RUNS
+        _assert_matches_reference(workload, "after retried migration")
+
+    def _stage_migration(self, workload, *, flip: bool) -> tuple[int, list[int]]:
+        """Copy (and optionally flip) the hot spec by hand, then hard-crash."""
+        store, hot = workload["store"], workload["hot"]
+        source = workload["hot_shard"]
+        target = (source + 1) % SHARDS
+        connection = store._stores[source]._connection
+        spec_id = int(
+            connection.execute(
+                "SELECT spec_id FROM specifications WHERE name = ?", (hot,)
+            ).fetchone()["spec_id"]
+        )
+        run_ids = [
+            int(row["run_id"])
+            for row in connection.execute(
+                "SELECT run_id FROM runs WHERE spec_id = ? ORDER BY run_id",
+                (spec_id,),
+            )
+        ]
+        store._routing.begin_migration(hot, spec_id, source, target, run_ids)
+        _copy_spec_rows(store, spec_id, source, target)
+        if flip:
+            store._routing.flip(hot, target, run_ids)
+        store.close()  # the simulated hard crash: journal row left behind
+        return target, run_ids
+
+    def test_hard_crash_while_copying_rolls_back_on_reopen(self, workload):
+        target, _ = self._stage_migration(workload, flip=False)
+        reopened = ShardedProvenanceStore(workload["directory"])
+        workload["store"] = reopened
+        assert workload["hot"] not in reopened.routing_table()["specs"]
+        assert reopened._routing.journal_rows() == []
+        # the partial target copy is gone
+        count = reopened._stores[target]._connection.execute(
+            "SELECT COUNT(*) FROM runs"
+        ).fetchone()[0]
+        assert count == 0
+        _assert_matches_reference(workload, "rolled-back hard crash")
+
+    def test_hard_crash_after_flip_rolls_forward_on_reopen(self, workload):
+        target, run_ids = self._stage_migration(workload, flip=True)
+        reopened = ShardedProvenanceStore(workload["directory"])
+        workload["store"] = reopened
+        table = reopened.routing_table()
+        assert table["specs"][workload["hot"]]["shard"] == target
+        assert reopened._routing.journal_rows() == []
+        # the source copy is gone; the ids survived on the target
+        assert [
+            row["run_id"] for row in reopened.list_runs(workload["hot"])
+        ] == run_ids
+        source_count = reopened._stores[workload["hot_shard"]]._connection.execute(
+            "SELECT COUNT(*) FROM runs WHERE spec_id IN "
+            "(SELECT spec_id FROM specifications WHERE name = ?)",
+            (workload["hot"],),
+        ).fetchone()[0]
+        assert source_count == 0
+        _assert_matches_reference(workload, "rolled-forward hard crash")
+
+
+class TestReplicas:
+    def test_replicate_attaches_snapshot_files(self, workload):
+        store, hot = workload["store"], workload["hot"]
+        paths = store.replicate(hot, 2)
+        assert len(paths) == 2
+        for path in paths:
+            assert REPLICA_DIR_NAME in path
+        primary = store._shard_paths[workload["hot_shard"]]
+        rotation = store.replica_rotation(primary)
+        assert rotation == [str(primary), *paths]
+        assert store.read_fan_of(hot) == 3
+        _assert_matches_reference(workload, "with replicas attached")
+
+    def test_writes_invalidate_and_the_next_rotation_refreshes(self, workload):
+        store, hot = workload["store"], workload["hot"]
+        store.replicate(hot, 1)
+        extra = workload["labelers"][hot].label_run(
+            generate_run_with_size(
+                workload["specs"][hot], 24, seed=77, name="hot-late"
+            ).run
+        )
+        store.add_labeled_run(extra)
+        workload["reference"].add_labeled_run(extra)
+        # the refreshed snapshot serves the new run too — bit-identical
+        _assert_matches_reference(workload, "after invalidating write")
+        primary = store._shard_paths[workload["hot_shard"]]
+        assert len(store.replica_rotation(primary)) == 2
+
+    def test_replica_error_surface(self, workload):
+        store = workload["store"]
+        with pytest.raises(StorageError):
+            store.replicate("ghost", 1)
+        with pytest.raises(StorageError, match="replica count"):
+            store.replicate(workload["hot"], 0)
+        with pytest.raises(StorageError, match="replica count"):
+            store.replicate(workload["hot"], MAX_REPLICAS + 1)
+
+    def test_previous_process_replicas_are_dropped_on_open(self, workload):
+        store, hot = workload["store"], workload["hot"]
+        store.replicate(hot, 2)
+        replica_dir = workload["directory"] / REPLICA_DIR_NAME
+        assert len(list(replica_dir.glob("shard-*.db"))) == 2
+        store.close()
+        reopened = ShardedProvenanceStore(workload["directory"])
+        workload["store"] = reopened
+        assert list(replica_dir.glob("shard-*.db")) == []
+        primary = reopened._shard_paths[workload["hot_shard"]]
+        assert reopened.replica_rotation(primary) == [str(primary)]
+
+
+class TestSkewStats:
+    def test_per_shard_skew_table_shape(self, workload):
+        store = workload["store"]
+        shards = store.cache_stats()["shards"]
+        assert shards["count"] == SHARDS
+        assert len(shards["per_shard"]) == SHARDS
+        for row in shards["per_shard"]:
+            assert set(row) == {
+                "shard",
+                "file",
+                "specs",
+                "runs",
+                "file_bytes",
+                "sweeps",
+                "replicas",
+                "routed_specs",
+            }
+        assert sum(row["runs"] for row in shards["per_shard"]) == (
+            HOT_RUNS + COLD_RUNS
+        )
+        hot_row = shards["per_shard"][workload["hot_shard"]]
+        assert hot_row["runs"] == HOT_RUNS + COLD_RUNS
+        assert hot_row["file_bytes"] > 0
+
+    def test_skew_table_tracks_rebalance_and_replicas(self, workload):
+        store, hot = workload["store"], workload["hot"]
+        target = (workload["hot_shard"] + 1) % SHARDS
+        store.rebalance(hot, target)
+        store.replicate(hot, 2)
+        _sweep(store, hot, workload["anchor"])
+        per_shard = store.cache_stats()["shards"]["per_shard"]
+        row = per_shard[target]
+        assert row["replicas"] == 2
+        assert row["routed_specs"] == 1
+        assert row["sweeps"]["kernel"] + row["sweeps"]["sql"] >= 1
+
+
+class TestRoutingCLI:
+    def test_stats_rebalance_replicate_routing_roundtrip(self, workload, capsys):
+        from repro.cli import main
+
+        store, hot = workload["store"], workload["hot"]
+        target = (workload["hot_shard"] + 1) % SHARDS
+        store.close()
+        database = str(workload["directory"])
+        assert main(["stats", "--database", database]) == 0
+        out = capsys.readouterr().out
+        assert "shard" in out and "file_bytes" in out
+        assert main(["stats", "--database", database, "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["shards"]["count"] == SHARDS
+        assert main([
+            "rebalance", "--database", database, "--spec", hot,
+            "--shard", str(target),
+        ]) == 0
+        assert f"moved {HOT_RUNS} runs" in capsys.readouterr().out
+        assert main([
+            "replicate", "--database", database, "--spec", hot, "--copies", "2",
+        ]) == 0
+        assert "2 replica" in capsys.readouterr().out
+        assert main(["routing", "--database", database, "--json"]) == 0
+        table = json.loads(capsys.readouterr().out)
+        assert table["specs"][hot]["shard"] == target
+        assert main(["routing", "--database", database]) == 0
+        assert hot in capsys.readouterr().out
+        workload["store"] = ShardedProvenanceStore(workload["directory"])
+
+    def test_single_file_database_is_refused_clearly(self, tmp_path, capsys, workload):
+        from repro.cli import main
+
+        database = tmp_path / "single.db"
+        with ProvenanceStore(database) as single:
+            for item in [
+                workload["labelers"][workload["hot"]].label_run(
+                    generate_run_with_size(
+                        workload["specs"][workload["hot"]], 24, seed=9, name="solo"
+                    ).run
+                )
+            ]:
+                single.add_labeled_run(item)
+        assert main(["stats", "--database", str(database)]) == 0
+        assert "single-file" in capsys.readouterr().out
+        for command in (
+            ["rebalance", "--database", str(database), "--spec", workload["hot"]],
+            ["replicate", "--database", str(database), "--spec", workload["hot"]],
+            ["routing", "--database", str(database)],
+        ):
+            assert main(command) == 2
+            assert "single" in capsys.readouterr().err.lower()
+
+
+class TestRoutingOverTheWire:
+    def test_maintenance_opcodes_roundtrip(self, workload):
+        store, hot = workload["store"], workload["hot"]
+        with ServerThread(store) as server, RemoteStore(server.url) as client:
+            summary = client.rebalance(hot)
+            assert summary["moved_runs"] == HOT_RUNS
+            replicas = client.replicate(hot, 2)
+            assert len(replicas) == 2
+            table = client.routing_table()
+            assert table["specs"][hot]["shard"] == summary["target"]
+            health = client.health()
+            assert health["shards"]["count"] == SHARDS
+            rows = health["shards"]["per_shard"]
+            assert rows[summary["target"]]["replicas"] == 2
+        _assert_matches_reference(workload, "after wire maintenance")
+
+    def test_single_file_server_refuses_maintenance(self, tmp_path):
+        store = ProvenanceStore(tmp_path / "wire-single.db")
+        spec = _make_spec("wire-solo", 3)
+        labeler = SkeletonLabeler(spec, "tcm")
+        store.add_labeled_run(
+            labeler.label_run(
+                generate_run_with_size(spec, 24, seed=1, name="solo").run
+            )
+        )
+        with ServerThread(store) as server, RemoteStore(server.url) as client:
+            with pytest.raises(StorageError, match="sharded"):
+                client.rebalance("wire-solo")
+            with pytest.raises(StorageError, match="sharded"):
+                client.replicate("wire-solo", 1)
+            with pytest.raises(StorageError, match="sharded"):
+                client.routing_table()
+        store.close()

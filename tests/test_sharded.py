@@ -338,7 +338,8 @@ class TestCacheStatsAndSession:
         session.run(BatchQuery(pairs=[(("a", 1), ("h", 1))] * 600, run_id=ids[0]))
         stats = session.cache_stats()
         assert stats["target_kind"] == "store"
-        assert stats["shards"] == 4
+        assert stats["shards"]["count"] == 4
+        assert len(stats["shards"]["per_shard"]) == 4
         assert stats["engines_cached"] >= 1
         assert stats["limit"] > 0
 
